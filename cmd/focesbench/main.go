@@ -1,0 +1,420 @@
+// Command focesbench regenerates every table and figure of the FOCES
+// evaluation (§VI): Table I and Figs 7-12. Each experiment prints the
+// paper-style rows/series to stdout and, with -csv DIR, also writes a
+// CSV per experiment.
+//
+// Usage:
+//
+//	focesbench -exp all                 # everything (slow)
+//	focesbench -exp fig8 -runs 50       # one experiment, more samples
+//	focesbench -exp fig12 -flows 240,480,960,1920,3840
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"foces/internal/analysis"
+	"foces/internal/baseline"
+	"foces/internal/controller"
+	"foces/internal/experiment"
+	"foces/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "focesbench:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	exp    string
+	runs   int
+	seed   int64
+	csvDir string
+	flows  []int
+	volume uint64
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("focesbench", flag.ContinueOnError)
+	opts := options{}
+	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12")
+	fs.IntVar(&opts.runs, "runs", 0, "observations per point (0 = experiment default)")
+	fs.Int64Var(&opts.seed, "seed", 1, "random seed")
+	fs.StringVar(&opts.csvDir, "csv", "", "directory for CSV output (optional)")
+	flowList := fs.String("flows", "", "comma-separated flow counts for fig12")
+	fs.Uint64Var(&opts.volume, "volume", 1000, "packets per flow per interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *flowList != "" {
+		for _, part := range strings.Split(*flowList, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -flows entry %q: %w", part, err)
+			}
+			opts.flows = append(opts.flows, v)
+		}
+	}
+	if opts.csvDir != "" {
+		if err := os.MkdirAll(opts.csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	experiments := map[string]func(options, io.Writer) error{
+		"table1":   runTableI,
+		"fig7":     runFig7,
+		"fig8":     runFig8,
+		"fig9":     runFig9,
+		"fig10":    runFig10, // fig10 and fig11 share the Slicing experiment
+		"fig11":    runFig10,
+		"fig12":    runFig12,
+		"loc":      runLocalization, // extension: future work #1
+		"coverage": runCoverage,     // extension: future work #2
+		"overhead": runOverhead,     // §VII deployment-cost comparison
+		"monitor":  runMonitor,      // extension: debounced-alarm study
+	}
+	if opts.exp == "all" {
+		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig12", "loc", "coverage", "overhead", "monitor"} {
+			if err := experiments[name](opts, out); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := experiments[opts.exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", opts.exp)
+	}
+	return fn(opts, out)
+}
+
+func baseConfig(opts options) experiment.Config {
+	return experiment.Config{Seed: opts.seed, PacketsPerFlow: opts.volume}
+}
+
+func writeCSV(opts options, name string, headers []string, rows [][]string) error {
+	if opts.csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(opts.csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiment.WriteCSV(f, headers, rows)
+}
+
+func runTableI(opts options, out io.Writer) error {
+	rows, err := experiment.TableI(baseConfig(opts))
+	if err != nil {
+		return err
+	}
+	headers := []string{"topology", "switches", "hosts", "flows", "rules"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Name, fmt.Sprint(r.Switches), fmt.Sprint(r.Hosts), fmt.Sprint(r.Flows), fmt.Sprint(r.Rules)})
+	}
+	fmt.Fprintln(out, "\n== Table I: topology inventory ==")
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	return writeCSV(opts, "table1", headers, cells)
+}
+
+func runFig7(opts options, out io.Writer) error {
+	cfg := experiment.FunctionalConfig{Config: baseConfig(opts)}
+	points, err := experiment.Functional(cfg)
+	if err != nil {
+		return err
+	}
+	headers := []string{"loss", "time_s", "anomaly_index", "attack_active"}
+	var cells [][]string
+	for _, p := range points {
+		cells = append(cells, []string{
+			experiment.FormatPct(p.Loss),
+			fmt.Sprint(p.TimeSec),
+			experiment.FormatIndex(p.Index),
+			fmt.Sprint(p.AttackActive),
+		})
+	}
+	fmt.Fprintln(out, "\n== Fig 7: anomaly index timeline, BCube(1,4), attack in [60s,120s], T=4.5 ==")
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	return writeCSV(opts, "fig7", headers, cells)
+}
+
+func runFig8(opts options, out io.Writer) error {
+	headers := []string{"topology", "loss", "auc", "tpr_at_T4.5", "fpr_at_T4.5"}
+	var cells [][]string
+	for _, name := range topo.EvaluationTopologies() {
+		cfg := experiment.ROCConfig{Config: baseConfig(opts), Runs: opts.runs}
+		cfg.Topology = name
+		series, err := experiment.ROC(cfg)
+		if err != nil {
+			return err
+		}
+		for _, s := range series {
+			// The operating point closest to the default threshold.
+			var tpr, fpr float64
+			best := 1e18
+			for _, p := range s.Points {
+				if d := abs(p.Threshold - 4.5); d < best {
+					best, tpr, fpr = d, p.TPR, p.FPR
+				}
+			}
+			cells = append(cells, []string{
+				name,
+				experiment.FormatPct(s.Loss),
+				fmt.Sprintf("%.3f", s.AUC),
+				experiment.FormatPct(tpr),
+				experiment.FormatPct(fpr),
+			})
+		}
+	}
+	fmt.Fprintln(out, "\n== Fig 8: ROC (AUC and the T=4.5 operating point) per topology and loss ==")
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	return writeCSV(opts, "fig8", headers, cells)
+}
+
+func runFig9(opts options, out io.Writer) error {
+	headers := []string{"topology", "loss", "modified_rules", "precision"}
+	var cells [][]string
+	for _, name := range topo.EvaluationTopologies() {
+		cfg := experiment.PrecisionConfig{Config: baseConfig(opts), Runs: opts.runs}
+		cfg.Topology = name
+		points, err := experiment.Precision(cfg)
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			cells = append(cells, []string{
+				name,
+				experiment.FormatPct(p.Loss),
+				fmt.Sprint(p.ModifiedRules),
+				experiment.FormatPct(p.Precision),
+			})
+		}
+	}
+	fmt.Fprintln(out, "\n== Fig 9: precision vs loss for 1/2/3 modified rules, T=3.5 ==")
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	return writeCSV(opts, "fig9", headers, cells)
+}
+
+func runFig10(opts options, out io.Writer) error {
+	cfg := experiment.SlicingConfig{Config: baseConfig(opts), Runs: opts.runs}
+	results, err := experiment.Slicing(cfg)
+	if err != nil {
+		return err
+	}
+	headers := []string{"topology", "baseline_opt_T", "baseline_acc", "sliced_opt_T", "sliced_acc"}
+	var cells [][]string
+	for _, r := range results {
+		cells = append(cells, []string{
+			r.Topology,
+			fmt.Sprintf("%.0f", r.OptBaselineThreshold),
+			experiment.FormatPct(r.OptBaselineAccuracy),
+			fmt.Sprintf("%.0f", r.OptSlicedThreshold),
+			experiment.FormatPct(r.OptSlicedAccuracy),
+		})
+	}
+	fmt.Fprintln(out, "\n== Fig 10: accuracy at optimal threshold, baseline vs slicing ==")
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	if err := writeCSV(opts, "fig10", headers, cells); err != nil {
+		return err
+	}
+	// Fig 11: the full threshold sweep per topology.
+	curveHeaders := []string{"topology", "threshold", "baseline_acc", "sliced_acc"}
+	var curveCells [][]string
+	for _, r := range results {
+		for _, c := range r.Curve {
+			curveCells = append(curveCells, []string{
+				r.Topology,
+				fmt.Sprintf("%.0f", c.Threshold),
+				fmt.Sprintf("%.3f", c.Baseline),
+				fmt.Sprintf("%.3f", c.Sliced),
+			})
+		}
+	}
+	fmt.Fprintln(out, "== Fig 11: accuracy vs threshold (full sweep in CSV; sample below) ==")
+	sample := curveCells
+	if len(sample) > 20 {
+		step := len(sample) / 20
+		var s [][]string
+		for i := 0; i < len(sample); i += step {
+			s = append(s, sample[i])
+		}
+		sample = s
+	}
+	fmt.Fprint(out, experiment.FormatTable(curveHeaders, sample))
+	return writeCSV(opts, "fig11", curveHeaders, curveCells)
+}
+
+func runFig12(opts options, out io.Writer) error {
+	cfg := experiment.ScalingConfig{Config: baseConfig(opts), FlowCounts: opts.flows}
+	points, err := experiment.Scaling(cfg)
+	if err != nil {
+		return err
+	}
+	headers := []string{"flows", "rules", "baseline_s", "sliced_s", "speedup", "slice_build_s"}
+	var cells [][]string
+	for _, p := range points {
+		speedup := p.BaselineSecs / p.SlicedSecs
+		cells = append(cells, []string{
+			fmt.Sprint(p.Flows),
+			fmt.Sprint(p.Rules),
+			fmt.Sprintf("%.4f", p.BaselineSecs),
+			fmt.Sprintf("%.4f", p.SlicedSecs),
+			fmt.Sprintf("%.2fx", speedup),
+			fmt.Sprintf("%.4f", p.SliceBuildSecs),
+		})
+	}
+	fmt.Fprintln(out, "\n== Fig 12: detection time vs number of flows, FatTree(8) ==")
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	return writeCSV(opts, "fig12", headers, cells)
+}
+
+func runLocalization(opts options, out io.Writer) error {
+	cfg := experiment.LocalizationConfig{Config: baseConfig(opts), Runs: opts.runs}
+	points, err := experiment.Localization(cfg)
+	if err != nil {
+		return err
+	}
+	headers := []string{"topology", "detected", "top1_hit", "top3_hit", "delta_top3_hit", "mean_suspects"}
+	var cells [][]string
+	for _, p := range points {
+		cells = append(cells, []string{
+			p.Topology,
+			experiment.FormatPct(p.Detected),
+			experiment.FormatPct(p.HitTop1),
+			experiment.FormatPct(p.HitTopK),
+			experiment.FormatPct(p.DeltaHitTopK),
+			fmt.Sprintf("%.1f", p.MeanSuspects),
+		})
+	}
+	fmt.Fprintln(out, "\n== Extension (future work #1): per-switch localization quality ==")
+	fmt.Fprintln(out, "   hit = compromised switch or a direct neighbour appears in the suspect list")
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	return writeCSV(opts, "localization", headers, cells)
+}
+
+func runCoverage(opts options, out io.Writer) error {
+	headers := []string{"topology", "mode", "deviations", "detectable", "undetectable", "loops"}
+	var cells [][]string
+	// Coverage enumerates every (rule, port, flow) deviation and solves a
+	// least-squares membership test per deviation; restrict the default
+	// sweep to the two mid-size fabrics (analysis.Coverage handles any
+	// topology if invoked directly).
+	for _, name := range []string{"fattree4", "bcube14"} {
+		for modeName, mode := range map[string]controller.PolicyMode{
+			"pair": controller.PairExact,
+			"dest": controller.DestAggregate,
+		} {
+			cfg := baseConfig(opts)
+			cfg.Topology = name
+			cfg.Mode = mode
+			env, err := experiment.NewEnv(cfg)
+			if err != nil {
+				return err
+			}
+			rep, err := analysis.Coverage(env.FCM)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, []string{
+				name,
+				modeName,
+				fmt.Sprint(rep.Total),
+				experiment.FormatPct(rep.DetectableFraction()),
+				fmt.Sprint(len(rep.Undetectable)),
+				fmt.Sprint(rep.ForwardingLoops),
+			})
+		}
+	}
+	sortCells(cells)
+	fmt.Fprintln(out, "\n== Extension (future work #2): detectability coverage of all single-rule deviations ==")
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	return writeCSV(opts, "coverage", headers, cells)
+}
+
+func runOverhead(opts options, out io.Writer) error {
+	headers := []string{"topology", "flows", "rules",
+		"foces_extra_rules", "foces_hdr_B/pkt", "foces_ctrl_B/period",
+		"perflow_dedicated_rules", "pathverify_hdr_B/pkt", "pathverify_bw"}
+	var cells [][]string
+	for _, name := range topo.EvaluationTopologies() {
+		cfg := baseConfig(opts)
+		cfg.Topology = name
+		env, err := experiment.NewEnv(cfg)
+		if err != nil {
+			return err
+		}
+		rep := baseline.CompareOverheads(env.FCM)
+		cells = append(cells, []string{
+			name,
+			fmt.Sprint(rep.Flows),
+			fmt.Sprint(rep.Rules),
+			fmt.Sprint(rep.FOCESExtraRules),
+			fmt.Sprint(rep.FOCESHeaderBytesPerPkt),
+			fmt.Sprint(rep.FOCESControlBytesPeriod),
+			fmt.Sprint(rep.PerFlowDedicatedRules),
+			fmt.Sprint(rep.PathVerifyHeaderBytesPerPkt),
+			fmt.Sprintf("%.1f%%", rep.PathVerifyBandwidthPct),
+		})
+	}
+	fmt.Fprintln(out, "\n== §VII deployment-cost comparison (monitoring every flow) ==")
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	return writeCSV(opts, "overhead", headers, cells)
+}
+
+func runMonitor(opts options, out io.Writer) error {
+	headers := []string{"loss", "raw_FP_rate", "debounced_FP_rate", "raw_TP_rate", "debounced_TP_rate", "delay_periods"}
+	var cells [][]string
+	for _, loss := range []float64{0.15, 0.20, 0.25} {
+		cfg := experiment.MonitorConfig{Config: baseConfig(opts), Loss: loss}
+		if opts.runs > 0 {
+			cfg.Periods = opts.runs * 4
+			cfg.AttackPeriods = opts.runs
+		}
+		res, err := experiment.MonitorStudy(cfg)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, []string{
+			experiment.FormatPct(res.Loss),
+			experiment.FormatPct(res.RawFPRate),
+			experiment.FormatPct(res.DebouncedFPRate),
+			experiment.FormatPct(res.RawTPRate),
+			experiment.FormatPct(res.DebouncedTPRate),
+			fmt.Sprint(res.DetectionDelayPeriods),
+		})
+	}
+	fmt.Fprintln(out, "\n== Extension: debounced K-of-N alarms at heavy loss (FatTree(4)) ==")
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	return writeCSV(opts, "monitor", headers, cells)
+}
+
+// sortCells orders rows lexicographically for deterministic output
+// (the mode map iterates randomly).
+func sortCells(cells [][]string) {
+	sort.Slice(cells, func(i, j int) bool {
+		for k := range cells[i] {
+			if cells[i][k] != cells[j][k] {
+				return cells[i][k] < cells[j][k]
+			}
+		}
+		return false
+	})
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

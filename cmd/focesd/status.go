@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+
+	"foces/internal/topo"
+)
+
+// status is the JSON document served at /status.
+type status struct {
+	Period          int             `json:"period"`
+	AttackActive    bool            `json:"attackActive"`
+	Index           float64         `json:"anomalyIndex"`
+	Anomalous       bool            `json:"anomalous"`
+	Alarm           bool            `json:"alarm"`
+	SlicedIndex     float64         `json:"slicedIndex"`
+	Suspects        []topo.SwitchID `json:"suspects"`
+	MissingSwitches int             `json:"missingSwitches"`
+}
+
+// statusServer exposes the daemon's latest detection state over HTTP —
+// the minimal operational surface a real deployment would scrape.
+type statusServer struct {
+	mu   sync.Mutex
+	cur  status
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// startStatusServer listens on addr ("127.0.0.1:0" picks a free port)
+// and serves GET /status.
+func startStatusServer(addr string) (*statusServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &statusServer{ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", s.handle)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		// Serve returns ErrServerClosed on Close; nothing to report.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr reports the bound address.
+func (s *statusServer) Addr() string { return s.ln.Addr().String() }
+
+// Update publishes the latest period's state.
+func (s *statusServer) Update(st status) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur = st
+}
+
+// Close stops the server and waits for the serve goroutine.
+func (s *statusServer) Close() {
+	_ = s.srv.Close()
+	<-s.done
+}
+
+func (s *statusServer) handle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	st := s.cur
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	// Suspects may be nil; emit [] for stable JSON.
+	if st.Suspects == nil {
+		st.Suspects = []topo.SwitchID{}
+	}
+	if err := json.NewEncoder(w).Encode(st); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

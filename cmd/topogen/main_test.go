@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllTopologies(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Stanford", "FatTree(4)", "BCube(1,4)", "DCell(1,4)", "650", "240", "380"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleTopologyDestMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "dest", "-topo", "fattree4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dest-aggregate") {
+		t.Errorf("mode missing from header: %s", out.String())
+	}
+	if strings.Contains(out.String(), "Stanford") {
+		t.Error("single-topology run printed other topologies")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "bogus"}, &out); err == nil {
+		t.Fatal("bogus mode must error")
+	}
+	if err := run([]string{"-topo", "bogus"}, &out); err == nil {
+		t.Fatal("bogus topology must error")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}

@@ -1,0 +1,119 @@
+// Detectability analysis: the paper's Fig. 2 and Fig. 3 worked
+// examples, end to end. The same six-switch network and the same
+// deviation (flow a rerouted from the upper to the lower path) is
+// detectable in the Fig. 2 configuration but provably masked in the
+// Fig. 3 configuration — the difference is a single extra rule match
+// by flow c that lets the adversary's counters be "explained" by a
+// different flow-volume assignment (Theorem 1), equivalently a loop in
+// a Rule Bipartite Graph (Theorem 2).
+//
+// Run with:
+//
+//	go run ./examples/detectability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"foces"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	top, rules, err := paperNetwork()
+	if err != nil {
+		return err
+	}
+
+	// Flow histories (0-indexed rule IDs; rule i lives on switch Si):
+	//   flow a: S0,S1,S2,S5   flow b: S2,S5
+	//   flow c (Fig 2): S4,S5      flow c (Fig 3): S3,S4,S5
+	// The anomaly: flow a deviates at S1 onto the lower path S3,S4,S5.
+	hPrime := []int{0, 1, 3, 4, 5}
+
+	fig2, err := foces.FCMFromHistories(top, rules, [][]int{
+		{0, 1, 2, 5}, {2, 5}, {4, 5},
+	})
+	if err != nil {
+		return err
+	}
+	fig3, err := foces.FCMFromHistories(top, rules, [][]int{
+		{0, 1, 2, 5}, {2, 5}, {3, 4, 5},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Fig 2: with volumes (a,b,c) = (3,4,5) the observed counters are
+	// Y' = (3,3,4,3,8,12); the best least-squares explanation leaves a
+	// residual of 3 at rule r4 — detected.
+	res, err := foces.Detect(fig2, []float64{3, 3, 4, 3, 8, 12}, foces.DetectOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig 2 counters (3,3,4,3,8,12): X̂=%v Δ=%v anomalous=%v\n", res.XHat, res.Delta, res.Anomalous)
+
+	// Fig 3: the same deviation yields Y' = (3,3,4,8,8,12), which HAS
+	// an exact explanation X̂ = (3,1,8) — FOCES is structurally blind.
+	res, err = foces.Detect(fig3, []float64{3, 3, 4, 8, 8, 12}, foces.DetectOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig 3 counters (3,3,4,8,8,12): X̂=%v Δ=%v anomalous=%v\n", res.XHat, res.Delta, res.Anomalous)
+
+	// The detectability analysis predicts both outcomes ahead of time.
+	d2, err := foces.AnalyzeDetectability(fig2, hPrime)
+	if err != nil {
+		return err
+	}
+	d3, err := foces.AnalyzeDetectability(fig3, hPrime)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Printf("Fig 2 deviation: algebraically detectable = %v\n", d2.Algebraic)
+	fmt.Printf("Fig 3 deviation: algebraically detectable = %v, RBG loop at switch %d\n",
+		d3.Algebraic, d3.LoopSwitch)
+	fmt.Println()
+	fmt.Println("Takeaway: rule placement decides what FOCES can see. The paper's")
+	fmt.Println("future-work direction — installing rules so that no RBG loop exists —")
+	fmt.Println("can be explored directly with AnalyzeDetectability.")
+	return nil
+}
+
+// paperNetwork builds the six-switch topology of Figs 2/3 with one
+// wildcard rule per switch.
+func paperNetwork() (*foces.Topology, []foces.Rule, error) {
+	b := foces.NewTopologyBuilder("paper-example")
+	ids := make([]foces.SwitchID, 6)
+	for i := range ids {
+		ids[i] = b.AddSwitch(fmt.Sprintf("S%d", i), "")
+	}
+	b.Connect(ids[0], ids[1])
+	b.Connect(ids[1], ids[2])
+	b.Connect(ids[2], ids[5])
+	b.Connect(ids[1], ids[3])
+	b.Connect(ids[3], ids[4])
+	b.Connect(ids[4], ids[5])
+	top, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	layout := foces.FiveTuple()
+	rules := make([]foces.Rule, 6)
+	for i := range rules {
+		rules[i] = foces.Rule{
+			ID:     i,
+			Switch: ids[i],
+			Match:  layout.Wildcard(),
+			Action: foces.Action{Type: foces.ActionOutput, Port: 0},
+		}
+	}
+	return top, rules, nil
+}

@@ -1,0 +1,261 @@
+// Package foces is a network-wide forwarding-anomaly detector for
+// software-defined networks, reproducing "FOCES: Detecting Forwarding
+// Anomalies in Software Defined Networks" (Zhang et al., ICDCS 2018).
+//
+// FOCES models the controller's intended forwarding behaviour as a
+// flow-counter equation system H·X = Y: H (the flow-counter matrix)
+// relates every logical flow to every rule it matches, X is the vector
+// of flow volumes, and Y is the vector of rule counters. Each detection
+// period FOCES collects the live counters Y', computes the
+// least-squares estimate X̂ = (HᵀH)⁻¹HᵀY', and inspects the error
+// vector Δ = |Y' − H·X̂|: when the anomaly index max(Δ)/median(Δ)
+// exceeds a threshold (default 4.5), some flow is not following the
+// path the controller installed — a compromised switch is rewriting,
+// detouring or dropping traffic.
+//
+// The package exposes the full pipeline the paper describes:
+//
+//   - topology generators (FatTree, BCube, DCell, a Stanford-like
+//     backbone) and a builder for custom networks;
+//   - a controller that computes shortest-path rules (per-pair exact or
+//     per-destination aggregate) with deterministic ECMP spreading;
+//   - a simulated data plane with per-link loss, OpenFlow-semantics
+//     rule counters, port statistics, and threat-model attack
+//     injection;
+//   - ATPG-style FCM generation from controller intent;
+//   - the baseline detector (Algorithm 1), the sliced detector
+//     (Algorithm 2) with per-switch localization, and the Theorem 1/2
+//     detectability analysis;
+//   - an OpenFlow-like control channel and statistics collector.
+//
+// Most applications start with NewSystem:
+//
+//	top, _ := foces.FatTree(4)
+//	sys, _ := foces.NewSystem(top, foces.PairExact)
+//	y, _ := sys.ObserveCounters(rng, 1000) // or collect real counters
+//	res, _ := sys.Detect(y, foces.DetectOptions{})
+//	if res.Anomalous { ... }
+package foces
+
+import (
+	"foces/internal/analysis"
+	"foces/internal/controller"
+	"foces/internal/core"
+	"foces/internal/dataplane"
+	"foces/internal/fcm"
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/stats"
+	"foces/internal/topo"
+	"foces/internal/verify"
+)
+
+// Re-exported core types. Aliases keep the implementation in internal
+// packages while giving users a single import.
+type (
+	// Topology is an immutable switch/host graph.
+	Topology = topo.Topology
+	// TopologyBuilder incrementally constructs a Topology.
+	TopologyBuilder = topo.Builder
+	// SwitchID identifies a switch.
+	SwitchID = topo.SwitchID
+	// HostID identifies a host.
+	HostID = topo.HostID
+	// Switch is one forwarding element.
+	Switch = topo.Switch
+	// Host is one end host.
+	Host = topo.Host
+
+	// Rule is one flow-table entry.
+	Rule = flowtable.Rule
+	// Action is a rule's forwarding action.
+	Action = flowtable.Action
+	// ActionType enumerates forwarding actions.
+	ActionType = flowtable.ActionType
+	// FlowTable is one switch's rule table.
+	FlowTable = flowtable.Table
+
+	// HeaderLayout names the packet fields used in matches.
+	HeaderLayout = header.Layout
+	// HeaderSpace is a ternary match over packet headers.
+	HeaderSpace = header.Space
+
+	// Network is the simulated data plane.
+	Network = dataplane.Network
+	// TrafficMatrix maps host pairs to offered volume.
+	TrafficMatrix = dataplane.TrafficMatrix
+	// FlowKey identifies a (src, dst) traffic flow.
+	FlowKey = dataplane.FlowKey
+	// Attack is one rule-level compromise.
+	Attack = dataplane.Attack
+	// AttackKind enumerates threat-model anomalies.
+	AttackKind = dataplane.AttackKind
+	// PortCounters is one switch's port statistics.
+	PortCounters = dataplane.PortCounters
+
+	// Controller computes and installs forwarding rules.
+	Controller = controller.Controller
+	// PolicyMode selects the rule-installation policy.
+	PolicyMode = controller.PolicyMode
+
+	// FCM is the flow-counter matrix with its metadata.
+	FCM = fcm.FCM
+	// Flow is one logical flow (an equivalence class of packets).
+	Flow = fcm.Flow
+	// Pair is a (src, dst) host pair carried by a flow.
+	Pair = fcm.Pair
+
+	// DetectOptions tunes detection.
+	DetectOptions = core.Options
+	// Result is one detection outcome.
+	Result = core.Result
+	// Slice is one per-switch sub-FCM.
+	Slice = core.Slice
+	// SlicedOutcome is a sliced detection outcome with localization.
+	SlicedOutcome = core.SlicedOutcome
+	// Detectability is a Theorem 1/2 detectability verdict.
+	Detectability = core.Detectability
+	// Solver selects the least-squares backend.
+	Solver = core.Solver
+)
+
+// Policy modes.
+const (
+	// PairExact installs one exact (src, dst) rule per flow per hop.
+	PairExact = controller.PairExact
+	// DestAggregate installs one per-destination rule per switch.
+	DestAggregate = controller.DestAggregate
+)
+
+// Forwarding actions.
+const (
+	// ActionOutput forwards out of a port.
+	ActionOutput = flowtable.ActionOutput
+	// ActionDrop discards matched packets.
+	ActionDrop = flowtable.ActionDrop
+	// ActionDeliver hands packets to the locally attached host.
+	ActionDeliver = flowtable.ActionDeliver
+)
+
+// Attack kinds.
+const (
+	// AttackPortSwap rewrites a rule's output port.
+	AttackPortSwap = dataplane.AttackPortSwap
+	// AttackDrop silently discards matched packets.
+	AttackDrop = dataplane.AttackDrop
+)
+
+// Solvers.
+const (
+	// SolverCholesky solves the normal equations by Cholesky
+	// factorization (the paper's approach).
+	SolverCholesky = core.SolverCholesky
+	// SolverCG uses conjugate gradient without materializing HᵀH.
+	SolverCG = core.SolverCG
+)
+
+// DefaultThreshold is the paper's default anomaly-index threshold
+// T = 4.5 (§IV-A).
+const DefaultThreshold = stats.DefaultThreshold
+
+// Topology generators.
+
+// FatTree builds the standard k-ary fat-tree (k even).
+func FatTree(k int) (*Topology, error) { return topo.FatTree(k) }
+
+// BCube builds BCube(n, k) with forwarding hosts modelled as proxy
+// switches.
+func BCube(n, k int) (*Topology, error) { return topo.BCube(n, k) }
+
+// DCell builds DCell(n, 1) with forwarding servers modelled as proxy
+// switches.
+func DCell(n int) (*Topology, error) { return topo.DCell(n) }
+
+// Stanford builds the synthesized 26-switch Stanford-like backbone.
+func Stanford() (*Topology, error) { return topo.Stanford() }
+
+// Jellyfish builds a seeded random degree-regular fabric of n switches
+// with hostsPer hosts each — an unstructured topology for stress
+// testing the detector beyond the paper's symmetric fabrics.
+func Jellyfish(n, degree, hostsPer int, seed int64) (*Topology, error) {
+	return topo.Jellyfish(n, degree, hostsPer, seed)
+}
+
+// TopologyByName builds one of the evaluation topologies by its paper
+// name: "stanford", "fattree4", "fattree8", "bcube14" or "dcell14".
+func TopologyByName(name string) (*Topology, error) { return topo.ByName(name) }
+
+// NewTopologyBuilder starts a custom topology.
+func NewTopologyBuilder(name string) *TopologyBuilder { return topo.NewBuilder(name) }
+
+// FiveTuple returns the default TCP/IP five-tuple header layout.
+func FiveTuple() *HeaderLayout { return header.FiveTuple() }
+
+// UniformTraffic offers the same volume on every ordered host pair.
+func UniformTraffic(t *Topology, packetsPerFlow uint64) TrafficMatrix {
+	return dataplane.UniformTraffic(t, packetsPerFlow)
+}
+
+// GenerateFCM computes the flow-counter matrix for a rule set over a
+// topology via ATPG-style symbolic traversal.
+func GenerateFCM(t *Topology, layout *HeaderLayout, rules []Rule) (*FCM, error) {
+	return fcm.Generate(t, layout, rules)
+}
+
+// FCMFromHistories assembles an FCM directly from explicit flow rule
+// histories — useful for worked examples and external reachability
+// tooling.
+func FCMFromHistories(t *Topology, rules []Rule, histories [][]int) (*FCM, error) {
+	return fcm.FromHistories(t, rules, histories)
+}
+
+// IntentReport is the outcome of intent verification.
+type IntentReport = verify.Report
+
+// CoverageReport summarizes detectability over all single-rule
+// deviations a topology admits.
+type CoverageReport = analysis.Report
+
+// AnalyzeCoverage enumerates every single-rule port-swap deviation and
+// classifies its detectability (Theorems 1 and 2) — the operator's
+// answer to "what could an adversary get away with here?".
+func AnalyzeCoverage(f *FCM) (CoverageReport, error) {
+	return analysis.Coverage(f)
+}
+
+// Harden realizes the paper's second future-work direction: it finds
+// the masked deviations, installs canary rules that give each deviated
+// path an unexplainable counter, and returns the hardened FCM with
+// before/after coverage reports. Forwarding behaviour is unchanged.
+func Harden(f *FCM) (hardened *FCM, before, after CoverageReport, err error) {
+	return analysis.Harden(f)
+}
+
+// VerifyIntent validates a rule set before it becomes the detection
+// baseline: all host pairs reachable and correctly delivered, no
+// shadowed rules, no forwarding loops. Run it whenever rules change —
+// an FCM generated from broken intent would flag honest switches.
+func VerifyIntent(t *Topology, layout *HeaderLayout, rules []Rule) (IntentReport, error) {
+	return verify.Intent(t, layout, rules)
+}
+
+// Detect runs the threshold-based detection algorithm (Algorithm 1) on
+// an FCM and observed counter vector.
+func Detect(f *FCM, y []float64, opts DetectOptions) (Result, error) {
+	return core.Detect(f.H, y, opts)
+}
+
+// BuildSlices derives per-switch sub-FCMs for sliced detection (§IV-B).
+func BuildSlices(f *FCM) ([]Slice, error) { return core.BuildSlices(f) }
+
+// DetectSliced runs the sliced detection algorithm (Algorithm 2).
+func DetectSliced(slices []Slice, y []float64, opts DetectOptions) (SlicedOutcome, error) {
+	return core.DetectSliced(slices, y, opts)
+}
+
+// AnalyzeDetectability evaluates whether a hypothetical forwarding
+// anomaly with modified rule history hPrime is detectable (Theorems 1
+// and 2).
+func AnalyzeDetectability(f *FCM, hPrime []int) (Detectability, error) {
+	return core.AnalyzeDetectability(f, hPrime)
+}

@@ -1,0 +1,256 @@
+package foces_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"foces"
+)
+
+func newSystem(t *testing.T, name string, mode foces.PolicyMode) *foces.System {
+	t.Helper()
+	top, err := foces.TopologyByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := foces.NewSystem(top, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemCleanDetection(t *testing.T) {
+	sys := newSystem(t, "fattree4", foces.PairExact)
+	rng := rand.New(rand.NewSource(1))
+	y, err := sys.ObserveCounters(rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Detect(y, foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Anomalous {
+		t.Fatalf("clean network flagged: AI=%v", res.Index)
+	}
+	sliced, err := sys.DetectSliced(y, foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliced.Anomalous {
+		t.Fatal("clean network flagged by slicing")
+	}
+}
+
+func TestSystemDetectsInjectedAttack(t *testing.T) {
+	sys := newSystem(t, "bcube14", foces.PairExact)
+	rng := rand.New(rand.NewSource(2))
+	atk, err := sys.InjectRandomAttack(rng, foces.AttackPortSwap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := sys.ObserveCounters(rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Detect(y, foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Anomalous {
+		t.Fatalf("attack missed: AI=%v", res.Index)
+	}
+	sliced, err := sys.DetectSliced(y, foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sliced.Anomalous || len(sliced.Suspects) == 0 {
+		t.Fatal("sliced detection must flag and localize")
+	}
+	// After repair the network must go quiet again.
+	if err := atk.Revert(sys.Network()); err != nil {
+		t.Fatal(err)
+	}
+	y, err = sys.ObserveCounters(rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = sys.Detect(y, foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Anomalous {
+		t.Fatal("repaired network still flagged")
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys := newSystem(t, "fattree4", foces.DestAggregate)
+	if sys.Topology().NumSwitches() != 20 {
+		t.Fatal("topology accessor wrong")
+	}
+	if sys.FCM().NumRules() == 0 || len(sys.Slices()) == 0 {
+		t.Fatal("fcm/slices missing")
+	}
+	if sys.Controller().Mode() != foces.DestAggregate {
+		t.Fatal("controller accessor wrong")
+	}
+	if sys.Network().RuleCount() != sys.Controller().NumRules() {
+		t.Fatal("network rules mismatch")
+	}
+	if sys.Layout().Width() == 0 {
+		t.Fatal("layout missing")
+	}
+	if !strings.Contains(sys.String(), "FatTree(4)") {
+		t.Fatalf("String() = %q", sys.String())
+	}
+}
+
+func TestSystemCounterVector(t *testing.T) {
+	sys := newSystem(t, "fattree4", foces.PairExact)
+	y := sys.CounterVector(map[int]uint64{0: 9})
+	if y[0] != 9 || len(y) != sys.FCM().NumRules() {
+		t.Fatal("counter vector wrong")
+	}
+}
+
+func TestPackageLevelHelpers(t *testing.T) {
+	top, err := foces.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := foces.NewSystem(top, foces.PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices, err := foces.BuildSlices(sys.FCM())
+	if err != nil || len(slices) == 0 {
+		t.Fatalf("BuildSlices: %d, %v", len(slices), err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	y, err := sys.ObserveCounters(rng, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := foces.Detect(sys.FCM(), y, foces.DetectOptions{})
+	if err != nil || res.Anomalous {
+		t.Fatalf("Detect: %+v, %v", res, err)
+	}
+	out, err := foces.DetectSliced(slices, y, foces.DetectOptions{})
+	if err != nil || out.Anomalous {
+		t.Fatalf("DetectSliced: %+v, %v", out, err)
+	}
+	if _, err := foces.BCube(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := foces.DCell(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := foces.Stanford(); err != nil {
+		t.Fatal(err)
+	}
+	tm := foces.UniformTraffic(top, 10)
+	if len(tm) != 240 {
+		t.Fatalf("traffic matrix = %d entries", len(tm))
+	}
+	if foces.DefaultThreshold != 4.5 {
+		t.Fatal("default threshold must be 4.5")
+	}
+}
+
+func TestSystemDetectability(t *testing.T) {
+	sys := newSystem(t, "fattree4", foces.PairExact)
+	// A deviation onto a single foreign rule is (almost surely)
+	// detectable.
+	d, err := sys.AnalyzeDetectability([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow 0's own full history IS rule set of flow 0 only if len==1;
+	// just assert the call works and verdicts are coherent.
+	if !d.Algebraic && d.RBGLoopFree {
+		t.Fatal("incoherent detectability verdict")
+	}
+}
+
+func TestCustomTopologyViaBuilder(t *testing.T) {
+	b := foces.NewTopologyBuilder("custom")
+	s0 := b.AddSwitch("s0", "")
+	s1 := b.AddSwitch("s1", "")
+	b.Connect(s0, s1)
+	b.AddHost("h0", ipv4(10, 0, 0, 1), s0)
+	b.AddHost("h1", ipv4(10, 0, 0, 2), s1)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := foces.NewSystem(top, foces.PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	y, err := sys.ObserveCounters(rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Detect(y, foces.DetectOptions{})
+	if err != nil || res.Anomalous {
+		t.Fatalf("custom topology detection: %+v %v", res, err)
+	}
+	if math.IsNaN(res.Index) {
+		t.Fatal("NaN index")
+	}
+}
+
+func ipv4(a, b, c, d byte) uint64 {
+	return uint64(a)<<24 | uint64(b)<<16 | uint64(c)<<8 | uint64(d)
+}
+
+func TestVerifyIntent(t *testing.T) {
+	sys := newSystem(t, "fattree4", foces.PairExact)
+	rep, err := foces.VerifyIntent(sys.Topology(), sys.Layout(), sys.Controller().Rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean intent failed verification: %s", rep)
+	}
+}
+
+func TestJellyfishEndToEnd(t *testing.T) {
+	top, err := foces.Jellyfish(16, 4, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := foces.NewSystem(top, foces.PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := foces.VerifyIntent(top, sys.Layout(), sys.Controller().Rules())
+	if err != nil || !rep.OK() {
+		t.Fatalf("jellyfish intent: %v %v", rep, err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	y, err := sys.ObserveCounters(rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Detect(y, foces.DetectOptions{})
+	if err != nil || res.Anomalous {
+		t.Fatalf("clean jellyfish flagged: %+v %v", res, err)
+	}
+	if _, err := sys.InjectRandomAttack(rng, foces.AttackPortSwap); err != nil {
+		t.Fatal(err)
+	}
+	y, err = sys.ObserveCounters(rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = sys.Detect(y, foces.DetectOptions{})
+	if err != nil || !res.Anomalous {
+		t.Fatalf("jellyfish attack missed: %+v %v", res, err)
+	}
+}

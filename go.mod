@@ -1,0 +1,3 @@
+module foces
+
+go 1.22

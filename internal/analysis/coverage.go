@@ -1,0 +1,219 @@
+// Package analysis implements the paper's second future-work
+// direction: given a network's installed rules, decide which forwarding
+// anomalies FOCES could miss. It enumerates every single-rule
+// port-swap deviation an adversary could install, computes the
+// deviated flow's rule history h', and classifies it with the
+// Theorem 1 (algebraic) and Theorem 2 (RBG loop) detectability checks.
+// Operators can use the report to adjust rule placement so that all
+// deviations become detectable.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"foces/internal/core"
+	"foces/internal/fcm"
+	"foces/internal/flowtable"
+	"foces/internal/topo"
+)
+
+// Deviation is one hypothetical single-rule compromise: rule RuleID's
+// output rewired to NewPort, deviating flow FlowID onto history HPrime.
+type Deviation struct {
+	RuleID  int
+	NewPort int
+	FlowID  int
+	HPrime  []int
+	Outcome fcm.TraceOutcome
+	// Detectable is the algebraic (Theorem 1) verdict.
+	Detectable bool
+	// RBGLoopFree is the combinatorial (Theorem 2) verdict.
+	RBGLoopFree bool
+}
+
+// Report aggregates detectability over all enumerated deviations.
+type Report struct {
+	// Total is the number of (rule, alternate port, flow) deviations
+	// enumerated.
+	Total int
+	// Detectable counts deviations FOCES provably detects (Theorem 1).
+	Detectable int
+	// Undetectable lists the deviations FOCES would miss, ordered by
+	// (rule, port, flow).
+	Undetectable []Deviation
+	// LoopInconclusive counts detectable deviations where the RBG check
+	// alone was inconclusive (a loop exists but the algebra still
+	// separates h' — the pivot-rule caveat).
+	LoopInconclusive int
+	// ForwardingLoops counts deviations that put packets into a
+	// forwarding loop. These are classified detectable: every pass
+	// around the loop re-increments the loop rules' counters, an
+	// inflation no static flow-volume assignment can explain.
+	ForwardingLoops int
+}
+
+// DetectableFraction reports the fraction of deviations FOCES detects.
+func (r Report) DetectableFraction() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Detectable) / float64(r.Total)
+}
+
+// Coverage enumerates every single-rule port-swap deviation over the
+// FCM's rule set and classifies its detectability. The rules must be
+// the same set the FCM was generated from.
+func Coverage(f *fcm.FCM) (Report, error) {
+	t := f.Topology()
+	tracer, err := fcm.NewTracer(t, f.Rules)
+	if err != nil {
+		return Report{}, err
+	}
+	var report Report
+	for _, r := range f.Rules {
+		if r.Action.Type != flowtable.ActionOutput {
+			continue
+		}
+		alts, err := alternateSwitchPorts(t, r.Switch, r.Action.Port)
+		if err != nil {
+			return Report{}, err
+		}
+		flows := flowsThrough(f, r.ID)
+		for _, port := range alts {
+			for _, fl := range flows {
+				hPrime, outcome, err := deviatedHistory(f, tracer, fl, r.ID, port)
+				if err != nil {
+					return Report{}, err
+				}
+				report.Total++
+				dev := Deviation{
+					RuleID:  r.ID,
+					NewPort: port,
+					FlowID:  fl.ID,
+					HPrime:  hPrime,
+					Outcome: outcome,
+				}
+				switch {
+				case outcome == fcm.TraceLooped:
+					// Looping packets re-increment counters every pass;
+					// no static volume assignment explains that.
+					dev.Detectable = true
+					dev.RBGLoopFree = true
+					report.ForwardingLoops++
+				case len(hPrime) == 0:
+					// The deviated flow matches no rules at all: its
+					// column is zero and all its expected counters
+					// vanish — always detectable when the flow carries
+					// traffic.
+					dev.Detectable = true
+					dev.RBGLoopFree = true
+				default:
+					d, err := core.AnalyzeDetectability(f, hPrime)
+					if err != nil {
+						return Report{}, err
+					}
+					dev.Detectable = d.Algebraic
+					dev.RBGLoopFree = d.RBGLoopFree
+				}
+				if dev.Detectable {
+					report.Detectable++
+					if !dev.RBGLoopFree {
+						report.LoopInconclusive++
+					}
+				} else {
+					report.Undetectable = append(report.Undetectable, dev)
+				}
+			}
+		}
+	}
+	sort.Slice(report.Undetectable, func(i, j int) bool {
+		a, b := report.Undetectable[i], report.Undetectable[j]
+		if a.RuleID != b.RuleID {
+			return a.RuleID < b.RuleID
+		}
+		if a.NewPort != b.NewPort {
+			return a.NewPort < b.NewPort
+		}
+		return a.FlowID < b.FlowID
+	})
+	return report, nil
+}
+
+// deviatedHistory computes the rule history of flow fl when rule
+// victimRule forwards out of newPort instead of its intended port: the
+// prefix strictly before the victim, then a concrete-packet trace from
+// the victim switch with the adversarial override applied, so detours
+// that revisit the compromised rule follow the tampered action again
+// (exactly as the data plane would).
+func deviatedHistory(f *fcm.FCM, tracer *fcm.Tracer, fl *fcm.Flow, victimRule, newPort int) ([]int, fcm.TraceOutcome, error) {
+	var prefix []int
+	found := false
+	for _, rid := range fl.RuleIDs {
+		if rid == victimRule {
+			found = true
+			break
+		}
+		prefix = append(prefix, rid)
+	}
+	if !found {
+		return nil, 0, fmt.Errorf("analysis: flow %d does not traverse rule %d", fl.ID, victimRule)
+	}
+	pkt := fl.Space.AnyPacket()
+	overrides := map[int]flowtable.Action{
+		victimRule: {Type: flowtable.ActionOutput, Port: newPort},
+	}
+	suffix, outcome, err := tracer.TraceOverride(pkt, f.Rules[victimRule].Switch, overrides)
+	if err != nil {
+		return nil, 0, err
+	}
+	history := append(prefix, suffix...)
+	// A detour can revisit rules already on the prefix; dedupe while
+	// keeping first occurrence order (columns are 0/1 sets).
+	seen := make(map[int]bool, len(history))
+	out := history[:0]
+	for _, rid := range history {
+		if !seen[rid] {
+			seen[rid] = true
+			out = append(out, rid)
+		}
+	}
+	return out, outcome, nil
+}
+
+// flowsThrough lists the flows matching the given rule.
+func flowsThrough(f *fcm.FCM, ruleID int) []*fcm.Flow {
+	var out []*fcm.Flow
+	for _, fl := range f.Flows {
+		for _, rid := range fl.RuleIDs {
+			if rid == ruleID {
+				out = append(out, fl)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// alternateSwitchPorts lists switch-facing ports of sw other than
+// exclude.
+func alternateSwitchPorts(t *topo.Topology, sw topo.SwitchID, exclude int) ([]int, error) {
+	s, err := t.Switch(sw)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for port := 0; port < s.NumPorts(); port++ {
+		if port == exclude {
+			continue
+		}
+		peer, err := t.PeerAt(sw, port)
+		if err != nil {
+			return nil, err
+		}
+		if peer.Kind == topo.PeerSwitch {
+			out = append(out, port)
+		}
+	}
+	return out, nil
+}

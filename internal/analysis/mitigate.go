@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"foces/internal/fcm"
+	"foces/internal/flowtable"
+	"foces/internal/topo"
+)
+
+// canaryPriorityBoost lifts canary rules above the rules they shadow so
+// the deviated packets hit the canary's counter first.
+const canaryPriorityBoost = 1000
+
+// Mitigation is one proposed canary rule: a higher-priority clone of an
+// existing rule, restricted to a single flow's header space, placed on
+// a switch the flow only visits when deviated. Its counter is expected
+// to stay at zero; any volume on it is unexplainable by the benign
+// equation system, turning a previously masked deviation into a Fig
+// 2-style guaranteed detection.
+type Mitigation struct {
+	// Canary is the rule to install (ID assigned past the current dense
+	// range).
+	Canary flowtable.Rule
+	// Breaks lists the undetectable deviations this canary addresses.
+	Breaks []Deviation
+}
+
+// ProposeMitigations designs canary rules for the undetectable
+// deviations of a coverage report. For each masked deviation it finds
+// the first switch on the deviated suffix that the flow does not visit
+// benignly, and emits one canary there matching the flow's header
+// space with the same forwarding action as the rule the deviated
+// packets would match — forwarding behaviour is unchanged; only a
+// dedicated counter appears. Canaries are deduplicated by (flow,
+// switch).
+func ProposeMitigations(f *fcm.FCM, report Report) ([]Mitigation, error) {
+	type key struct {
+		flow int
+		sw   topo.SwitchID
+	}
+	byKey := make(map[key]*Mitigation)
+	nextID := f.NumRules()
+	var order []key
+	for _, dev := range report.Undetectable {
+		fl := f.Flows[dev.FlowID]
+		benign := make(map[int]bool, len(fl.RuleIDs))
+		for _, rid := range fl.RuleIDs {
+			benign[rid] = true
+		}
+		// Walk the deviated history and pick the first hop the flow
+		// does not take benignly.
+		var host *flowtable.Rule
+		for _, rid := range dev.HPrime {
+			if !benign[rid] {
+				r := f.Rules[rid]
+				host = &r
+				break
+			}
+		}
+		if host == nil {
+			// The deviation re-uses only the flow's own rules (e.g. a
+			// pure truncation); a canary cannot distinguish it.
+			continue
+		}
+		k := key{flow: dev.FlowID, sw: host.Switch}
+		if m, ok := byKey[k]; ok {
+			m.Breaks = append(m.Breaks, dev)
+			continue
+		}
+		canary := flowtable.Rule{
+			ID:       nextID,
+			Switch:   host.Switch,
+			Priority: host.Priority + canaryPriorityBoost,
+			Match:    fl.Space,
+			Action:   host.Action,
+		}
+		nextID++
+		byKey[k] = &Mitigation{Canary: canary, Breaks: []Deviation{dev}}
+		order = append(order, k)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].flow != order[j].flow {
+			return order[i].flow < order[j].flow
+		}
+		return order[i].sw < order[j].sw
+	})
+	out := make([]Mitigation, 0, len(order))
+	// Re-assign dense IDs in deterministic order.
+	id := f.NumRules()
+	for _, k := range order {
+		m := byKey[k]
+		m.Canary.ID = id
+		id++
+		out = append(out, *m)
+	}
+	return out, nil
+}
+
+// ApplyMitigations returns the rule set augmented with the canaries,
+// ready for fcm.Generate.
+func ApplyMitigations(f *fcm.FCM, mitigations []Mitigation) ([]flowtable.Rule, error) {
+	rules := make([]flowtable.Rule, len(f.Rules), len(f.Rules)+len(mitigations))
+	copy(rules, f.Rules)
+	for i, m := range mitigations {
+		if m.Canary.ID != len(rules) {
+			return nil, fmt.Errorf("analysis: mitigation %d has non-dense ID %d (want %d)", i, m.Canary.ID, len(rules))
+		}
+		rules = append(rules, m.Canary)
+	}
+	return rules, nil
+}
+
+// Harden runs the full future-work loop: measure coverage, propose and
+// apply canaries, regenerate the FCM, and re-measure. It returns the
+// hardened FCM and the before/after reports.
+func Harden(f *fcm.FCM) (*fcm.FCM, Report, Report, error) {
+	before, err := Coverage(f)
+	if err != nil {
+		return nil, Report{}, Report{}, err
+	}
+	if len(before.Undetectable) == 0 {
+		return f, before, before, nil
+	}
+	mitigations, err := ProposeMitigations(f, before)
+	if err != nil {
+		return nil, Report{}, Report{}, err
+	}
+	rules, err := ApplyMitigations(f, mitigations)
+	if err != nil {
+		return nil, Report{}, Report{}, err
+	}
+	hardened, err := f.Regenerate(rules)
+	if err != nil {
+		return nil, Report{}, Report{}, err
+	}
+	after, err := Coverage(hardened)
+	if err != nil {
+		return nil, Report{}, Report{}, err
+	}
+	return hardened, before, after, nil
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"foces/internal/controller"
+	"foces/internal/core"
+	"foces/internal/dataplane"
+	"foces/internal/fcm"
+	"foces/internal/verify"
+)
+
+func TestHardenReducesBlindSpot(t *testing.T) {
+	// FatTree(4) with destination-aggregate rules has masked deviations
+	// (the Fig 3 pattern). Hardening with canary rules must shrink the
+	// blind spot substantially without breaking forwarding.
+	f := buildFCM(t, "fattree4", controller.DestAggregate)
+	hardened, before, after, err := Harden(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Undetectable) == 0 {
+		t.Skip("no blind spot to harden in this configuration")
+	}
+	if len(after.Undetectable) >= len(before.Undetectable) {
+		t.Fatalf("hardening did not help: %d -> %d undetectable",
+			len(before.Undetectable), len(after.Undetectable))
+	}
+	t.Logf("blind spot: %d -> %d undetectable deviations (%d -> %d rules)",
+		len(before.Undetectable), len(after.Undetectable), f.NumRules(), hardened.NumRules())
+
+	// The hardened intent must still verify: canaries may not change
+	// reachability or delivery.
+	rep, err := verify.Intent(hardened.Topology(), layout, hardened.Rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("hardened intent broken: %s", rep)
+	}
+}
+
+func TestHardenedNetworkDetectsPreviouslyMaskedAttack(t *testing.T) {
+	f := buildFCM(t, "fattree4", controller.DestAggregate)
+	before, err := Coverage(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a (rule, port) swap where EVERY member flow is masked — the
+	// attack the un-hardened detector provably misses.
+	type key struct{ rule, port int }
+	undet := map[key]int{}
+	for _, dev := range before.Undetectable {
+		undet[key{dev.RuleID, dev.NewPort}]++
+	}
+	var victim key
+	found := false
+	for k, n := range undet {
+		if n == len(flowsThrough(f, k.rule)) {
+			victim, found = k, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no fully-masked swap to demonstrate")
+	}
+
+	hardened, _, _, err := Harden(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := f.Topology()
+
+	// Fresh data plane with the HARDENED rules installed.
+	net := dataplane.NewNetwork(top, layout)
+	for _, r := range hardened.Rules {
+		tbl, err := net.Table(r.Switch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Install(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	atk := dataplane.Attack{
+		Switch: hardened.Rules[victim.rule].Switch,
+		RuleID: victim.rule,
+		Kind:   dataplane.AttackPortSwap,
+	}
+	atk.NewAction = hardened.Rules[victim.rule].Action
+	atk.NewAction.Port = victim.port
+	if err := atk.Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Detect(hardened.H, hardened.CounterVector(net.CollectCounters()), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Anomalous {
+		t.Fatalf("hardened network still misses the swap rule %d -> port %d (AI=%v)",
+			victim.rule, victim.port, res.Index)
+	}
+}
+
+func TestProposeMitigationsDeterministic(t *testing.T) {
+	f := buildFCM(t, "fattree4", controller.DestAggregate)
+	rep, err := Coverage(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ProposeMitigations(f, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProposeMitigations(f, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic mitigation count")
+	}
+	for i := range a {
+		if a[i].Canary.ID != b[i].Canary.ID || a[i].Canary.Switch != b[i].Canary.Switch {
+			t.Fatal("nondeterministic mitigation order")
+		}
+	}
+	rules, err := ApplyMitigations(f, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != f.NumRules()+len(a) {
+		t.Fatal("apply count wrong")
+	}
+	// IDs must be dense for regeneration.
+	for i, r := range rules {
+		if r.ID != i {
+			t.Fatalf("rule %d has ID %d", i, r.ID)
+		}
+	}
+}
+
+func TestRegenerateRequiresGeneratedFCM(t *testing.T) {
+	f := buildFCM(t, "fattree4", controller.PairExact)
+	hist, err := fcm.FromHistories(f.Topology(), f.Rules, [][]int{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hist.Regenerate(f.Rules); err == nil {
+		t.Fatal("history-built FCM must refuse to regenerate")
+	}
+}

@@ -1,0 +1,157 @@
+// Package baseline implements the statistics-verification baselines
+// FOCES is compared against in §I and §VII:
+//
+//   - CheckPerFlow is a FADE-style per-flow conservation checker. It
+//     verifies, flow by flow, that the counters along a monitored
+//     flow's rule path agree. It only works when every rule on the
+//     path is dedicated to that flow — which is exactly the flow-table
+//     overhead the paper criticizes; DedicatedRuleOverhead quantifies
+//     it.
+//
+//   - CheckPortConservation is a FlowMon-style per-port checker. It
+//     verifies that each switch transmits what it receives, using
+//     OpenFlow port statistics. It needs no dedicated rules but has a
+//     smaller detection scope: anomalies that preserve per-port totals
+//     (e.g. a port swapper that keeps forwarding packets, just the
+//     wrong way) pass unnoticed.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"foces/internal/dataplane"
+	"foces/internal/fcm"
+	"foces/internal/topo"
+)
+
+// PerFlowOptions tunes the FADE-style checker.
+type PerFlowOptions struct {
+	// RelTol is the allowed relative spread (max-min)/max between
+	// counters of the same flow before flagging; zero selects 0.05.
+	RelTol float64
+	// AbsTol is the volume below which a flow is too small to judge;
+	// zero selects 1.
+	AbsTol float64
+}
+
+func (o PerFlowOptions) withDefaults() PerFlowOptions {
+	if o.RelTol == 0 {
+		o.RelTol = 0.05
+	}
+	if o.AbsTol == 0 {
+		o.AbsTol = 1
+	}
+	return o
+}
+
+// PerFlowReport is the outcome of a per-flow conservation check.
+type PerFlowReport struct {
+	Anomalous bool
+	// SuspectFlows lists monitored flow IDs violating conservation, in
+	// ascending order.
+	SuspectFlows []int
+	// CheckedFlows counts the monitored flows (the method's detection
+	// scope).
+	CheckedFlows int
+	// DedicatedRules counts the counter rules the method needs in
+	// switch flow tables (one per monitored flow per hop).
+	DedicatedRules int
+}
+
+// CheckPerFlow runs FADE-style conservation over the monitored flow
+// IDs using the counter vector y. It fails when a monitored flow's
+// rules aggregate other flows, since per-flow conservation is then
+// ill-defined without installing dedicated rules.
+func CheckPerFlow(f *fcm.FCM, monitored []int, y []float64, opts PerFlowOptions) (PerFlowReport, error) {
+	opts = opts.withDefaults()
+	if len(y) != f.NumRules() {
+		return PerFlowReport{}, fmt.Errorf("baseline: counter vector has %d entries, want %d", len(y), f.NumRules())
+	}
+	rep := PerFlowReport{CheckedFlows: len(monitored)}
+	for _, id := range monitored {
+		if id < 0 || id >= f.NumFlows() {
+			return PerFlowReport{}, fmt.Errorf("baseline: unknown flow %d", id)
+		}
+		fl := f.Flows[id]
+		rep.DedicatedRules += len(fl.RuleIDs)
+		min, max := -1.0, -1.0
+		for _, rid := range fl.RuleIDs {
+			if f.H.RowNNZ(rid) != 1 {
+				return PerFlowReport{}, fmt.Errorf(
+					"baseline: rule %d aggregates %d flows; per-flow checking needs dedicated counter rules",
+					rid, f.H.RowNNZ(rid))
+			}
+			v := y[rid]
+			if min < 0 || v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if max < opts.AbsTol {
+			continue // nothing flowing; cannot judge
+		}
+		if (max-min)/max > opts.RelTol {
+			rep.SuspectFlows = append(rep.SuspectFlows, id)
+		}
+	}
+	sort.Ints(rep.SuspectFlows)
+	rep.Anomalous = len(rep.SuspectFlows) > 0
+	return rep, nil
+}
+
+// DedicatedRuleOverhead counts the dedicated counter rules a FADE-style
+// deployment would install to monitor the given flows (one rule per
+// flow per hop). FOCES needs zero.
+func DedicatedRuleOverhead(f *fcm.FCM, monitored []int) (int, error) {
+	total := 0
+	for _, id := range monitored {
+		if id < 0 || id >= f.NumFlows() {
+			return 0, fmt.Errorf("baseline: unknown flow %d", id)
+		}
+		total += len(f.Flows[id].RuleIDs)
+	}
+	return total, nil
+}
+
+// PortReport is the outcome of a FlowMon-style port-conservation
+// check.
+type PortReport struct {
+	Anomalous bool
+	// SuspectSwitches lists switches whose receive and transmit totals
+	// diverge, in ascending ID order.
+	SuspectSwitches []topo.SwitchID
+}
+
+// CheckPortConservation verifies per-switch packet conservation from
+// port statistics: every packet received must be transmitted (loss
+// happens on the wire, between tx and rx, so switch-internal
+// conservation is exact in the absence of drops). relTol is the
+// allowed relative divergence; pass 0 for a strict 1-packet tolerance.
+func CheckPortConservation(statsByID map[topo.SwitchID]dataplane.PortCounters, relTol float64) PortReport {
+	var rep PortReport
+	ids := make([]topo.SwitchID, 0, len(statsByID))
+	for sw := range statsByID {
+		ids = append(ids, sw)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, sw := range ids {
+		pc := statsByID[sw]
+		rx, tx := float64(pc.RxTotal()), float64(pc.TxTotal())
+		diff := rx - tx
+		if diff < 0 {
+			diff = -diff
+		}
+		limit := relTol * rx
+		if limit < 1 {
+			limit = 1
+		}
+		if diff > limit {
+			rep.SuspectSwitches = append(rep.SuspectSwitches, sw)
+		}
+	}
+	rep.Anomalous = len(rep.SuspectSwitches) > 0
+	return rep
+}

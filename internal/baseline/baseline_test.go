@@ -1,0 +1,336 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"foces/internal/controller"
+	"foces/internal/core"
+	"foces/internal/dataplane"
+	"foces/internal/fcm"
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+var layout = header.FiveTuple()
+
+func setup(t *testing.T, name string, mode controller.PolicyMode) (*topo.Topology, *dataplane.Network, *fcm.FCM) {
+	t.Helper()
+	top, err := topo.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, net, err := controller.Bootstrap(top, layout, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fcm.Generate(top, layout, ctrl.Rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top, net, f
+}
+
+func allFlows(f *fcm.FCM) []int {
+	ids := make([]int, f.NumFlows())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func TestPerFlowCleanNetwork(t *testing.T) {
+	top, net, f := setup(t, "fattree4", controller.PairExact)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 500)); err != nil {
+		t.Fatal(err)
+	}
+	y := f.CounterVector(net.CollectCounters())
+	rep, err := CheckPerFlow(f, allFlows(f), y, PerFlowOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Anomalous {
+		t.Fatalf("clean network flagged: %+v", rep.SuspectFlows)
+	}
+	if rep.CheckedFlows != f.NumFlows() {
+		t.Fatalf("checked %d flows", rep.CheckedFlows)
+	}
+	if rep.DedicatedRules != f.NumRules() {
+		t.Fatalf("dedicated rules = %d, want %d (every pair rule)", rep.DedicatedRules, f.NumRules())
+	}
+}
+
+func TestPerFlowCatchesDrop(t *testing.T) {
+	top, net, f := setup(t, "fattree4", controller.PairExact)
+	rng := rand.New(rand.NewSource(2))
+	atk, err := dataplane.RandomAttack(rng, net, dataplane.AttackDrop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 500)); err != nil {
+		t.Fatal(err)
+	}
+	y := f.CounterVector(net.CollectCounters())
+	rep, err := CheckPerFlow(f, allFlows(f), y, PerFlowOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Anomalous {
+		t.Fatal("drop attack must violate per-flow conservation")
+	}
+}
+
+func TestPerFlowLimitedScopeMissesUnmonitoredFlow(t *testing.T) {
+	// The paper's core criticism: a per-flow checker watching only a
+	// subset of flows misses anomalies on the rest.
+	top, net, f := setup(t, "fattree4", controller.PairExact)
+	rng := rand.New(rand.NewSource(3))
+	atk, err := dataplane.RandomAttack(rng, net, dataplane.AttackDrop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 500)); err != nil {
+		t.Fatal(err)
+	}
+	y := f.CounterVector(net.CollectCounters())
+	full, err := CheckPerFlow(f, allFlows(f), y, PerFlowOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Anomalous {
+		t.Fatal("full monitoring must catch the drop")
+	}
+	// Monitor everything except the victim flows: the checker goes
+	// blind while FOCES (network-wide) still detects.
+	victims := make(map[int]bool, len(full.SuspectFlows))
+	for _, id := range full.SuspectFlows {
+		victims[id] = true
+	}
+	var subset []int
+	for _, id := range allFlows(f) {
+		if !victims[id] {
+			subset = append(subset, id)
+		}
+	}
+	partial, err := CheckPerFlow(f, subset, y, PerFlowOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Anomalous {
+		t.Fatal("checker without the victim flow should be blind")
+	}
+	res, err := core.Detect(f.H, y, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Anomalous {
+		t.Fatal("FOCES must detect network-wide regardless of monitoring scope")
+	}
+}
+
+func TestPerFlowRejectsAggregatedRules(t *testing.T) {
+	_, _, f := setup(t, "fattree4", controller.DestAggregate)
+	y := make([]float64, f.NumRules())
+	// Find a flow whose rules aggregate (merged classes guarantee one).
+	for id := 0; id < f.NumFlows(); id++ {
+		if _, err := CheckPerFlow(f, []int{id}, y, PerFlowOptions{}); err != nil {
+			return // expected: aggregation rejected
+		}
+	}
+	t.Fatal("aggregate-mode FCM must reject per-flow checking somewhere")
+}
+
+func TestPerFlowValidation(t *testing.T) {
+	_, _, f := setup(t, "fattree4", controller.PairExact)
+	if _, err := CheckPerFlow(f, []int{0}, []float64{1}, PerFlowOptions{}); err == nil {
+		t.Fatal("bad counter length must error")
+	}
+	y := make([]float64, f.NumRules())
+	if _, err := CheckPerFlow(f, []int{-1}, y, PerFlowOptions{}); err == nil {
+		t.Fatal("unknown flow must error")
+	}
+	if _, err := DedicatedRuleOverhead(f, []int{99999}); err == nil {
+		t.Fatal("unknown flow must error")
+	}
+	n, err := DedicatedRuleOverhead(f, allFlows(f))
+	if err != nil || n != f.NumRules() {
+		t.Fatalf("overhead = %d err=%v, want %d", n, err, f.NumRules())
+	}
+}
+
+func TestPortConservationCleanAndLossy(t *testing.T) {
+	top, net, _ := setup(t, "fattree4", controller.PairExact)
+	if err := net.SetLinkLoss(0.1); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 500)); err != nil {
+		t.Fatal(err)
+	}
+	// Loss happens on the wire, so switch-internal conservation holds
+	// exactly even at 10% loss.
+	rep := CheckPortConservation(net.PortStats(), 0)
+	if rep.Anomalous {
+		t.Fatalf("lossy but honest network flagged: %v", rep.SuspectSwitches)
+	}
+}
+
+func TestPortConservationCatchesDrop(t *testing.T) {
+	top, net, _ := setup(t, "fattree4", controller.PairExact)
+	rng := rand.New(rand.NewSource(5))
+	atk, err := dataplane.RandomAttack(rng, net, dataplane.AttackDrop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 500)); err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckPortConservation(net.PortStats(), 0)
+	if !rep.Anomalous {
+		t.Fatal("dropping switch must break port conservation")
+	}
+	found := false
+	for _, sw := range rep.SuspectSwitches {
+		if sw == atk.Switch {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("suspects %v must include the dropping switch %d", rep.SuspectSwitches, atk.Switch)
+	}
+}
+
+func TestFlowMonMissesSwapButFOCESCatches(t *testing.T) {
+	// The paper's §VII claim: FlowMon misses carefully-crafted
+	// anomalies that preserve per-port conservation. Build one: with
+	// destination-aggregate rules, divert an edge switch's inter-pod
+	// uplink to the other aggregation switch. Packets still reach the
+	// destination (dst-based forwarding recovers), every switch
+	// transmits what it receives — but the counter distribution shifts
+	// and FOCES flags it.
+	top, net, f := setup(t, "fattree4", controller.DestAggregate)
+	rng := rand.New(rand.NewSource(6))
+
+	atk, ok := craftConservingSwap(t, top, net, f)
+	if !ok {
+		t.Fatal("could not craft a conserving swap on FatTree(4)")
+	}
+	if err := atk.Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := net.Run(rng, dataplane.UniformTraffic(top, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := sum.Totals()
+	if tot.Delivered != tot.Offered {
+		t.Fatalf("swap must keep packets flowing: %+v", tot)
+	}
+	rep := CheckPortConservation(net.PortStats(), 0)
+	if rep.Anomalous {
+		t.Fatalf("FlowMon-style check should be blind to the swap, flagged %v", rep.SuspectSwitches)
+	}
+	y := f.CounterVector(net.CollectCounters())
+	res, err := core.Detect(f.H, y, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Anomalous {
+		t.Fatalf("FOCES must catch the swap (AI=%v)", res.Index)
+	}
+}
+
+// craftConservingSwap finds an edge-switch rule for a remote
+// destination and swaps its uplink to the other aggregation switch,
+// guaranteeing the deviated packets still reach the destination
+// without revisiting the compromised switch.
+func craftConservingSwap(t *testing.T, top *topo.Topology, net *dataplane.Network, f *fcm.FCM) (dataplane.Attack, bool) {
+	t.Helper()
+	for _, r := range f.Rules {
+		sw, err := top.Switch(r.Switch)
+		if err != nil || sw.Tier != "edge" || r.Action.Type != flowtable.ActionOutput {
+			continue
+		}
+		// Destination must be in a different pod: its attach switch must
+		// not be this edge switch and the path must cross an agg.
+		dstIP, exact, err := layout.SpaceField(r.Match, header.FieldDstIP)
+		if err != nil || !exact {
+			continue
+		}
+		dst, ok := top.HostByIP(dstIP)
+		if !ok || dst.Attach == r.Switch {
+			continue
+		}
+		// Current uplink peer.
+		peer, err := top.PeerAt(r.Switch, r.Action.Port)
+		if err != nil || peer.Kind != topo.PeerSwitch {
+			continue
+		}
+		cur, err := top.Switch(peer.Switch)
+		if err != nil || cur.Tier != "agg" {
+			continue
+		}
+		// Find the other agg uplink.
+		for port := 0; port < sw.NumPorts(); port++ {
+			if port == r.Action.Port {
+				continue
+			}
+			p, err := top.PeerAt(r.Switch, port)
+			if err != nil || p.Kind != topo.PeerSwitch {
+				continue
+			}
+			alt, err := top.Switch(p.Switch)
+			if err != nil || alt.Tier != "agg" {
+				continue
+			}
+			// The alternate agg must reach dst without revisiting.
+			path, err := top.ShortestPath(p.Switch, dst.Attach)
+			if err != nil {
+				continue
+			}
+			revisits := false
+			for _, hop := range path {
+				if hop == r.Switch {
+					revisits = true
+				}
+			}
+			if revisits {
+				continue
+			}
+			return dataplane.Attack{
+				Switch:    r.Switch,
+				RuleID:    r.ID,
+				Kind:      dataplane.AttackPortSwap,
+				NewAction: flowtable.Action{Type: flowtable.ActionOutput, Port: port},
+			}, true
+		}
+	}
+	return dataplane.Attack{}, false
+}
+
+func TestCheckPortConservationToleranceFloor(t *testing.T) {
+	statsByID := map[topo.SwitchID]dataplane.PortCounters{
+		0: {Rx: []uint64{10}, Tx: []uint64{10}},
+		1: {Rx: []uint64{10}, Tx: []uint64{5}},
+	}
+	rep := CheckPortConservation(statsByID, 0)
+	if !rep.Anomalous || len(rep.SuspectSwitches) != 1 || rep.SuspectSwitches[0] != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Large tolerance forgives the divergence.
+	rep = CheckPortConservation(statsByID, 0.9)
+	if rep.Anomalous {
+		t.Fatalf("tolerant check flagged: %+v", rep)
+	}
+}

@@ -1,0 +1,85 @@
+package baseline
+
+import "foces/internal/fcm"
+
+// Per-packet and wire-format constants for the §VII overhead
+// comparison.
+const (
+	// macBytesPerHop is the per-switch MAC a path-verification scheme
+	// (SDNsec/ICING-style) embeds into every packet.
+	macBytesPerHop = 8
+	// pathVerifyFixedBytes is the fixed path-header overhead (path ID,
+	// expiration) of SDNsec-style schemes.
+	pathVerifyFixedBytes = 16
+	// typicalPacketBytes is the reference packet size for bandwidth
+	// overhead percentages.
+	typicalPacketBytes = 1000
+	// ofHeaderBytes is our control-channel frame header size.
+	ofHeaderBytes = 10
+	// flowStatBytes is one rule's entry in a FlowStatsReply.
+	flowStatBytes = 12
+	// flowStatsReplyFixedBytes is the fixed part of a FlowStatsReply
+	// body.
+	flowStatsReplyFixedBytes = 8
+)
+
+// OverheadReport quantifies the deployment costs §VII contrasts across
+// the three families of detection tools, for one concrete network.
+type OverheadReport struct {
+	Flows, Rules int
+	// AvgPathLen is the mean rule-path length over logical flows.
+	AvgPathLen float64
+
+	// FOCES: no extra rules, no packet headers; cost is the periodic
+	// statistics collection on the control channel.
+	FOCESExtraRules         int
+	FOCESHeaderBytesPerPkt  int
+	FOCESControlBytesPeriod int
+
+	// Per-flow statistics verification (FADE / Chao et al.): dedicated
+	// counter rules occupy flow-table space (TCAM).
+	PerFlowDedicatedRules int
+
+	// Path verification (SDNsec / REV): per-packet header space for
+	// MACs plus switch crypto support.
+	PathVerifyHeaderBytesPerPkt int
+	// PathVerifyBandwidthPct is the header overhead relative to a
+	// typical 1000-byte packet.
+	PathVerifyBandwidthPct float64
+}
+
+// CompareOverheads computes the §VII overhead comparison for the
+// network described by an FCM: what it would cost to monitor every
+// flow with each approach.
+func CompareOverheads(f *fcm.FCM) OverheadReport {
+	rep := OverheadReport{Flows: f.NumFlows(), Rules: f.NumRules()}
+	totalHops := 0
+	for _, fl := range f.Flows {
+		totalHops += len(fl.RuleIDs)
+	}
+	if f.NumFlows() > 0 {
+		rep.AvgPathLen = float64(totalHops) / float64(f.NumFlows())
+	}
+
+	// FOCES reads the counters the forwarding rules already have: one
+	// FlowStatsRequest/Reply per switch per period.
+	perSwitchRules := make(map[int]int)
+	for _, r := range f.Rules {
+		perSwitchRules[int(r.Switch)]++
+	}
+	for _, n := range perSwitchRules {
+		rep.FOCESControlBytesPeriod += ofHeaderBytes + // request
+			ofHeaderBytes + flowStatsReplyFixedBytes + flowStatBytes*n // reply
+	}
+
+	// FADE-style per-flow checking needs a dedicated counter rule per
+	// monitored flow per hop.
+	rep.PerFlowDedicatedRules = totalHops
+
+	// SDNsec-style path verification embeds a MAC per hop into every
+	// packet.
+	avgHeader := pathVerifyFixedBytes + int(rep.AvgPathLen*macBytesPerHop+0.5)
+	rep.PathVerifyHeaderBytesPerPkt = avgHeader
+	rep.PathVerifyBandwidthPct = 100 * float64(avgHeader) / typicalPacketBytes
+	return rep
+}

@@ -1,0 +1,49 @@
+package baseline
+
+import (
+	"testing"
+
+	"foces/internal/controller"
+)
+
+func TestCompareOverheads(t *testing.T) {
+	_, _, f := setup(t, "fattree4", controller.PairExact)
+	rep := CompareOverheads(f)
+	if rep.Flows != 240 || rep.Rules != f.NumRules() {
+		t.Fatalf("dims: %+v", rep)
+	}
+	// FOCES piggybacks on forwarding rules: zero data-plane overhead.
+	if rep.FOCESExtraRules != 0 || rep.FOCESHeaderBytesPerPkt != 0 {
+		t.Fatalf("FOCES data-plane overhead must be zero: %+v", rep)
+	}
+	if rep.FOCESControlBytesPeriod <= 0 {
+		t.Fatal("collection cost must be positive")
+	}
+	// FADE needs one dedicated rule per flow per hop = Σ path lengths,
+	// which equals the pair-exact rule count.
+	if rep.PerFlowDedicatedRules != f.NumRules() {
+		t.Fatalf("dedicated rules = %d, want %d", rep.PerFlowDedicatedRules, f.NumRules())
+	}
+	// Path verification taxes every packet.
+	if rep.PathVerifyHeaderBytesPerPkt < pathVerifyFixedBytes {
+		t.Fatalf("path-verify header = %d", rep.PathVerifyHeaderBytesPerPkt)
+	}
+	if rep.PathVerifyBandwidthPct <= 0 || rep.PathVerifyBandwidthPct > 100 {
+		t.Fatalf("bandwidth overhead = %v%%", rep.PathVerifyBandwidthPct)
+	}
+	if rep.AvgPathLen < 1 || rep.AvgPathLen > 10 {
+		t.Fatalf("avg path length = %v", rep.AvgPathLen)
+	}
+}
+
+func TestCompareOverheadsAggregate(t *testing.T) {
+	// With aggregate rules FOCES's advantage grows: the per-flow
+	// baseline still needs one rule per flow-hop, far more than the
+	// installed aggregate rules.
+	_, _, f := setup(t, "fattree4", controller.DestAggregate)
+	rep := CompareOverheads(f)
+	if rep.PerFlowDedicatedRules <= rep.Rules {
+		t.Fatalf("aggregate mode: dedicated %d must exceed installed %d",
+			rep.PerFlowDedicatedRules, rep.Rules)
+	}
+}

@@ -1,0 +1,79 @@
+package collector
+
+import (
+	"math/rand"
+	"testing"
+
+	"foces/internal/controller"
+	"foces/internal/dataplane"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+func TestWireReactiveChannelEndToEnd(t *testing.T) {
+	// The full wire path: table miss -> PacketIn frame -> controller
+	// handler -> FlowMods -> PacketOut release -> retried lookup.
+	top, err := topo.ByName("fattree4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := controller.New(top, layout, controller.PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := dataplane.NewNetwork(top, layout)
+	h, err := NewHarness(network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	installer, err := WireReactiveChannel(network, h, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	tm := dataplane.UniformTraffic(top, 20)
+	sum, err := network.Run(rng, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := sum.Totals()
+	if tot.Delivered != tot.Offered {
+		t.Fatalf("wire-reactive install must deliver everything: %+v", tot)
+	}
+	if installer.InstalledPairs() != 240 {
+		t.Fatalf("installed pairs = %d, want 240", installer.InstalledPairs())
+	}
+	if network.RuleCount() != ctrl.NumRules() {
+		t.Fatalf("network %d rules, intent %d", network.RuleCount(), ctrl.NumRules())
+	}
+
+	// Second interval: no more misses, no more installs.
+	before := ctrl.NumRules()
+	if _, err := network.Run(rng, tm); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.NumRules() != before {
+		t.Fatal("second interval must not install more rules")
+	}
+}
+
+func TestRaisePacketInWithoutController(t *testing.T) {
+	top, err := topo.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := dataplane.NewNetwork(top, layout)
+	h, err := NewHarness(network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the controller connection of switch 0, then raise.
+	h.Clients[0].Close()
+	pkt := header.NewPacket(layout.Width())
+	err = h.Agents[0].RaisePacketIn(-1, pkt, 0)
+	if err == nil {
+		t.Fatal("packet-in without controller must error")
+	}
+}

@@ -1,0 +1,246 @@
+// Package controller implements the trusted SDN control plane of the
+// FOCES system model (§II-A): it computes shortest-path forwarding
+// rules from the topology, installs them into switch flow tables, and
+// retains the *intended* rule set that the FCM generator consumes (the
+// controller never trusts flow-table dumps from potentially
+// compromised switches).
+//
+// Two policy modes are provided. PairExact mirrors reactive
+// Floodlight-style forwarding — one exact (src, dst) rule per flow per
+// hop — and reproduces Table I's flow counts (e.g. 650 flows for the
+// Stanford topology). DestAggregate installs one per-destination rule
+// per switch, so a rule aggregates many flows exactly as in the
+// paper's Fig. 2 discussion.
+package controller
+
+import (
+	"fmt"
+
+	"foces/internal/dataplane"
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+// PolicyMode selects how the controller translates routing intent into
+// rules.
+type PolicyMode int
+
+// Policy modes.
+const (
+	// PairExact installs one rule per (src, dst) host pair per hop,
+	// matching src_ip and dst_ip exactly.
+	PairExact PolicyMode = iota + 1
+	// DestAggregate installs one rule per (switch, dst) matching dst_ip
+	// only; rules aggregate flows from every source.
+	DestAggregate
+)
+
+func (m PolicyMode) String() string {
+	switch m {
+	case PairExact:
+		return "pair-exact"
+	case DestAggregate:
+		return "dest-aggregate"
+	default:
+		return "unknown"
+	}
+}
+
+// Controller computes and installs forwarding rules.
+type Controller struct {
+	topology *topo.Topology
+	layout   *header.Layout
+	mode     PolicyMode
+	rules    []flowtable.Rule
+}
+
+// New returns a controller for the given topology.
+func New(t *topo.Topology, layout *header.Layout, mode PolicyMode) (*Controller, error) {
+	if mode != PairExact && mode != DestAggregate {
+		return nil, fmt.Errorf("controller: invalid policy mode %d", mode)
+	}
+	return &Controller{topology: t, layout: layout, mode: mode}, nil
+}
+
+// Mode reports the configured policy mode.
+func (c *Controller) Mode() PolicyMode { return c.mode }
+
+// ComputeRules derives the full rule set for the current topology,
+// replacing any previously computed rules. Rule IDs are dense 0..m-1 in
+// deterministic order, so they map directly to FCM rows.
+func (c *Controller) ComputeRules() error {
+	c.rules = nil
+	switch c.mode {
+	case PairExact:
+		return c.computePairExact()
+	case DestAggregate:
+		return c.computeDestAggregate()
+	default:
+		return fmt.Errorf("controller: invalid policy mode %d", c.mode)
+	}
+}
+
+func (c *Controller) computePairExact() error {
+	hosts := c.topology.Hosts()
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src.ID == dst.ID {
+				continue
+			}
+			if err := c.addPairRules(src.ID, dst.ID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ComputeRulesForPairs derives PairExact rules for an explicit subset
+// of host pairs, replacing any previously computed rules. It is the
+// knob behind the Fig. 12 scaling experiment, which varies the number
+// of flows on a fixed topology.
+func (c *Controller) ComputeRulesForPairs(pairs [][2]topo.HostID) error {
+	if c.mode != PairExact {
+		return fmt.Errorf("controller: pair subsets require %v mode, have %v", PairExact, c.mode)
+	}
+	c.rules = nil
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			return fmt.Errorf("controller: degenerate pair %d->%d", p[0], p[1])
+		}
+		if err := c.addPairRules(p[0], p[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Controller) addPairRules(srcID, dstID topo.HostID) error {
+	src, err := c.topology.Host(srcID)
+	if err != nil {
+		return err
+	}
+	dst, err := c.topology.Host(dstID)
+	if err != nil {
+		return err
+	}
+	path, err := c.topology.ECMPHostPath(src.ID, dst.ID)
+	if err != nil {
+		return fmt.Errorf("controller: path %s->%s: %w", src.Name, dst.Name, err)
+	}
+	match, err := c.pairMatch(src.IP, dst.IP)
+	if err != nil {
+		return err
+	}
+	for i, sw := range path {
+		var act flowtable.Action
+		if i == len(path)-1 {
+			act = flowtable.Action{Type: flowtable.ActionDeliver, Port: dst.Port}
+		} else {
+			port, err := c.topology.PortToward(sw, path[i+1])
+			if err != nil {
+				return fmt.Errorf("controller: %s->%s hop %d: %w", src.Name, dst.Name, i, err)
+			}
+			act = flowtable.Action{Type: flowtable.ActionOutput, Port: port}
+		}
+		c.rules = append(c.rules, flowtable.Rule{
+			ID:       len(c.rules),
+			Switch:   sw,
+			Priority: 200,
+			Match:    match,
+			Action:   act,
+		})
+	}
+	return nil
+}
+
+func (c *Controller) computeDestAggregate() error {
+	for _, dst := range c.topology.Hosts() {
+		tree, err := c.topology.TreeTo(dst.Attach)
+		if err != nil {
+			return fmt.Errorf("controller: tree to %s: %w", dst.Name, err)
+		}
+		match, err := c.layout.MatchExact(c.layout.Wildcard(), header.FieldDstIP, dst.IP)
+		if err != nil {
+			return err
+		}
+		for _, sw := range c.topology.Switches() {
+			next := tree.Next[sw.ID]
+			if next == -2 {
+				continue // unreachable
+			}
+			var act flowtable.Action
+			if sw.ID == dst.Attach {
+				act = flowtable.Action{Type: flowtable.ActionDeliver, Port: dst.Port}
+			} else {
+				port, err := c.topology.PortToward(sw.ID, next)
+				if err != nil {
+					return fmt.Errorf("controller: switch %s toward %s: %w", sw.Name, dst.Name, err)
+				}
+				act = flowtable.Action{Type: flowtable.ActionOutput, Port: port}
+			}
+			c.rules = append(c.rules, flowtable.Rule{
+				ID:       len(c.rules),
+				Switch:   sw.ID,
+				Priority: 100,
+				Match:    match,
+				Action:   act,
+			})
+		}
+	}
+	return nil
+}
+
+func (c *Controller) pairMatch(srcIP, dstIP uint64) (header.Space, error) {
+	m, err := c.layout.MatchExact(c.layout.Wildcard(), header.FieldSrcIP, srcIP)
+	if err != nil {
+		return header.Space{}, err
+	}
+	return c.layout.MatchExact(m, header.FieldDstIP, dstIP)
+}
+
+// Rules returns a copy of the intended rule set, indexed by rule ID.
+func (c *Controller) Rules() []flowtable.Rule {
+	out := make([]flowtable.Rule, len(c.rules))
+	copy(out, c.rules)
+	return out
+}
+
+// NumRules reports the number of computed rules.
+func (c *Controller) NumRules() int { return len(c.rules) }
+
+// Install populates the data plane's flow tables with the computed
+// rules (the proactive installation mode of §II-A).
+func (c *Controller) Install(net *dataplane.Network) error {
+	if len(c.rules) == 0 {
+		return fmt.Errorf("controller: no rules computed")
+	}
+	for _, r := range c.rules {
+		tbl, err := net.Table(r.Switch)
+		if err != nil {
+			return fmt.Errorf("controller: install rule %d: %w", r.ID, err)
+		}
+		if err := tbl.Install(r); err != nil {
+			return fmt.Errorf("controller: install rule %d: %w", r.ID, err)
+		}
+	}
+	return nil
+}
+
+// Bootstrap is the common setup path: compute rules and install them
+// into a fresh data plane over the topology.
+func Bootstrap(t *topo.Topology, layout *header.Layout, mode PolicyMode) (*Controller, *dataplane.Network, error) {
+	c, err := New(t, layout, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.ComputeRules(); err != nil {
+		return nil, nil, err
+	}
+	net := dataplane.NewNetwork(t, layout)
+	if err := c.Install(net); err != nil {
+		return nil, nil, err
+	}
+	return c, net, nil
+}

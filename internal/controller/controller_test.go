@@ -1,0 +1,194 @@
+package controller
+
+import (
+	"math/rand"
+	"testing"
+
+	"foces/internal/dataplane"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+var layout = header.FiveTuple()
+
+func TestPairExactRuleCountLinear(t *testing.T) {
+	top, err := topo.Linear(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(top, layout, PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ComputeRules(); err != nil {
+		t.Fatal(err)
+	}
+	// Ordered pairs and path switch counts on a 3-chain:
+	// (0,1):2 (0,2):3 (1,0):2 (1,2):2 (2,0):3 (2,1):2 = 14 rules.
+	if c.NumRules() != 14 {
+		t.Fatalf("rules = %d, want 14", c.NumRules())
+	}
+	for i, r := range c.Rules() {
+		if r.ID != i {
+			t.Fatalf("rule IDs not dense: rules[%d].ID = %d", i, r.ID)
+		}
+	}
+}
+
+func TestDestAggregateRuleCountLinear(t *testing.T) {
+	top, err := topo.Linear(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(top, layout, DestAggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ComputeRules(); err != nil {
+		t.Fatal(err)
+	}
+	// One rule per (switch, dst): 3 switches x 3 hosts = 9.
+	if c.NumRules() != 9 {
+		t.Fatalf("rules = %d, want 9", c.NumRules())
+	}
+}
+
+func TestInvalidMode(t *testing.T) {
+	top, _ := topo.Linear(2, 1)
+	if _, err := New(top, layout, PolicyMode(0)); err == nil {
+		t.Fatal("invalid mode must error")
+	}
+	if got := PairExact.String(); got != "pair-exact" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := DestAggregate.String(); got != "dest-aggregate" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := PolicyMode(0).String(); got != "unknown" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestInstallRequiresCompute(t *testing.T) {
+	top, _ := topo.Linear(2, 1)
+	c, err := New(top, layout, PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := dataplane.NewNetwork(top, layout)
+	if err := c.Install(net); err == nil {
+		t.Fatal("install before compute must error")
+	}
+}
+
+func TestBootstrapDeliversAllTraffic(t *testing.T) {
+	for _, mode := range []PolicyMode{PairExact, DestAggregate} {
+		for _, name := range topo.EvaluationTopologies() {
+			top, err := topo.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, net, err := Bootstrap(top, layout, mode)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, mode, err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			sum, err := net.Run(rng, dataplane.UniformTraffic(top, 100))
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, mode, err)
+			}
+			tot := sum.Totals()
+			if tot.Delivered != tot.Offered || tot.Blackhole != 0 || tot.Lost != 0 {
+				t.Fatalf("%s/%v: offered=%d delivered=%d lost=%d blackhole=%d",
+					name, mode, tot.Offered, tot.Delivered, tot.Lost, tot.Blackhole)
+			}
+		}
+	}
+}
+
+func TestPairExactCountersEqualFlowVolumePerHop(t *testing.T) {
+	top, err := topo.Linear(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, net, err := Bootstrap(top, layout, PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const vol = 57
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, vol)); err != nil {
+		t.Fatal(err)
+	}
+	counters := net.CollectCounters()
+	if len(counters) != c.NumRules() {
+		t.Fatalf("counters for %d rules, want %d", len(counters), c.NumRules())
+	}
+	for id, v := range counters {
+		if v != vol {
+			t.Fatalf("rule %d counter = %d, want %d (flow conservation)", id, v, vol)
+		}
+	}
+}
+
+func TestDestAggregateCountersSumSources(t *testing.T) {
+	top, err := topo.Linear(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, net, err := Bootstrap(top, layout, DestAggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const vol = 10
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, vol)); err != nil {
+		t.Fatal(err)
+	}
+	counters := net.CollectCounters()
+	// The delivery rule for host 1 (middle) aggregates both sources.
+	hosts := top.Hosts()
+	var deliverMid uint64
+	for _, r := range c.Rules() {
+		if r.Switch != hosts[1].Attach {
+			continue
+		}
+		v, ok, err := layout.SpaceField(r.Match, header.FieldDstIP)
+		if err != nil || !ok {
+			t.Fatal("aggregate rule must have exact dst")
+		}
+		if v == hosts[1].IP {
+			deliverMid = counters[r.ID]
+		}
+	}
+	if deliverMid != 2*vol {
+		t.Fatalf("middle delivery rule counter = %d, want %d", deliverMid, 2*vol)
+	}
+}
+
+func TestRulesAreCopies(t *testing.T) {
+	top, _ := topo.Linear(2, 1)
+	c, err := New(top, layout, PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ComputeRules(); err != nil {
+		t.Fatal(err)
+	}
+	r1 := c.Rules()
+	r1[0].ID = 999
+	if c.Rules()[0].ID == 999 {
+		t.Fatal("Rules() must return a copy")
+	}
+}
+
+func TestDoubleInstallFails(t *testing.T) {
+	top, _ := topo.Linear(2, 1)
+	c, net, err := Bootstrap(top, layout, PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Install(net); err == nil {
+		t.Fatal("duplicate install must error on duplicate rule IDs")
+	}
+}

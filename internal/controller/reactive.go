@@ -1,0 +1,95 @@
+package controller
+
+import (
+	"fmt"
+	"sync"
+
+	"foces/internal/dataplane"
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+// ReactiveInstaller handles packet-in events by computing and
+// installing PairExact rules for the missing (src, dst) host pair along
+// its ECMP path — the reactive installation mode of §II-A, mirroring
+// Floodlight's reactive forwarding. Rules accumulate in the
+// controller's intent, so the FCM can be (re)generated at any point
+// from Controller.Rules().
+//
+// It is safe for concurrent packet-ins.
+type ReactiveInstaller struct {
+	ctrl    *Controller
+	install func(flowtable.Rule) error
+
+	mu        sync.Mutex
+	installed map[[2]topo.HostID]bool
+}
+
+// NewReactiveInstaller wires a controller (PairExact mode, typically
+// with an empty rule set) to an install function that pushes one rule
+// to the data plane (e.g. a FlowMod via the control channel, or a
+// direct table install).
+func NewReactiveInstaller(ctrl *Controller, install func(flowtable.Rule) error) (*ReactiveInstaller, error) {
+	if ctrl.Mode() != PairExact {
+		return nil, fmt.Errorf("controller: reactive installation requires %v mode, have %v", PairExact, ctrl.Mode())
+	}
+	return &ReactiveInstaller{
+		ctrl:      ctrl,
+		install:   install,
+		installed: make(map[[2]topo.HostID]bool),
+	}, nil
+}
+
+// Handler returns the dataplane.MissHandler to register on the
+// network.
+func (ri *ReactiveInstaller) Handler() dataplane.MissHandler {
+	return func(sw topo.SwitchID, pkt header.Packet) error {
+		return ri.handleMiss(pkt)
+	}
+}
+
+// InstalledPairs reports how many host pairs have rules so far.
+func (ri *ReactiveInstaller) InstalledPairs() int {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	return len(ri.installed)
+}
+
+func (ri *ReactiveInstaller) handleMiss(pkt header.Packet) error {
+	srcIP, err := ri.ctrl.layout.PacketField(pkt, header.FieldSrcIP)
+	if err != nil {
+		return err
+	}
+	dstIP, err := ri.ctrl.layout.PacketField(pkt, header.FieldDstIP)
+	if err != nil {
+		return err
+	}
+	src, ok := ri.ctrl.topology.HostByIP(srcIP)
+	if !ok {
+		return fmt.Errorf("controller: packet-in from unknown source %s", header.FormatIPv4(srcIP))
+	}
+	dst, ok := ri.ctrl.topology.HostByIP(dstIP)
+	if !ok {
+		return fmt.Errorf("controller: packet-in for unknown destination %s", header.FormatIPv4(dstIP))
+	}
+	key := [2]topo.HostID{src.ID, dst.ID}
+
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	if ri.installed[key] {
+		// Another packet of the pair raced ahead; nothing to do.
+		return nil
+	}
+	before := len(ri.ctrl.rules)
+	if err := ri.ctrl.addPairRules(src.ID, dst.ID); err != nil {
+		return err
+	}
+	for _, r := range ri.ctrl.rules[before:] {
+		if err := ri.install(r); err != nil {
+			return fmt.Errorf("controller: reactive install rule %d: %w", r.ID, err)
+		}
+	}
+	ri.installed[key] = true
+	return nil
+}

@@ -1,0 +1,120 @@
+package controller
+
+import (
+	"math/rand"
+	"testing"
+
+	"foces/internal/core"
+	"foces/internal/dataplane"
+	"foces/internal/fcm"
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+func TestReactiveInstallation(t *testing.T) {
+	top, err := topo.ByName("fattree4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(top, layout, PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No proactive rules at all: everything comes from packet-ins.
+	net := dataplane.NewNetwork(top, layout)
+	installer, err := NewReactiveInstaller(ctrl, func(r flowtable.Rule) error {
+		tbl, err := net.Table(r.Switch)
+		if err != nil {
+			return err
+		}
+		return tbl.Install(r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetMissHandler(installer.Handler())
+
+	rng := rand.New(rand.NewSource(1))
+	tm := dataplane.UniformTraffic(top, 100)
+	sum, err := net.Run(rng, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := sum.Totals()
+	if tot.Delivered != tot.Offered {
+		t.Fatalf("reactive first interval must deliver everything: %+v", tot)
+	}
+	if installer.InstalledPairs() != 240 {
+		t.Fatalf("installed pairs = %d, want 240", installer.InstalledPairs())
+	}
+	if ctrl.NumRules() != net.RuleCount() {
+		t.Fatalf("intent %d rules vs network %d", ctrl.NumRules(), net.RuleCount())
+	}
+
+	// The FCM generated from the reactively-built intent must be
+	// consistent with a fresh traffic interval.
+	f, err := fcm.Generate(top, layout, ctrl.Rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.ResetCounters()
+	if _, err := net.Run(rng, tm); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Detect(f.H, f.CounterVector(net.CollectCounters()), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Anomalous {
+		t.Fatalf("reactive network flagged clean traffic: AI=%v", res.Index)
+	}
+}
+
+func TestReactiveRequiresPairExact(t *testing.T) {
+	top, err := topo.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(top, layout, DestAggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReactiveInstaller(ctrl, nil); err == nil {
+		t.Fatal("reactive with aggregate mode must error")
+	}
+}
+
+func TestReactiveUnknownHosts(t *testing.T) {
+	top, err := topo.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(top, layout, PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installer, err := NewReactiveInstaller(ctrl, func(flowtable.Rule) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := installer.Handler()
+	// Packet with unknown addresses: handler must error, not panic.
+	blank := header.NewPacket(layout.Width())
+	p, err := layout.PacketWithField(blank, header.FieldSrcIP, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := handler(0, p); err == nil {
+		t.Fatal("unknown source must error")
+	}
+	// Known source, unknown destination.
+	src := top.Hosts()[0]
+	p, err = layout.PacketWithField(blank, header.FieldSrcIP, src.IP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := handler(0, p); err == nil {
+		t.Fatal("unknown destination must error")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"foces/internal/stats"
+)
+
+// TestAblationIndexDenominator quantifies the DESIGN.md ablation: the
+// paper's median denominator separates attack from noise better than a
+// mean denominator, because an anomaly's own large errors inflate the
+// mean and depress the index.
+func TestAblationIndexDenominator(t *testing.T) {
+	f := fig2FCM(t)
+	rng := rand.New(rand.NewSource(31))
+	x := []float64{1000, 1200, 900}
+	y0, err := f.H.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := func(y []float64) {
+		// Divert flow a onto the lower path.
+		y[2] -= x[0]
+		y[3] += x[0]
+		y[4] += x[0]
+	}
+	var sepMedian, sepMean float64
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		noise := make([]float64, len(y0))
+		for j := range noise {
+			noise[j] = y0[j] + rng.NormFloat64()*15
+		}
+		attacked := append([]float64(nil), noise...)
+		attack(attacked)
+
+		medNoise, err := Detect(f.H, noise, Options{Denominator: DenomMedian})
+		if err != nil {
+			t.Fatal(err)
+		}
+		medAttack, err := Detect(f.H, attacked, Options{Denominator: DenomMedian})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meanNoise, err := Detect(f.H, noise, Options{Denominator: DenomMean})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meanAttack, err := Detect(f.H, attacked, Options{Denominator: DenomMean})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sepMedian += medAttack.Index / (medNoise.Index + 1e-9)
+		sepMean += meanAttack.Index / (meanNoise.Index + 1e-9)
+	}
+	if sepMedian <= sepMean {
+		t.Fatalf("median separation %.1f must beat mean separation %.1f", sepMedian/trials, sepMean/trials)
+	}
+	t.Logf("attack/noise index ratio: median=%.1f mean=%.1f", sepMedian/trials, sepMean/trials)
+}
+
+func TestDenominatorString(t *testing.T) {
+	if DenomMedian.String() != "median" || DenomMean.String() != "mean" || Denominator(0).String() != "unknown" {
+		t.Fatal("Denominator strings wrong")
+	}
+}
+
+func TestDenominatorSameVerdictOnPaperExample(t *testing.T) {
+	// On the paper's clean-vs-anomalous Fig 2 example both denominators
+	// agree (Δ has a single nonzero entry; median 0, mean small).
+	f := fig2FCM(t)
+	y := []float64{3, 3, 4, 3, 8, 12}
+	for _, d := range []Denominator{DenomMedian, DenomMean} {
+		res, err := Detect(f.H, y, Options{Denominator: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Anomalous {
+			t.Fatalf("denominator %v missed the Fig 2 anomaly", d)
+		}
+	}
+	_ = stats.DefaultThreshold
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"foces/internal/controller"
+	"foces/internal/dataplane"
+	"foces/internal/fcm"
+	"foces/internal/topo"
+)
+
+// TestAdaptiveAdversaryCounterSpoofing exercises the strongest §II-B
+// adversary: the compromised switch drops a flow AND reports the
+// counters the controller expects for its own rules. Detection must
+// still succeed because the deficit shows up at benign downstream
+// switches (the "majority good" assumption).
+func TestAdaptiveAdversaryCounterSpoofing(t *testing.T) {
+	top, err := topo.ByName("fattree4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, net, err := controller.Bootstrap(top, layout, controller.PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fcm.Generate(top, layout, ctrl.Rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	tm := dataplane.UniformTraffic(top, 1000)
+
+	// Baseline interval to learn the expected per-rule counters.
+	if _, err := net.Run(rng, tm); err != nil {
+		t.Fatal(err)
+	}
+	expected := net.CollectCounters()
+	net.ResetCounters()
+
+	// Compromise: drop one flow mid-path and spoof every counter on the
+	// compromised switch to its expected value.
+	atk, err := dataplane.RandomAttack(rng, net, dataplane.AttackDrop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := net.Table(atk.Switch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tbl.Dump() {
+		if err := tbl.SpoofCounter(r.ID, expected[r.ID]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := net.Run(rng, tm); err != nil {
+		t.Fatal(err)
+	}
+	reported := net.CollectCounters()
+	// The compromised switch's own rules look perfectly normal.
+	for _, r := range tbl.Dump() {
+		if reported[r.ID] != expected[r.ID] {
+			t.Fatalf("spoof failed: rule %d reports %d, expected lie %d",
+				r.ID, reported[r.ID], expected[r.ID])
+		}
+	}
+
+	res, err := Detect(f.H, f.CounterVector(reported), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Anomalous {
+		t.Fatalf("spoofed drop attack missed: AI=%v", res.Index)
+	}
+
+	// Repair and stop lying: the network must go quiet.
+	if err := atk.Revert(net); err != nil {
+		t.Fatal(err)
+	}
+	tbl.ClearSpoofedCounters()
+	net.ResetCounters()
+	if _, err := net.Run(rng, tm); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Detect(f.H, f.CounterVector(net.CollectCounters()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Anomalous {
+		t.Fatalf("repaired network flagged: AI=%v", res.Index)
+	}
+}

@@ -1,0 +1,204 @@
+// Package core implements the FOCES detection algorithms: the
+// threshold-based network-wide detector (Algorithm 1), the
+// slicing-based scalable detector (Algorithm 2) built on Rule Bipartite
+// Graphs, the Theorem 1/Theorem 2 detectability analysis, and the
+// per-switch anomaly localization sketched as future work in §IV-B.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"foces/internal/matrix"
+	"foces/internal/stats"
+)
+
+// Solver selects the least-squares backend for Eq. 4.
+type Solver int
+
+// Solver backends.
+const (
+	// SolverCholesky solves the normal equations (HᵀH)x = Hᵀy by
+	// Cholesky factorization — the paper's (NumPy) approach.
+	SolverCholesky Solver = iota + 1
+	// SolverCG uses conjugate gradient on the normal equations without
+	// materializing HᵀH (memory-lean ablation alternative).
+	SolverCG
+)
+
+func (s Solver) String() string {
+	switch s {
+	case SolverCholesky:
+		return "cholesky"
+	case SolverCG:
+		return "cg"
+	default:
+		return "unknown"
+	}
+}
+
+// Denominator selects the anomaly-index denominator statistic.
+type Denominator int
+
+// Denominator choices.
+const (
+	// DenomMedian is the paper's choice: AI = Err_max / Err_med. The
+	// median is robust to the handful of large errors an anomaly
+	// causes, keeping the denominator at the noise level.
+	DenomMedian Denominator = iota + 1
+	// DenomMean uses the mean instead (ablation): large anomaly errors
+	// inflate the denominator and depress the index, weakening
+	// detection — quantified in the AblationIndexDenominator test and
+	// benchmark.
+	DenomMean
+)
+
+func (d Denominator) String() string {
+	switch d {
+	case DenomMedian:
+		return "median"
+	case DenomMean:
+		return "mean"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tunes detection.
+type Options struct {
+	// Threshold is the anomaly-index threshold T; zero selects the
+	// paper's default 4.5.
+	Threshold float64
+	// Solver selects the least-squares backend; zero selects Cholesky.
+	Solver Solver
+	// ZeroTol is the absolute tolerance below which an error-vector
+	// entry counts as zero; zero selects 1e-6·(1 + max|y|).
+	ZeroTol float64
+	// Denominator selects the index denominator; zero selects the
+	// paper's median.
+	Denominator Denominator
+}
+
+func (o Options) withDefaults(y []float64) Options {
+	if o.Threshold == 0 {
+		o.Threshold = stats.DefaultThreshold
+	}
+	if o.Solver == 0 {
+		o.Solver = SolverCholesky
+	}
+	if o.ZeroTol == 0 {
+		maxAbs := 0.0
+		for _, v := range y {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		o.ZeroTol = 1e-6 * (1 + maxAbs)
+	}
+	if o.Denominator == 0 {
+		o.Denominator = DenomMedian
+	}
+	return o
+}
+
+// denominator computes the configured denominator statistic of delta.
+func (o Options) denominator(delta []float64) float64 {
+	switch o.Denominator {
+	case DenomMean:
+		m, _ := stats.Mean(delta)
+		return m
+	default:
+		m, _ := stats.Median(delta)
+		return m
+	}
+}
+
+// Result reports one detection run.
+type Result struct {
+	// Anomalous is true when Index > threshold (Algorithm 1 line 7).
+	Anomalous bool
+	// Index is the anomaly index AI = Err_max / Err_med; +Inf when the
+	// median error is (numerically) zero but the max is not, 0 when the
+	// whole error vector is zero.
+	Index float64
+	// ErrMax and ErrMed are the max and median of Δ.
+	ErrMax, ErrMed float64
+	// Delta is the error vector Δ = |Y' − Ŷ| (Eq. 5).
+	Delta []float64
+	// XHat is the least-squares volume estimate (Eq. 4).
+	XHat []float64
+	// YHat is the fitted counter vector H·X̂.
+	YHat []float64
+}
+
+// Detect runs Algorithm 1 (Detect_Anomaly_Baseline) on the flow-counter
+// matrix h and observed counter vector y.
+func Detect(h *matrix.CSR, y []float64, opts Options) (Result, error) {
+	if h.Rows() != len(y) {
+		return Result{}, fmt.Errorf("core: H is %dx%d but y has %d entries", h.Rows(), h.Cols(), len(y))
+	}
+	opts = opts.withDefaults(y)
+	if h.Rows() == 0 {
+		// Nothing to check: an empty system is trivially consistent.
+		return Result{Delta: make([]float64, len(y))}, nil
+	}
+	if h.Cols() == 0 {
+		// No flow is expected to touch these rules, so every counter's
+		// expected value is exactly zero: any observed volume is an
+		// inconsistency no flow-volume estimate can explain (this keeps
+		// Theorem 3 intact for slices of rules outside all flow paths,
+		// like rule r4 in the paper's Fig. 2).
+		delta := make([]float64, len(y))
+		for i, v := range y {
+			delta[i] = math.Abs(v)
+		}
+		res := Result{Delta: delta, YHat: make([]float64, len(y))}
+		res.ErrMax, _ = stats.Max(delta)
+		res.Index = anomalyIndex(res.ErrMax, 0, opts.ZeroTol)
+		res.Anomalous = res.Index > opts.Threshold
+		return res, nil
+	}
+	xHat, err := solve(h, y, opts.Solver)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: volume estimate: %w", err)
+	}
+	yHat, err := h.MulVec(xHat)
+	if err != nil {
+		return Result{}, err
+	}
+	delta, err := matrix.AbsDiff(y, yHat)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Delta: delta, XHat: xHat, YHat: yHat}
+	res.ErrMax, _ = stats.Max(delta)
+	res.ErrMed = opts.denominator(delta)
+	res.Index = anomalyIndex(res.ErrMax, res.ErrMed, opts.ZeroTol)
+	res.Anomalous = res.Index > opts.Threshold
+	return res, nil
+}
+
+// anomalyIndex computes AI = Err_max/Err_med with numeric-zero
+// handling: a perfectly consistent system scores 0 and a system whose
+// median error vanishes while the max does not scores +Inf (the paper's
+// Fig. 2 example).
+func anomalyIndex(errMax, errMed, zeroTol float64) float64 {
+	if errMax <= zeroTol {
+		return 0
+	}
+	if errMed <= zeroTol {
+		return math.Inf(1)
+	}
+	return errMax / errMed
+}
+
+func solve(h *matrix.CSR, y []float64, s Solver) ([]float64, error) {
+	switch s {
+	case SolverCholesky:
+		return matrix.SolveNormalEquations(h, y, matrix.LeastSquaresOptions{})
+	case SolverCG:
+		return matrix.SolveNormalEquationsCG(h, y, matrix.CGOptions{})
+	default:
+		return nil, fmt.Errorf("core: unknown solver %d", s)
+	}
+}

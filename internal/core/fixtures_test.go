@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"foces/internal/fcm"
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+var layout = header.FiveTuple()
+
+// paperTopology builds the six-switch topology of the paper's Fig. 2 /
+// Fig. 3 examples: S0→S1→S2→S5 (upper path) and S3→S4→S5 (lower path),
+// with the S1–S3 link the adversary uses for deviation.
+func paperTopology(t *testing.T) *topo.Topology {
+	t.Helper()
+	b := topo.NewBuilder("paper-fig")
+	ids := make([]topo.SwitchID, 6)
+	for i := range ids {
+		ids[i] = b.AddSwitch("S"+string(rune('0'+i)), "")
+	}
+	b.Connect(ids[0], ids[1])
+	b.Connect(ids[1], ids[2])
+	b.Connect(ids[2], ids[5])
+	b.Connect(ids[1], ids[3])
+	b.Connect(ids[3], ids[4])
+	b.Connect(ids[4], ids[5])
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+// paperRules creates one wildcard rule per switch with dense IDs: rule
+// i lives on switch Si (the paper's r_{i+1}).
+func paperRules(t *testing.T, top *topo.Topology) []flowtable.Rule {
+	t.Helper()
+	rules := make([]flowtable.Rule, 6)
+	for i := range rules {
+		rules[i] = flowtable.Rule{
+			ID:     i,
+			Switch: topo.SwitchID(i),
+			Match:  layout.Wildcard(),
+			Action: flowtable.Action{Type: flowtable.ActionOutput, Port: 0},
+		}
+	}
+	return rules
+}
+
+// fig2FCM builds the FCM of Eq. 6: flows a=[r1,r2,r3,r6], b=[r3,r6],
+// c=[r5,r6] (0-indexed rule IDs).
+func fig2FCM(t *testing.T) *fcm.FCM {
+	t.Helper()
+	top := paperTopology(t)
+	f, err := fcm.FromHistories(top, paperRules(t, top), [][]int{
+		{0, 1, 2, 5},
+		{2, 5},
+		{4, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// fig3FCM builds the FCM of Eq. 8: flow c additionally matches r4, i.e.
+// c=[r4,r5,r6].
+func fig3FCM(t *testing.T) *fcm.FCM {
+	t.Helper()
+	top := paperTopology(t)
+	f, err := fcm.FromHistories(top, paperRules(t, top), [][]int{
+		{0, 1, 2, 5},
+		{2, 5},
+		{3, 4, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// paperHPrime is the deviated history of flow a in both figures:
+// S0→S1→S3→S4→S5, i.e. [r1,r2,r4,r5,r6] 1-indexed.
+func paperHPrime() []int { return []int{0, 1, 3, 4, 5} }

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"sort"
+
+	"foces/internal/fcm"
+	"foces/internal/topo"
+)
+
+// SwitchScore is one switch's share of detection error.
+type SwitchScore struct {
+	Switch topo.SwitchID
+	// Score is the sum of error-vector entries over the switch's rules.
+	Score float64
+}
+
+// AttributeDelta ranks switches by the error mass their rules carry —
+// a lightweight localization alternative to per-slice indices: the
+// compromised switch's neighbourhood accumulates the unexplained
+// volume, so the top of the ranking points at the incident. It
+// requires only the full-network Δ (no slicing).
+func AttributeDelta(f *fcm.FCM, delta []float64) []SwitchScore {
+	perSwitch := make(map[topo.SwitchID]float64)
+	for rid, d := range delta {
+		if rid < len(f.Rules) {
+			perSwitch[f.Rules[rid].Switch] += d
+		}
+	}
+	out := make([]SwitchScore, 0, len(perSwitch))
+	for sw, score := range perSwitch {
+		out = append(out, SwitchScore{Switch: sw, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Switch < out[j].Switch
+	})
+	return out
+}
+
+// TopSuspects returns the switch IDs of the k highest-scoring entries.
+func TopSuspects(scores []SwitchScore, k int) []topo.SwitchID {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	out := make([]topo.SwitchID, 0, k)
+	for _, s := range scores[:k] {
+		out = append(out, s.Switch)
+	}
+	return out
+}

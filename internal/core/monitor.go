@@ -1,0 +1,99 @@
+package core
+
+import "math"
+
+// ewmaCap bounds infinite anomaly indices when folded into the moving
+// average so the EWMA stays finite and recoverable.
+const ewmaCap = 1e6
+
+// MonitorConfig tunes the time-series monitor.
+type MonitorConfig struct {
+	// Threshold is the per-period anomaly-index threshold; zero selects
+	// the paper's 4.5.
+	Threshold float64
+	// Consecutive is the number of consecutive threshold exceedances
+	// required before alerting; zero selects 2. Raising it trades
+	// detection delay for false-positive suppression under heavy loss.
+	Consecutive int
+	// EWMAAlpha is the smoothing factor of the reported moving average;
+	// zero selects 0.3.
+	EWMAAlpha float64
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 4.5
+	}
+	if c.Consecutive == 0 {
+		c.Consecutive = 2
+	}
+	if c.EWMAAlpha == 0 {
+		c.EWMAAlpha = 0.3
+	}
+	return c
+}
+
+// Monitor turns per-period anomaly indices into a debounced alarm: an
+// alert fires only after Consecutive periods above the threshold. This
+// is an engineering extension over the paper's per-period decision
+// that suppresses the loss-induced false positives Fig. 8 shows at
+// 20-25% loss, at the cost of one extra detection period of latency.
+type Monitor struct {
+	cfg    MonitorConfig
+	streak int
+	ewma   float64
+	primed bool
+}
+
+// MonitorVerdict is the outcome of feeding one period's index.
+type MonitorVerdict struct {
+	// Alert is true when the debounced alarm is firing.
+	Alert bool
+	// Exceeded is true when this period's index crossed the threshold.
+	Exceeded bool
+	// Streak counts consecutive exceedances so far.
+	Streak int
+	// EWMA is the smoothed index.
+	EWMA float64
+}
+
+// NewMonitor returns a monitor with the given configuration.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	return &Monitor{cfg: cfg.withDefaults()}
+}
+
+// Feed records one period's anomaly index and returns the debounced
+// verdict.
+func (m *Monitor) Feed(index float64) MonitorVerdict {
+	capped := index
+	if math.IsInf(capped, 1) || capped > ewmaCap {
+		capped = ewmaCap
+	}
+	if !m.primed {
+		m.ewma = capped
+		m.primed = true
+	} else {
+		a := m.cfg.EWMAAlpha
+		m.ewma = a*capped + (1-a)*m.ewma
+	}
+	exceeded := index > m.cfg.Threshold
+	if exceeded {
+		m.streak++
+	} else {
+		m.streak = 0
+	}
+	return MonitorVerdict{
+		Alert:    m.streak >= m.cfg.Consecutive,
+		Exceeded: exceeded,
+		Streak:   m.streak,
+		EWMA:     m.ewma,
+	}
+}
+
+// Reset clears all state (e.g. after an operator acknowledges an
+// incident).
+func (m *Monitor) Reset() {
+	m.streak = 0
+	m.ewma = 0
+	m.primed = false
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"foces/internal/fcm"
+	"foces/internal/topo"
+)
+
+// PartialResult is the outcome of detection restricted to reachable
+// switches.
+type PartialResult struct {
+	Result
+	// PresentRows maps each entry of Result.Delta back to its global
+	// rule ID.
+	PresentRows []int
+	// MissingRules counts the rule rows excluded because their switch
+	// was unreachable.
+	MissingRules int
+}
+
+// DetectWithMissing runs Algorithm 1 on the sub-system restricted to
+// the rules of reachable switches. When some switches cannot be polled
+// (agent down, partition), their counter rows are unknown; rather than
+// aborting the detection period, the equation system drops those rows
+// and checks consistency of everything still observable. Flows that
+// only traverse missing switches contribute empty columns, handled by
+// the solver's ridge fallback.
+//
+// A deviation whose entire counter footprint hides inside the missing
+// switches is invisible to this partial check — callers should treat a
+// long-unreachable switch as an incident of its own.
+func DetectWithMissing(f *fcm.FCM, counters map[int]uint64, missing []topo.SwitchID, opts Options) (PartialResult, error) {
+	down := make(map[topo.SwitchID]bool, len(missing))
+	for _, sw := range missing {
+		down[sw] = true
+	}
+	present := make([]int, 0, f.NumRules())
+	for _, r := range f.Rules {
+		if !down[r.Switch] {
+			present = append(present, r.ID)
+		}
+	}
+	sort.Ints(present)
+	if len(present) == 0 {
+		return PartialResult{}, fmt.Errorf("core: every switch is missing; nothing to check")
+	}
+	cols := make([]int, f.NumFlows())
+	for j := range cols {
+		cols[j] = j
+	}
+	sub, err := f.H.SubMatrix(present, cols)
+	if err != nil {
+		return PartialResult{}, err
+	}
+	y := make([]float64, len(present))
+	for i, rid := range present {
+		y[i] = float64(counters[rid])
+	}
+	res, err := Detect(sub, y, opts)
+	if err != nil {
+		return PartialResult{}, err
+	}
+	return PartialResult{
+		Result:       res,
+		PresentRows:  present,
+		MissingRules: f.NumRules() - len(present),
+	}, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"foces/internal/controller"
+	"foces/internal/dataplane"
+	"foces/internal/fcm"
+	"foces/internal/topo"
+)
+
+func partialSetup(t *testing.T) (*topo.Topology, *dataplane.Network, *fcm.FCM) {
+	t.Helper()
+	top, err := topo.ByName("fattree4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, net, err := controller.Bootstrap(top, layout, controller.PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fcm.Generate(top, layout, ctrl.Rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top, net, f
+}
+
+func TestDetectWithMissingCleanNetwork(t *testing.T) {
+	top, net, f := partialSetup(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	counters := net.CollectCounters()
+	// Pretend two switches are unreachable.
+	missing := []topo.SwitchID{0, 5}
+	for _, r := range f.Rules {
+		if r.Switch == 0 || r.Switch == 5 {
+			delete(counters, r.ID)
+		}
+	}
+	res, err := DetectWithMissing(f, counters, missing, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Anomalous {
+		t.Fatalf("clean partial view flagged: AI=%v", res.Index)
+	}
+	if res.MissingRules == 0 || len(res.PresentRows) != f.NumRules()-res.MissingRules {
+		t.Fatalf("row accounting wrong: %d present, %d missing", len(res.PresentRows), res.MissingRules)
+	}
+}
+
+func TestDetectWithMissingStillCatchesAttack(t *testing.T) {
+	top, net, f := partialSetup(t)
+	rng := rand.New(rand.NewSource(2))
+	atk, err := dataplane.RandomAttack(rng, net, dataplane.AttackDrop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	counters := net.CollectCounters()
+	// A switch far from the attack goes dark; the anomaly's footprint
+	// remains visible on the reachable rows.
+	var missing []topo.SwitchID
+	for _, s := range top.Switches() {
+		if s.ID != atk.Switch {
+			isNbr := false
+			for _, n := range top.Neighbors(atk.Switch) {
+				if n == s.ID {
+					isNbr = true
+				}
+			}
+			if !isNbr {
+				missing = append(missing, s.ID)
+				break
+			}
+		}
+	}
+	for _, r := range f.Rules {
+		if r.Switch == missing[0] {
+			delete(counters, r.ID)
+		}
+	}
+	res, err := DetectWithMissing(f, counters, missing, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Anomalous {
+		t.Fatalf("partial view missed the attack: AI=%v", res.Index)
+	}
+}
+
+func TestDetectWithMissingAllSwitches(t *testing.T) {
+	top, _, f := partialSetup(t)
+	var all []topo.SwitchID
+	for _, s := range top.Switches() {
+		all = append(all, s.ID)
+	}
+	if _, err := DetectWithMissing(f, nil, all, Options{}); err == nil {
+		t.Fatal("all-missing must error")
+	}
+}
+
+func TestDetectWithMissingNoneMatchesFull(t *testing.T) {
+	top, net, f := partialSetup(t)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 500)); err != nil {
+		t.Fatal(err)
+	}
+	counters := net.CollectCounters()
+	full, err := Detect(f.H, f.CounterVector(counters), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := DetectWithMissing(f, counters, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Anomalous != full.Anomalous || partial.MissingRules != 0 {
+		t.Fatalf("no-missing partial must equal full: %+v vs %+v", partial.Result.Anomalous, full.Anomalous)
+	}
+}

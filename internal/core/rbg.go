@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"foces/internal/fcm"
+	"foces/internal/matrix"
+	"foces/internal/topo"
+)
+
+// virtualRule is the ID of r_s, the virtual rule prepended to every
+// flow (Definition 3).
+const virtualRule = -1
+
+// RBGEdge is one edge of a Rule Bipartite Graph: flow(s) matching rule
+// From immediately before rule To on switch S. From is virtualRule for
+// flows whose first matched rule is on S. Edges are multigraph edges:
+// two flows with different histories before the hop contribute two
+// distinct parallel edges, while flows sharing the same prefix collapse
+// into one (they are indistinguishable packet streams up to that
+// point).
+type RBGEdge struct {
+	From, To int
+	// AnomFlow marks edges contributed by the hypothetical anomalous
+	// flow h' in a detectability analysis.
+	AnomFlow bool
+}
+
+// RBG is the Rule Bipartite Graph of one switch with respect to a flow
+// set (Definition 3).
+type RBG struct {
+	Switch topo.SwitchID
+	Edges  []RBGEdge
+}
+
+// BuildRBG constructs the RBG of switch sw with respect to the FCM's
+// flows plus an optional extra flow history hPrime (pass nil for the
+// plain RBG, or the anomalous history for H̃ = H ∪ {h'}).
+func BuildRBG(f *fcm.FCM, sw topo.SwitchID, hPrime []int) (*RBG, error) {
+	g := &RBG{Switch: sw}
+	seen := make(map[string]int) // edge identity -> index into Edges
+	add := func(history []int, anom bool) error {
+		for i, rid := range history {
+			if rid < 0 || rid >= len(f.Rules) {
+				return fmt.Errorf("core: rbg: rule %d out of range", rid)
+			}
+			if f.Rules[rid].Switch != sw {
+				continue
+			}
+			from := virtualRule
+			if i > 0 {
+				from = history[i-1]
+			}
+			key := edgeKey(from, rid, history[:i])
+			if j, ok := seen[key]; ok {
+				if anom {
+					g.Edges[j].AnomFlow = true
+				}
+				continue
+			}
+			seen[key] = len(g.Edges)
+			g.Edges = append(g.Edges, RBGEdge{From: from, To: rid, AnomFlow: anom})
+		}
+		return nil
+	}
+	for _, fl := range f.Flows {
+		if err := add(fl.RuleIDs, false); err != nil {
+			return nil, err
+		}
+	}
+	if hPrime != nil {
+		if err := add(hPrime, true); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// edgeKey identifies a multigraph edge by endpoint pair and the
+// pre-edge history (flows sharing the same prefix are one packet
+// stream and collapse into a single edge).
+func edgeKey(from, to int, prefix []int) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(from))
+	b.WriteByte('>')
+	b.WriteString(strconv.Itoa(to))
+	b.WriteByte('|')
+	for i, r := range prefix {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(r))
+	}
+	return b.String()
+}
+
+// HasLoopThroughAnomaly reports whether the RBG contains a cycle that
+// includes at least one edge contributed by the anomalous flow h'
+// (the loop condition of Theorem 2 / Lemma 5). In a multigraph, an
+// edge e lies on a cycle iff its endpoints remain connected after
+// removing e.
+func (g *RBG) HasLoopThroughAnomaly() bool {
+	for i, e := range g.Edges {
+		if !e.AnomFlow {
+			continue
+		}
+		if g.connectedWithout(i, e.From, e.To) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasLoop reports whether the RBG contains any cycle (counting
+// parallel multigraph edges).
+func (g *RBG) HasLoop() bool {
+	uf := newUnionFind()
+	for _, e := range g.Edges {
+		if !uf.union(e.From, e.To) {
+			return true
+		}
+	}
+	return false
+}
+
+// connectedWithout reports whether a and b are connected ignoring edge
+// index skip.
+func (g *RBG) connectedWithout(skip, a, b int) bool {
+	uf := newUnionFind()
+	for i, e := range g.Edges {
+		if i == skip {
+			continue
+		}
+		uf.union(e.From, e.To)
+	}
+	return uf.find(a) == uf.find(b)
+}
+
+// historySet canonicalizes a rule history as a set key.
+func historySet(history []int) string {
+	ids := append([]int(nil), history...)
+	sort.Ints(ids)
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(id))
+	}
+	return b.String()
+}
+
+type unionFind struct {
+	parent map[int]int
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: make(map[int]int)} }
+
+func (u *unionFind) find(x int) int {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+// union merges the sets of a and b, returning false when they were
+// already connected (i.e. the new edge closes a cycle).
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[ra] = rb
+	return true
+}
+
+// Detectability is the verdict of the detectability analysis for one
+// hypothetical forwarding anomaly FA(h, h').
+type Detectability struct {
+	// Algebraic is the exact Theorem 1 verdict: detectable iff h' lies
+	// outside the column space of H.
+	Algebraic bool
+	// RBGLoopFree is the combinatorial Theorem 2 verdict: true when no
+	// switch's RBG w.r.t. H̃ = H ∪ {h'} contains a cycle through an
+	// h'-edge. Loop-free guarantees detectability for complete-path
+	// deviations; a loop indicates the anomaly *may* be masked (exactly
+	// undetectable when the network has no pivot rules, per the paper's
+	// Lemma 5). Truncated histories (early drops absorbed by rule
+	// aggregation) fall outside Theorem 2's scope — Algebraic remains
+	// the ground truth there.
+	RBGLoopFree bool
+	// LoopSwitch is the first switch whose RBG closed a loop through
+	// h' (-1 when RBGLoopFree).
+	LoopSwitch topo.SwitchID
+}
+
+// AnalyzeDetectability evaluates whether a forwarding anomaly that
+// changes some flow's rule history to hPrime is detectable, using both
+// the algebraic ground truth (Theorem 1) and the RBG loop condition
+// (Theorem 2).
+func AnalyzeDetectability(f *fcm.FCM, hPrime []int) (Detectability, error) {
+	if len(hPrime) == 0 {
+		return Detectability{}, fmt.Errorf("core: empty anomalous history")
+	}
+	// Theorem 1 ground truth: h' ∈ span(columns of H)?
+	col := make([]float64, f.NumRules())
+	for _, rid := range hPrime {
+		if rid < 0 || rid >= f.NumRules() {
+			return Detectability{}, fmt.Errorf("core: anomalous history rule %d out of range", rid)
+		}
+		col[rid] = 1
+	}
+	inSpace, _, err := matrix.ResidualInColumnSpace(f.H, col, 1e-7)
+	if err != nil {
+		return Detectability{}, fmt.Errorf("core: algebraic detectability: %w", err)
+	}
+	d := Detectability{Algebraic: !inSpace, RBGLoopFree: true, LoopSwitch: -1}
+	// A deviation onto exactly the rule set of an existing flow is
+	// trivially masked: the observed counters read as extra volume on
+	// that flow. Report it as a (degenerate) loop rather than relying on
+	// prefix-collapsed edges.
+	key := historySet(hPrime)
+	for _, fl := range f.Flows {
+		if historySet(fl.RuleIDs) == key {
+			d.RBGLoopFree = false
+			d.LoopSwitch = f.Rules[hPrime[0]].Switch
+			return d, nil
+		}
+	}
+	for _, s := range f.Topology().Switches() {
+		g, err := BuildRBG(f, s.ID, hPrime)
+		if err != nil {
+			return Detectability{}, err
+		}
+		if g.HasLoopThroughAnomaly() {
+			d.RBGLoopFree = false
+			d.LoopSwitch = s.ID
+			break
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,165 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"foces/internal/flowtable"
+	"foces/internal/topo"
+)
+
+// AttackKind enumerates the forwarding-anomaly injections of the threat
+// model (§II-B).
+type AttackKind int
+
+// Attack kinds.
+const (
+	// AttackPortSwap rewrites a rule's output port to a different
+	// switch-facing port (path deviation / switch bypass / detour,
+	// depending on where the new port leads).
+	AttackPortSwap AttackKind = iota + 1
+	// AttackDrop silently discards matched packets (early drop).
+	AttackDrop
+)
+
+func (k AttackKind) String() string {
+	switch k {
+	case AttackPortSwap:
+		return "port-swap"
+	case AttackDrop:
+		return "drop"
+	default:
+		return "unknown"
+	}
+}
+
+// Attack is one rule-level compromise that can be applied to and
+// reverted from a network.
+type Attack struct {
+	Switch    topo.SwitchID
+	RuleID    int
+	Kind      AttackKind
+	NewAction flowtable.Action // the tampered action installed on apply
+}
+
+// Apply installs the attack as a flow-table override on the compromised
+// switch.
+func (a Attack) Apply(n *Network) error {
+	tbl, err := n.Table(a.Switch)
+	if err != nil {
+		return fmt.Errorf("dataplane: apply attack: %w", err)
+	}
+	return tbl.SetOverride(a.RuleID, flowtable.Override{Action: a.NewAction})
+}
+
+// Revert repairs the compromised rule.
+func (a Attack) Revert(n *Network) error {
+	tbl, err := n.Table(a.Switch)
+	if err != nil {
+		return fmt.Errorf("dataplane: revert attack: %w", err)
+	}
+	tbl.ClearOverride(a.RuleID)
+	return nil
+}
+
+// candidate is an attackable rule.
+type candidate struct {
+	sw   topo.SwitchID
+	rule flowtable.Rule
+}
+
+// attackCandidates lists rules eligible for the given attack kind, in
+// deterministic (switch, rule) order. Only rules whose installed action
+// is Output qualify: the paper assumes last-hop delivery rules are on
+// uncompromised switches.
+func attackCandidates(n *Network, kind AttackKind) []candidate {
+	var out []candidate
+	for _, s := range n.Topology().Switches() {
+		tbl := n.tables[s.ID]
+		rules := tbl.Dump()
+		sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+		for _, r := range rules {
+			if r.Action.Type != flowtable.ActionOutput {
+				continue
+			}
+			if tbl.Overridden(r.ID) {
+				continue
+			}
+			if kind == AttackPortSwap && len(alternativePorts(n, s.ID, r.Action.Port)) == 0 {
+				continue
+			}
+			out = append(out, candidate{sw: s.ID, rule: r})
+		}
+	}
+	return out
+}
+
+// alternativePorts lists switch-facing ports of sw other than exclude.
+func alternativePorts(n *Network, sw topo.SwitchID, exclude int) []int {
+	s, err := n.Topology().Switch(sw)
+	if err != nil {
+		return nil
+	}
+	var out []int
+	for port := 0; port < s.NumPorts(); port++ {
+		if port == exclude {
+			continue
+		}
+		peer, err := n.Topology().PeerAt(sw, port)
+		if err == nil && peer.Kind == topo.PeerSwitch {
+			out = append(out, port)
+		}
+	}
+	return out
+}
+
+// RandomAttack selects a uniformly random eligible rule and constructs
+// the attack without applying it. It mirrors the paper's evaluation
+// methodology: "we randomly choose switches from the network, and
+// randomly modify flow rules in the switches' flow tables".
+func RandomAttack(rng *rand.Rand, n *Network, kind AttackKind) (Attack, error) {
+	if kind != AttackPortSwap && kind != AttackDrop {
+		return Attack{}, fmt.Errorf("dataplane: invalid attack kind %d", kind)
+	}
+	cands := attackCandidates(n, kind)
+	if len(cands) == 0 {
+		return Attack{}, fmt.Errorf("dataplane: no eligible rules for %v attack", kind)
+	}
+	pick := cands[rng.Intn(len(cands))]
+	a := Attack{Switch: pick.sw, RuleID: pick.rule.ID, Kind: kind}
+	switch kind {
+	case AttackDrop:
+		a.NewAction = flowtable.Action{Type: flowtable.ActionDrop}
+	case AttackPortSwap:
+		alts := alternativePorts(n, pick.sw, pick.rule.Action.Port)
+		a.NewAction = flowtable.Action{Type: flowtable.ActionOutput, Port: alts[rng.Intn(len(alts))]}
+	}
+	return a, nil
+}
+
+// RandomAttacks draws count distinct attacks (distinct rules) of the
+// given kind.
+func RandomAttacks(rng *rand.Rand, n *Network, kind AttackKind, count int) ([]Attack, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("dataplane: attack count %d < 1", count)
+	}
+	cands := attackCandidates(n, kind)
+	if len(cands) < count {
+		return nil, fmt.Errorf("dataplane: only %d eligible rules for %d attacks", len(cands), count)
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	out := make([]Attack, 0, count)
+	for _, pick := range cands[:count] {
+		a := Attack{Switch: pick.sw, RuleID: pick.rule.ID, Kind: kind}
+		switch kind {
+		case AttackDrop:
+			a.NewAction = flowtable.Action{Type: flowtable.ActionDrop}
+		case AttackPortSwap:
+			alts := alternativePorts(n, pick.sw, pick.rule.Action.Port)
+			a.NewAction = flowtable.Action{Type: flowtable.ActionOutput, Port: alts[rng.Intn(len(alts))]}
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

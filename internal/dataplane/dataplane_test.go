@@ -1,0 +1,505 @@
+package dataplane
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+var layout = header.FiveTuple()
+
+// buildLinear installs pair-exact rules by hand on a 3-switch chain with
+// one host per switch (avoiding an import cycle with the controller).
+func buildLinear(t *testing.T) (*topo.Topology, *Network) {
+	t.Helper()
+	top, err := topo.Linear(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(top, layout)
+	id := 0
+	hosts := top.Hosts()
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src.ID == dst.ID {
+				continue
+			}
+			path, err := top.HostPath(src.ID, dst.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := layout.MatchExact(layout.Wildcard(), header.FieldSrcIP, src.IP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err = layout.MatchExact(m, header.FieldDstIP, dst.IP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, sw := range path {
+				var act flowtable.Action
+				if i == len(path)-1 {
+					act = flowtable.Action{Type: flowtable.ActionDeliver, Port: dst.Port}
+				} else {
+					port, err := top.PortToward(sw, path[i+1])
+					if err != nil {
+						t.Fatal(err)
+					}
+					act = flowtable.Action{Type: flowtable.ActionOutput, Port: port}
+				}
+				tbl, err := net.Table(sw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tbl.Install(flowtable.Rule{ID: id, Priority: 1, Match: m, Action: act}); err != nil {
+					t.Fatal(err)
+				}
+				id++
+			}
+		}
+	}
+	return top, net
+}
+
+func TestBinomialDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if Binomial(rng, 100, 0) != 0 || Binomial(rng, 0, 0.5) != 0 {
+		t.Fatal("p=0 or n=0 must give 0")
+	}
+	if Binomial(rng, 100, 1) != 100 {
+		t.Fatal("p=1 must give n")
+	}
+	if Binomial(rng, 100, 1.5) != 100 || Binomial(rng, 100, -0.5) != 0 {
+		t.Fatal("out-of-range p must clamp")
+	}
+}
+
+func TestBinomialStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []uint64{50, 10000} { // exact and approx paths
+		const p = 0.7
+		var sum float64
+		const trials = 2000
+		for i := 0; i < trials; i++ {
+			v := Binomial(rng, n, p)
+			if v > n {
+				t.Fatalf("sample %d exceeds n=%d", v, n)
+			}
+			sum += float64(v)
+		}
+		mean := sum / trials
+		want := float64(n) * p
+		std := math.Sqrt(float64(n) * p * (1 - p))
+		if math.Abs(mean-want) > 5*std/math.Sqrt(trials) {
+			t.Fatalf("n=%d: mean %v too far from %v", n, mean, want)
+		}
+	}
+}
+
+func TestBinomialDeterministic(t *testing.T) {
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		if Binomial(a, 1000, 0.5) != Binomial(b, 1000, 0.5) {
+			t.Fatal("same seed must give same samples")
+		}
+	}
+}
+
+func TestLosslessDelivery(t *testing.T) {
+	top, net := buildLinear(t)
+	rng := rand.New(rand.NewSource(1))
+	sum, err := net.Run(rng, UniformTraffic(top, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := sum.Totals()
+	if tot.Offered != 600 || tot.Delivered != 600 || tot.Lost != 0 || tot.Blackhole != 0 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	// Flow conservation: every rule counter equals its flow volume.
+	for id, v := range net.CollectCounters() {
+		if v != 100 {
+			t.Fatalf("rule %d counter = %d", id, v)
+		}
+	}
+}
+
+func TestLossyDeliveryThins(t *testing.T) {
+	top, net := buildLinear(t)
+	if err := net.SetLinkLoss(0.2); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	sum, err := net.Run(rng, UniformTraffic(top, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := sum.Totals()
+	if tot.Delivered >= tot.Offered || tot.Lost == 0 {
+		t.Fatalf("loss had no effect: %+v", tot)
+	}
+	if tot.Delivered+tot.Lost+tot.Blackhole != tot.Offered {
+		t.Fatalf("packet accounting broken: %+v", tot)
+	}
+	// h0 -> h2 crosses 4 links (access, 2 transit, access):
+	// expect ≈ 2000·0.8⁴ = 819 delivered.
+	out := sum.Flows[FlowKey{Src: 0, Dst: 2}]
+	want := 2000 * math.Pow(0.8, 4)
+	if math.Abs(float64(out.Delivered)-want) > 150 {
+		t.Fatalf("h0->h2 delivered %d, want ≈%v", out.Delivered, want)
+	}
+}
+
+func TestSetLinkLossValidation(t *testing.T) {
+	_, net := buildLinear(t)
+	if err := net.SetLinkLoss(1); err == nil {
+		t.Fatal("loss 1 must error")
+	}
+	if err := net.SetLinkLoss(-0.1); err == nil {
+		t.Fatal("negative loss must error")
+	}
+	if err := net.SetLinkLoss(0.5); err != nil || net.LinkLoss() != 0.5 {
+		t.Fatal("valid loss must stick")
+	}
+	if err := net.SetTTL(0); err == nil {
+		t.Fatal("ttl 0 must error")
+	}
+}
+
+func TestTableMissBlackholes(t *testing.T) {
+	top, err := topo.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(top, layout) // no rules at all
+	rng := rand.New(rand.NewSource(1))
+	sum, err := net.Run(rng, UniformTraffic(top, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := sum.Totals()
+	if tot.Blackhole != tot.Offered || tot.Delivered != 0 {
+		t.Fatalf("misses must blackhole: %+v", tot)
+	}
+}
+
+func TestDropAttack(t *testing.T) {
+	top, net := buildLinear(t)
+	rng := rand.New(rand.NewSource(1))
+	// Drop the first Output rule on switch 1 (the middle switch).
+	tbl, err := net.Table(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim flowtable.Rule
+	found := false
+	for _, r := range tbl.Dump() {
+		if r.Action.Type == flowtable.ActionOutput {
+			victim, found = r, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no output rule on middle switch")
+	}
+	atk := Attack{Switch: 1, RuleID: victim.ID, Kind: AttackDrop, NewAction: flowtable.Action{Type: flowtable.ActionDrop}}
+	if err := atk.Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := net.Run(rng, UniformTraffic(top, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Totals().Blackhole != 100 {
+		t.Fatalf("exactly one flow must blackhole, got %+v", sum.Totals())
+	}
+	// The compromised rule's own counter still counts (OpenFlow match
+	// semantics): the victim flow matched it before being dropped.
+	if got := net.CollectCounters()[victim.ID]; got != 100 {
+		t.Fatalf("compromised rule counter = %d, want 100", got)
+	}
+	if err := atk.Revert(net); err != nil {
+		t.Fatal(err)
+	}
+	net.ResetCounters()
+	sum, err = net.Run(rng, UniformTraffic(top, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Totals().Blackhole != 0 {
+		t.Fatal("revert must restore forwarding")
+	}
+}
+
+func TestPortSwapAttackDivertsPackets(t *testing.T) {
+	top, net := buildLinear(t)
+	rng := rand.New(rand.NewSource(5))
+	atk, err := RandomAttack(rng, net, AttackPortSwap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := net.Run(rng, UniformTraffic(top, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := sum.Totals()
+	if tot.Delivered == tot.Offered {
+		t.Fatalf("port swap must disturb at least one flow: %+v", tot)
+	}
+	if tot.Delivered+tot.Lost+tot.Blackhole != tot.Offered {
+		t.Fatalf("packet accounting broken: %+v", tot)
+	}
+}
+
+func TestRandomAttackDeterministic(t *testing.T) {
+	_, net := buildLinear(t)
+	a1, err := RandomAttack(rand.New(rand.NewSource(9)), net, AttackPortSwap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := RandomAttack(rand.New(rand.NewSource(9)), net, AttackPortSwap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatalf("same seed must give same attack: %+v vs %+v", a1, a2)
+	}
+	if _, err := RandomAttack(rand.New(rand.NewSource(1)), net, AttackKind(0)); err == nil {
+		t.Fatal("invalid kind must error")
+	}
+}
+
+func TestRandomAttacksDistinct(t *testing.T) {
+	_, net := buildLinear(t)
+	rng := rand.New(rand.NewSource(3))
+	attacks, err := RandomAttacks(rng, net, AttackDrop, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, a := range attacks {
+		if seen[a.RuleID] {
+			t.Fatalf("duplicate rule attacked: %d", a.RuleID)
+		}
+		seen[a.RuleID] = true
+	}
+	if _, err := RandomAttacks(rng, net, AttackDrop, 10000); err == nil {
+		t.Fatal("too many attacks must error")
+	}
+	if _, err := RandomAttacks(rng, net, AttackDrop, 0); err == nil {
+		t.Fatal("zero attacks must error")
+	}
+}
+
+func TestTTLTerminatesLoops(t *testing.T) {
+	// Two switches forwarding the same match at each other forever.
+	b := topo.NewBuilder("loop")
+	s0 := b.AddSwitch("s0", "")
+	s1 := b.AddSwitch("s1", "")
+	b.Connect(s0, s1)
+	h0 := b.AddHost("h0", header.IPv4(10, 0, 0, 1), s0)
+	b.AddHost("h1", header.IPv4(10, 0, 0, 2), s1)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = h0
+	net := NewNetwork(top, layout)
+	m := layout.Wildcard()
+	p01, err := top.PortToward(s0, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p10, err := top.PortToward(s1, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, _ := net.Table(s0)
+	t1, _ := net.Table(s1)
+	if err := t0.Install(flowtable.Rule{ID: 0, Priority: 1, Match: m, Action: flowtable.Action{Type: flowtable.ActionOutput, Port: p01}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Install(flowtable.Rule{ID: 1, Priority: 1, Match: m, Action: flowtable.Action{Type: flowtable.ActionOutput, Port: p10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetTTL(8); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sum, err := net.Run(rng, TrafficMatrix{{Src: 0, Dst: 1}: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sum.Flows[FlowKey{Src: 0, Dst: 1}]
+	if out.Blackhole != 10 || out.Delivered != 0 {
+		t.Fatalf("loop must blackhole via TTL: %+v", out)
+	}
+	// Counters still accumulated along the loop (TTL=8 hops).
+	c := net.CollectCounters()
+	if c[0] != 40 || c[1] != 40 {
+		t.Fatalf("loop counters = %v, want 40/40", c)
+	}
+}
+
+func TestZeroVolumeFlow(t *testing.T) {
+	top, net := buildLinear(t)
+	rng := rand.New(rand.NewSource(1))
+	sum, err := net.Run(rng, TrafficMatrix{{Src: 0, Dst: 1}: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Totals().Offered != 0 {
+		t.Fatal("zero volume must be a no-op")
+	}
+	_ = top
+}
+
+func TestRunUnknownHost(t *testing.T) {
+	_, net := buildLinear(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := net.Run(rng, TrafficMatrix{{Src: 99, Dst: 1}: 5}); err == nil {
+		t.Fatal("unknown host must error")
+	}
+}
+
+func TestTableUnknownSwitch(t *testing.T) {
+	_, net := buildLinear(t)
+	if _, err := net.Table(topo.SwitchID(99)); err == nil {
+		t.Fatal("unknown switch must error")
+	}
+}
+
+func TestAttackKindString(t *testing.T) {
+	if AttackPortSwap.String() != "port-swap" || AttackDrop.String() != "drop" || AttackKind(0).String() != "unknown" {
+		t.Fatal("AttackKind strings wrong")
+	}
+}
+
+func TestRuleCountAndReset(t *testing.T) {
+	_, net := buildLinear(t)
+	if net.RuleCount() != 14 {
+		t.Fatalf("RuleCount = %d, want 14", net.RuleCount())
+	}
+	rng := rand.New(rand.NewSource(1))
+	top := net.Topology()
+	if _, err := net.Run(rng, UniformTraffic(top, 5)); err != nil {
+		t.Fatal(err)
+	}
+	net.ResetCounters()
+	for id, v := range net.CollectCounters() {
+		if v != 0 {
+			t.Fatalf("rule %d counter %d after reset", id, v)
+		}
+	}
+}
+
+func TestLossSpreadHeterogeneous(t *testing.T) {
+	top, net := buildLinear(t)
+	if err := net.SetLinkLoss(0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetLossSpread(-1); err == nil {
+		t.Fatal("negative spread must error")
+	}
+	if err := net.SetLossSpread(0.8); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	// With strong spread, different intervals draw different effective
+	// loss on the same link: delivered counts vary far more than
+	// binomial noise alone would allow.
+	var delivered []float64
+	for i := 0; i < 30; i++ {
+		net.ResetCounters()
+		sum, err := net.Run(rng, TrafficMatrix{{Src: 0, Dst: 2}: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered = append(delivered, float64(sum.Flows[FlowKey{Src: 0, Dst: 2}].Delivered))
+	}
+	mean, sd := meanStd(delivered)
+	// Uniform 20% loss over 4 links: binomial sd ≈ sqrt(5000·p(1-p)·4) ≈ 90.
+	// Hotspot multipliers push the spread far beyond that.
+	if sd < 3*90 {
+		t.Fatalf("loss spread had no visible effect: mean=%v sd=%v", mean, sd)
+	}
+	_ = top
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, v := range xs {
+		d := v - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}
+
+func TestMissHandlerRetries(t *testing.T) {
+	top, err := topo.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(top, layout)
+	installs := 0
+	net.SetMissHandler(func(sw topo.SwitchID, pkt header.Packet) error {
+		installs++
+		tbl, err := net.Table(sw)
+		if err != nil {
+			return err
+		}
+		// Install a wildcard deliver/forward rule on the missing switch.
+		hosts := top.Hosts()
+		var act flowtable.Action
+		if sw == hosts[1].Attach {
+			act = flowtable.Action{Type: flowtable.ActionDeliver, Port: hosts[1].Port}
+		} else {
+			port, err := top.PortToward(sw, hosts[1].Attach)
+			if err != nil {
+				return err
+			}
+			act = flowtable.Action{Type: flowtable.ActionOutput, Port: port}
+		}
+		return tbl.Install(flowtable.Rule{ID: installs - 1, Priority: 1, Match: layout.Wildcard(), Action: act})
+	})
+	rng := rand.New(rand.NewSource(1))
+	sum, err := net.Run(rng, TrafficMatrix{{Src: 0, Dst: 1}: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sum.Flows[FlowKey{Src: 0, Dst: 1}]
+	if out.Delivered != 10 || installs != 2 {
+		t.Fatalf("reactive delivery failed: %+v installs=%d", out, installs)
+	}
+}
+
+func TestMissHandlerErrorPropagates(t *testing.T) {
+	top, err := topo.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(top, layout)
+	net.SetMissHandler(func(topo.SwitchID, header.Packet) error {
+		return errOops
+	})
+	rng := rand.New(rand.NewSource(1))
+	if _, err := net.Run(rng, TrafficMatrix{{Src: 0, Dst: 1}: 10}); err == nil {
+		t.Fatal("miss handler error must propagate")
+	}
+}
+
+var errOops = errors.New("oops")

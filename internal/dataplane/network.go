@@ -1,0 +1,444 @@
+// Package dataplane simulates the SDN data plane that the paper drives
+// with Mininet, Open vSwitch and iperf: packets flow along installed
+// rules, per-link packet loss thins flows binomially, rule counters
+// accumulate match counts, and compromised switches mis-forward traffic
+// through flow-table overrides. Everything is deterministic under a
+// caller-supplied *rand.Rand, so experiments are reproducible.
+package dataplane
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+// DefaultTTL bounds forwarding walks, mirroring an IP TTL; adversarial
+// loops terminate instead of hanging the simulator.
+const DefaultTTL = 64
+
+// Network is the simulated data plane: one flow table per switch over a
+// fixed topology.
+type Network struct {
+	topology *topo.Topology
+	layout   *header.Layout
+	tables   map[topo.SwitchID]*flowtable.Table
+	linkLoss float64
+	// lossSpread makes per-link loss heterogeneous: at the start of
+	// every Run each link draws a multiplier exp(N(0, spread²)) applied
+	// to the base loss (clamped to maxLinkLoss), modelling transient
+	// congestion hotspots. Zero keeps loss uniform.
+	lossSpread float64
+	// intervalLoss holds the current Run's per-link effective loss,
+	// keyed by the lower-ID side of the link.
+	intervalLoss map[linkKey]float64
+	ttl          int
+	// Per-port packet counters, indexed by local port number. Tx counts
+	// packets handed to a port before wire loss; Rx counts packets that
+	// survived the wire. These model the OpenFlow port statistics that
+	// FlowMon-style baselines consume.
+	portRx map[topo.SwitchID][]uint64
+	portTx map[topo.SwitchID][]uint64
+	// missHandler, when set, is invoked on a table miss before the
+	// packets are declared lost — the packet-in path of reactive rule
+	// installation (§II-A). The lookup is retried once afterwards.
+	missHandler MissHandler
+}
+
+// MissHandler reacts to a table miss at a switch, typically by
+// installing rules (the controller's packet-in handler).
+type MissHandler func(sw topo.SwitchID, pkt header.Packet) error
+
+// SetMissHandler installs the reactive packet-in handler (nil disables
+// reactive mode).
+func (n *Network) SetMissHandler(h MissHandler) { n.missHandler = h }
+
+// PortCounters is a snapshot of one switch's per-port packet counters.
+type PortCounters struct {
+	Rx, Tx []uint64
+}
+
+// RxTotal sums received packets over all ports.
+func (p PortCounters) RxTotal() uint64 {
+	var t uint64
+	for _, v := range p.Rx {
+		t += v
+	}
+	return t
+}
+
+// TxTotal sums transmitted packets over all ports.
+func (p PortCounters) TxTotal() uint64 {
+	var t uint64
+	for _, v := range p.Tx {
+		t += v
+	}
+	return t
+}
+
+// NewNetwork creates a data plane with empty flow tables for every
+// switch in the topology.
+func NewNetwork(t *topo.Topology, layout *header.Layout) *Network {
+	n := &Network{
+		topology: t,
+		layout:   layout,
+		tables:   make(map[topo.SwitchID]*flowtable.Table, t.NumSwitches()),
+		ttl:      DefaultTTL,
+	}
+	n.portRx = make(map[topo.SwitchID][]uint64, t.NumSwitches())
+	n.portTx = make(map[topo.SwitchID][]uint64, t.NumSwitches())
+	for _, s := range t.Switches() {
+		n.tables[s.ID] = flowtable.NewTable(s.ID)
+		n.portRx[s.ID] = make([]uint64, s.NumPorts())
+		n.portTx[s.ID] = make([]uint64, s.NumPorts())
+	}
+	return n
+}
+
+// PortStats returns a snapshot of every switch's per-port counters.
+func (n *Network) PortStats() map[topo.SwitchID]PortCounters {
+	out := make(map[topo.SwitchID]PortCounters, len(n.portRx))
+	for sw, rx := range n.portRx {
+		pc := PortCounters{Rx: make([]uint64, len(rx)), Tx: make([]uint64, len(rx))}
+		copy(pc.Rx, rx)
+		copy(pc.Tx, n.portTx[sw])
+		out[sw] = pc
+	}
+	return out
+}
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *topo.Topology { return n.topology }
+
+// Layout returns the header layout used by the network.
+func (n *Network) Layout() *header.Layout { return n.layout }
+
+// Table returns the flow table of the given switch.
+func (n *Network) Table(sw topo.SwitchID) (*flowtable.Table, error) {
+	t, ok := n.tables[sw]
+	if !ok {
+		return nil, fmt.Errorf("dataplane: no table for switch %d", sw)
+	}
+	return t, nil
+}
+
+// SetLinkLoss sets the base per-link packet loss probability in
+// [0, 1).
+func (n *Network) SetLinkLoss(p float64) error {
+	if p < 0 || p >= 1 {
+		return fmt.Errorf("dataplane: loss probability %v outside [0,1)", p)
+	}
+	n.linkLoss = p
+	return nil
+}
+
+// LinkLoss reports the configured base per-link loss probability.
+func (n *Network) LinkLoss() float64 { return n.linkLoss }
+
+// maxLinkLoss caps a hotspot link's effective loss.
+const maxLinkLoss = 0.9
+
+// linkKey identifies a link by its switch-side attachment; links are
+// keyed from both endpoints so either direction resolves the same
+// draw.
+type linkKey struct {
+	sw   topo.SwitchID
+	port int
+}
+
+// SetLossSpread sets the log-normal sigma of per-link loss
+// heterogeneity (0 = uniform loss on every link).
+func (n *Network) SetLossSpread(spread float64) error {
+	if spread < 0 {
+		return fmt.Errorf("dataplane: loss spread %v negative", spread)
+	}
+	n.lossSpread = spread
+	return nil
+}
+
+// drawIntervalLoss samples this interval's per-link effective loss.
+func (n *Network) drawIntervalLoss(rng *rand.Rand) {
+	if n.lossSpread == 0 || n.linkLoss == 0 {
+		n.intervalLoss = nil
+		return
+	}
+	n.intervalLoss = make(map[linkKey]float64)
+	for _, s := range n.topology.Switches() {
+		for port := 0; port < s.NumPorts(); port++ {
+			key := linkKey{sw: s.ID, port: port}
+			if _, done := n.intervalLoss[key]; done {
+				continue
+			}
+			loss := n.linkLoss * math.Exp(rng.NormFloat64()*n.lossSpread)
+			if loss > maxLinkLoss {
+				loss = maxLinkLoss
+			}
+			n.intervalLoss[key] = loss
+			// Register the same draw under the peer's key so both
+			// directions agree.
+			peer, err := n.topology.PeerAt(s.ID, port)
+			if err == nil && peer.Kind == topo.PeerSwitch {
+				n.intervalLoss[linkKey{sw: peer.Switch, port: peer.Port}] = loss
+			}
+		}
+	}
+}
+
+// lossAt reports the effective loss of the link at (sw, port) for the
+// current interval.
+func (n *Network) lossAt(sw topo.SwitchID, port int) float64 {
+	if n.intervalLoss == nil {
+		return n.linkLoss
+	}
+	if loss, ok := n.intervalLoss[linkKey{sw: sw, port: port}]; ok {
+		return loss
+	}
+	return n.linkLoss
+}
+
+// SetTTL overrides the forwarding hop limit.
+func (n *Network) SetTTL(ttl int) error {
+	if ttl < 1 {
+		return fmt.Errorf("dataplane: ttl %d < 1", ttl)
+	}
+	n.ttl = ttl
+	return nil
+}
+
+// FlowKey identifies a traffic flow by source and destination host.
+type FlowKey struct {
+	Src, Dst topo.HostID
+}
+
+// TrafficMatrix maps flows to offered volume (packets per interval).
+type TrafficMatrix map[FlowKey]uint64
+
+// UniformTraffic offers the same volume on every ordered host pair,
+// mirroring the paper's iperf setup (one flow of equal rate per pair).
+func UniformTraffic(t *topo.Topology, packetsPerFlow uint64) TrafficMatrix {
+	tm := make(TrafficMatrix, t.NumHosts()*(t.NumHosts()-1))
+	for _, src := range t.Hosts() {
+		for _, dst := range t.Hosts() {
+			if src.ID == dst.ID {
+				continue
+			}
+			tm[FlowKey{Src: src.ID, Dst: dst.ID}] = packetsPerFlow
+		}
+	}
+	return tm
+}
+
+// FlowOutcome summarizes one flow's fate during an interval.
+type FlowOutcome struct {
+	Offered   uint64 // packets sent by the source host
+	Delivered uint64 // packets that reached the destination host
+	Lost      uint64 // packets dropped by link loss
+	Blackhole uint64 // packets dropped by rules, misses or TTL expiry
+}
+
+// IntervalSummary aggregates one simulated collection interval.
+type IntervalSummary struct {
+	Flows map[FlowKey]FlowOutcome
+}
+
+// Totals sums the outcome over all flows.
+func (s IntervalSummary) Totals() FlowOutcome {
+	var t FlowOutcome
+	for _, o := range s.Flows {
+		t.Offered += o.Offered
+		t.Delivered += o.Delivered
+		t.Lost += o.Lost
+		t.Blackhole += o.Blackhole
+	}
+	return t
+}
+
+// Run simulates one collection interval: every flow's volume is pushed
+// along the data plane, incrementing rule counters and thinning across
+// lossy links. Counters accumulate; call ResetCounters between
+// intervals for windowed collection.
+func (n *Network) Run(rng *rand.Rand, tm TrafficMatrix) (IntervalSummary, error) {
+	n.drawIntervalLoss(rng)
+	sum := IntervalSummary{Flows: make(map[FlowKey]FlowOutcome, len(tm))}
+	// Iterate deterministically: sort keys.
+	keys := make([]FlowKey, 0, len(tm))
+	for k := range tm {
+		keys = append(keys, k)
+	}
+	sortFlowKeys(keys)
+	for _, k := range keys {
+		out, err := n.injectFlow(rng, k, tm[k])
+		if err != nil {
+			return IntervalSummary{}, err
+		}
+		sum.Flows[k] = out
+	}
+	return sum, nil
+}
+
+func sortFlowKeys(keys []FlowKey) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && less(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+func less(a, b FlowKey) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Dst < b.Dst
+}
+
+// injectFlow walks volume packets of flow k through the data plane.
+func (n *Network) injectFlow(rng *rand.Rand, k FlowKey, volume uint64) (FlowOutcome, error) {
+	out := FlowOutcome{Offered: volume}
+	if volume == 0 {
+		return out, nil
+	}
+	src, err := n.topology.Host(k.Src)
+	if err != nil {
+		return out, err
+	}
+	dst, err := n.topology.Host(k.Dst)
+	if err != nil {
+		return out, err
+	}
+	pkt, err := n.packetFor(src, dst)
+	if err != nil {
+		return out, err
+	}
+	// Access link host -> first switch.
+	alive := Binomial(rng, volume, 1-n.lossAt(src.Attach, src.Port))
+	out.Lost += volume - alive
+	cur := src.Attach
+	n.portRx[cur][src.Port] += alive
+	for hop := 0; hop < n.ttl && alive > 0; hop++ {
+		tbl := n.tables[cur]
+		rule, act, ok := tbl.Lookup(pkt)
+		if !ok && n.missHandler != nil {
+			// Packet-in: give the controller a chance to install rules,
+			// then retry once.
+			if err := n.missHandler(cur, pkt); err != nil {
+				return out, fmt.Errorf("dataplane: miss handler at switch %d: %w", cur, err)
+			}
+			rule, act, ok = tbl.Lookup(pkt)
+		}
+		if !ok {
+			out.Blackhole += alive
+			return out, nil
+		}
+		// OpenFlow counters count matches, before the (possibly
+		// tampered) action runs.
+		tbl.Count(rule.ID, alive)
+		switch act.Type {
+		case flowtable.ActionDrop:
+			out.Blackhole += alive
+			return out, nil
+		case flowtable.ActionDeliver:
+			peer, err := n.topology.PeerAt(cur, act.Port)
+			if err != nil || peer.Kind != topo.PeerHost {
+				out.Blackhole += alive
+				return out, nil
+			}
+			n.portTx[cur][act.Port] += alive
+			survived := Binomial(rng, alive, 1-n.lossAt(cur, act.Port))
+			out.Lost += alive - survived
+			if peer.Host == k.Dst {
+				out.Delivered += survived
+			} else {
+				// Delivered to the wrong host: anomalous blackhole from
+				// the intended flow's perspective.
+				out.Blackhole += survived
+			}
+			return out, nil
+		case flowtable.ActionOutput:
+			peer, err := n.topology.PeerAt(cur, act.Port)
+			if err != nil {
+				out.Blackhole += alive
+				return out, nil
+			}
+			switch peer.Kind {
+			case topo.PeerSwitch:
+				n.portTx[cur][act.Port] += alive
+				survived := Binomial(rng, alive, 1-n.lossAt(cur, act.Port))
+				out.Lost += alive - survived
+				alive = survived
+				cur = peer.Switch
+				n.portRx[cur][peer.Port] += alive
+			case topo.PeerHost:
+				n.portTx[cur][act.Port] += alive
+				survived := Binomial(rng, alive, 1-n.lossAt(cur, act.Port))
+				out.Lost += alive - survived
+				if peer.Host == k.Dst {
+					out.Delivered += survived
+				} else {
+					out.Blackhole += survived
+				}
+				return out, nil
+			default:
+				out.Blackhole += alive
+				return out, nil
+			}
+		default:
+			out.Blackhole += alive
+			return out, nil
+		}
+	}
+	// TTL expiry (forwarding loop).
+	out.Blackhole += alive
+	return out, nil
+}
+
+func (n *Network) packetFor(src, dst *topo.Host) (header.Packet, error) {
+	p := header.NewPacket(n.layout.Width())
+	p, err := n.layout.PacketWithField(p, header.FieldSrcIP, src.IP)
+	if err != nil {
+		return header.Packet{}, err
+	}
+	return n.layout.PacketWithField(p, header.FieldDstIP, dst.IP)
+}
+
+// CollectCounters merges all switches' rule counters into one map keyed
+// by global rule ID. It models an ideal (lossless, synchronized)
+// collection; the collector package layers polling noise on top.
+func (n *Network) CollectCounters() map[int]uint64 {
+	out := make(map[int]uint64)
+	for _, tbl := range n.tables {
+		for id, v := range tbl.Counters() {
+			out[id] = v
+		}
+	}
+	return out
+}
+
+// ResetCounters zeroes every switch's rule and port counters (start of
+// a window).
+func (n *Network) ResetCounters() {
+	for _, tbl := range n.tables {
+		tbl.ResetCounters()
+	}
+	for sw := range n.portRx {
+		clearCounts(n.portRx[sw])
+		clearCounts(n.portTx[sw])
+	}
+}
+
+func clearCounts(c []uint64) {
+	for i := range c {
+		c[i] = 0
+	}
+}
+
+// RuleCount reports the number of rules installed across the network.
+func (n *Network) RuleCount() int {
+	total := 0
+	for _, tbl := range n.tables {
+		total += tbl.Len()
+	}
+	return total
+}

@@ -1,0 +1,42 @@
+package dataplane
+
+import (
+	"math"
+	"math/rand"
+)
+
+// binomialExactLimit is the trial count below which Binomial samples
+// exactly; above it a clamped normal approximation is used (the error
+// is negligible once n·p·(1−p) is large).
+const binomialExactLimit = 256
+
+// Binomial draws from Binomial(n, p) deterministically under rng. It is
+// used for per-link packet-loss thinning: given n packets and survival
+// probability p, it returns how many survive.
+func Binomial(rng *rand.Rand, n uint64, p float64) uint64 {
+	if p <= 0 || n == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= binomialExactLimit {
+		var k uint64
+		for i := uint64(0); i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	std := math.Sqrt(float64(n) * p * (1 - p))
+	v := math.Round(mean + rng.NormFloat64()*std)
+	if v < 0 {
+		return 0
+	}
+	if v > float64(n) {
+		return n
+	}
+	return uint64(v)
+}

@@ -1,0 +1,241 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"foces/internal/stats"
+	"foces/internal/topo"
+)
+
+func TestTableIMatchesPaperCounts(t *testing.T) {
+	rows, err := TableI(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][4]int{ // switches, hosts, flows
+		"Stanford":   {26, 26, 650},
+		"FatTree(4)": {20, 16, 240},
+		"BCube(1,4)": {24, 16, 240},
+		"DCell(1,4)": {25, 20, 380},
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		w, ok := want[r.Name]
+		if !ok {
+			t.Fatalf("unexpected topology %q", r.Name)
+		}
+		if r.Switches != w[0] || r.Hosts != w[1] || r.Flows != w[2] {
+			t.Errorf("%s: got %d/%d/%d want %d/%d/%d",
+				r.Name, r.Switches, r.Hosts, r.Flows, w[0], w[1], w[2])
+		}
+		if r.Rules <= r.Flows {
+			t.Errorf("%s: rules %d must exceed flows %d (overdetermined system)", r.Name, r.Rules, r.Flows)
+		}
+	}
+}
+
+func TestFunctionalTimelineSeparates(t *testing.T) {
+	points, err := Functional(FunctionalConfig{
+		Config:         Config{Seed: 42, PacketsPerFlow: 2000},
+		Losses:         []float64{0, 0.05},
+		DurationSec:    60,
+		PeriodSec:      5,
+		AttackStartSec: 20,
+		AttackEndSec:   40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*12 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, loss := range []float64{0, 0.05} {
+		var attackMin, cleanMax = math.Inf(1), 0.0
+		for _, p := range points {
+			if p.Loss != loss {
+				continue
+			}
+			if p.AttackActive {
+				if p.Index < attackMin {
+					attackMin = p.Index
+				}
+			} else if p.Index > cleanMax {
+				cleanMax = p.Index
+			}
+		}
+		// The anomaly index during the attack window must dominate the
+		// clean windows (the visual content of Fig. 7).
+		if attackMin <= cleanMax {
+			t.Errorf("loss %v: attack min AI %v <= clean max AI %v", loss, attackMin, cleanMax)
+		}
+		if attackMin <= stats.DefaultThreshold {
+			t.Errorf("loss %v: attack AI %v below default threshold", loss, attackMin)
+		}
+	}
+}
+
+func TestROCHighAUCAtLowLoss(t *testing.T) {
+	series, err := ROC(ROCConfig{
+		Config: Config{Topology: "fattree4", Seed: 7, PacketsPerFlow: 2000},
+		Losses: []float64{0, 0.10},
+		Runs:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if s.AUC < 0.9 {
+			t.Errorf("loss %v: AUC = %v, want >= 0.9 (paper: little effect below 10%%)", s.Loss, s.AUC)
+		}
+		if len(s.Points) != 100 {
+			t.Errorf("threshold sweep produced %d points", len(s.Points))
+		}
+	}
+}
+
+func TestPrecisionImprovesWithMoreModifiedRules(t *testing.T) {
+	points, err := Precision(PrecisionConfig{
+		Config:     Config{Topology: "fattree4", Seed: 11, PacketsPerFlow: 2000},
+		Losses:     []float64{0.05},
+		RuleCounts: []int{1, 3},
+		Runs:       30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRules := map[int]float64{}
+	for _, p := range points {
+		byRules[p.ModifiedRules] = p.Precision
+	}
+	// The paper's trend (more modified rules → higher precision) holds
+	// in expectation; allow small-sample wiggle.
+	if byRules[3] < byRules[1]-0.1 {
+		t.Errorf("precision with 3 rules (%v) well below 1 rule (%v); paper says it improves", byRules[3], byRules[1])
+	}
+	if byRules[1] < 0.5 {
+		t.Errorf("precision at 5%% loss = %v, unreasonably low", byRules[1])
+	}
+}
+
+func TestSlicingAccuracyComparableToBaseline(t *testing.T) {
+	results, err := Slicing(SlicingConfig{
+		Config:     Config{Seed: 5, PacketsPerFlow: 2000},
+		Topologies: []string{"fattree4"},
+		Loss:       0.05,
+		Runs:       10,
+		Thresholds: stats.LinSpace(0, 50, 26),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	r := results[0]
+	if len(r.Curve) != 26 {
+		t.Fatalf("curve points = %d", len(r.Curve))
+	}
+	if r.OptBaselineAccuracy < 0.8 || r.OptSlicedAccuracy < 0.8 {
+		t.Errorf("optimal accuracies too low: baseline %v sliced %v", r.OptBaselineAccuracy, r.OptSlicedAccuracy)
+	}
+	// Paper's Fig 10 observation: slicing is comparable or better.
+	if r.OptSlicedAccuracy < r.OptBaselineAccuracy-0.15 {
+		t.Errorf("sliced optimal %v far below baseline %v", r.OptSlicedAccuracy, r.OptBaselineAccuracy)
+	}
+}
+
+func TestScalingSlicedFasterAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep is slow")
+	}
+	points, err := Scaling(ScalingConfig{
+		Config:     Config{Seed: 3, PacketsPerFlow: 100},
+		FlowCounts: []int{240, 1920},
+		Repeats:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Flows == 0 || p.Rules == 0 || math.IsNaN(p.BaselineSecs) || math.IsNaN(p.SlicedSecs) {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	// The Fig 12 shape: at small scale baseline and slicing are
+	// comparable (slicing may even cost more), but past the crossover
+	// the baseline's O(N³) solve dominates and slicing wins clearly.
+	last := points[len(points)-1]
+	if last.SlicedSecs >= last.BaselineSecs {
+		t.Errorf("at %d flows sliced %vs >= baseline %vs", last.Flows, last.SlicedSecs, last.BaselineSecs)
+	}
+	first := points[0]
+	growth := last.BaselineSecs / first.BaselineSecs
+	if growth < 8 {
+		t.Errorf("baseline grew only %.1fx for 8x flows; expected superlinear growth", growth)
+	}
+}
+
+func TestPairSubset(t *testing.T) {
+	top, err := topo.ByName("fattree4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := PairSubset(top, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 10 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	seen := map[[2]topo.HostID]bool{}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatal("self pair")
+		}
+		if seen[p] {
+			t.Fatal("duplicate pair")
+		}
+		seen[p] = true
+	}
+	if _, err := PairSubset(top, 0); err == nil {
+		t.Fatal("zero flows must error")
+	}
+	if _, err := PairSubset(top, 1<<20); err == nil {
+		t.Fatal("too many flows must error")
+	}
+}
+
+func TestEnvString(t *testing.T) {
+	env, err := NewEnv(Config{Topology: "fattree4", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.String() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestNewEnvUnknownTopology(t *testing.T) {
+	if _, err := NewEnv(Config{Topology: "nope"}); err == nil {
+		t.Fatal("unknown topology must error")
+	}
+}
+
+func TestObserveRejectsBadLoss(t *testing.T) {
+	env, err := NewEnv(Config{Topology: "fattree4", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Observe(1.5); err == nil {
+		t.Fatal("bad loss must error")
+	}
+}

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"foces/internal/core"
+	"foces/internal/topo"
+)
+
+// LocalizationConfig drives the localization study (the paper's first
+// future-work direction, §IV-B): how well per-slice anomaly indices
+// pinpoint the compromised switch.
+type LocalizationConfig struct {
+	Config
+	// Topologies default to all four evaluation topologies.
+	Topologies []string
+	// Loss defaults to 2% (mild noise).
+	Loss float64
+	// Runs per topology; default 30.
+	Runs int
+	// TopK is the suspect-list depth counted as a hit; default 3.
+	TopK int
+}
+
+func (c LocalizationConfig) withDefaults() LocalizationConfig {
+	if len(c.Topologies) == 0 {
+		c.Topologies = topo.EvaluationTopologies()
+	}
+	if c.Loss == 0 {
+		c.Loss = 0.02
+	}
+	if c.Runs == 0 {
+		c.Runs = 30
+	}
+	if c.TopK == 0 {
+		c.TopK = 3
+	}
+	return c
+}
+
+// LocalizationPoint is one topology's localization quality.
+type LocalizationPoint struct {
+	Topology string
+	Runs     int
+	// Detected is the fraction of attacked runs flagged at all.
+	Detected float64
+	// HitTop1 is the fraction of detected runs whose top suspect is the
+	// compromised switch or one of its direct neighbours (the deficit
+	// materializes on the first benign hop after the compromise).
+	HitTop1 float64
+	// HitTopK is the same for the top-K suspects.
+	HitTopK float64
+	// DeltaHitTopK is the top-K hit rate of the slicing-free Δ-mass
+	// ranking (core.AttributeDelta) on the same runs — the localization
+	// ablation.
+	DeltaHitTopK float64
+	// MeanSuspects is the average suspect-list length on detected runs.
+	MeanSuspects float64
+}
+
+// Localization measures how often sliced detection's suspect ranking
+// includes the compromised switch (or a direct neighbour, where the
+// counter deficit becomes visible) for single port-swap attacks.
+func Localization(cfg LocalizationConfig) ([]LocalizationPoint, error) {
+	cfg = cfg.withDefaults()
+	var out []LocalizationPoint
+	for ti, name := range cfg.Topologies {
+		c := cfg.Config
+		c.Topology = name
+		c.Seed = cfg.Seed + int64(ti)*104729
+		env, err := NewEnv(c)
+		if err != nil {
+			return nil, err
+		}
+		point := LocalizationPoint{Topology: name, Runs: cfg.Runs}
+		detected, top1, topK, deltaTopK, suspects := 0, 0, 0, 0, 0
+		for run := 0; run < cfg.Runs; run++ {
+			attacks, err := env.ApplyRandomAttacks(1)
+			if err != nil {
+				return nil, err
+			}
+			y, err := env.Observe(cfg.Loss)
+			if err != nil {
+				return nil, err
+			}
+			sliced, err := core.DetectSliced(env.Slices, y, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			full, err := core.Detect(env.FCM.H, y, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if err := env.RevertAttacks(attacks); err != nil {
+				return nil, err
+			}
+			if !sliced.Anomalous {
+				continue
+			}
+			detected++
+			suspects += len(sliced.Suspects)
+			target := attacks[0].Switch
+			neighbourhood := map[topo.SwitchID]bool{target: true}
+			for _, n := range env.Topo.Neighbors(target) {
+				neighbourhood[n] = true
+			}
+			if len(sliced.Suspects) > 0 && neighbourhood[sliced.Suspects[0]] {
+				top1++
+			}
+			limit := cfg.TopK
+			if limit > len(sliced.Suspects) {
+				limit = len(sliced.Suspects)
+			}
+			for _, sw := range sliced.Suspects[:limit] {
+				if neighbourhood[sw] {
+					topK++
+					break
+				}
+			}
+			deltaRank := core.TopSuspects(core.AttributeDelta(env.FCM, full.Delta), cfg.TopK)
+			for _, sw := range deltaRank {
+				if neighbourhood[sw] {
+					deltaTopK++
+					break
+				}
+			}
+		}
+		point.Detected = ratio(detected, cfg.Runs)
+		point.HitTop1 = ratio(top1, detected)
+		point.HitTopK = ratio(topK, detected)
+		point.DeltaHitTopK = ratio(deltaTopK, detected)
+		if detected > 0 {
+			point.MeanSuspects = float64(suspects) / float64(detected)
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

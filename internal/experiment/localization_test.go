@@ -1,0 +1,58 @@
+package experiment
+
+import "testing"
+
+func TestLocalizationQuality(t *testing.T) {
+	points, err := Localization(LocalizationConfig{
+		Config:     Config{Seed: 17, PacketsPerFlow: 2000},
+		Topologies: []string{"fattree4", "bcube14"},
+		Runs:       10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Detected < 0.8 {
+			t.Errorf("%s: detected only %.0f%% of attacks", p.Topology, p.Detected*100)
+		}
+		if p.HitTopK < 0.5 {
+			t.Errorf("%s: top-K localization hit rate %.0f%% too low", p.Topology, p.HitTopK*100)
+		}
+		if p.HitTop1 > p.HitTopK {
+			t.Errorf("%s: top-1 rate %v exceeds top-K rate %v", p.Topology, p.HitTop1, p.HitTopK)
+		}
+		if p.MeanSuspects <= 0 {
+			t.Errorf("%s: mean suspects %v", p.Topology, p.MeanSuspects)
+		}
+	}
+}
+
+func TestLocalizationDefaults(t *testing.T) {
+	cfg := LocalizationConfig{}.withDefaults()
+	if len(cfg.Topologies) != 4 || cfg.Runs != 30 || cfg.TopK != 3 || cfg.Loss != 0.02 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestMonitorStudySuppressesFalsePositives(t *testing.T) {
+	res, err := MonitorStudy(MonitorConfig{
+		Config:        Config{Seed: 23, PacketsPerFlow: 1000},
+		Loss:          0.22,
+		Periods:       60,
+		AttackPeriods: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DebouncedFPRate > res.RawFPRate {
+		t.Fatalf("debouncing must not raise FP rate: raw=%v deb=%v", res.RawFPRate, res.DebouncedFPRate)
+	}
+	if res.DebouncedTPRate == 0 && res.RawTPRate > 0.5 {
+		t.Fatalf("debouncing killed detection: rawTP=%v", res.RawTPRate)
+	}
+	t.Logf("loss=%.0f%%: FP %v->%v, TP %v->%v, delay=%d periods",
+		res.Loss*100, res.RawFPRate, res.DebouncedFPRate, res.RawTPRate, res.DebouncedTPRate, res.DetectionDelayPeriods)
+}

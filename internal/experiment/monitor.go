@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"foces/internal/core"
+)
+
+// MonitorConfig drives the debounced-alarm extension study: how much
+// of the per-period false-positive rate at heavy loss the K-of-N
+// monitor suppresses, and what it costs in detection delay.
+type MonitorConfig struct {
+	Config
+	// Loss defaults to 20% (where per-period false positives appear).
+	Loss float64
+	// Periods is the quiet timeline length; default 120.
+	Periods int
+	// AttackPeriods is the attacked timeline length; default 40.
+	AttackPeriods int
+	// Consecutive is the debounce depth; default 2.
+	Consecutive int
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.Topology == "" {
+		c.Topology = "fattree4"
+	}
+	if c.Loss == 0 {
+		c.Loss = 0.20
+	}
+	if c.Periods == 0 {
+		c.Periods = 120
+	}
+	if c.AttackPeriods == 0 {
+		c.AttackPeriods = 40
+	}
+	if c.Consecutive == 0 {
+		c.Consecutive = 2
+	}
+	return c
+}
+
+// MonitorResult summarizes the study.
+type MonitorResult struct {
+	Loss float64
+	// RawFPRate is the fraction of quiet periods the per-period
+	// detector flags.
+	RawFPRate float64
+	// DebouncedFPRate is the fraction of quiet periods the monitor
+	// alarms on.
+	DebouncedFPRate float64
+	// RawTPRate / DebouncedTPRate are the attacked-period analogues.
+	RawTPRate       float64
+	DebouncedTPRate float64
+	// DetectionDelayPeriods is the periods between attack start and the
+	// first debounced alarm (-1 if never).
+	DetectionDelayPeriods int
+}
+
+// MonitorStudy measures the debounced monitor against the per-period
+// detector on one quiet timeline and one attacked timeline.
+func MonitorStudy(cfg MonitorConfig) (MonitorResult, error) {
+	cfg = cfg.withDefaults()
+	env, err := NewEnv(cfg.Config)
+	if err != nil {
+		return MonitorResult{}, err
+	}
+	res := MonitorResult{Loss: cfg.Loss, DetectionDelayPeriods: -1}
+
+	// Quiet timeline.
+	mon := core.NewMonitor(core.MonitorConfig{Consecutive: cfg.Consecutive})
+	rawFP, debFP := 0, 0
+	for p := 0; p < cfg.Periods; p++ {
+		idx, err := env.Score(cfg.Loss)
+		if err != nil {
+			return MonitorResult{}, err
+		}
+		if idx > 4.5 {
+			rawFP++
+		}
+		if mon.Feed(idx).Alert {
+			debFP++
+		}
+	}
+	res.RawFPRate = float64(rawFP) / float64(cfg.Periods)
+	res.DebouncedFPRate = float64(debFP) / float64(cfg.Periods)
+
+	// Attacked timeline.
+	attacks, err := env.ApplyRandomAttacks(1)
+	if err != nil {
+		return MonitorResult{}, err
+	}
+	defer func() { _ = env.RevertAttacks(attacks) }()
+	mon.Reset()
+	rawTP, debTP := 0, 0
+	for p := 0; p < cfg.AttackPeriods; p++ {
+		idx, err := env.Score(cfg.Loss)
+		if err != nil {
+			return MonitorResult{}, err
+		}
+		if idx > 4.5 {
+			rawTP++
+		}
+		if mon.Feed(idx).Alert {
+			debTP++
+			if res.DetectionDelayPeriods < 0 {
+				res.DetectionDelayPeriods = p
+			}
+		}
+	}
+	res.RawTPRate = float64(rawTP) / float64(cfg.AttackPeriods)
+	res.DebouncedTPRate = float64(debTP) / float64(cfg.AttackPeriods)
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// FormatTable renders an ASCII table with aligned columns.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "| %-*s ", w, cell)
+		}
+		b.WriteString("|\n")
+	}
+	rule := func() {
+		for _, w := range widths {
+			b.WriteString("+")
+			b.WriteString(strings.Repeat("-", w+2))
+		}
+		b.WriteString("+\n")
+	}
+	rule()
+	writeRow(headers)
+	rule()
+	for _, row := range rows {
+		writeRow(row)
+	}
+	rule()
+	return b.String()
+}
+
+// WriteCSV emits headers and rows as CSV.
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatIndex renders an anomaly index compactly, mapping +Inf to
+// "inf".
+func FormatIndex(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// FormatPct renders a fraction as a percentage.
+func FormatPct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,283 @@
+// Package fcm generates the Flow-Counter Matrix at the heart of FOCES
+// (§III-B). Following ATPG's all-reachability computation, a symbolic
+// header is injected at every terminal (host) port, propagated through
+// the controller's *intended* flow tables — never through dumps from
+// untrusted switches — and the set of rules each surviving header class
+// matches becomes one column of the FCM. Packet classes with identical
+// rule histories are merged into a single logical flow (the paper's
+// equivalence classes).
+package fcm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/matrix"
+	"foces/internal/topo"
+)
+
+// maxSymbolicHops bounds symbolic traversal so that a misconfigured
+// intent with loops terminates.
+const maxSymbolicHops = 256
+
+// Pair identifies a (source, destination) host pair carried by a flow.
+type Pair struct {
+	Src, Dst topo.HostID
+}
+
+// Flow is one logical flow: an equivalence class of packets that match
+// the same rule sequence.
+type Flow struct {
+	ID int
+	// RuleIDs is the matched rule history in path order.
+	RuleIDs []int
+	// Pairs lists the (src, dst) host pairs whose traffic rides this
+	// flow. Dst is -1 when the flow terminates without host delivery
+	// (e.g. an intent drop rule).
+	Pairs []Pair
+	// Space is a representative header space of the class.
+	Space header.Space
+}
+
+// FCM is the flow-counter matrix together with its row/column metadata.
+type FCM struct {
+	// H is the m x n 0/1 matrix: H[i][j] = 1 iff flow j matches rule i.
+	H *matrix.CSR
+	// Flows holds column metadata; Flows[j].ID == j.
+	Flows []*Flow
+	// Rules holds row metadata indexed by global rule ID (row i is rule
+	// ID i).
+	Rules []flowtable.Rule
+	topol *topo.Topology
+	// layout is retained for Regenerate; nil for FromHistories FCMs.
+	layout *header.Layout
+}
+
+// Generate computes the FCM for the controller's intended rule set.
+// Rules must have dense IDs 0..m-1 (as produced by the controller).
+func Generate(t *topo.Topology, layout *header.Layout, rules []flowtable.Rule) (*FCM, error) {
+	for i, r := range rules {
+		if r.ID != i {
+			return nil, fmt.Errorf("fcm: rule IDs must be dense, rules[%d].ID = %d", i, r.ID)
+		}
+	}
+	// Build intent tables.
+	tables := make(map[topo.SwitchID]*flowtable.Table, t.NumSwitches())
+	for _, s := range t.Switches() {
+		tables[s.ID] = flowtable.NewTable(s.ID)
+	}
+	for _, r := range rules {
+		tbl, ok := tables[r.Switch]
+		if !ok {
+			return nil, fmt.Errorf("fcm: rule %d on unknown switch %d", r.ID, r.Switch)
+		}
+		if err := tbl.Install(r); err != nil {
+			return nil, fmt.Errorf("fcm: intent table: %w", err)
+		}
+	}
+	g := &generator{
+		topol:   t,
+		layout:  layout,
+		tables:  tables,
+		classes: make(map[string]*Flow),
+	}
+	for _, h := range t.Hosts() {
+		if err := g.injectFrom(h); err != nil {
+			return nil, err
+		}
+	}
+	// Deterministic column order: first discovery order.
+	flows := g.order
+	var entries []matrix.Triplet
+	for j, f := range flows {
+		f.ID = j
+		seen := make(map[int]bool, len(f.RuleIDs))
+		for _, rid := range f.RuleIDs {
+			if !seen[rid] {
+				seen[rid] = true
+				entries = append(entries, matrix.Triplet{Row: rid, Col: j, Val: 1})
+			}
+		}
+	}
+	h, err := matrix.NewCSR(len(rules), len(flows), entries)
+	if err != nil {
+		return nil, fmt.Errorf("fcm: assemble: %w", err)
+	}
+	rulesCopy := make([]flowtable.Rule, len(rules))
+	copy(rulesCopy, rules)
+	return &FCM{H: h, Flows: flows, Rules: rulesCopy, topol: t, layout: layout}, nil
+}
+
+// Regenerate recomputes the FCM over a modified rule set (e.g. with
+// canary rules appended) on the same topology and header layout. The
+// FCM must have been built by Generate.
+func (f *FCM) Regenerate(rules []flowtable.Rule) (*FCM, error) {
+	if f.layout == nil {
+		return nil, fmt.Errorf("fcm: regenerate needs a layout; this FCM was built from histories")
+	}
+	return Generate(f.topol, f.layout, rules)
+}
+
+type generator struct {
+	topol   *topo.Topology
+	layout  *header.Layout
+	tables  map[topo.SwitchID]*flowtable.Table
+	classes map[string]*Flow
+	order   []*Flow
+}
+
+// injectFrom walks a symbolic header with src_ip pinned to host h's
+// address from h's terminal port through the network.
+func (g *generator) injectFrom(h *topo.Host) error {
+	space, err := g.layout.MatchExact(g.layout.Wildcard(), header.FieldSrcIP, h.IP)
+	if err != nil {
+		return err
+	}
+	return g.walk(h, h.Attach, space, nil, 0)
+}
+
+// walk recursively propagates one symbolic class.
+func (g *generator) walk(src *topo.Host, sw topo.SwitchID, space header.Space, history []int, hops int) error {
+	if hops > maxSymbolicHops {
+		return fmt.Errorf("fcm: symbolic loop detected from host %q (history %v)", src.Name, history)
+	}
+	tbl := g.tables[sw]
+	for _, m := range tbl.SymbolicMatches(space) {
+		hist := append(append([]int(nil), history...), m.Rule.ID)
+		switch m.Rule.Action.Type {
+		case flowtable.ActionDrop:
+			g.record(src, -1, hist, m.Space)
+		case flowtable.ActionDeliver:
+			peer, err := g.topol.PeerAt(sw, m.Rule.Action.Port)
+			if err != nil {
+				return fmt.Errorf("fcm: rule %d delivery port: %w", m.Rule.ID, err)
+			}
+			if peer.Kind != topo.PeerHost {
+				return fmt.Errorf("fcm: rule %d delivers to non-host port", m.Rule.ID)
+			}
+			if peer.Host == src.ID {
+				continue // self flow: no traffic ever rides it
+			}
+			g.record(src, peer.Host, hist, m.Space)
+		case flowtable.ActionOutput:
+			peer, err := g.topol.PeerAt(sw, m.Rule.Action.Port)
+			if err != nil {
+				return fmt.Errorf("fcm: rule %d output port: %w", m.Rule.ID, err)
+			}
+			switch peer.Kind {
+			case topo.PeerSwitch:
+				if err := g.walk(src, peer.Switch, m.Space, hist, hops+1); err != nil {
+					return err
+				}
+			case topo.PeerHost:
+				if peer.Host != src.ID {
+					g.record(src, peer.Host, hist, m.Space)
+				}
+			default:
+				g.record(src, -1, hist, m.Space)
+			}
+		}
+	}
+	return nil
+}
+
+// record registers a terminated class, merging identical rule
+// histories.
+func (g *generator) record(src *topo.Host, dst topo.HostID, history []int, space header.Space) {
+	key := historyKey(history)
+	if f, ok := g.classes[key]; ok {
+		f.Pairs = append(f.Pairs, Pair{Src: src.ID, Dst: dst})
+		return
+	}
+	f := &Flow{
+		RuleIDs: history,
+		Pairs:   []Pair{{Src: src.ID, Dst: dst}},
+		Space:   space,
+	}
+	g.classes[key] = f
+	g.order = append(g.order, f)
+}
+
+// historyKey canonicalizes a rule history as a set.
+func historyKey(history []int) string {
+	ids := append([]int(nil), history...)
+	sort.Ints(ids)
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(id))
+	}
+	return b.String()
+}
+
+// NumFlows reports the number of logical flows (FCM columns).
+func (f *FCM) NumFlows() int { return len(f.Flows) }
+
+// NumRules reports the number of rules (FCM rows).
+func (f *FCM) NumRules() int { return len(f.Rules) }
+
+// Topology returns the topology the FCM was generated over.
+func (f *FCM) Topology() *topo.Topology { return f.topol }
+
+// CounterVector assembles the counter vector Y' from a rule-ID keyed
+// counter snapshot, ordered by rule ID. Missing rules read as zero.
+func (f *FCM) CounterVector(counters map[int]uint64) []float64 {
+	y := make([]float64, len(f.Rules))
+	for id, v := range counters {
+		if id >= 0 && id < len(y) {
+			y[id] = float64(v)
+		}
+	}
+	return y
+}
+
+// VolumeVector computes the flow volume vector X₀ from per-pair offered
+// volumes: a logical flow's volume is the sum over its member pairs.
+func (f *FCM) VolumeVector(volumes map[Pair]uint64) []float64 {
+	x := make([]float64, len(f.Flows))
+	for j, fl := range f.Flows {
+		var sum uint64
+		for _, p := range fl.Pairs {
+			sum += volumes[p]
+		}
+		x[j] = float64(sum)
+	}
+	return x
+}
+
+// ExpectedCounters computes Y₀ = H·X₀ for the given per-pair volumes:
+// the counters the controller expects in a lossless, anomaly-free
+// network.
+func (f *FCM) ExpectedCounters(volumes map[Pair]uint64) ([]float64, error) {
+	return f.H.MulVec(f.VolumeVector(volumes))
+}
+
+// FlowByPair returns the logical flow carrying the given host pair.
+func (f *FCM) FlowByPair(src, dst topo.HostID) (*Flow, bool) {
+	for _, fl := range f.Flows {
+		for _, p := range fl.Pairs {
+			if p.Src == src && p.Dst == dst {
+				return fl, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// RulesAt returns the IDs of rules installed on the given switch, in
+// ascending order.
+func (f *FCM) RulesAt(sw topo.SwitchID) []int {
+	var out []int
+	for _, r := range f.Rules {
+		if r.Switch == sw {
+			out = append(out, r.ID)
+		}
+	}
+	return out
+}

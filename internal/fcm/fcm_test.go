@@ -1,0 +1,222 @@
+package fcm
+
+import (
+	"testing"
+
+	"foces/internal/controller"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+var layout = header.FiveTuple()
+
+func generateFor(t *testing.T, name string, mode controller.PolicyMode) (*topo.Topology, *FCM) {
+	t.Helper()
+	top, err := topo.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top, generateOn(t, top, mode)
+}
+
+func generateOn(t *testing.T, top *topo.Topology, mode controller.PolicyMode) *FCM {
+	t.Helper()
+	c, err := controller.New(top, layout, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ComputeRules(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Generate(top, layout, c.Rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPairExactFlowCountsMatchTableI(t *testing.T) {
+	// Table I: flows are ordered host pairs.
+	want := map[string]int{"stanford": 650, "fattree4": 240, "bcube14": 240, "dcell14": 380}
+	for name, flows := range want {
+		top, f := generateFor(t, name, controller.PairExact)
+		if f.NumFlows() != flows {
+			t.Errorf("%s: flows = %d, want %d", name, f.NumFlows(), flows)
+		}
+		if f.NumRules() == 0 || f.H.Rows() != f.NumRules() || f.H.Cols() != f.NumFlows() {
+			t.Errorf("%s: bad dims H=%dx%d", name, f.H.Rows(), f.H.Cols())
+		}
+		_ = top
+	}
+}
+
+func TestPairExactColumnsMatchPaths(t *testing.T) {
+	top, f := generateFor(t, "fattree4", controller.PairExact)
+	hosts := top.Hosts()
+	for _, src := range hosts[:4] {
+		for _, dst := range hosts {
+			if src.ID == dst.ID {
+				continue
+			}
+			fl, ok := f.FlowByPair(src.ID, dst.ID)
+			if !ok {
+				t.Fatalf("no flow for pair %d->%d", src.ID, dst.ID)
+			}
+			path, err := top.ECMPHostPath(src.ID, dst.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fl.RuleIDs) != len(path) {
+				t.Fatalf("pair %d->%d: %d rules, path %d switches", src.ID, dst.ID, len(fl.RuleIDs), len(path))
+			}
+			// Each matched rule must live on the corresponding switch.
+			for i, rid := range fl.RuleIDs {
+				if f.Rules[rid].Switch != path[i] {
+					t.Fatalf("pair %d->%d hop %d: rule on switch %d, path has %d",
+						src.ID, dst.ID, i, f.Rules[rid].Switch, path[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDestAggregateMergesEquivalentFlows(t *testing.T) {
+	// Two hosts on the same FatTree edge switch reach any remote dst via
+	// the identical rule sequence, so their flows merge into one class.
+	top, f := generateFor(t, "fattree4", controller.DestAggregate)
+	if f.NumFlows() >= 240 {
+		t.Fatalf("aggregate mode must merge flows: got %d (pair count 240)", f.NumFlows())
+	}
+	var multi int
+	for _, fl := range f.Flows {
+		if len(fl.Pairs) > 1 {
+			multi++
+			// All member pairs must share the destination.
+			dst := fl.Pairs[0].Dst
+			for _, p := range fl.Pairs {
+				if p.Dst != dst {
+					t.Fatalf("merged flow mixes destinations: %+v", fl.Pairs)
+				}
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("expected at least one merged equivalence class")
+	}
+	_ = top
+}
+
+func TestExpectedCountersMatchSimulation(t *testing.T) {
+	// In a lossless network, H·X₀ must equal the simulated counters for
+	// both policy modes (the fundamental FCM correctness property).
+	for _, mode := range []controller.PolicyMode{controller.PairExact, controller.DestAggregate} {
+		top, err := topo.ByName("bcube14")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := generateOn(t, top, mode)
+		sim := simulate(t, top, mode, 25)
+		y := f.CounterVector(sim)
+		volumes := make(map[Pair]uint64)
+		for _, src := range top.Hosts() {
+			for _, dst := range top.Hosts() {
+				if src.ID != dst.ID {
+					volumes[Pair{Src: src.ID, Dst: dst.ID}] = 25
+				}
+			}
+		}
+		want, err := f.ExpectedCounters(volumes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range y {
+			if y[i] != want[i] {
+				t.Fatalf("mode %v rule %d: simulated %v expected %v", mode, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRuleIDValidation(t *testing.T) {
+	top, err := topo.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := controller.New(top, layout, controller.PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ComputeRules(); err != nil {
+		t.Fatal(err)
+	}
+	rules := c.Rules()
+	rules[0].ID = 42
+	if _, err := Generate(top, layout, rules); err == nil {
+		t.Fatal("non-dense rule IDs must error")
+	}
+}
+
+func TestVolumeVectorAndFlowByPair(t *testing.T) {
+	top, f := generateFor(t, "fattree4", controller.PairExact)
+	hosts := top.Hosts()
+	vol := map[Pair]uint64{{Src: hosts[0].ID, Dst: hosts[1].ID}: 7}
+	x := f.VolumeVector(vol)
+	fl, ok := f.FlowByPair(hosts[0].ID, hosts[1].ID)
+	if !ok {
+		t.Fatal("missing flow")
+	}
+	if x[fl.ID] != 7 {
+		t.Fatalf("volume = %v", x[fl.ID])
+	}
+	nonzero := 0
+	for _, v := range x {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("%d nonzero volumes, want 1", nonzero)
+	}
+	if _, ok := f.FlowByPair(99, 98); ok {
+		t.Fatal("bogus pair must not resolve")
+	}
+}
+
+func TestRulesAt(t *testing.T) {
+	top, f := generateFor(t, "fattree4", controller.PairExact)
+	total := 0
+	for _, s := range top.Switches() {
+		ids := f.RulesAt(s.ID)
+		total += len(ids)
+		for i := 1; i < len(ids); i++ {
+			if ids[i] <= ids[i-1] {
+				t.Fatal("RulesAt must be ascending")
+			}
+		}
+	}
+	if total != f.NumRules() {
+		t.Fatalf("RulesAt covers %d rules, want %d", total, f.NumRules())
+	}
+}
+
+func TestCounterVectorIgnoresUnknownIDs(t *testing.T) {
+	_, f := generateFor(t, "fattree4", controller.PairExact)
+	y := f.CounterVector(map[int]uint64{0: 5, 10_000_000: 9, -3: 1})
+	if y[0] != 5 {
+		t.Fatalf("y[0] = %v", y[0])
+	}
+	for i := 1; i < len(y); i++ {
+		if y[i] != 0 {
+			t.Fatalf("y[%d] = %v", i, y[i])
+		}
+	}
+}
+
+func TestHistoryKeyCanonical(t *testing.T) {
+	if historyKey([]int{3, 1, 2}) != historyKey([]int{1, 2, 3}) {
+		t.Fatal("history key must be order independent")
+	}
+	if historyKey([]int{1, 2}) == historyKey([]int{1, 2, 3}) {
+		t.Fatal("distinct sets must differ")
+	}
+}

@@ -1,0 +1,49 @@
+package fcm
+
+import (
+	"fmt"
+
+	"foces/internal/flowtable"
+	"foces/internal/matrix"
+	"foces/internal/topo"
+)
+
+// FromHistories assembles an FCM directly from explicit flow rule
+// histories, bypassing symbolic generation. It exists for worked
+// examples (the paper's Fig. 2 and Fig. 3 fixtures), tests, and users
+// who compute reachability with their own tooling.
+//
+// Rules must have dense IDs 0..m-1; every history entry must reference
+// a valid rule.
+func FromHistories(t *topo.Topology, rules []flowtable.Rule, histories [][]int) (*FCM, error) {
+	for i, r := range rules {
+		if r.ID != i {
+			return nil, fmt.Errorf("fcm: rule IDs must be dense, rules[%d].ID = %d", i, r.ID)
+		}
+	}
+	flows := make([]*Flow, 0, len(histories))
+	var entries []matrix.Triplet
+	for j, hist := range histories {
+		if len(hist) == 0 {
+			return nil, fmt.Errorf("fcm: flow %d has empty history", j)
+		}
+		seen := make(map[int]bool, len(hist))
+		for _, rid := range hist {
+			if rid < 0 || rid >= len(rules) {
+				return nil, fmt.Errorf("fcm: flow %d references unknown rule %d", j, rid)
+			}
+			if !seen[rid] {
+				seen[rid] = true
+				entries = append(entries, matrix.Triplet{Row: rid, Col: j, Val: 1})
+			}
+		}
+		flows = append(flows, &Flow{ID: j, RuleIDs: append([]int(nil), hist...)})
+	}
+	h, err := matrix.NewCSR(len(rules), len(flows), entries)
+	if err != nil {
+		return nil, fmt.Errorf("fcm: assemble: %w", err)
+	}
+	rulesCopy := make([]flowtable.Rule, len(rules))
+	copy(rulesCopy, rules)
+	return &FCM{H: h, Flows: flows, Rules: rulesCopy, topol: t}, nil
+}

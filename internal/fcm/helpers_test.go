@@ -1,0 +1,25 @@
+package fcm
+
+import (
+	"math/rand"
+	"testing"
+
+	"foces/internal/controller"
+	"foces/internal/dataplane"
+	"foces/internal/topo"
+)
+
+// simulate bootstraps a lossless network in the given mode, pushes
+// uniform traffic, and returns the collected rule counters.
+func simulate(t *testing.T, top *topo.Topology, mode controller.PolicyMode, vol uint64) map[int]uint64 {
+	t.Helper()
+	_, net, err := controller.Bootstrap(top, layout, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, vol)); err != nil {
+		t.Fatal(err)
+	}
+	return net.CollectCounters()
+}

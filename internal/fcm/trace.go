@@ -1,0 +1,185 @@
+package fcm
+
+import (
+	"fmt"
+
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+// TraceOutcome classifies how a concrete-packet trace terminated.
+type TraceOutcome int
+
+// Trace outcomes.
+const (
+	// TraceDelivered means the packet reached a host port.
+	TraceDelivered TraceOutcome = iota + 1
+	// TraceDropped means a rule discarded the packet.
+	TraceDropped
+	// TraceMissed means a switch had no matching rule.
+	TraceMissed
+	// TraceLooped means the TTL expired (forwarding loop).
+	TraceLooped
+)
+
+func (o TraceOutcome) String() string {
+	switch o {
+	case TraceDelivered:
+		return "delivered"
+	case TraceDropped:
+		return "dropped"
+	case TraceMissed:
+		return "missed"
+	case TraceLooped:
+		return "looped"
+	default:
+		return "unknown"
+	}
+}
+
+// Tracer walks concrete packets through the controller's intended rule
+// tables. It answers "which rules would a packet entering at switch S
+// match?" — the primitive behind the detectability-coverage analysis,
+// which must know the rule history h' of a hypothetically deviated
+// flow.
+type Tracer struct {
+	topol  *topo.Topology
+	tables map[topo.SwitchID]*flowtable.Table
+	ttl    int
+}
+
+// NewTracer builds a tracer over the intended rule set (dense IDs).
+func NewTracer(t *topo.Topology, rules []flowtable.Rule) (*Tracer, error) {
+	tables := make(map[topo.SwitchID]*flowtable.Table, t.NumSwitches())
+	for _, s := range t.Switches() {
+		tables[s.ID] = flowtable.NewTable(s.ID)
+	}
+	for i, r := range rules {
+		if r.ID != i {
+			return nil, fmt.Errorf("fcm: tracer rule IDs must be dense, rules[%d].ID = %d", i, r.ID)
+		}
+		tbl, ok := tables[r.Switch]
+		if !ok {
+			return nil, fmt.Errorf("fcm: tracer rule %d on unknown switch %d", r.ID, r.Switch)
+		}
+		if err := tbl.Install(r); err != nil {
+			return nil, fmt.Errorf("fcm: tracer: %w", err)
+		}
+	}
+	return &Tracer{topol: t, tables: tables, ttl: maxSymbolicHops}, nil
+}
+
+// Trace walks pkt starting at switch from and returns the matched rule
+// IDs in order plus the outcome.
+func (tr *Tracer) Trace(pkt header.Packet, from topo.SwitchID) ([]int, TraceOutcome, error) {
+	return tr.TraceOverride(pkt, from, nil)
+}
+
+// TraceDetail augments a trace with its final location.
+type TraceDetail struct {
+	History []int
+	Outcome TraceOutcome
+	// LastSwitch is the switch where the walk ended.
+	LastSwitch topo.SwitchID
+	// DeliveredTo is the host that received the packet; -1 unless
+	// Outcome is TraceDelivered.
+	DeliveredTo topo.HostID
+}
+
+// TraceFull walks pkt like Trace and also reports where it ended up —
+// in particular which host (if any) received it, so intent verifiers
+// can distinguish correct delivery from delivery to the wrong host.
+func (tr *Tracer) TraceFull(pkt header.Packet, from topo.SwitchID) (TraceDetail, error) {
+	if _, err := tr.topol.Switch(from); err != nil {
+		return TraceDetail{}, err
+	}
+	d := TraceDetail{LastSwitch: from, DeliveredTo: -1}
+	cur := from
+	for hop := 0; hop < tr.ttl; hop++ {
+		d.LastSwitch = cur
+		rule, act, ok := tr.tables[cur].Lookup(pkt)
+		if !ok {
+			d.Outcome = TraceMissed
+			return d, nil
+		}
+		d.History = append(d.History, rule.ID)
+		switch act.Type {
+		case flowtable.ActionDrop:
+			d.Outcome = TraceDropped
+			return d, nil
+		case flowtable.ActionDeliver, flowtable.ActionOutput:
+			peer, err := tr.topol.PeerAt(cur, act.Port)
+			if err != nil {
+				d.Outcome = TraceMissed
+				return d, nil
+			}
+			switch peer.Kind {
+			case topo.PeerHost:
+				d.Outcome = TraceDelivered
+				d.DeliveredTo = peer.Host
+				return d, nil
+			case topo.PeerSwitch:
+				if act.Type == flowtable.ActionDeliver {
+					// Deliver action pointing at a switch port is a
+					// misconfiguration; the packet goes nowhere useful.
+					d.Outcome = TraceMissed
+					return d, nil
+				}
+				cur = peer.Switch
+			default:
+				d.Outcome = TraceMissed
+				return d, nil
+			}
+		default:
+			d.Outcome = TraceMissed
+			return d, nil
+		}
+	}
+	d.Outcome = TraceLooped
+	return d, nil
+}
+
+// TraceOverride walks pkt like Trace but follows the given adversarial
+// action overrides (keyed by rule ID) instead of the installed actions
+// — the primitive for computing a deviated flow's actual rule history,
+// including detours that revisit the compromised rule.
+func (tr *Tracer) TraceOverride(pkt header.Packet, from topo.SwitchID, overrides map[int]flowtable.Action) ([]int, TraceOutcome, error) {
+	if _, err := tr.topol.Switch(from); err != nil {
+		return nil, 0, err
+	}
+	var history []int
+	cur := from
+	for hop := 0; hop < tr.ttl; hop++ {
+		rule, act, ok := tr.tables[cur].Lookup(pkt)
+		if !ok {
+			return history, TraceMissed, nil
+		}
+		if ov, tampered := overrides[rule.ID]; tampered {
+			act = ov
+		}
+		history = append(history, rule.ID)
+		switch act.Type {
+		case flowtable.ActionDrop:
+			return history, TraceDropped, nil
+		case flowtable.ActionDeliver:
+			return history, TraceDelivered, nil
+		case flowtable.ActionOutput:
+			peer, err := tr.topol.PeerAt(cur, act.Port)
+			if err != nil {
+				return history, TraceMissed, nil
+			}
+			switch peer.Kind {
+			case topo.PeerHost:
+				return history, TraceDelivered, nil
+			case topo.PeerSwitch:
+				cur = peer.Switch
+			default:
+				return history, TraceMissed, nil
+			}
+		default:
+			return history, TraceMissed, nil
+		}
+	}
+	return history, TraceLooped, nil
+}

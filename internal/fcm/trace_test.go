@@ -1,0 +1,186 @@
+package fcm
+
+import (
+	"testing"
+
+	"foces/internal/controller"
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+func pairPacket(t *testing.T, src, dst uint64) header.Packet {
+	t.Helper()
+	p := header.NewPacket(layout.Width())
+	p, err := layout.PacketWithField(p, header.FieldSrcIP, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = layout.PacketWithField(p, header.FieldDstIP, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func tracerFor(t *testing.T, name string) (*topo.Topology, *Tracer, []flowtable.Rule) {
+	t.Helper()
+	top, err := topo.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := controller.New(top, layout, controller.PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ComputeRules(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTracer(top, c.Rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top, tr, c.Rules()
+}
+
+func TestTracerMatchesFCMHistories(t *testing.T) {
+	top, tr, rules := tracerFor(t, "fattree4")
+	f, err := Generate(top, layout, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := top.Hosts()
+	for _, src := range hosts[:3] {
+		for _, dst := range hosts {
+			if src.ID == dst.ID {
+				continue
+			}
+			pkt := pairPacket(t, src.IP, dst.IP)
+			hist, outcome, err := tr.Trace(pkt, src.Attach)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if outcome != TraceDelivered {
+				t.Fatalf("pair %d->%d outcome %v", src.ID, dst.ID, outcome)
+			}
+			fl, ok := f.FlowByPair(src.ID, dst.ID)
+			if !ok {
+				t.Fatal("missing flow")
+			}
+			if len(hist) != len(fl.RuleIDs) {
+				t.Fatalf("trace %v vs symbolic %v", hist, fl.RuleIDs)
+			}
+			for i := range hist {
+				if hist[i] != fl.RuleIDs[i] {
+					t.Fatalf("trace %v vs symbolic %v", hist, fl.RuleIDs)
+				}
+			}
+		}
+	}
+}
+
+func TestTraceFullReportsDestination(t *testing.T) {
+	top, tr, _ := tracerFor(t, "fattree4")
+	hosts := top.Hosts()
+	pkt := pairPacket(t, hosts[0].IP, hosts[9].IP)
+	d, err := tr.TraceFull(pkt, hosts[0].Attach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Outcome != TraceDelivered || d.DeliveredTo != hosts[9].ID {
+		t.Fatalf("detail = %+v", d)
+	}
+	if d.LastSwitch != hosts[9].Attach {
+		t.Fatalf("last switch = %v, want %v", d.LastSwitch, hosts[9].Attach)
+	}
+	// Miss case.
+	miss := pairPacket(t, hosts[0].IP, header.IPv4(9, 9, 9, 9))
+	d, err = tr.TraceFull(miss, hosts[0].Attach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Outcome != TraceMissed || d.DeliveredTo != -1 {
+		t.Fatalf("miss detail = %+v", d)
+	}
+	if _, err := tr.TraceFull(pkt, topo.SwitchID(999)); err == nil {
+		t.Fatal("unknown switch must error")
+	}
+}
+
+func TestTraceOverrideFollowsTamperedAction(t *testing.T) {
+	top, tr, rules := tracerFor(t, "fattree4")
+	hosts := top.Hosts()
+	pkt := pairPacket(t, hosts[0].IP, hosts[9].IP)
+	hist, _, err := tr.Trace(pkt, hosts[0].Attach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) < 2 {
+		t.Skip("path too short")
+	}
+	// Tamper the first hop to drop.
+	overrides := map[int]flowtable.Action{
+		hist[0]: {Type: flowtable.ActionDrop},
+	}
+	got, outcome, err := tr.TraceOverride(pkt, hosts[0].Attach, overrides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != TraceDropped || len(got) != 1 || got[0] != hist[0] {
+		t.Fatalf("override trace = %v %v", got, outcome)
+	}
+	_ = rules
+}
+
+func TestNewTracerValidation(t *testing.T) {
+	top, err := topo.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []flowtable.Rule{{ID: 5, Switch: 0, Match: layout.Wildcard(), Action: flowtable.Action{Type: flowtable.ActionOutput}}}
+	if _, err := NewTracer(top, bad); err == nil {
+		t.Fatal("non-dense IDs must error")
+	}
+	badSwitch := []flowtable.Rule{{ID: 0, Switch: 99, Match: layout.Wildcard(), Action: flowtable.Action{Type: flowtable.ActionOutput}}}
+	if _, err := NewTracer(top, badSwitch); err == nil {
+		t.Fatal("unknown switch must error")
+	}
+}
+
+func TestRegenerateMatchesFreshGenerate(t *testing.T) {
+	top, _, rules := tracerFor(t, "fattree4")
+	f, err := Generate(top, layout, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := f.Regenerate(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.NumFlows() != f.NumFlows() || again.NumRules() != f.NumRules() {
+		t.Fatalf("regenerate changed dims: %dx%d vs %dx%d",
+			again.NumRules(), again.NumFlows(), f.NumRules(), f.NumFlows())
+	}
+}
+
+func TestFromHistoriesValidation(t *testing.T) {
+	top, _, rules := tracerFor(t, "fattree4")
+	if _, err := FromHistories(top, rules, [][]int{{}}); err == nil {
+		t.Fatal("empty history must error")
+	}
+	if _, err := FromHistories(top, rules, [][]int{{len(rules)}}); err == nil {
+		t.Fatal("out-of-range rule must error")
+	}
+	bad := append([]flowtable.Rule(nil), rules...)
+	bad[0].ID = 77
+	if _, err := FromHistories(top, bad, [][]int{{0}}); err == nil {
+		t.Fatal("non-dense rules must error")
+	}
+	f, err := FromHistories(top, rules, [][]int{{0, 1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumFlows() != 2 || f.H.At(0, 0) != 1 || f.H.At(1, 1) != 1 {
+		t.Fatalf("bad assembly: %v", f.H.ToDense())
+	}
+}

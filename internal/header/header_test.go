@@ -1,0 +1,258 @@
+package header
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWildcardMatchesEverything(t *testing.T) {
+	w := Wildcard(70)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		p := NewPacket(70)
+		for b := 0; b < 70; b++ {
+			p = p.WithBit(b, rng.Intn(2) == 1)
+		}
+		if !w.MatchesPacket(p) {
+			t.Fatalf("wildcard must match packet %v", p)
+		}
+	}
+}
+
+func TestExactMatchesOnlyItself(t *testing.T) {
+	p := NewPacket(16)
+	p, err := p.WithField(0, 16, 0xBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Exact(p)
+	if !s.MatchesPacket(p) {
+		t.Fatal("exact space must match its packet")
+	}
+	q := p.WithBit(3, !p.Bit(3))
+	if s.MatchesPacket(q) {
+		t.Fatal("exact space must not match a flipped packet")
+	}
+	if s.ExactBits() != 16 {
+		t.Fatalf("ExactBits = %d, want 16", s.ExactBits())
+	}
+}
+
+func TestTritRoundTrip(t *testing.T) {
+	s := Wildcard(9)
+	for i := 0; i < 9; i++ {
+		for _, tr := range []Trit{Zero, One, Any} {
+			s2 := s.WithBit(i, tr)
+			if got := s2.Bit(i); got != tr {
+				t.Fatalf("bit %d: got %v want %v", i, got, tr)
+			}
+		}
+	}
+}
+
+func TestIntersectConflict(t *testing.T) {
+	a := Wildcard(8).WithBit(2, One)
+	b := Wildcard(8).WithBit(2, Zero)
+	if _, ok := a.Intersect(b); ok {
+		t.Fatal("conflicting exact bits must produce empty intersection")
+	}
+}
+
+func TestIntersectRefines(t *testing.T) {
+	a := Wildcard(8).WithBit(0, One)
+	b := Wildcard(8).WithBit(7, Zero)
+	got, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("non-conflicting spaces must intersect")
+	}
+	if got.Bit(0) != One || got.Bit(7) != Zero || got.Bit(3) != Any {
+		t.Fatalf("bad intersection %v", got)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	wide := Wildcard(8).WithBit(1, One)
+	narrow := wide.WithBit(5, Zero)
+	if !wide.Covers(narrow) {
+		t.Fatal("wide must cover narrow")
+	}
+	if narrow.Covers(wide) {
+		t.Fatal("narrow must not cover wide")
+	}
+	if !wide.Covers(wide) {
+		t.Fatal("cover must be reflexive")
+	}
+	other := Wildcard(8).WithBit(1, Zero)
+	if wide.Covers(other) || other.Covers(wide) {
+		t.Fatal("disjoint spaces must not cover each other")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := Wildcard(4).WithBit(0, One).WithBit(3, Zero)
+	if got := s.String(); got != "0**1" {
+		t.Fatalf("String() = %q, want 0**1", got)
+	}
+	p := NewPacket(4).WithBit(1, true)
+	if got := p.String(); got != "0010" {
+		t.Fatalf("Packet.String() = %q, want 0010", got)
+	}
+}
+
+func TestSetFieldPrefix(t *testing.T) {
+	// 8-bit field at offset 4; prefix 10.0.0.0/4-style: top 4 bits exact.
+	s, err := Wildcard(16).SetField(4, 8, 0xA0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Field bits 4..11; top 4 bits (offsets 8..11) = 1010, low 4 wildcard.
+	want := map[int]Trit{8: Zero, 9: One, 10: Zero, 11: One, 4: Any, 7: Any}
+	for pos, tr := range want {
+		if got := s.Bit(pos); got != tr {
+			t.Fatalf("bit %d = %v, want %v", pos, got, tr)
+		}
+	}
+}
+
+func TestSetFieldErrors(t *testing.T) {
+	if _, err := Wildcard(8).SetField(4, 8, 0, 8); err == nil {
+		t.Fatal("out-of-range field must error")
+	}
+	if _, err := Wildcard(8).SetField(0, 8, 0, 9); err == nil {
+		t.Fatal("excessive prefix length must error")
+	}
+	if _, err := Wildcard(8).SetField(0, -1, 0, 0); err == nil {
+		t.Fatal("negative width must error")
+	}
+}
+
+func TestFieldExtraction(t *testing.T) {
+	s, err := Wildcard(16).SetField(4, 8, 0x5C, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Field(4, 8)
+	if !ok || v != 0x5C {
+		t.Fatalf("Field = %#x ok=%v, want 0x5c true", v, ok)
+	}
+	if _, ok := s.Field(0, 8); ok {
+		t.Fatal("field overlapping wildcards must report !ok")
+	}
+}
+
+func TestAnyPacketInsideSpace(t *testing.T) {
+	s, err := Wildcard(32).SetField(0, 32, 0xDEADBEEF, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.AnyPacket()
+	if !s.MatchesPacket(p) {
+		t.Fatal("AnyPacket must lie inside its space")
+	}
+}
+
+func TestWidthMismatch(t *testing.T) {
+	a, b := Wildcard(8), Wildcard(16)
+	if _, ok := a.Intersect(b); ok {
+		t.Fatal("mismatched widths must not intersect")
+	}
+	if a.Covers(b) || a.Equal(b) {
+		t.Fatal("mismatched widths must not cover or equal")
+	}
+	if a.MatchesPacket(NewPacket(16)) {
+		t.Fatal("mismatched widths must not match")
+	}
+}
+
+// genSpace builds a random space of the given width.
+func genSpace(rng *rand.Rand, width int) Space {
+	s := Wildcard(width)
+	for i := 0; i < width; i++ {
+		s = s.WithBit(i, Trit(rng.Intn(3)))
+	}
+	return s
+}
+
+func TestPropertyIntersectionIsSubsetOfBoth(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genSpace(r, 48), genSpace(r, 48)
+		c, ok := a.Intersect(b)
+		if !ok {
+			return true
+		}
+		return a.Covers(c) && b.Covers(c)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyIntersectCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genSpace(r, 48), genSpace(r, 48)
+		ab, okAB := a.Intersect(b)
+		ba, okBA := b.Intersect(a)
+		if okAB != okBA {
+			return false
+		}
+		if !okAB {
+			return true
+		}
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCoversConsistentWithPackets(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genSpace(r, 20), genSpace(r, 20)
+		if !a.Covers(b) {
+			return true
+		}
+		// Sample packets of b; all must also be in a.
+		for i := 0; i < 32; i++ {
+			p := b.AnyPacket()
+			for bit := 0; bit < 20; bit++ {
+				if b.Bit(bit) == Any {
+					p = p.WithBit(bit, r.Intn(2) == 1)
+				}
+			}
+			if !b.MatchesPacket(p) || !a.MatchesPacket(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyIntersectIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genSpace(r, 48)
+		c, ok := a.Intersect(a)
+		return ok && c.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Wildcard(8).WithBit(0, One)
+	b := a.Clone()
+	b = b.WithBit(0, Zero)
+	if a.Bit(0) != One {
+		t.Fatal("mutating a clone must not affect the original")
+	}
+}

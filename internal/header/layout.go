@@ -1,0 +1,145 @@
+package header
+
+import "fmt"
+
+// Field describes a named bit range inside a header layout. Offset is the
+// position of the field's least-significant bit.
+type Field struct {
+	Name   string
+	Offset int
+	Width  int
+}
+
+// Layout is a packed sequence of named fields. It provides symbolic
+// accessors over Space and Packet so that callers never hand-compute bit
+// offsets.
+type Layout struct {
+	fields []Field
+	byName map[string]Field
+	width  int
+}
+
+// NewLayout builds a layout from an ordered field list. Fields are packed
+// contiguously starting at bit 0 in the order given.
+func NewLayout(fields ...Field) (*Layout, error) {
+	l := &Layout{byName: make(map[string]Field, len(fields))}
+	off := 0
+	for _, f := range fields {
+		if f.Width <= 0 {
+			return nil, fmt.Errorf("header: field %q has non-positive width %d", f.Name, f.Width)
+		}
+		if _, dup := l.byName[f.Name]; dup {
+			return nil, fmt.Errorf("header: duplicate field %q", f.Name)
+		}
+		f.Offset = off
+		l.fields = append(l.fields, f)
+		l.byName[f.Name] = f
+		off += f.Width
+	}
+	l.width = off
+	return l, nil
+}
+
+// Standard five-tuple field names used by the default layout.
+const (
+	FieldSrcIP   = "src_ip"
+	FieldDstIP   = "dst_ip"
+	FieldProto   = "proto"
+	FieldSrcPort = "src_port"
+	FieldDstPort = "dst_port"
+)
+
+// FiveTuple returns the default TCP/IP five-tuple layout (104 bits):
+// src_ip/32, dst_ip/32, proto/8, src_port/16, dst_port/16.
+func FiveTuple() *Layout {
+	l, err := NewLayout(
+		Field{Name: FieldSrcIP, Width: 32},
+		Field{Name: FieldDstIP, Width: 32},
+		Field{Name: FieldProto, Width: 8},
+		Field{Name: FieldSrcPort, Width: 16},
+		Field{Name: FieldDstPort, Width: 16},
+	)
+	if err != nil {
+		// The default layout is a compile-time constant shape; failure
+		// here is a programming error.
+		panic(err)
+	}
+	return l
+}
+
+// Width reports the total layout width in bits.
+func (l *Layout) Width() int { return l.width }
+
+// Fields returns a copy of the field list in layout order.
+func (l *Layout) Fields() []Field {
+	out := make([]Field, len(l.fields))
+	copy(out, l.fields)
+	return out
+}
+
+// Lookup returns the named field.
+func (l *Layout) Lookup(name string) (Field, bool) {
+	f, ok := l.byName[name]
+	return f, ok
+}
+
+// Wildcard returns the all-wildcard space for this layout.
+func (l *Layout) Wildcard() Space { return Wildcard(l.width) }
+
+// MatchPrefix constrains the named field of s to the top prefixLen bits
+// of value (an IPv4-style prefix match when the field is 32 bits wide).
+func (l *Layout) MatchPrefix(s Space, name string, value uint64, prefixLen int) (Space, error) {
+	f, ok := l.byName[name]
+	if !ok {
+		return Space{}, fmt.Errorf("header: unknown field %q", name)
+	}
+	return s.SetField(f.Offset, f.Width, value>>uint(f.Width-prefixLen)<<uint(f.Width-prefixLen), prefixLen)
+}
+
+// MatchExact constrains the named field of s to exactly value.
+func (l *Layout) MatchExact(s Space, name string, value uint64) (Space, error) {
+	f, ok := l.byName[name]
+	if !ok {
+		return Space{}, fmt.Errorf("header: unknown field %q", name)
+	}
+	return s.SetField(f.Offset, f.Width, value, f.Width)
+}
+
+// PacketWithField returns a copy of p with the named field set to value.
+func (l *Layout) PacketWithField(p Packet, name string, value uint64) (Packet, error) {
+	f, ok := l.byName[name]
+	if !ok {
+		return Packet{}, fmt.Errorf("header: unknown field %q", name)
+	}
+	return p.WithField(f.Offset, f.Width, value)
+}
+
+// PacketField extracts the named field of a concrete packet.
+func (l *Layout) PacketField(p Packet, name string) (uint64, error) {
+	f, ok := l.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("header: unknown field %q", name)
+	}
+	return p.Field(f.Offset, f.Width), nil
+}
+
+// SpaceField extracts the named field of a space; ok is false if any bit
+// of the field is a wildcard.
+func (l *Layout) SpaceField(s Space, name string) (value uint64, ok bool, err error) {
+	f, found := l.byName[name]
+	if !found {
+		return 0, false, fmt.Errorf("header: unknown field %q", name)
+	}
+	value, ok = s.Field(f.Offset, f.Width)
+	return value, ok, nil
+}
+
+// IPv4 packs four octets into a uint64 for use with the IP fields.
+func IPv4(a, b, c, d byte) uint64 {
+	return uint64(a)<<24 | uint64(b)<<16 | uint64(c)<<8 | uint64(d)
+}
+
+// FormatIPv4 renders a packed IPv4 address in dotted-quad form.
+func FormatIPv4(v uint64) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

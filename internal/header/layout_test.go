@@ -1,0 +1,133 @@
+package header
+
+import "testing"
+
+func TestFiveTupleLayout(t *testing.T) {
+	l := FiveTuple()
+	if l.Width() != 104 {
+		t.Fatalf("width = %d, want 104", l.Width())
+	}
+	fields := l.Fields()
+	if len(fields) != 5 {
+		t.Fatalf("fields = %d, want 5", len(fields))
+	}
+	dst, ok := l.Lookup(FieldDstIP)
+	if !ok || dst.Offset != 32 || dst.Width != 32 {
+		t.Fatalf("dst_ip = %+v ok=%v", dst, ok)
+	}
+}
+
+func TestNewLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(Field{Name: "a", Width: 0}); err == nil {
+		t.Fatal("zero-width field must error")
+	}
+	if _, err := NewLayout(Field{Name: "a", Width: 4}, Field{Name: "a", Width: 4}); err == nil {
+		t.Fatal("duplicate field must error")
+	}
+}
+
+func TestMatchExactAndPacketRoundTrip(t *testing.T) {
+	l := FiveTuple()
+	ip := IPv4(10, 0, 0, 7)
+	s, err := l.MatchExact(l.Wildcard(), FieldDstIP, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPacket(l.Width())
+	p, err = l.PacketWithField(p, FieldDstIP, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.MatchesPacket(p) {
+		t.Fatal("exact dst match must accept matching packet")
+	}
+	p2, err := l.PacketWithField(p, FieldDstIP, IPv4(10, 0, 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MatchesPacket(p2) {
+		t.Fatal("exact dst match must reject other address")
+	}
+	got, err := l.PacketField(p, FieldDstIP)
+	if err != nil || got != ip {
+		t.Fatalf("PacketField = %v, %v; want %v, nil", got, err, ip)
+	}
+}
+
+func TestMatchPrefix(t *testing.T) {
+	l := FiveTuple()
+	// 10.1.0.0/16 must match 10.1.x.y but not 10.2.x.y.
+	s, err := l.MatchPrefix(l.Wildcard(), FieldDstIP, IPv4(10, 1, 2, 3), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := l.PacketWithField(NewPacket(l.Width()), FieldDstIP, IPv4(10, 1, 200, 9))
+	out, _ := l.PacketWithField(NewPacket(l.Width()), FieldDstIP, IPv4(10, 2, 200, 9))
+	if !s.MatchesPacket(in) {
+		t.Fatal("prefix must match in-prefix packet")
+	}
+	if s.MatchesPacket(out) {
+		t.Fatal("prefix must reject out-of-prefix packet")
+	}
+}
+
+func TestPrefixNesting(t *testing.T) {
+	l := FiveTuple()
+	w := l.Wildcard()
+	p8, err := l.MatchPrefix(w, FieldDstIP, IPv4(10, 0, 0, 0), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p16, err := l.MatchPrefix(w, FieldDstIP, IPv4(10, 1, 0, 0), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p8.Covers(p16) {
+		t.Fatal("/8 must cover nested /16")
+	}
+	if p16.Covers(p8) {
+		t.Fatal("/16 must not cover enclosing /8")
+	}
+}
+
+func TestUnknownFieldErrors(t *testing.T) {
+	l := FiveTuple()
+	if _, err := l.MatchExact(l.Wildcard(), "nope", 0); err == nil {
+		t.Fatal("unknown field in MatchExact must error")
+	}
+	if _, err := l.MatchPrefix(l.Wildcard(), "nope", 0, 0); err == nil {
+		t.Fatal("unknown field in MatchPrefix must error")
+	}
+	if _, err := l.PacketWithField(NewPacket(l.Width()), "nope", 0); err == nil {
+		t.Fatal("unknown field in PacketWithField must error")
+	}
+	if _, err := l.PacketField(NewPacket(l.Width()), "nope"); err == nil {
+		t.Fatal("unknown field in PacketField must error")
+	}
+	if _, _, err := l.SpaceField(l.Wildcard(), "nope"); err == nil {
+		t.Fatal("unknown field in SpaceField must error")
+	}
+}
+
+func TestSpaceField(t *testing.T) {
+	l := FiveTuple()
+	s, err := l.MatchExact(l.Wildcard(), FieldProto, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := l.SpaceField(s, FieldProto)
+	if err != nil || !ok || v != 6 {
+		t.Fatalf("SpaceField = %v %v %v; want 6 true nil", v, ok, err)
+	}
+	_, ok, err = l.SpaceField(s, FieldSrcIP)
+	if err != nil || ok {
+		t.Fatalf("wildcard field must report ok=false, err=nil; got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestIPv4Helpers(t *testing.T) {
+	v := IPv4(192, 168, 1, 42)
+	if got := FormatIPv4(v); got != "192.168.1.42" {
+		t.Fatalf("FormatIPv4 = %q", got)
+	}
+}

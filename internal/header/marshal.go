@@ -1,0 +1,89 @@
+package header
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MarshalBinary encodes the space as: width(uint32) | value words |
+// mask words, all big-endian. It implements
+// encoding.BinaryMarshaler for use on control channels.
+func (s Space) MarshalBinary() ([]byte, error) {
+	if !s.Valid() {
+		return nil, fmt.Errorf("header: marshal of invalid space")
+	}
+	n := words(s.width)
+	buf := make([]byte, 4+16*n)
+	binary.BigEndian.PutUint32(buf, uint32(s.width))
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(buf[4+8*i:], s.value[i])
+		binary.BigEndian.PutUint64(buf[4+8*n+8*i:], s.mask[i])
+	}
+	return buf, nil
+}
+
+// MarshalBinary encodes the packet as width(uint32) | words,
+// big-endian.
+func (p Packet) MarshalBinary() ([]byte, error) {
+	if p.width <= 0 {
+		return nil, fmt.Errorf("header: marshal of invalid packet")
+	}
+	n := words(p.width)
+	buf := make([]byte, 4+8*n)
+	binary.BigEndian.PutUint32(buf, uint32(p.width))
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(buf[4+8*i:], p.bits[i])
+	}
+	return buf, nil
+}
+
+// UnmarshalPacket decodes a packet produced by Packet.MarshalBinary and
+// returns the number of bytes consumed.
+func UnmarshalPacket(data []byte) (Packet, int, error) {
+	if len(data) < 4 {
+		return Packet{}, 0, fmt.Errorf("header: short packet encoding (%d bytes)", len(data))
+	}
+	width := int(binary.BigEndian.Uint32(data))
+	if width <= 0 || width > 1<<20 {
+		return Packet{}, 0, fmt.Errorf("header: implausible packet width %d", width)
+	}
+	n := words(width)
+	need := 4 + 8*n
+	if len(data) < need {
+		return Packet{}, 0, fmt.Errorf("header: packet encoding needs %d bytes, have %d", need, len(data))
+	}
+	p := Packet{width: width, bits: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		p.bits[i] = binary.BigEndian.Uint64(data[4+8*i:])
+	}
+	return p, need, nil
+}
+
+// UnmarshalSpace decodes a space produced by MarshalBinary and returns
+// the number of bytes consumed.
+func UnmarshalSpace(data []byte) (Space, int, error) {
+	if len(data) < 4 {
+		return Space{}, 0, fmt.Errorf("header: short space encoding (%d bytes)", len(data))
+	}
+	width := int(binary.BigEndian.Uint32(data))
+	if width <= 0 || width > 1<<20 {
+		return Space{}, 0, fmt.Errorf("header: implausible space width %d", width)
+	}
+	n := words(width)
+	need := 4 + 16*n
+	if len(data) < need {
+		return Space{}, 0, fmt.Errorf("header: space encoding needs %d bytes, have %d", need, len(data))
+	}
+	s := Space{width: width, value: make([]uint64, n), mask: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		s.value[i] = binary.BigEndian.Uint64(data[4+8*i:])
+		s.mask[i] = binary.BigEndian.Uint64(data[4+8*n+8*i:])
+	}
+	// Normalize: clear value bits outside the mask and past the width so
+	// Equal stays a word-wise comparison.
+	for i := range s.value {
+		s.value[i] &= s.mask[i]
+	}
+	clearTail(&s)
+	return s, need, nil
+}

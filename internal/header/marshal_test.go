@@ -1,0 +1,102 @@
+package header
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceMarshalRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := genSpace(r, 1+r.Intn(130))
+		data, err := s.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, n, err := UnmarshalSpace(data)
+		if err != nil || n != len(data) {
+			return false
+		}
+		return got.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketMarshalRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		width := 1 + r.Intn(130)
+		p := NewPacket(width)
+		for i := 0; i < width; i++ {
+			p = p.WithBit(i, r.Intn(2) == 1)
+		}
+		data, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, n, err := UnmarshalPacket(data)
+		if err != nil || n != len(data) || got.Width() != width {
+			return false
+		}
+		for i := 0; i < width; i++ {
+			if got.Bit(i) != p.Bit(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, _, err := UnmarshalSpace(nil); err == nil {
+		t.Fatal("nil space must error")
+	}
+	if _, _, err := UnmarshalSpace([]byte{0, 0, 0, 0}); err == nil {
+		t.Fatal("zero-width space must error")
+	}
+	if _, _, err := UnmarshalSpace([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("implausible width must error")
+	}
+	if _, _, err := UnmarshalSpace([]byte{0, 0, 0, 8, 1}); err == nil {
+		t.Fatal("truncated space must error")
+	}
+	if _, _, err := UnmarshalPacket(nil); err == nil {
+		t.Fatal("nil packet must error")
+	}
+	if _, _, err := UnmarshalPacket([]byte{0, 0, 0, 8, 1}); err == nil {
+		t.Fatal("truncated packet must error")
+	}
+	var invalid Space
+	if _, err := invalid.MarshalBinary(); err == nil {
+		t.Fatal("invalid space must not marshal")
+	}
+	var invalidP Packet
+	if _, err := invalidP.MarshalBinary(); err == nil {
+		t.Fatal("invalid packet must not marshal")
+	}
+}
+
+func TestUnmarshalSpaceNormalizes(t *testing.T) {
+	// Craft an encoding with value bits outside the mask: they must be
+	// cleared so Equal stays word-wise.
+	s := Wildcard(8).WithBit(0, One)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Set a stray value bit (bit 5) without its mask bit.
+	data[4+7] |= 1 << 5
+	got, _, err := UnmarshalSpace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatalf("normalization failed: %v vs %v", got, s)
+	}
+}

@@ -1,0 +1,60 @@
+package header
+
+// Subtract computes the set difference a \ b as a list of pairwise
+// disjoint spaces. This is the classic header-space difference used to
+// carve a symbolic header around higher-priority rules: each exact bit
+// of b that is a wildcard in a splits off the sub-space on the opposite
+// side of that bit.
+//
+// The result is empty when b covers a, and {a} when the two spaces are
+// disjoint.
+func Subtract(a, b Space) []Space {
+	if a.width != b.width {
+		return []Space{a}
+	}
+	if !a.Overlaps(b) {
+		return []Space{a}
+	}
+	var out []Space
+	cur := a
+	for i := 0; i < a.width; i++ {
+		bBit := b.Bit(i)
+		if bBit == Any {
+			continue
+		}
+		switch cur.Bit(i) {
+		case Any:
+			// Packets on the other side of bit i are kept.
+			opp := One
+			if bBit == One {
+				opp = Zero
+			}
+			out = append(out, cur.WithBit(i, opp))
+			// Continue carving inside the b side.
+			cur = cur.WithBit(i, bBit)
+		case bBit:
+			// Already constrained to b's side; nothing splits here.
+		default:
+			// a is exact and differs from b at bit i, so a and b are
+			// disjoint; Overlaps above excludes this.
+		}
+	}
+	return out
+}
+
+// SubtractAll removes every space in bs from a, returning a disjoint
+// cover of a \ ∪bs.
+func SubtractAll(a Space, bs []Space) []Space {
+	remain := []Space{a}
+	for _, b := range bs {
+		var next []Space
+		for _, r := range remain {
+			next = append(next, Subtract(r, b)...)
+		}
+		remain = next
+		if len(remain) == 0 {
+			break
+		}
+	}
+	return remain
+}

@@ -1,0 +1,158 @@
+package header
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubtractDisjoint(t *testing.T) {
+	a := Wildcard(8).WithBit(0, One)
+	b := Wildcard(8).WithBit(0, Zero)
+	got := Subtract(a, b)
+	if len(got) != 1 || !got[0].Equal(a) {
+		t.Fatalf("disjoint subtract = %v", got)
+	}
+}
+
+func TestSubtractCovered(t *testing.T) {
+	a := Wildcard(8).WithBit(0, One).WithBit(1, Zero)
+	if got := Subtract(a, Wildcard(8)); len(got) != 0 {
+		t.Fatalf("subtracting a cover must be empty, got %v", got)
+	}
+	if got := Subtract(a, a); len(got) != 0 {
+		t.Fatalf("a \\ a must be empty, got %v", got)
+	}
+}
+
+func TestSubtractSplits(t *testing.T) {
+	// wildcard(2) \ "11" = {"*0", "01"} (disjoint, covering 00,01,10).
+	a := Wildcard(2)
+	b := Wildcard(2).WithBit(0, One).WithBit(1, One)
+	got := Subtract(a, b)
+	if len(got) != 2 {
+		t.Fatalf("want 2 pieces, got %v", got)
+	}
+	// Together the pieces plus b must cover all four packets exactly once.
+	for v := 0; v < 4; v++ {
+		p := NewPacket(2)
+		p = p.WithBit(0, v&1 == 1).WithBit(1, v&2 == 2)
+		count := 0
+		for _, s := range got {
+			if s.MatchesPacket(p) {
+				count++
+			}
+		}
+		inB := b.MatchesPacket(p)
+		if inB && count != 0 {
+			t.Fatalf("packet %v in both b and remainder", p)
+		}
+		if !inB && count != 1 {
+			t.Fatalf("packet %v covered %d times", p, count)
+		}
+	}
+}
+
+func TestSubtractWidthMismatch(t *testing.T) {
+	a, b := Wildcard(4), Wildcard(8)
+	got := Subtract(a, b)
+	if len(got) != 1 || !got[0].Equal(a) {
+		t.Fatalf("width mismatch must return a unchanged, got %v", got)
+	}
+}
+
+func TestSubtractAll(t *testing.T) {
+	a := Wildcard(3)
+	b0 := Exact(NewPacket(3))                  // 000
+	b1 := Exact(NewPacket(3).WithBit(0, true)) // 001
+	remain := SubtractAll(a, []Space{b0, b1})
+	// Remaining must cover exactly the 6 packets not 000/001.
+	total := 0
+	for v := 0; v < 8; v++ {
+		p := NewPacket(3)
+		for bit := 0; bit < 3; bit++ {
+			p = p.WithBit(bit, v>>bit&1 == 1)
+		}
+		count := 0
+		for _, s := range remain {
+			if s.MatchesPacket(p) {
+				count++
+			}
+		}
+		if v <= 1 {
+			if count != 0 {
+				t.Fatalf("subtracted packet %d still covered", v)
+			}
+		} else if count != 1 {
+			t.Fatalf("packet %d covered %d times", v, count)
+		}
+		total += count
+	}
+	if total != 6 {
+		t.Fatalf("covered %d packets, want 6", total)
+	}
+}
+
+func TestPropertySubtractDisjointPieces(t *testing.T) {
+	// All pieces of a \ b must be inside a, disjoint from b, and
+	// pairwise disjoint.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genSpace(r, 12), genSpace(r, 12)
+		pieces := Subtract(a, b)
+		for i, p := range pieces {
+			if !a.Covers(p) {
+				return false
+			}
+			if a.Overlaps(b) && p.Overlaps(b) {
+				return false
+			}
+			for j := i + 1; j < len(pieces); j++ {
+				if p.Overlaps(pieces[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySubtractExactCover(t *testing.T) {
+	// Enumerate all packets of small width: each packet of a is either
+	// in b or in exactly one piece.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const w = 8
+		a, b := genSpace(r, w), genSpace(r, w)
+		pieces := Subtract(a, b)
+		for v := 0; v < 1<<w; v++ {
+			p := NewPacket(w)
+			for bit := 0; bit < w; bit++ {
+				p = p.WithBit(bit, v>>bit&1 == 1)
+			}
+			if !a.MatchesPacket(p) {
+				continue
+			}
+			count := 0
+			for _, s := range pieces {
+				if s.MatchesPacket(p) {
+					count++
+				}
+			}
+			want := 1
+			if b.MatchesPacket(p) {
+				want = 0
+			}
+			if count != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

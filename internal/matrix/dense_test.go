@@ -1,0 +1,163 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("dims %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %v", m.At(2, 1))
+	}
+	m.Set(0, 0, 9)
+	m.Add(0, 0, 1)
+	if m.At(0, 0) != 10 {
+		t.Fatalf("Set/Add gave %v", m.At(0, 0))
+	}
+	if _, err := FromRows([][]float64{{1}, {1, 2}}); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows() != 0 {
+		t.Fatalf("empty FromRows: %v %v", empty, err)
+	}
+}
+
+func TestDenseMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqualApprox(y, []float64{3, 7}, 0) {
+		t.Fatalf("MulVec = %v", y)
+	}
+	yt, err := m.TMulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqualApprox(yt, []float64{4, 6}, 0) {
+		t.Fatalf("TMulVec = %v", yt)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+	if _, err := m.TMulVec([]float64{1}); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+}
+
+func TestMulAndTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 0}, {0, 1, 1}})
+	b, _ := FromRows([][]float64{{1, 0}, {2, 1}, {0, 3}})
+	ab, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromRows([][]float64{{5, 2}, {2, 4}})
+	if !ab.EqualApprox(want, 0) {
+		t.Fatalf("Mul = \n%v", ab)
+	}
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 || at.At(1, 0) != 2 {
+		t.Fatalf("Transpose wrong: \n%v", at)
+	}
+	if _, err := Mul(a, a); err == nil {
+		t.Fatal("incompatible Mul must error")
+	}
+}
+
+func TestDenseGramMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewDense(6, 4)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			a.Set(i, j, float64(rng.Intn(5)))
+		}
+	}
+	g := a.Gram()
+	explicit, err := Mul(a.Transpose(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.EqualApprox(explicit, 1e-12) {
+		t.Fatalf("Gram mismatch\n%v\nvs\n%v", g, explicit)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-12 {
+		t.Fatal("Norm2 wrong")
+	}
+	d, err := AbsDiff([]float64{1, 5}, []float64{4, 2})
+	if err != nil || !VecEqualApprox(d, []float64{3, 3}, 0) {
+		t.Fatalf("AbsDiff = %v err=%v", d, err)
+	}
+	if _, err := AbsDiff([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if VecEqualApprox([]float64{1}, []float64{1, 2}, 1) {
+		t.Fatal("length mismatch must be unequal")
+	}
+}
+
+func TestPropertyTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		m := NewDense(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, r.NormFloat64())
+			}
+		}
+		return m.Transpose().Transpose().EqualApprox(m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMulVecLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(6), 1+r.Intn(6)
+		m := NewDense(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, r.NormFloat64())
+			}
+		}
+		x := make([]float64, cols)
+		y := make([]float64, cols)
+		sum := make([]float64, cols)
+		for j := range x {
+			x[j], y[j] = r.NormFloat64(), r.NormFloat64()
+			sum[j] = x[j] + y[j]
+		}
+		mx, _ := m.MulVec(x)
+		my, _ := m.MulVec(y)
+		msum, _ := m.MulVec(sum)
+		for i := range msum {
+			if math.Abs(msum[i]-mx[i]-my[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,292 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when Cholesky factorization fails;
+// for FCM normal equations this means the flow columns are linearly
+// dependent.
+var ErrNotPositiveDefinite = errors.New("matrix: not positive definite")
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix A = LLᵀ.
+type Cholesky struct {
+	n int
+	l *Dense
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("matrix: cholesky needs square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var diag float64
+		ljRow := l.Row(j)
+		diag = a.At(j, j)
+		for k := 0; k < j; k++ {
+			diag -= ljRow[k] * ljRow[k]
+		}
+		if diag <= 0 || math.IsNaN(diag) {
+			return nil, fmt.Errorf("%w: pivot %d = %g", ErrNotPositiveDefinite, j, diag)
+		}
+		d := math.Sqrt(diag)
+		ljRow[j] = d
+		for i := j + 1; i < n; i++ {
+			liRow := l.Row(i)
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= liRow[k] * ljRow[k]
+			}
+			liRow[j] = s / d
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve solves A x = b given the factorization.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("matrix: cholesky solve dim %d vs %d", len(b), c.n)
+	}
+	// Forward substitution: L y = b.
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		row := c.l.Row(i)
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make([]float64, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < c.n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquaresOptions tunes the normal-equations solver.
+type LeastSquaresOptions struct {
+	// Ridge is added to the Gram diagonal when plain Cholesky fails
+	// (columns linearly dependent). Zero selects a default scaled to the
+	// Gram trace.
+	Ridge float64
+}
+
+// SolveNormalEquations computes the least-squares estimate
+// x̂ = (HᵀH)⁻¹ Hᵀ y for a sparse H (Eq. 4 of the paper). When HᵀH is
+// singular it retries once with ridge regularization so that detection
+// degrades gracefully instead of failing.
+func SolveNormalEquations(h *CSR, y []float64, opts LeastSquaresOptions) ([]float64, error) {
+	if len(y) != h.Rows() {
+		return nil, fmt.Errorf("matrix: normal equations dims %dx%d vs %d", h.Rows(), h.Cols(), len(y))
+	}
+	if h.Cols() == 0 {
+		return nil, nil
+	}
+	gram := h.Gram()
+	rhs, err := h.TMulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	chol, err := NewCholesky(gram)
+	if err == nil {
+		return chol.Solve(rhs)
+	}
+	if !errors.Is(err, ErrNotPositiveDefinite) {
+		return nil, err
+	}
+	ridge := opts.Ridge
+	if ridge == 0 {
+		trace := 0.0
+		for i := 0; i < gram.Rows(); i++ {
+			trace += gram.At(i, i)
+		}
+		ridge = 1e-9 * (trace/float64(gram.Rows()) + 1)
+	}
+	for i := 0; i < gram.Rows(); i++ {
+		gram.Add(i, i, ridge)
+	}
+	chol, err = NewCholesky(gram)
+	if err != nil {
+		return nil, fmt.Errorf("matrix: ridge-regularized normal equations: %w", err)
+	}
+	return chol.Solve(rhs)
+}
+
+// LeastSquaresQR solves min ‖A x − b‖₂ via Householder QR on a dense A
+// with full column rank. Provided for the solver ablation; the FOCES
+// default path uses SolveNormalEquations.
+func LeastSquaresQR(a *Dense, b []float64) ([]float64, error) {
+	m, n := a.Rows(), a.Cols()
+	if len(b) != m {
+		return nil, fmt.Errorf("matrix: qr dims %dx%d vs %d", m, n, len(b))
+	}
+	if m < n {
+		return nil, fmt.Errorf("matrix: qr needs m >= n, got %dx%d", m, n)
+	}
+	r := a.Clone()
+	rhs := make([]float64, m)
+	copy(rhs, b)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm += r.At(i, k) * r.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return nil, fmt.Errorf("matrix: qr rank deficient at column %d", k)
+		}
+		if r.At(k, k) > 0 {
+			norm = -norm
+		}
+		v := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		v[0] -= norm
+		vnorm2 := Dot(v, v)
+		if vnorm2 == 0 {
+			continue
+		}
+		// Apply the reflector to R and the RHS.
+		for j := k; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += v[i-k] * r.At(i, j)
+			}
+			s = 2 * s / vnorm2
+			for i := k; i < m; i++ {
+				r.Add(i, j, -s*v[i-k])
+			}
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += v[i-k] * rhs[i]
+		}
+		s = 2 * s / vnorm2
+		for i := k; i < m; i++ {
+			rhs[i] -= s * v[i-k]
+		}
+	}
+	// Back substitution on the upper-triangular R.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := rhs[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if d == 0 {
+			return nil, fmt.Errorf("matrix: qr singular R at %d", i)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// CGOptions tunes the conjugate-gradient solver.
+type CGOptions struct {
+	MaxIter int     // 0 selects 2n
+	Tol     float64 // 0 selects 1e-10 relative residual
+}
+
+// SolveNormalEquationsCG computes the least-squares estimate with
+// conjugate gradient on the normal equations (CGNR), never materializing
+// HᵀH. This is the memory-lean ablation alternative.
+func SolveNormalEquationsCG(h *CSR, y []float64, opts CGOptions) ([]float64, error) {
+	if len(y) != h.Rows() {
+		return nil, fmt.Errorf("matrix: cg dims %dx%d vs %d", h.Rows(), h.Cols(), len(y))
+	}
+	n := h.Cols()
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 2*n + 10
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	x := make([]float64, n)
+	// r = Hᵀy - HᵀH x = Hᵀ y initially (x = 0).
+	r, err := h.TMulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	p := make([]float64, n)
+	copy(p, r)
+	rsOld := Dot(r, r)
+	bNorm := math.Sqrt(rsOld)
+	if bNorm == 0 {
+		return x, nil
+	}
+	for it := 0; it < maxIter; it++ {
+		hp, err := h.MulVec(p)
+		if err != nil {
+			return nil, err
+		}
+		ap, err := h.TMulVec(hp)
+		if err != nil {
+			return nil, err
+		}
+		denom := Dot(p, ap)
+		if denom <= 0 {
+			break // numerically semi-definite; accept current iterate
+		}
+		alpha := rsOld / denom
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rsNew := Dot(r, r)
+		if math.Sqrt(rsNew) <= tol*bNorm {
+			break
+		}
+		beta := rsNew / rsOld
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rsOld = rsNew
+	}
+	return x, nil
+}
+
+// ResidualInColumnSpace reports whether vector v lies (within tol) in
+// the column space of H, by solving the least-squares problem
+// H x ≈ v and checking the residual norm relative to ‖v‖. This is the
+// algebraic ground truth for Theorem 1's detectability condition.
+func ResidualInColumnSpace(h *CSR, v []float64, tol float64) (bool, float64, error) {
+	if len(v) != h.Rows() {
+		return false, 0, fmt.Errorf("matrix: dims %dx%d vs %d", h.Rows(), h.Cols(), len(v))
+	}
+	x, err := SolveNormalEquationsCG(h, v, CGOptions{})
+	if err != nil {
+		return false, 0, err
+	}
+	hx, err := h.MulVec(x)
+	if err != nil {
+		return false, 0, err
+	}
+	diff, err := AbsDiff(hx, v)
+	if err != nil {
+		return false, 0, err
+	}
+	res := Norm2(diff)
+	base := Norm2(v)
+	if base == 0 {
+		return true, 0, nil
+	}
+	rel := res / base
+	return rel <= tol, rel, nil
+}

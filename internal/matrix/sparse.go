@@ -1,0 +1,205 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix. FOCES flow-counter matrices are
+// extremely sparse (a rule row has 1s only for the flows matching it),
+// so all heavy products are computed in CSR form.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	val        []float64
+}
+
+// Triplet is one (row, col, value) entry for sparse construction.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR builds a CSR matrix from triplets. Duplicate (row, col) entries
+// are summed. Entries with zero value are kept out.
+func NewCSR(rows, cols int, entries []Triplet) (*CSR, error) {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("matrix: triplet (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols)
+		}
+	}
+	sorted := make([]Triplet, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		v := sorted[i].Val
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		if v != 0 {
+			m.colIdx = append(m.colIdx, sorted[i].Col)
+			m.val = append(m.val, v)
+			m.rowPtr[sorted[i].Row+1]++
+		}
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	return m, nil
+}
+
+// Rows reports the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols reports the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ reports the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.val) }
+
+// RowNNZ reports the number of non-zeros in row i.
+func (m *CSR) RowNNZ(i int) int { return m.rowPtr[i+1] - m.rowPtr[i] }
+
+// RowEntries invokes fn for every stored entry of row i.
+func (m *CSR) RowEntries(i int, fn func(col int, v float64)) {
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		fn(m.colIdx[k], m.val[k])
+	}
+}
+
+// At returns element (i, j) (zero when not stored).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if k < hi && m.colIdx[k] == j {
+		return m.val[k]
+	}
+	return 0
+}
+
+// MulVec computes m * x.
+func (m *CSR) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("matrix: csr mulvec dims %dx%d vs %d", m.rows, m.cols, len(x))
+	}
+	y := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k] * x[m.colIdx[k]]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// TMulVec computes mᵀ * x.
+func (m *CSR) TMulVec(x []float64) ([]float64, error) {
+	if len(x) != m.rows {
+		return nil, fmt.Errorf("matrix: csr tmulvec dims %dx%d vs %d", m.rows, m.cols, len(x))
+	}
+	y := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			y[m.colIdx[k]] += m.val[k] * xi
+		}
+	}
+	return y, nil
+}
+
+// Gram computes mᵀ * m as a dense symmetric matrix by accumulating the
+// outer product of every sparse row. Cost is Σᵢ nnz(rowᵢ)², which is
+// small for FCMs because a rule matches a bounded number of flows.
+func (m *CSR) Gram() *Dense {
+	g := NewDense(m.cols, m.cols)
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		for a := lo; a < hi; a++ {
+			ca, va := m.colIdx[a], m.val[a]
+			grow := g.Row(ca)
+			for b := lo; b < hi; b++ {
+				grow[m.colIdx[b]] += va * m.val[b]
+			}
+		}
+	}
+	return g
+}
+
+// ToDense expands the matrix to dense form (for tests and small
+// examples).
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			d.Set(i, m.colIdx[k], m.val[k])
+		}
+	}
+	return d
+}
+
+// SubMatrix extracts the CSR sub-matrix with the given row and column
+// subsets (in the given order). Column indices are remapped to the
+// position of each column in cols. This implements FCM slicing (§IV-B).
+func (m *CSR) SubMatrix(rows, cols []int) (*CSR, error) {
+	colPos := make(map[int]int, len(cols))
+	for p, c := range cols {
+		if c < 0 || c >= m.cols {
+			return nil, fmt.Errorf("matrix: submatrix col %d outside %d", c, m.cols)
+		}
+		colPos[c] = p
+	}
+	var entries []Triplet
+	for p, r := range rows {
+		if r < 0 || r >= m.rows {
+			return nil, fmt.Errorf("matrix: submatrix row %d outside %d", r, m.rows)
+		}
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			if cp, ok := colPos[m.colIdx[k]]; ok {
+				entries = append(entries, Triplet{Row: p, Col: cp, Val: m.val[k]})
+			}
+		}
+	}
+	return NewCSR(len(rows), len(cols), entries)
+}
+
+// AppendColumn returns a new CSR with one extra column whose entries are
+// given by rows with value 1 (used to form H̃ = H ∪ {h'} for the
+// detectability analysis).
+func (m *CSR) AppendColumn(rowsWithOne []int) (*CSR, error) {
+	entries := make([]Triplet, 0, m.NNZ()+len(rowsWithOne))
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			entries = append(entries, Triplet{Row: i, Col: m.colIdx[k], Val: m.val[k]})
+		}
+	}
+	for _, r := range rowsWithOne {
+		entries = append(entries, Triplet{Row: r, Col: m.cols, Val: 1})
+	}
+	return NewCSR(m.rows, m.cols+1, entries)
+}
+
+// Column returns the row indices of non-zero entries in column j, in
+// ascending order.
+func (m *CSR) Column(j int) []int {
+	var out []int
+	for i := 0; i < m.rows; i++ {
+		if m.At(i, j) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package openflow
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"foces/internal/flowtable"
+)
+
+// DefaultTimeout bounds each synchronous client request.
+const DefaultTimeout = 5 * time.Second
+
+// Client is the controller/collector-side endpoint: synchronous typed
+// requests over one control connection, with XID matching. Safe for
+// concurrent use.
+type Client struct {
+	conn    *Conn
+	timeout time.Duration
+
+	mu      sync.Mutex
+	nextXID uint32
+	pending map[uint32]chan Message
+
+	readErr  error
+	readDone chan struct{}
+	closed   bool
+
+	packetInHandler func(*PacketIn, uint32)
+	handlerWG       sync.WaitGroup
+}
+
+// SetPacketInHandler registers a callback for unsolicited packet-in
+// messages. The handler runs on its own goroutine (so it may issue
+// requests on this client) and receives the message XID to echo in
+// SendPacketOut once it has installed rules. Must be set before the
+// first packet-in arrives.
+func (c *Client) SetPacketInHandler(h func(pi *PacketIn, xid uint32)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.packetInHandler = h
+}
+
+// SendPacketOut releases a packet-in by echoing its XID. Fire and
+// forget: the agent does not reply.
+func (c *Client) SendPacketOut(xid uint32) error {
+	return c.conn.Write(Message{Type: TypePacketOut, XID: xid})
+}
+
+// NewClient wraps a transport connection and starts the reader.
+func NewClient(raw net.Conn, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	c := &Client{
+		conn:     NewConn(raw),
+		timeout:  timeout,
+		pending:  make(map[uint32]chan Message),
+		readDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close terminates the connection; in-flight requests fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readDone
+	c.handlerWG.Wait()
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	for {
+		msg, err := c.conn.Read()
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for xid, ch := range c.pending {
+				close(ch)
+				delete(c.pending, xid)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if msg.Type == TypePacketIn {
+			// Agent-initiated; never matches a pending request. Run the
+			// handler off the read loop so it can issue requests here.
+			pi, ok := msg.Payload.(*PacketIn)
+			c.mu.Lock()
+			h := c.packetInHandler
+			c.mu.Unlock()
+			if ok && h != nil {
+				c.handlerWG.Add(1)
+				xid := msg.XID
+				go func() {
+					defer c.handlerWG.Done()
+					h(pi, xid)
+				}()
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[msg.XID]
+		if ok {
+			delete(c.pending, msg.XID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+		// Other unsolicited messages are dropped.
+	}
+}
+
+// roundTrip sends a request and waits for its matching reply.
+func (c *Client) roundTrip(t MsgType, payload Payload) (Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Message{}, errors.New("openflow: client closed")
+	}
+	c.nextXID++
+	xid := c.nextXID
+	ch := make(chan Message, 1)
+	c.pending[xid] = ch
+	c.mu.Unlock()
+
+	if err := c.conn.Write(Message{Type: t, XID: xid, Payload: payload}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		return Message{}, err
+	}
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			return Message{}, fmt.Errorf("openflow: connection failed: %w", err)
+		}
+		if em, isErr := reply.Payload.(*ErrorMsg); isErr {
+			return Message{}, em
+		}
+		return reply, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		return Message{}, fmt.Errorf("openflow: %v timed out after %v", t, c.timeout)
+	}
+}
+
+// Hello performs the version handshake.
+func (c *Client) Hello() error {
+	reply, err := c.roundTrip(TypeHello, nil)
+	if err != nil {
+		return err
+	}
+	if reply.Type != TypeHello {
+		return fmt.Errorf("openflow: hello answered with %v", reply.Type)
+	}
+	return nil
+}
+
+// Echo verifies liveness.
+func (c *Client) Echo() error {
+	reply, err := c.roundTrip(TypeEchoRequest, nil)
+	if err != nil {
+		return err
+	}
+	if reply.Type != TypeEchoReply {
+		return fmt.Errorf("openflow: echo answered with %v", reply.Type)
+	}
+	return nil
+}
+
+// Features fetches the switch description.
+func (c *Client) Features() (*FeaturesReply, error) {
+	reply, err := c.roundTrip(TypeFeaturesRequest, nil)
+	if err != nil {
+		return nil, err
+	}
+	fr, ok := reply.Payload.(*FeaturesReply)
+	if !ok {
+		return nil, fmt.Errorf("openflow: features answered with %v", reply.Type)
+	}
+	return fr, nil
+}
+
+// InstallRule sends a FlowMod(add) and waits for the ack.
+func (c *Client) InstallRule(r flowtable.Rule) error {
+	_, err := c.roundTrip(TypeFlowMod, &FlowMod{Command: FlowAdd, Rule: r})
+	return err
+}
+
+// DeleteRule sends a FlowMod(delete) and waits for the ack.
+func (c *Client) DeleteRule(id int) error {
+	_, err := c.roundTrip(TypeFlowMod, &FlowMod{Command: FlowDelete, Rule: flowtable.Rule{ID: id}})
+	return err
+}
+
+// FlowStats fetches the switch's rule counters.
+func (c *Client) FlowStats() (*FlowStatsReply, error) {
+	reply, err := c.roundTrip(TypeFlowStatsRequest, nil)
+	if err != nil {
+		return nil, err
+	}
+	fr, ok := reply.Payload.(*FlowStatsReply)
+	if !ok {
+		return nil, fmt.Errorf("openflow: flow stats answered with %v", reply.Type)
+	}
+	return fr, nil
+}
+
+// PortStats fetches the switch's port counters.
+func (c *Client) PortStats() (*PortStatsReply, error) {
+	reply, err := c.roundTrip(TypePortStatsRequest, nil)
+	if err != nil {
+		return nil, err
+	}
+	pr, ok := reply.Payload.(*PortStatsReply)
+	if !ok {
+		return nil, fmt.Errorf("openflow: port stats answered with %v", reply.Type)
+	}
+	return pr, nil
+}

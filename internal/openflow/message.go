@@ -1,0 +1,342 @@
+// Package openflow implements a compact OpenFlow-inspired control
+// channel between the controller/collector and switch agents: framed
+// binary messages over any net.Conn, carrying feature discovery, rule
+// installation (FlowMod) and the flow/port statistics requests that
+// FOCES' statistics collector issues every detection period. The paper
+// uses Floodlight's REST API for this glue; the protocol here plays
+// that role with stdlib only.
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+// Version is the protocol version byte.
+const Version = 1
+
+// MsgType enumerates control messages.
+type MsgType uint8
+
+// Message types.
+const (
+	TypeHello MsgType = iota + 1
+	TypeEchoRequest
+	TypeEchoReply
+	TypeFeaturesRequest
+	TypeFeaturesReply
+	TypeFlowMod
+	TypeFlowStatsRequest
+	TypeFlowStatsReply
+	TypePortStatsRequest
+	TypePortStatsReply
+	TypeError
+	// TypePacketIn is sent by an agent to the controller when a packet
+	// misses the flow table (reactive mode). The XID correlates the
+	// controller's eventual TypePacketOut release.
+	TypePacketIn
+	// TypePacketOut releases a buffered packet-in after the controller
+	// has installed rules; its XID echoes the packet-in's.
+	TypePacketOut
+)
+
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		TypeHello:            "hello",
+		TypeEchoRequest:      "echo-request",
+		TypeEchoReply:        "echo-reply",
+		TypeFeaturesRequest:  "features-request",
+		TypeFeaturesReply:    "features-reply",
+		TypeFlowMod:          "flow-mod",
+		TypeFlowStatsRequest: "flow-stats-request",
+		TypeFlowStatsReply:   "flow-stats-reply",
+		TypePortStatsRequest: "port-stats-request",
+		TypePortStatsReply:   "port-stats-reply",
+		TypeError:            "error",
+		TypePacketIn:         "packet-in",
+		TypePacketOut:        "packet-out",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("type-%d", uint8(t))
+}
+
+// Message is one framed control message. Payload is one of the typed
+// payload structs below (nil for bodyless messages).
+type Message struct {
+	Type    MsgType
+	XID     uint32
+	Payload Payload
+}
+
+// Payload is a typed message body.
+type Payload interface {
+	encode() ([]byte, error)
+}
+
+// FeaturesReply describes a switch.
+type FeaturesReply struct {
+	Switch   topo.SwitchID
+	NumPorts uint32
+	NumRules uint32
+}
+
+func (p *FeaturesReply) encode() ([]byte, error) {
+	buf := make([]byte, 12)
+	binary.BigEndian.PutUint32(buf, uint32(p.Switch))
+	binary.BigEndian.PutUint32(buf[4:], p.NumPorts)
+	binary.BigEndian.PutUint32(buf[8:], p.NumRules)
+	return buf, nil
+}
+
+func decodeFeaturesReply(b []byte) (*FeaturesReply, error) {
+	if len(b) != 12 {
+		return nil, fmt.Errorf("openflow: features-reply body %d bytes, want 12", len(b))
+	}
+	return &FeaturesReply{
+		Switch:   topo.SwitchID(int32(binary.BigEndian.Uint32(b))),
+		NumPorts: binary.BigEndian.Uint32(b[4:]),
+		NumRules: binary.BigEndian.Uint32(b[8:]),
+	}, nil
+}
+
+// FlowModCommand selects the FlowMod operation.
+type FlowModCommand uint8
+
+// FlowMod commands.
+const (
+	FlowAdd FlowModCommand = iota + 1
+	FlowDelete
+)
+
+// FlowMod installs or removes a rule on the agent's switch.
+type FlowMod struct {
+	Command FlowModCommand
+	Rule    flowtable.Rule
+}
+
+func (p *FlowMod) encode() ([]byte, error) {
+	match, err := p.Rule.Match.MarshalBinary()
+	if err != nil && p.Command == FlowAdd {
+		return nil, fmt.Errorf("openflow: flow-mod match: %w", err)
+	}
+	if p.Command == FlowDelete {
+		match = nil
+	}
+	buf := make([]byte, 0, 18+len(match))
+	buf = append(buf, byte(p.Command))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(p.Rule.ID)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(p.Rule.Priority)))
+	buf = append(buf, byte(p.Rule.Action.Type))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(p.Rule.Action.Port)))
+	buf = append(buf, match...)
+	return buf, nil
+}
+
+func decodeFlowMod(b []byte) (*FlowMod, error) {
+	if len(b) < 14 {
+		return nil, fmt.Errorf("openflow: flow-mod body %d bytes, want >= 14", len(b))
+	}
+	p := &FlowMod{Command: FlowModCommand(b[0])}
+	if p.Command != FlowAdd && p.Command != FlowDelete {
+		return nil, fmt.Errorf("openflow: bad flow-mod command %d", b[0])
+	}
+	p.Rule.ID = int(int32(binary.BigEndian.Uint32(b[1:])))
+	p.Rule.Priority = int(int32(binary.BigEndian.Uint32(b[5:])))
+	p.Rule.Action.Type = flowtable.ActionType(b[9])
+	p.Rule.Action.Port = int(int32(binary.BigEndian.Uint32(b[10:])))
+	if p.Command == FlowAdd {
+		sp, n, err := header.UnmarshalSpace(b[14:])
+		if err != nil {
+			return nil, fmt.Errorf("openflow: flow-mod match: %w", err)
+		}
+		if 14+n != len(b) {
+			return nil, fmt.Errorf("openflow: flow-mod trailing %d bytes", len(b)-14-n)
+		}
+		p.Rule.Match = sp
+	}
+	return p, nil
+}
+
+// FlowStat is one rule's counter.
+type FlowStat struct {
+	RuleID  int
+	Packets uint64
+}
+
+// FlowStatsReply carries all rule counters of a switch.
+type FlowStatsReply struct {
+	Switch topo.SwitchID
+	Stats  []FlowStat
+}
+
+func (p *FlowStatsReply) encode() ([]byte, error) {
+	buf := make([]byte, 0, 8+12*len(p.Stats))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(p.Switch)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Stats)))
+	for _, s := range p.Stats {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(s.RuleID)))
+		buf = binary.BigEndian.AppendUint64(buf, s.Packets)
+	}
+	return buf, nil
+}
+
+func decodeFlowStatsReply(b []byte) (*FlowStatsReply, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("openflow: flow-stats-reply body %d bytes", len(b))
+	}
+	p := &FlowStatsReply{Switch: topo.SwitchID(int32(binary.BigEndian.Uint32(b)))}
+	n := int(binary.BigEndian.Uint32(b[4:]))
+	if len(b) != 8+12*n {
+		return nil, fmt.Errorf("openflow: flow-stats-reply body %d bytes for %d stats", len(b), n)
+	}
+	p.Stats = make([]FlowStat, n)
+	for i := 0; i < n; i++ {
+		off := 8 + 12*i
+		p.Stats[i].RuleID = int(int32(binary.BigEndian.Uint32(b[off:])))
+		p.Stats[i].Packets = binary.BigEndian.Uint64(b[off+4:])
+	}
+	return p, nil
+}
+
+// PortStat is one port's counters.
+type PortStat struct {
+	Port   int
+	Rx, Tx uint64
+}
+
+// PortStatsReply carries all port counters of a switch.
+type PortStatsReply struct {
+	Switch topo.SwitchID
+	Stats  []PortStat
+}
+
+func (p *PortStatsReply) encode() ([]byte, error) {
+	buf := make([]byte, 0, 8+20*len(p.Stats))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(p.Switch)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Stats)))
+	for _, s := range p.Stats {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(s.Port)))
+		buf = binary.BigEndian.AppendUint64(buf, s.Rx)
+		buf = binary.BigEndian.AppendUint64(buf, s.Tx)
+	}
+	return buf, nil
+}
+
+func decodePortStatsReply(b []byte) (*PortStatsReply, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("openflow: port-stats-reply body %d bytes", len(b))
+	}
+	p := &PortStatsReply{Switch: topo.SwitchID(int32(binary.BigEndian.Uint32(b)))}
+	n := int(binary.BigEndian.Uint32(b[4:]))
+	if len(b) != 8+20*n {
+		return nil, fmt.Errorf("openflow: port-stats-reply body %d bytes for %d stats", len(b), n)
+	}
+	p.Stats = make([]PortStat, n)
+	for i := 0; i < n; i++ {
+		off := 8 + 20*i
+		p.Stats[i].Port = int(int32(binary.BigEndian.Uint32(b[off:])))
+		p.Stats[i].Rx = binary.BigEndian.Uint64(b[off+4:])
+		p.Stats[i].Tx = binary.BigEndian.Uint64(b[off+12:])
+	}
+	return p, nil
+}
+
+// PacketIn notifies the controller of a table miss at a switch.
+type PacketIn struct {
+	Switch topo.SwitchID
+	InPort int // -1 when the ingress port is unknown
+	Packet header.Packet
+}
+
+func (p *PacketIn) encode() ([]byte, error) {
+	pkt, err := p.Packet.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("openflow: packet-in: %w", err)
+	}
+	buf := make([]byte, 0, 8+len(pkt))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(p.Switch)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(p.InPort)))
+	return append(buf, pkt...), nil
+}
+
+func decodePacketIn(b []byte) (*PacketIn, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("openflow: packet-in body %d bytes", len(b))
+	}
+	p := &PacketIn{
+		Switch: topo.SwitchID(int32(binary.BigEndian.Uint32(b))),
+		InPort: int(int32(binary.BigEndian.Uint32(b[4:]))),
+	}
+	pkt, n, err := header.UnmarshalPacket(b[8:])
+	if err != nil {
+		return nil, fmt.Errorf("openflow: packet-in: %w", err)
+	}
+	if 8+n != len(b) {
+		return nil, fmt.Errorf("openflow: packet-in trailing %d bytes", len(b)-8-n)
+	}
+	p.Packet = pkt
+	return p, nil
+}
+
+// ErrorMsg reports a failure to the peer.
+type ErrorMsg struct {
+	Code uint16
+	Text string
+}
+
+// Error codes.
+const (
+	ErrCodeBadRequest uint16 = iota + 1
+	ErrCodeFlowModFailed
+)
+
+func (p *ErrorMsg) encode() ([]byte, error) {
+	buf := make([]byte, 0, 2+len(p.Text))
+	buf = binary.BigEndian.AppendUint16(buf, p.Code)
+	return append(buf, p.Text...), nil
+}
+
+func decodeErrorMsg(b []byte) (*ErrorMsg, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("openflow: error body %d bytes", len(b))
+	}
+	return &ErrorMsg{Code: binary.BigEndian.Uint16(b), Text: string(b[2:])}, nil
+}
+
+// Error makes ErrorMsg usable as a Go error when surfaced by clients.
+func (p *ErrorMsg) Error() string {
+	return fmt.Sprintf("openflow: peer error %d: %s", p.Code, p.Text)
+}
+
+// decodePayload decodes a message body by type. Bodyless types return
+// nil.
+func decodePayload(t MsgType, b []byte) (Payload, error) {
+	switch t {
+	case TypeHello, TypeEchoRequest, TypeEchoReply, TypeFeaturesRequest,
+		TypeFlowStatsRequest, TypePortStatsRequest, TypePacketOut:
+		if len(b) != 0 {
+			return nil, fmt.Errorf("openflow: %v must have empty body, got %d bytes", t, len(b))
+		}
+		return nil, nil
+	case TypeFeaturesReply:
+		return decodeFeaturesReply(b)
+	case TypeFlowMod:
+		return decodeFlowMod(b)
+	case TypeFlowStatsReply:
+		return decodeFlowStatsReply(b)
+	case TypePortStatsReply:
+		return decodePortStatsReply(b)
+	case TypeError:
+		return decodeErrorMsg(b)
+	case TypePacketIn:
+		return decodePacketIn(b)
+	default:
+		return nil, fmt.Errorf("openflow: unknown message type %d", t)
+	}
+}

@@ -1,0 +1,130 @@
+package openflow
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"foces/internal/header"
+)
+
+func TestPacketInRoundTripOverWire(t *testing.T) {
+	network := newNet(t)
+	agent, err := NewAgent(network, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, c := net.Pipe()
+	agent.Go(a)
+	client := NewClient(c, time.Second)
+	defer func() {
+		client.Close()
+		agent.Close()
+	}()
+
+	var mu sync.Mutex
+	var got *PacketIn
+	client.SetPacketInHandler(func(pi *PacketIn, xid uint32) {
+		mu.Lock()
+		got = pi
+		mu.Unlock()
+		if err := client.SendPacketOut(xid); err != nil {
+			t.Error(err)
+		}
+	})
+
+	// The handshake guarantees the agent has registered the session
+	// before the packet-in is raised.
+	if err := client.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := layout.PacketWithField(header.NewPacket(layout.Width()), header.FieldDstIP, header.IPv4(10, 0, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.RaisePacketIn(3, pkt, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got == nil || got.Switch != 0 || got.InPort != 3 {
+		t.Fatalf("packet-in = %+v", got)
+	}
+	v, err := layout.PacketField(got.Packet, header.FieldDstIP)
+	if err != nil || v != header.IPv4(10, 0, 0, 2) {
+		t.Fatalf("packet payload lost: %v %v", v, err)
+	}
+}
+
+func TestRaisePacketInTimesOutWithoutHandler(t *testing.T) {
+	network := newNet(t)
+	agent, err := NewAgent(network, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, c := net.Pipe()
+	agent.Go(a)
+	client := NewClient(c, time.Second)
+	defer func() {
+		client.Close()
+		agent.Close()
+	}()
+	if err := client.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	// No handler registered: nobody ever sends the PacketOut.
+	pkt := header.NewPacket(layout.Width())
+	start := time.Now()
+	err = agent.RaisePacketIn(-1, pkt, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("unanswered packet-in must time out")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took far too long")
+	}
+}
+
+func TestRaisePacketInOnClosedAgent(t *testing.T) {
+	network := newNet(t)
+	agent, err := NewAgent(network, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.Close()
+	if err := agent.RaisePacketIn(-1, header.NewPacket(layout.Width()), time.Second); err == nil {
+		t.Fatal("closed agent must error")
+	}
+}
+
+func TestPacketInDecodeRejectsGarbage(t *testing.T) {
+	if _, err := decodePacketIn([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short packet-in must error")
+	}
+	if _, err := decodePacketIn(make([]byte, 12)); err == nil {
+		t.Fatal("truncated packet must error")
+	}
+	// Trailing bytes after a valid packet.
+	pkt, err := header.NewPacket(8).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 8)
+	body = append(body, pkt...)
+	body = append(body, 0xFF)
+	if _, err := decodePacketIn(body); err == nil {
+		t.Fatal("trailing bytes must error")
+	}
+}
+
+func TestPacketOutWithUnknownXIDIsIgnored(t *testing.T) {
+	network := newNet(t)
+	_, client := startPair(t, network, 0)
+	if err := client.SendPacketOut(12345); err != nil {
+		t.Fatal(err)
+	}
+	// The agent must still answer subsequent requests.
+	if err := client.Echo(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package persist serializes a FOCES deployment's detection baseline —
+// topology, header layout and controller rules — as a self-contained
+// JSON document. Loading re-runs FCM generation, so a cached baseline
+// is always internally consistent with the code that reads it (no risk
+// of a stale matrix disagreeing with its own metadata).
+//
+// The topology is stored as a replayable construction log (AddSwitch /
+// Connect / AddHost in an order that reproduces the exact port
+// numbering), derived from the built graph.
+package persist
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"foces/internal/fcm"
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+// formatVersion guards against reading documents written by an
+// incompatible build.
+const formatVersion = 1
+
+// document is the on-disk shape.
+type document struct {
+	Version int        `json:"version"`
+	Name    string     `json:"name"`
+	Layout  []fieldDTO `json:"layout"`
+	Ops     []opDTO    `json:"topology_ops"`
+	Rules   []ruleDTO  `json:"rules"`
+}
+
+type fieldDTO struct {
+	Name  string `json:"name"`
+	Width int    `json:"width"`
+}
+
+// opDTO is one topology construction step. Kind is "switch", "link" or
+// "host".
+type opDTO struct {
+	Kind string `json:"kind"`
+	Name string `json:"name,omitempty"`
+	Tier string `json:"tier,omitempty"`
+	A    int    `json:"a,omitempty"`
+	B    int    `json:"b,omitempty"`
+	IP   uint64 `json:"ip,omitempty"`
+}
+
+type ruleDTO struct {
+	ID       int    `json:"id"`
+	Switch   int    `json:"switch"`
+	Priority int    `json:"priority"`
+	Match    string `json:"match"` // hex of header.Space.MarshalBinary
+	Action   int    `json:"action"`
+	Port     int    `json:"port"`
+}
+
+// Save writes the deployment baseline (topology + layout + rules) of
+// the FCM to w.
+func Save(w io.Writer, t *topo.Topology, layout *header.Layout, rules []flowtable.Rule) error {
+	ops, err := constructionLog(t)
+	if err != nil {
+		return err
+	}
+	doc := document{Version: formatVersion, Name: t.Name()}
+	for _, f := range layout.Fields() {
+		doc.Layout = append(doc.Layout, fieldDTO{Name: f.Name, Width: f.Width})
+	}
+	doc.Ops = ops
+	for _, r := range rules {
+		raw, err := r.Match.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("persist: rule %d match: %w", r.ID, err)
+		}
+		doc.Rules = append(doc.Rules, ruleDTO{
+			ID:       r.ID,
+			Switch:   int(r.Switch),
+			Priority: r.Priority,
+			Match:    hex.EncodeToString(raw),
+			Action:   int(r.Action.Type),
+			Port:     r.Action.Port,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// Load reads a baseline document, rebuilds the topology and rules, and
+// regenerates the FCM.
+func Load(r io.Reader) (*fcm.FCM, *topo.Topology, *header.Layout, []flowtable.Rule, error) {
+	var doc document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("persist: decode: %w", err)
+	}
+	if doc.Version != formatVersion {
+		return nil, nil, nil, nil, fmt.Errorf("persist: unsupported format version %d", doc.Version)
+	}
+	fields := make([]header.Field, 0, len(doc.Layout))
+	for _, f := range doc.Layout {
+		fields = append(fields, header.Field{Name: f.Name, Width: f.Width})
+	}
+	layout, err := header.NewLayout(fields...)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("persist: layout: %w", err)
+	}
+	b := topo.NewBuilder(doc.Name)
+	var switches []topo.SwitchID
+	for _, op := range doc.Ops {
+		switch op.Kind {
+		case "switch":
+			switches = append(switches, b.AddSwitch(op.Name, op.Tier))
+		case "link":
+			if op.A < 0 || op.A >= len(switches) || op.B < 0 || op.B >= len(switches) {
+				return nil, nil, nil, nil, fmt.Errorf("persist: link references unknown switch (%d, %d)", op.A, op.B)
+			}
+			b.Connect(switches[op.A], switches[op.B])
+		case "host":
+			if op.A < 0 || op.A >= len(switches) {
+				return nil, nil, nil, nil, fmt.Errorf("persist: host references unknown switch %d", op.A)
+			}
+			b.AddHost(op.Name, op.IP, switches[op.A])
+		default:
+			return nil, nil, nil, nil, fmt.Errorf("persist: unknown op kind %q", op.Kind)
+		}
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("persist: rebuild topology: %w", err)
+	}
+	rules := make([]flowtable.Rule, 0, len(doc.Rules))
+	for _, rd := range doc.Rules {
+		raw, err := hex.DecodeString(rd.Match)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("persist: rule %d match hex: %w", rd.ID, err)
+		}
+		sp, _, err := header.UnmarshalSpace(raw)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("persist: rule %d match: %w", rd.ID, err)
+		}
+		rules = append(rules, flowtable.Rule{
+			ID:       rd.ID,
+			Switch:   topo.SwitchID(rd.Switch),
+			Priority: rd.Priority,
+			Match:    sp,
+			Action:   flowtable.Action{Type: flowtable.ActionType(rd.Action), Port: rd.Port},
+		})
+	}
+	f, err := fcm.Generate(t, layout, rules)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("persist: regenerate fcm: %w", err)
+	}
+	return f, t, layout, rules, nil
+}
+
+// constructionLog derives a replayable op sequence from a built
+// topology that reproduces the exact per-switch port numbering: every
+// switch's ports must be created in their original order, so link and
+// host ops are scheduled so that each op consumes the next pending
+// port on every switch it touches.
+func constructionLog(t *topo.Topology) ([]opDTO, error) {
+	ops := make([]opDTO, 0, t.NumSwitches()+t.NumHosts())
+	for _, s := range t.Switches() {
+		ops = append(ops, opDTO{Kind: "switch", Name: s.Name, Tier: s.Tier})
+	}
+	// next[s] is the next port index of switch s awaiting replay;
+	// nextHost is the next host ID awaiting replay (host IDs are dense
+	// creation order, so replaying them out of order would renumber
+	// hosts).
+	next := make([]int, t.NumSwitches())
+	nextHost := topo.HostID(0)
+	remaining := 0
+	for _, s := range t.Switches() {
+		remaining += s.NumPorts()
+	}
+	for remaining > 0 {
+		progressed := false
+		for _, s := range t.Switches() {
+			blocked := false
+			for !blocked && next[s.ID] < s.NumPorts() {
+				port := next[s.ID]
+				peer, err := t.PeerAt(s.ID, port)
+				if err != nil {
+					return nil, err
+				}
+				switch peer.Kind {
+				case topo.PeerHost:
+					if peer.Host != nextHost {
+						// An earlier host must be replayed first.
+						blocked = true
+						continue
+					}
+					h, err := t.Host(peer.Host)
+					if err != nil {
+						return nil, err
+					}
+					ops = append(ops, opDTO{Kind: "host", Name: h.Name, A: int(s.ID), IP: h.IP})
+					nextHost++
+					next[s.ID]++
+					remaining--
+					progressed = true
+				case topo.PeerSwitch:
+					// Replayable only when the peer's next pending port
+					// is exactly the far end of this link.
+					if peer.Switch == s.ID {
+						return nil, fmt.Errorf("persist: self link at switch %d", s.ID)
+					}
+					if next[peer.Switch] == peer.Port {
+						ops = append(ops, opDTO{Kind: "link", A: int(s.ID), B: int(peer.Switch)})
+						next[s.ID]++
+						next[peer.Switch]++
+						remaining -= 2
+						progressed = true
+					} else {
+						// Blocked on the peer; move to the next switch.
+						blocked = true
+					}
+				default:
+					return nil, fmt.Errorf("persist: unconnected port %d on switch %d", port, s.ID)
+				}
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("persist: could not derive construction order (port dependency cycle)")
+		}
+	}
+	return ops, nil
+}

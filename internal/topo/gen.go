@@ -1,0 +1,344 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"foces/internal/header"
+)
+
+// hostIP allocates sequential addresses in 10.0.0.0/8.
+func hostIP(i int) uint64 {
+	i++ // skip .0.0.0
+	return header.IPv4(10, byte(i>>16), byte(i>>8), byte(i))
+}
+
+// FatTree builds the standard k-ary fat-tree: (k/2)^2 core switches, k
+// pods of k/2 aggregation and k/2 edge switches, and k/2 hosts per edge
+// switch. k must be even and >= 2. FatTree(4) matches Table I: 20
+// switches, 16 hosts.
+func FatTree(k int) (*Topology, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fat-tree arity must be even and >= 2, got %d", k)
+	}
+	b := NewBuilder(fmt.Sprintf("FatTree(%d)", k))
+	half := k / 2
+	core := make([]SwitchID, half*half)
+	for i := range core {
+		core[i] = b.AddSwitch(fmt.Sprintf("core%d", i), "core")
+	}
+	hostN := 0
+	for pod := 0; pod < k; pod++ {
+		aggs := make([]SwitchID, half)
+		for j := 0; j < half; j++ {
+			aggs[j] = b.AddSwitch(fmt.Sprintf("agg%d_%d", pod, j), "agg")
+			// Aggregation switch j serves core group j.
+			for c := 0; c < half; c++ {
+				b.Connect(aggs[j], core[j*half+c])
+			}
+		}
+		for j := 0; j < half; j++ {
+			edge := b.AddSwitch(fmt.Sprintf("edge%d_%d", pod, j), "edge")
+			for _, a := range aggs {
+				b.Connect(edge, a)
+			}
+			for h := 0; h < half; h++ {
+				b.AddHost(fmt.Sprintf("h%d_%d_%d", pod, j, h), hostIP(hostN), edge)
+				hostN++
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BCube builds BCube(n, k): n^(k+1) hosts and (k+1)*n^k level switches.
+// Hosts forward in BCube, so each host is modelled as a proxy switch
+// (tier "hostproxy") with the real host attached, matching the paper's
+// OVS-based setup. BCube(4, 1) therefore has 8 + 16 = 24 switches and 16
+// hosts (Table I's BCube(1,4)).
+func BCube(n, k int) (*Topology, error) {
+	if n < 2 || k < 0 {
+		return nil, fmt.Errorf("topo: bcube needs n >= 2, k >= 0; got n=%d k=%d", n, k)
+	}
+	b := NewBuilder(fmt.Sprintf("BCube(%d,%d)", k, n))
+	numHosts := pow(n, k+1)
+	proxies := make([]SwitchID, numHosts)
+	for h := 0; h < numHosts; h++ {
+		proxies[h] = b.AddSwitch(fmt.Sprintf("srv%d", h), "hostproxy")
+	}
+	// Level-l switch group has n^k switches. Switch (l, s) connects the n
+	// hosts whose digit string with digit l removed equals s.
+	for l := 0; l <= k; l++ {
+		for s := 0; s < pow(n, k); s++ {
+			sw := b.AddSwitch(fmt.Sprintf("sw%d_%d", l, s), "level")
+			for d := 0; d < n; d++ {
+				b.Connect(sw, proxies[insertDigit(s, d, l, n)])
+			}
+		}
+	}
+	for h := 0; h < numHosts; h++ {
+		b.AddHost(fmt.Sprintf("h%d", h), hostIP(h), proxies[h])
+	}
+	return b.Build()
+}
+
+// insertDigit inserts digit d at position l (base n) into the digit
+// string encoded by s.
+func insertDigit(s, d, l, n int) int {
+	lowMod := pow(n, l)
+	high, low := s/lowMod, s%lowMod
+	return high*lowMod*n + d*lowMod + low
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// DCell builds DCell(n, 1): n+1 DCell_0 units, each with one
+// mini-switch and n forwarding servers, with one cross link per server
+// pair of units. Servers are modelled as proxy switches with attached
+// hosts, so DCell(4, 1) has 5 + 20 = 25 switches and 20 hosts
+// (Table I's DCell(1,4)).
+func DCell(n int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topo: dcell needs n >= 2, got %d", n)
+	}
+	b := NewBuilder(fmt.Sprintf("DCell(1,%d)", n))
+	units := n + 1
+	servers := make([][]SwitchID, units)
+	hostN := 0
+	for u := 0; u < units; u++ {
+		mini := b.AddSwitch(fmt.Sprintf("mini%d", u), "mini")
+		servers[u] = make([]SwitchID, n)
+		for s := 0; s < n; s++ {
+			srv := b.AddSwitch(fmt.Sprintf("srv%d_%d", u, s), "hostproxy")
+			servers[u][s] = srv
+			b.Connect(srv, mini)
+		}
+	}
+	// Standard DCell_1 wiring: for i < j, connect server j-1 of unit i to
+	// server i of unit j.
+	for i := 0; i < units; i++ {
+		for j := i + 1; j < units; j++ {
+			b.Connect(servers[i][j-1], servers[j][i])
+		}
+	}
+	for u := 0; u < units; u++ {
+		for s := 0; s < n; s++ {
+			b.AddHost(fmt.Sprintf("h%d_%d", u, s), hostIP(hostN), servers[u][s])
+			hostN++
+		}
+	}
+	return b.Build()
+}
+
+// Stanford builds a synthesized 26-switch backbone sized like the
+// Stanford campus network used in the paper (Table I row 1): 2 core
+// routers, 10 backbone routers each dual-homed to the cores, and 14
+// zone routers each dual-homed to two backbone routers, with one host
+// per switch. The real Stanford configs are not redistributable; this
+// deterministic stand-in matches the published switch/host/flow counts
+// and a comparable diameter.
+func Stanford() (*Topology, error) {
+	b := NewBuilder("Stanford")
+	core := [2]SwitchID{
+		b.AddSwitch("core0", "core"),
+		b.AddSwitch("core1", "core"),
+	}
+	b.Connect(core[0], core[1])
+	backbone := make([]SwitchID, 10)
+	for i := range backbone {
+		backbone[i] = b.AddSwitch(fmt.Sprintf("bb%d", i), "backbone")
+		b.Connect(backbone[i], core[i%2])
+		b.Connect(backbone[i], core[(i+1)%2])
+	}
+	zones := make([]SwitchID, 14)
+	for i := range zones {
+		zones[i] = b.AddSwitch(fmt.Sprintf("zone%d", i), "zone")
+		b.Connect(zones[i], backbone[i%10])
+		b.Connect(zones[i], backbone[(i+3)%10])
+	}
+	all := append(append(core[:], backbone...), zones...)
+	for i, sw := range all {
+		b.AddHost(fmt.Sprintf("h%d", i), hostIP(i), sw)
+	}
+	return b.Build()
+}
+
+// Linear builds a chain of n switches with hostsPer hosts attached to
+// each switch. Useful for tests and worked examples.
+func Linear(n, hostsPer int) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topo: linear needs n >= 1, got %d", n)
+	}
+	b := NewBuilder(fmt.Sprintf("Linear(%d)", n))
+	prev := SwitchID(-1)
+	hostN := 0
+	for i := 0; i < n; i++ {
+		sw := b.AddSwitch(fmt.Sprintf("s%d", i), "")
+		if prev >= 0 {
+			b.Connect(prev, sw)
+		}
+		for h := 0; h < hostsPer; h++ {
+			b.AddHost(fmt.Sprintf("h%d_%d", i, h), hostIP(hostN), sw)
+			hostN++
+		}
+		prev = sw
+	}
+	return b.Build()
+}
+
+// Ring builds a cycle of n switches (n >= 3) with hostsPer hosts each.
+func Ring(n, hostsPer int) (*Topology, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topo: ring needs n >= 3, got %d", n)
+	}
+	b := NewBuilder(fmt.Sprintf("Ring(%d)", n))
+	ids := make([]SwitchID, n)
+	hostN := 0
+	for i := 0; i < n; i++ {
+		ids[i] = b.AddSwitch(fmt.Sprintf("s%d", i), "")
+	}
+	for i := 0; i < n; i++ {
+		b.Connect(ids[i], ids[(i+1)%n])
+	}
+	for i := 0; i < n; i++ {
+		for h := 0; h < hostsPer; h++ {
+			b.AddHost(fmt.Sprintf("h%d_%d", i, h), hostIP(hostN), ids[i])
+			hostN++
+		}
+	}
+	return b.Build()
+}
+
+// Grid builds a rows x cols mesh with one host per switch.
+func Grid(rows, cols int) (*Topology, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topo: grid needs positive dims, got %dx%d", rows, cols)
+	}
+	b := NewBuilder(fmt.Sprintf("Grid(%dx%d)", rows, cols))
+	ids := make([]SwitchID, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			ids[r*cols+c] = b.AddSwitch(fmt.Sprintf("s%d_%d", r, c), "")
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.Connect(ids[r*cols+c], ids[r*cols+c+1])
+			}
+			if r+1 < rows {
+				b.Connect(ids[r*cols+c], ids[(r+1)*cols+c])
+			}
+		}
+	}
+	for i, id := range ids {
+		b.AddHost(fmt.Sprintf("h%d", i), hostIP(i), id)
+	}
+	return b.Build()
+}
+
+// Jellyfish builds a seeded random degree-regular topology of n
+// switches with hostsPer hosts each (Singla et al., "Jellyfish:
+// Networking Data Centers Randomly"). It exercises FOCES on
+// unstructured fabrics where no tier symmetry helps the detector. The
+// construction retries stub matching until the graph is simple and
+// connected, so the same seed always yields the same network.
+func Jellyfish(n, degree, hostsPer int, seed int64) (*Topology, error) {
+	if n < 3 || degree < 2 || degree >= n {
+		return nil, fmt.Errorf("topo: jellyfish needs 3 <= n, 2 <= degree < n; got n=%d degree=%d", n, degree)
+	}
+	if n*degree%2 != 0 {
+		return nil, fmt.Errorf("topo: jellyfish needs n*degree even; got %d*%d", n, degree)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const maxAttempts = 200
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		edges, ok := randomRegularEdges(rng, n, degree)
+		if !ok {
+			continue
+		}
+		b := NewBuilder(fmt.Sprintf("Jellyfish(%d,%d)", n, degree))
+		ids := make([]SwitchID, n)
+		for i := range ids {
+			ids[i] = b.AddSwitch(fmt.Sprintf("s%d", i), "")
+		}
+		for _, e := range edges {
+			b.Connect(ids[e[0]], ids[e[1]])
+		}
+		hostN := 0
+		for i := 0; i < n; i++ {
+			for h := 0; h < hostsPer; h++ {
+				b.AddHost(fmt.Sprintf("h%d_%d", i, h), hostIP(hostN), ids[i])
+				hostN++
+			}
+		}
+		top, err := b.Build()
+		if err != nil {
+			continue // disconnected draw; retry
+		}
+		return top, nil
+	}
+	return nil, fmt.Errorf("topo: jellyfish(%d,%d) failed to converge after %d attempts", n, degree, maxAttempts)
+}
+
+// randomRegularEdges pairs stubs uniformly at random, rejecting self
+// loops and parallel edges.
+func randomRegularEdges(rng *rand.Rand, n, degree int) ([][2]int, bool) {
+	stubs := make([]int, 0, n*degree)
+	for v := 0; v < n; v++ {
+		for d := 0; d < degree; d++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	seen := make(map[[2]int]bool, len(stubs)/2)
+	edges := make([][2]int, 0, len(stubs)/2)
+	for i := 0; i < len(stubs); i += 2 {
+		a, b := stubs[i], stubs[i+1]
+		if a == b {
+			return nil, false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if seen[key] {
+			return nil, false
+		}
+		seen[key] = true
+		edges = append(edges, key)
+	}
+	return edges, true
+}
+
+// ByName builds one of the four evaluation topologies by its paper name:
+// "stanford", "fattree4", "bcube14", "dcell14", or parameterized
+// "fattree<k>".
+func ByName(name string) (*Topology, error) {
+	switch name {
+	case "stanford":
+		return Stanford()
+	case "fattree4":
+		return FatTree(4)
+	case "fattree8":
+		return FatTree(8)
+	case "bcube14":
+		return BCube(4, 1)
+	case "dcell14":
+		return DCell(4)
+	default:
+		return nil, fmt.Errorf("topo: unknown topology %q", name)
+	}
+}
+
+// EvaluationTopologies lists the four Table I topology names in paper
+// order.
+func EvaluationTopologies() []string {
+	return []string{"stanford", "fattree4", "bcube14", "dcell14"}
+}

@@ -1,0 +1,83 @@
+package topo
+
+import "testing"
+
+func TestJellyfishStructure(t *testing.T) {
+	top, err := Jellyfish(20, 4, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumSwitches() != 20 || top.NumHosts() != 20 {
+		t.Fatalf("dims %d/%d", top.NumSwitches(), top.NumHosts())
+	}
+	// Degree-regular: every switch has degree links + hostsPer host port.
+	for _, s := range top.Switches() {
+		if s.NumPorts() != 5 {
+			t.Fatalf("switch %s has %d ports, want 5", s.Name, s.NumPorts())
+		}
+	}
+	if top.NumLinks() != 20*4/2 {
+		t.Fatalf("links = %d", top.NumLinks())
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJellyfishDeterministic(t *testing.T) {
+	a, err := Jellyfish(12, 3, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Jellyfish(12, 3, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range a.Switches() {
+		an := a.Neighbors(s.ID)
+		bn := b.Neighbors(s.ID)
+		if len(an) != len(bn) {
+			t.Fatal("same seed produced different graphs")
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatal("same seed produced different graphs")
+			}
+		}
+	}
+	c, err := Jellyfish(12, 3, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for _, s := range a.Switches() {
+		an, cn := a.Neighbors(s.ID), c.Neighbors(s.ID)
+		if len(an) != len(cn) {
+			same = false
+			break
+		}
+		for i := range an {
+			if an[i] != cn[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestJellyfishValidation(t *testing.T) {
+	if _, err := Jellyfish(2, 2, 1, 1); err == nil {
+		t.Fatal("n < 3 must error")
+	}
+	if _, err := Jellyfish(10, 1, 1, 1); err == nil {
+		t.Fatal("degree < 2 must error")
+	}
+	if _, err := Jellyfish(10, 10, 1, 1); err == nil {
+		t.Fatal("degree >= n must error")
+	}
+	if _, err := Jellyfish(5, 3, 1, 1); err == nil {
+		t.Fatal("odd stub count must error")
+	}
+}

@@ -1,0 +1,251 @@
+package topo
+
+import "fmt"
+
+// ShortestPath returns a deterministic shortest switch path from src to
+// dst inclusive, using BFS with ties broken toward the lowest-ID
+// predecessor. It returns an error when no path exists.
+func (t *Topology) ShortestPath(src, dst SwitchID) ([]SwitchID, error) {
+	if _, err := t.Switch(src); err != nil {
+		return nil, err
+	}
+	if _, err := t.Switch(dst); err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return []SwitchID{src}, nil
+	}
+	prev := t.bfsFrom(src)
+	if prev[dst] == -2 {
+		return nil, fmt.Errorf("topo: no path from switch %d to %d", src, dst)
+	}
+	return assemble(prev, src, dst), nil
+}
+
+// bfsFrom runs BFS from src and returns the predecessor array (-2 means
+// unreached, -1 marks the source). Neighbour lists are sorted, so the
+// resulting shortest-path tree is deterministic.
+func (t *Topology) bfsFrom(src SwitchID) []SwitchID {
+	prev := make([]SwitchID, len(t.switches))
+	for i := range prev {
+		prev[i] = -2
+	}
+	prev[src] = -1
+	queue := make([]SwitchID, 0, len(t.switches))
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range t.adj[cur] {
+			if prev[n] == -2 {
+				prev[n] = cur
+				queue = append(queue, n)
+			}
+		}
+	}
+	return prev
+}
+
+func assemble(prev []SwitchID, src, dst SwitchID) []SwitchID {
+	var rev []SwitchID
+	for cur := dst; cur != -1; cur = prev[cur] {
+		rev = append(rev, cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathTree holds the deterministic shortest-path tree rooted at one
+// destination switch: for every other switch, the next hop toward the
+// root. Controllers use destination-rooted trees so that rules computed
+// per destination agree across sources (per-destination aggregation).
+type PathTree struct {
+	Root SwitchID
+	// Next[sw] is the next hop from sw toward Root; Next[Root] = Root.
+	// Unreachable switches map to -2.
+	Next []SwitchID
+	// Dist[sw] is the hop distance from sw to Root (-1 if unreachable).
+	Dist []int
+}
+
+// TreeTo builds a shortest-path tree toward root. Among equal-cost
+// next hops, each switch picks one deterministically by hashing
+// (switch, root), which spreads per-destination trees across parallel
+// fabric paths the way ECMP hashing does in real fat-tree deployments.
+func (t *Topology) TreeTo(root SwitchID) (*PathTree, error) {
+	if _, err := t.Switch(root); err != nil {
+		return nil, err
+	}
+	dist := t.bfsDist(root)
+	tree := &PathTree{Root: root, Next: make([]SwitchID, len(t.switches)), Dist: dist}
+	for i := range tree.Next {
+		sw := SwitchID(i)
+		switch {
+		case sw == root:
+			tree.Next[sw] = root
+		case dist[sw] < 0:
+			tree.Next[sw] = -2
+		default:
+			cands := t.downhillNeighbors(sw, dist)
+			tree.Next[sw] = cands[int(mix64(uint64(sw)<<32|uint64(root))%uint64(len(cands)))]
+		}
+	}
+	return tree, nil
+}
+
+// bfsDist returns hop distances from root (-1 when unreachable).
+func (t *Topology) bfsDist(root SwitchID) []int {
+	dist := make([]int, len(t.switches))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := make([]SwitchID, 0, len(t.switches))
+	queue = append(queue, root)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range t.adj[cur] {
+			if dist[n] < 0 {
+				dist[n] = dist[cur] + 1
+				queue = append(queue, n)
+			}
+		}
+	}
+	return dist
+}
+
+// downhillNeighbors lists sw's neighbors one hop closer to the BFS
+// root, in ascending ID order.
+func (t *Topology) downhillNeighbors(sw SwitchID, dist []int) []SwitchID {
+	var out []SwitchID
+	for _, n := range t.adj[sw] {
+		if dist[n] >= 0 && dist[n] == dist[sw]-1 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// mix64 is the splitmix64 finalizer, used for deterministic ECMP
+// hashing.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ECMPPath returns a deterministic shortest path from src to dst whose
+// equal-cost choices are selected by hashing key at every hop, so
+// different keys (flows) spread across parallel paths while the same
+// key always takes the same path.
+func (t *Topology) ECMPPath(src, dst SwitchID, key uint64) ([]SwitchID, error) {
+	if _, err := t.Switch(src); err != nil {
+		return nil, err
+	}
+	if _, err := t.Switch(dst); err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return []SwitchID{src}, nil
+	}
+	dist := t.bfsDist(dst)
+	if dist[src] < 0 {
+		return nil, fmt.Errorf("topo: no path from switch %d to %d", src, dst)
+	}
+	path := make([]SwitchID, 0, dist[src]+1)
+	cur := src
+	for hop := uint64(0); ; hop++ {
+		path = append(path, cur)
+		if cur == dst {
+			return path, nil
+		}
+		cands := t.downhillNeighbors(cur, dist)
+		cur = cands[int(mix64(key^mix64(uint64(cur))^hop)%uint64(len(cands)))]
+	}
+}
+
+// ECMPHostPath returns the ECMP switch path for traffic from host a to
+// host b, keyed by the host pair.
+func (t *Topology) ECMPHostPath(a, b HostID) ([]SwitchID, error) {
+	ha, err := t.Host(a)
+	if err != nil {
+		return nil, err
+	}
+	hb, err := t.Host(b)
+	if err != nil {
+		return nil, err
+	}
+	return t.ECMPPath(ha.Attach, hb.Attach, uint64(a)<<32|uint64(b))
+}
+
+// PathVia returns the switch path from src to the tree's root.
+func (pt *PathTree) PathVia(src SwitchID) ([]SwitchID, error) {
+	if int(src) >= len(pt.Next) || src < 0 || pt.Next[src] == -2 {
+		return nil, fmt.Errorf("topo: switch %d unreachable from root %d", src, pt.Root)
+	}
+	path := []SwitchID{src}
+	for cur := src; cur != pt.Root; {
+		cur = pt.Next[cur]
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// HostPath returns the switch path carrying traffic from host a to host
+// b, from a's attachment switch to b's attachment switch inclusive.
+func (t *Topology) HostPath(a, b HostID) ([]SwitchID, error) {
+	ha, err := t.Host(a)
+	if err != nil {
+		return nil, err
+	}
+	hb, err := t.Host(b)
+	if err != nil {
+		return nil, err
+	}
+	return t.ShortestPath(ha.Attach, hb.Attach)
+}
+
+// Diameter returns the longest shortest-path hop count over all switch
+// pairs (0 for single-switch networks).
+func (t *Topology) Diameter() int {
+	max := 0
+	for _, s := range t.switches {
+		tree, err := t.TreeTo(s.ID)
+		if err != nil {
+			continue
+		}
+		for _, d := range tree.Dist {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// AvgPathLength returns the mean shortest-path hop count over all
+// ordered host pairs (a measure used to sanity-check generators).
+func (t *Topology) AvgPathLength() float64 {
+	total, count := 0, 0
+	for _, src := range t.hosts {
+		for _, dst := range t.hosts {
+			if src.ID == dst.ID {
+				continue
+			}
+			p, err := t.HostPath(src.ID, dst.ID)
+			if err != nil {
+				continue
+			}
+			total += len(p) - 1
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(total) / float64(count)
+}

@@ -1,0 +1,326 @@
+// Package topo models SDN network topologies: switches, hosts, ports and
+// links, with deterministic shortest-path routing queries. It provides
+// generators for the four topologies used in the FOCES evaluation
+// (a Stanford-like backbone, FatTree(k), BCube(n,k), DCell(n,1)) plus
+// small synthetic shapes for tests.
+//
+// BCube and DCell are server-centric designs in which hosts forward
+// traffic. As in the paper's Mininet setup, each forwarding host is
+// modelled as a proxy switch with a single attached host, which is why
+// BCube(1,4) has 24 switches for 16 hosts and DCell(1,4) has 25 switches
+// for 20 hosts (Table I).
+package topo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// SwitchID identifies a switch within a topology. IDs are dense and
+// start at 0 in creation order.
+type SwitchID int
+
+// HostID identifies a host within a topology. IDs are dense and start
+// at 0 in creation order.
+type HostID int
+
+// PeerKind distinguishes what sits on the far side of a port.
+type PeerKind int
+
+// Peer kinds.
+const (
+	PeerNone PeerKind = iota // unconnected port
+	PeerSwitch
+	PeerHost
+)
+
+// Peer describes the entity attached to a switch port.
+type Peer struct {
+	Kind   PeerKind
+	Switch SwitchID // valid when Kind == PeerSwitch
+	Port   int      // peer's local port number when Kind == PeerSwitch
+	Host   HostID   // valid when Kind == PeerHost
+}
+
+// Switch is a forwarding element.
+type Switch struct {
+	ID    SwitchID
+	Name  string
+	Tier  string // optional role label: "core", "agg", "edge", "hostproxy", ...
+	ports []Peer // index = local port number
+}
+
+// NumPorts reports how many ports have been allocated on the switch.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// Host is an end host attached to exactly one switch port.
+type Host struct {
+	ID     HostID
+	Name   string
+	IP     uint64 // packed IPv4
+	Attach SwitchID
+	Port   int // local port number on Attach
+}
+
+// Topology is an immutable network graph built via Builder.
+type Topology struct {
+	name     string
+	switches []*Switch
+	hosts    []*Host
+	// adj[sw] lists neighbouring switches in ascending ID order for
+	// deterministic BFS.
+	adj map[SwitchID][]SwitchID
+	// portTo[sw][nbr] is the local port on sw that leads to nbr. With
+	// parallel links the lowest-numbered port wins.
+	portTo map[SwitchID]map[SwitchID]int
+}
+
+// Name reports the topology's name.
+func (t *Topology) Name() string { return t.name }
+
+// NumSwitches reports the number of switches.
+func (t *Topology) NumSwitches() int { return len(t.switches) }
+
+// NumHosts reports the number of hosts.
+func (t *Topology) NumHosts() int { return len(t.hosts) }
+
+// Switches returns the switches in ID order. The returned slice is
+// shared; callers must not mutate it.
+func (t *Topology) Switches() []*Switch { return t.switches }
+
+// Hosts returns hosts in ID order. The returned slice is shared; callers
+// must not mutate it.
+func (t *Topology) Hosts() []*Host { return t.hosts }
+
+// Switch returns the switch with the given ID.
+func (t *Topology) Switch(id SwitchID) (*Switch, error) {
+	if id < 0 || int(id) >= len(t.switches) {
+		return nil, fmt.Errorf("topo: no switch %d", id)
+	}
+	return t.switches[id], nil
+}
+
+// Host returns the host with the given ID.
+func (t *Topology) Host(id HostID) (*Host, error) {
+	if id < 0 || int(id) >= len(t.hosts) {
+		return nil, fmt.Errorf("topo: no host %d", id)
+	}
+	return t.hosts[id], nil
+}
+
+// HostByIP returns the host with the given packed IPv4 address.
+func (t *Topology) HostByIP(ip uint64) (*Host, bool) {
+	for _, h := range t.hosts {
+		if h.IP == ip {
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+// PeerAt reports what is connected at the given switch port.
+func (t *Topology) PeerAt(sw SwitchID, port int) (Peer, error) {
+	s, err := t.Switch(sw)
+	if err != nil {
+		return Peer{}, err
+	}
+	if port < 0 || port >= len(s.ports) {
+		return Peer{}, fmt.Errorf("topo: switch %d has no port %d", sw, port)
+	}
+	return s.ports[port], nil
+}
+
+// PortToward returns the local port on from that leads directly to the
+// neighbouring switch to.
+func (t *Topology) PortToward(from, to SwitchID) (int, error) {
+	p, ok := t.portTo[from][to]
+	if !ok {
+		return 0, fmt.Errorf("topo: switch %d has no link to switch %d", from, to)
+	}
+	return p, nil
+}
+
+// Neighbors returns the neighbouring switch IDs of sw in ascending
+// order. The returned slice is shared; callers must not mutate it.
+func (t *Topology) Neighbors(sw SwitchID) []SwitchID { return t.adj[sw] }
+
+// Validate checks structural invariants: every host attached to a valid
+// switch/port, links symmetric, and the switch graph connected (when
+// there is at least one switch).
+func (t *Topology) Validate() error {
+	for _, h := range t.hosts {
+		p, err := t.PeerAt(h.Attach, h.Port)
+		if err != nil {
+			return fmt.Errorf("topo: host %q: %w", h.Name, err)
+		}
+		if p.Kind != PeerHost || p.Host != h.ID {
+			return fmt.Errorf("topo: host %q attach port does not point back", h.Name)
+		}
+	}
+	for _, s := range t.switches {
+		for port, p := range s.ports {
+			if p.Kind != PeerSwitch {
+				continue
+			}
+			back, err := t.PeerAt(p.Switch, p.Port)
+			if err != nil {
+				return fmt.Errorf("topo: switch %q port %d: %w", s.Name, port, err)
+			}
+			if back.Kind != PeerSwitch || back.Switch != s.ID || back.Port != port {
+				return fmt.Errorf("topo: asymmetric link at switch %q port %d", s.Name, port)
+			}
+		}
+	}
+	if len(t.switches) == 0 {
+		return nil
+	}
+	seen := make(map[SwitchID]bool, len(t.switches))
+	queue := []SwitchID{t.switches[0].ID}
+	seen[t.switches[0].ID] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range t.adj[cur] {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	if len(seen) != len(t.switches) {
+		return fmt.Errorf("topo: switch graph disconnected: reached %d of %d", len(seen), len(t.switches))
+	}
+	return nil
+}
+
+// NumLinks counts distinct switch-to-switch links.
+func (t *Topology) NumLinks() int {
+	n := 0
+	for _, s := range t.switches {
+		for _, p := range s.ports {
+			if p.Kind == PeerSwitch {
+				n++
+			}
+		}
+	}
+	return n / 2
+}
+
+// Builder incrementally constructs a Topology.
+type Builder struct {
+	t   *Topology
+	err error
+}
+
+// NewBuilder returns a Builder for a topology with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{t: &Topology{
+		name:   name,
+		adj:    make(map[SwitchID][]SwitchID),
+		portTo: make(map[SwitchID]map[SwitchID]int),
+	}}
+}
+
+// AddSwitch creates a switch and returns its ID.
+func (b *Builder) AddSwitch(name, tier string) SwitchID {
+	id := SwitchID(len(b.t.switches))
+	b.t.switches = append(b.t.switches, &Switch{ID: id, Name: name, Tier: tier})
+	return id
+}
+
+// Connect links two switches with a fresh port on each side.
+func (b *Builder) Connect(a, c SwitchID) {
+	if b.err != nil {
+		return
+	}
+	if err := b.check(a); err != nil {
+		b.err = err
+		return
+	}
+	if err := b.check(c); err != nil {
+		b.err = err
+		return
+	}
+	if a == c {
+		b.err = fmt.Errorf("topo: self-link on switch %d", a)
+		return
+	}
+	sa, sc := b.t.switches[a], b.t.switches[c]
+	pa, pc := len(sa.ports), len(sc.ports)
+	sa.ports = append(sa.ports, Peer{Kind: PeerSwitch, Switch: c, Port: pc})
+	sc.ports = append(sc.ports, Peer{Kind: PeerSwitch, Switch: a, Port: pa})
+	b.t.adj[a] = insertSorted(b.t.adj[a], c)
+	b.t.adj[c] = insertSorted(b.t.adj[c], a)
+	if b.t.portTo[a] == nil {
+		b.t.portTo[a] = make(map[SwitchID]int)
+	}
+	if b.t.portTo[c] == nil {
+		b.t.portTo[c] = make(map[SwitchID]int)
+	}
+	if _, ok := b.t.portTo[a][c]; !ok {
+		b.t.portTo[a][c] = pa
+	}
+	if _, ok := b.t.portTo[c][a]; !ok {
+		b.t.portTo[c][a] = pc
+	}
+}
+
+// AddHost creates a host with the given packed IPv4 address and attaches
+// it to a fresh port on sw.
+func (b *Builder) AddHost(name string, ip uint64, sw SwitchID) HostID {
+	if b.err != nil {
+		return -1
+	}
+	if err := b.check(sw); err != nil {
+		b.err = err
+		return -1
+	}
+	for _, h := range b.t.hosts {
+		if h.IP == ip {
+			b.err = fmt.Errorf("topo: duplicate host IP %d (%q and %q)", ip, h.Name, name)
+			return -1
+		}
+	}
+	id := HostID(len(b.t.hosts))
+	s := b.t.switches[sw]
+	port := len(s.ports)
+	s.ports = append(s.ports, Peer{Kind: PeerHost, Host: id})
+	b.t.hosts = append(b.t.hosts, &Host{ID: id, Name: name, IP: ip, Attach: sw, Port: port})
+	return id
+}
+
+func (b *Builder) check(id SwitchID) error {
+	if id < 0 || int(id) >= len(b.t.switches) {
+		return fmt.Errorf("topo: unknown switch %d", id)
+	}
+	return nil
+}
+
+// Build finalizes and validates the topology. The Builder must not be
+// used afterwards.
+func (b *Builder) Build() (*Topology, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.t == nil {
+		return nil, errors.New("topo: builder already consumed")
+	}
+	t := b.t
+	b.t = nil
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func insertSorted(s []SwitchID, v SwitchID) []SwitchID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,358 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("t")
+	s0 := b.AddSwitch("s0", "")
+	s1 := b.AddSwitch("s1", "")
+	b.Connect(s0, s1)
+	h := b.AddHost("h0", hostIP(0), s0)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumSwitches() != 2 || top.NumHosts() != 1 || top.NumLinks() != 1 {
+		t.Fatalf("got %d switches %d hosts %d links", top.NumSwitches(), top.NumHosts(), top.NumLinks())
+	}
+	hh, err := top.Host(h)
+	if err != nil || hh.Attach != s0 {
+		t.Fatalf("host attach = %v err=%v", hh, err)
+	}
+	p, err := top.PortToward(s0, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := top.PeerAt(s0, p)
+	if err != nil || peer.Kind != PeerSwitch || peer.Switch != s1 {
+		t.Fatalf("peer = %+v err=%v", peer, err)
+	}
+	back, err := top.PeerAt(s1, peer.Port)
+	if err != nil || back.Switch != s0 {
+		t.Fatalf("back peer = %+v err=%v", back, err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("t")
+	s0 := b.AddSwitch("s0", "")
+	b.Connect(s0, s0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("self link must fail build")
+	}
+
+	b2 := NewBuilder("t2")
+	s := b2.AddSwitch("s0", "")
+	b2.Connect(s, SwitchID(99))
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("unknown switch must fail build")
+	}
+
+	b3 := NewBuilder("t3")
+	s3 := b3.AddSwitch("s0", "")
+	b3.AddHost("h0", 42, s3)
+	b3.AddHost("h1", 42, s3)
+	if _, err := b3.Build(); err == nil {
+		t.Fatal("duplicate IP must fail build")
+	}
+}
+
+func TestDisconnectedValidate(t *testing.T) {
+	b := NewBuilder("t")
+	b.AddSwitch("s0", "")
+	b.AddSwitch("s1", "")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("disconnected graph must fail validation")
+	}
+}
+
+func TestShortestPathLinear(t *testing.T) {
+	top, err := Linear(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := top.ShortestPath(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 5 {
+		t.Fatalf("path len = %d, want 5", len(p))
+	}
+	for i, sw := range p {
+		if sw != SwitchID(i) {
+			t.Fatalf("path[%d] = %d", i, sw)
+		}
+	}
+	same, err := top.ShortestPath(2, 2)
+	if err != nil || len(same) != 1 || same[0] != 2 {
+		t.Fatalf("self path = %v err=%v", same, err)
+	}
+}
+
+func TestShortestPathDeterministic(t *testing.T) {
+	top, err := Ring(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opposite side of an even ring has two equal-cost paths; the
+	// deterministic tie-break must always pick the same one.
+	first, err := top.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p, err := top.ShortestPath(0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) != len(first) {
+			t.Fatalf("nondeterministic path length")
+		}
+		for j := range p {
+			if p[j] != first[j] {
+				t.Fatalf("nondeterministic path: %v vs %v", p, first)
+			}
+		}
+	}
+}
+
+func TestTreeToConsistentWithShortestPath(t *testing.T) {
+	top, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := top.Hosts()[0].Attach
+	tree, err := top.TreeTo(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range top.Switches() {
+		want, err := top.ShortestPath(s.ID, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tree.PathVia(s.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("tree path length %d != bfs %d for switch %d", len(got), len(want), s.ID)
+		}
+		if tree.Dist[s.ID] != len(want)-1 {
+			t.Fatalf("tree dist %d != %d", tree.Dist[s.ID], len(want)-1)
+		}
+	}
+}
+
+func TestTableITopologySizes(t *testing.T) {
+	cases := []struct {
+		name            string
+		switches, hosts int
+		flows           int // ordered host pairs
+	}{
+		{"stanford", 26, 26, 650},
+		{"fattree4", 20, 16, 240},
+		{"bcube14", 24, 16, 240},
+		{"dcell14", 25, 20, 380},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			top, err := ByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := top.NumSwitches(); got != tc.switches {
+				t.Errorf("switches = %d, want %d", got, tc.switches)
+			}
+			if got := top.NumHosts(); got != tc.hosts {
+				t.Errorf("hosts = %d, want %d", got, tc.hosts)
+			}
+			if got := top.NumHosts() * (top.NumHosts() - 1); got != tc.flows {
+				t.Errorf("host pairs = %d, want %d", got, tc.flows)
+			}
+			if err := top.Validate(); err != nil {
+				t.Errorf("validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestFatTreeStructure(t *testing.T) {
+	top, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers := map[string]int{}
+	for _, s := range top.Switches() {
+		tiers[s.Tier]++
+	}
+	if tiers["core"] != 4 || tiers["agg"] != 8 || tiers["edge"] != 8 {
+		t.Fatalf("tiers = %v", tiers)
+	}
+	// Every edge switch has 2 hosts + 2 agg links in FatTree(4).
+	for _, s := range top.Switches() {
+		if s.Tier == "edge" && s.NumPorts() != 4 {
+			t.Fatalf("edge switch %s has %d ports, want 4", s.Name, s.NumPorts())
+		}
+	}
+	if d := top.Diameter(); d != 4 {
+		t.Fatalf("fat-tree diameter = %d, want 4", d)
+	}
+}
+
+func TestFatTreeRejectsOdd(t *testing.T) {
+	if _, err := FatTree(3); err == nil {
+		t.Fatal("odd arity must error")
+	}
+	if _, err := FatTree(0); err == nil {
+		t.Fatal("zero arity must error")
+	}
+}
+
+func TestBCubeStructure(t *testing.T) {
+	top, err := BCube(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies, levels := 0, 0
+	for _, s := range top.Switches() {
+		switch s.Tier {
+		case "hostproxy":
+			proxies++
+			// proxy: 1 host port + (k+1)=2 level links.
+			if s.NumPorts() != 3 {
+				t.Fatalf("proxy %s has %d ports, want 3", s.Name, s.NumPorts())
+			}
+		case "level":
+			levels++
+			if s.NumPorts() != 4 {
+				t.Fatalf("level switch %s has %d ports, want 4", s.Name, s.NumPorts())
+			}
+		}
+	}
+	if proxies != 16 || levels != 8 {
+		t.Fatalf("proxies=%d levels=%d", proxies, levels)
+	}
+}
+
+func TestInsertDigit(t *testing.T) {
+	// s encodes remaining digits after removing position l.
+	cases := []struct{ s, d, l, n, want int }{
+		{0, 3, 0, 4, 3},  // digits: (0) with 3 at pos0 -> 03 base4 = 3
+		{1, 2, 0, 4, 6},  // high=1 -> 1*4 + 2 = 6
+		{1, 2, 1, 4, 9},  // low=1, d=2 at pos1 -> 2*4+1 = 9
+		{5, 1, 1, 4, 21}, // s=5 -> high=1,low=1 -> 1*16+1*4+1 = 21
+	}
+	for _, c := range cases {
+		if got := insertDigit(c.s, c.d, c.l, c.n); got != c.want {
+			t.Errorf("insertDigit(%d,%d,%d,%d) = %d, want %d", c.s, c.d, c.l, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDCellStructure(t *testing.T) {
+	top, err := DCell(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each server proxy: 1 mini link + 1 cross link + 1 host = 3 ports.
+	for _, s := range top.Switches() {
+		if s.Tier == "hostproxy" && s.NumPorts() != 3 {
+			t.Fatalf("server %s has %d ports, want 3", s.Name, s.NumPorts())
+		}
+		if s.Tier == "mini" && s.NumPorts() != 4 {
+			t.Fatalf("mini %s has %d ports, want 4", s.Name, s.NumPorts())
+		}
+	}
+}
+
+func TestStanfordShape(t *testing.T) {
+	top, err := Stanford()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := top.Diameter(); d < 2 || d > 6 {
+		t.Fatalf("stanford diameter = %d, want backbone-like 2..6", d)
+	}
+	if avg := top.AvgPathLength(); avg <= 0 || avg > 6 {
+		t.Fatalf("avg path length = %v", avg)
+	}
+}
+
+func TestGridAndRingGenerators(t *testing.T) {
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumSwitches() != 12 || g.NumLinks() != 17 {
+		t.Fatalf("grid: %d switches %d links", g.NumSwitches(), g.NumLinks())
+	}
+	r, err := Ring(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumSwitches() != 5 || r.NumHosts() != 10 || r.NumLinks() != 5 {
+		t.Fatalf("ring: %d/%d/%d", r.NumSwitches(), r.NumHosts(), r.NumLinks())
+	}
+	if _, err := Ring(2, 1); err == nil {
+		t.Fatal("ring(2) must error")
+	}
+	if _, err := Grid(0, 1); err == nil {
+		t.Fatal("grid(0,1) must error")
+	}
+	if _, err := Linear(0, 1); err == nil {
+		t.Fatal("linear(0) must error")
+	}
+	if _, err := DCell(1); err == nil {
+		t.Fatal("dcell(1) must error")
+	}
+	if _, err := BCube(1, 1); err == nil {
+		t.Fatal("bcube(1,1) must error")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown topology must error")
+	}
+	for _, name := range EvaluationTopologies() {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestHostByIP(t *testing.T) {
+	top, err := Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := top.Hosts()[1]
+	got, ok := top.HostByIP(h.IP)
+	if !ok || got.ID != h.ID {
+		t.Fatalf("HostByIP = %v ok=%v", got, ok)
+	}
+	if _, ok := top.HostByIP(1); ok {
+		t.Fatal("absent IP must not resolve")
+	}
+}
+
+func TestHostPathEndpoints(t *testing.T) {
+	top, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := top.Hosts()
+	p, err := top.HostPath(hs[0].ID, hs[len(hs)-1].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != hs[0].Attach || p[len(p)-1] != hs[len(hs)-1].Attach {
+		t.Fatalf("path endpoints wrong: %v", p)
+	}
+	if _, err := top.HostPath(HostID(99), hs[0].ID); err == nil {
+		t.Fatal("unknown host must error")
+	}
+}

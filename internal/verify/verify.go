@@ -1,0 +1,167 @@
+// Package verify implements controller-side intent validation in the
+// ATPG tradition the FCM generator builds on: before trusting a rule
+// set as the detection baseline, confirm that (a) every host pair is
+// actually reachable under it and delivered to the right host, (b) no
+// rule is shadowed (unreachable behind higher-priority rules — such
+// rules never accumulate counters and silently weaken the equation
+// system), and (c) no packet loops. A FOCES deployment should verify
+// intent whenever rules change; an FCM generated from broken intent
+// would flag honest switches.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"foces/internal/fcm"
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+// PairIssueKind classifies a host-pair problem.
+type PairIssueKind int
+
+// Pair issue kinds.
+const (
+	// PairUnreachable: packets miss or are dropped before any host.
+	PairUnreachable PairIssueKind = iota + 1
+	// PairMisdelivered: packets reach a host other than the intended
+	// destination.
+	PairMisdelivered
+	// PairLooped: packets circulate until TTL exhaustion.
+	PairLooped
+)
+
+func (k PairIssueKind) String() string {
+	switch k {
+	case PairUnreachable:
+		return "unreachable"
+	case PairMisdelivered:
+		return "misdelivered"
+	case PairLooped:
+		return "looped"
+	default:
+		return "unknown"
+	}
+}
+
+// PairIssue is one broken host pair.
+type PairIssue struct {
+	Src, Dst topo.HostID
+	Kind     PairIssueKind
+	// DeliveredTo is set for PairMisdelivered.
+	DeliveredTo topo.HostID
+	// LastSwitch is where the walk ended.
+	LastSwitch topo.SwitchID
+}
+
+// Report is the outcome of intent verification.
+type Report struct {
+	// PairsChecked counts ordered host pairs examined.
+	PairsChecked int
+	// PairIssues lists broken pairs in (src, dst) order.
+	PairIssues []PairIssue
+	// ShadowedRules lists rules that can never match any packet because
+	// higher-priority rules on the same switch cover their match, in
+	// ascending rule-ID order.
+	ShadowedRules []int
+}
+
+// OK reports whether the intent passed every check.
+func (r Report) OK() bool {
+	return len(r.PairIssues) == 0 && len(r.ShadowedRules) == 0
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("verify: OK (%d pairs, no shadowed rules)", r.PairsChecked)
+	}
+	return fmt.Sprintf("verify: %d broken pairs, %d shadowed rules", len(r.PairIssues), len(r.ShadowedRules))
+}
+
+// Intent verifies a rule set against its topology.
+func Intent(t *topo.Topology, layout *header.Layout, rules []flowtable.Rule) (Report, error) {
+	tracer, err := fcm.NewTracer(t, rules)
+	if err != nil {
+		return Report{}, err
+	}
+	var report Report
+	for _, src := range t.Hosts() {
+		for _, dst := range t.Hosts() {
+			if src.ID == dst.ID {
+				continue
+			}
+			report.PairsChecked++
+			pkt, err := pairPacket(layout, src.IP, dst.IP)
+			if err != nil {
+				return Report{}, err
+			}
+			d, err := tracer.TraceFull(pkt, src.Attach)
+			if err != nil {
+				return Report{}, err
+			}
+			issue := PairIssue{Src: src.ID, Dst: dst.ID, DeliveredTo: -1, LastSwitch: d.LastSwitch}
+			switch {
+			case d.Outcome == fcm.TraceLooped:
+				issue.Kind = PairLooped
+			case d.Outcome == fcm.TraceMissed || d.Outcome == fcm.TraceDropped:
+				issue.Kind = PairUnreachable
+			case d.Outcome == fcm.TraceDelivered && d.DeliveredTo != dst.ID:
+				issue.Kind = PairMisdelivered
+				issue.DeliveredTo = d.DeliveredTo
+			default:
+				continue // delivered correctly
+			}
+			report.PairIssues = append(report.PairIssues, issue)
+		}
+	}
+	shadowed, err := ShadowedRules(rules)
+	if err != nil {
+		return Report{}, err
+	}
+	report.ShadowedRules = shadowed
+	return report, nil
+}
+
+// ShadowedRules finds rules whose match space is entirely covered by
+// higher-priority rules on the same switch (they can never match a
+// packet). The check is exact, using header-space subtraction.
+func ShadowedRules(rules []flowtable.Rule) ([]int, error) {
+	bySwitch := make(map[topo.SwitchID][]flowtable.Rule)
+	for _, r := range rules {
+		if !r.Match.Valid() {
+			return nil, fmt.Errorf("verify: rule %d has invalid match", r.ID)
+		}
+		bySwitch[r.Switch] = append(bySwitch[r.Switch], r)
+	}
+	var shadowed []int
+	for _, tableRules := range bySwitch {
+		ordered := append([]flowtable.Rule(nil), tableRules...)
+		sort.SliceStable(ordered, func(i, j int) bool {
+			if ordered[i].Priority != ordered[j].Priority {
+				return ordered[i].Priority > ordered[j].Priority
+			}
+			return ordered[i].ID < ordered[j].ID
+		})
+		var covered []header.Space
+		for _, r := range ordered {
+			if len(header.SubtractAll(r.Match, covered)) == 0 {
+				shadowed = append(shadowed, r.ID)
+			}
+			covered = append(covered, r.Match)
+		}
+	}
+	sort.Ints(shadowed)
+	return shadowed, nil
+}
+
+func pairPacket(layout *header.Layout, srcIP, dstIP uint64) (header.Packet, error) {
+	p := header.NewPacket(layout.Width())
+	p, err := layout.PacketWithField(p, header.FieldSrcIP, srcIP)
+	if err != nil {
+		return header.Packet{}, err
+	}
+	return layout.PacketWithField(p, header.FieldDstIP, dstIP)
+}

@@ -1,0 +1,198 @@
+package verify
+
+import (
+	"testing"
+
+	"foces/internal/controller"
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+var layout = header.FiveTuple()
+
+func intentFor(t *testing.T, name string, mode controller.PolicyMode) (*topo.Topology, []flowtable.Rule) {
+	t.Helper()
+	top, err := topo.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := controller.New(top, layout, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ComputeRules(); err != nil {
+		t.Fatal(err)
+	}
+	return top, c.Rules()
+}
+
+func TestCleanIntentVerifies(t *testing.T) {
+	for _, name := range topo.EvaluationTopologies() {
+		for _, mode := range []controller.PolicyMode{controller.PairExact, controller.DestAggregate} {
+			top, rules := intentFor(t, name, mode)
+			rep, err := Intent(top, layout, rules)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, mode, err)
+			}
+			if !rep.OK() {
+				t.Fatalf("%s/%v: %s (issues: %+v, shadowed: %v)",
+					name, mode, rep, rep.PairIssues, rep.ShadowedRules)
+			}
+			want := top.NumHosts() * (top.NumHosts() - 1)
+			if rep.PairsChecked != want {
+				t.Fatalf("%s: checked %d pairs, want %d", name, rep.PairsChecked, want)
+			}
+		}
+	}
+}
+
+func TestMissingRuleReportsUnreachable(t *testing.T) {
+	top, rules := intentFor(t, "fattree4", controller.PairExact)
+	// Drop the first rule: its pair's packets miss at the first hop.
+	broken := rules[1:]
+	for i := range broken {
+		broken[i].ID = i
+	}
+	// Re-densify IDs by rebuilding (Tracer requires dense IDs).
+	rep, err := Intent(top, layout, broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("missing first-hop rule must break a pair")
+	}
+	found := false
+	for _, issue := range rep.PairIssues {
+		if issue.Kind == PairUnreachable {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an unreachable pair, got %+v", rep.PairIssues)
+	}
+}
+
+func TestMisdeliveryDetected(t *testing.T) {
+	// Two hosts on one switch; deliver the pair to the wrong port.
+	b := topo.NewBuilder("misdeliver")
+	s0 := b.AddSwitch("s0", "")
+	h0 := b.AddHost("h0", header.IPv4(10, 0, 0, 1), s0)
+	h1 := b.AddHost("h1", header.IPv4(10, 0, 0, 2), s0)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	host0, _ := top.Host(h0)
+	host1, _ := top.Host(h1)
+	m01, err := pairMatch(host0.IP, host1.IP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m10, err := pairMatch(host1.IP, host0.IP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []flowtable.Rule{
+		// h0 -> h1 delivered back to h0's port: misdelivery.
+		{ID: 0, Switch: s0, Match: m01, Action: flowtable.Action{Type: flowtable.ActionDeliver, Port: host0.Port}},
+		{ID: 1, Switch: s0, Match: m10, Action: flowtable.Action{Type: flowtable.ActionDeliver, Port: host0.Port}},
+	}
+	rep, err := Intent(top, layout, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mis int
+	for _, issue := range rep.PairIssues {
+		if issue.Kind == PairMisdelivered && issue.DeliveredTo == h0 {
+			mis++
+		}
+	}
+	if mis != 1 {
+		t.Fatalf("want exactly one misdelivery (h0->h1), got %+v", rep.PairIssues)
+	}
+}
+
+func TestLoopDetected(t *testing.T) {
+	b := topo.NewBuilder("loop")
+	s0 := b.AddSwitch("s0", "")
+	s1 := b.AddSwitch("s1", "")
+	b.Connect(s0, s1)
+	b.AddHost("h0", header.IPv4(10, 0, 0, 1), s0)
+	b.AddHost("h1", header.IPv4(10, 0, 0, 2), s1)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p01, _ := top.PortToward(s0, s1)
+	p10, _ := top.PortToward(s1, s0)
+	w := layout.Wildcard()
+	rules := []flowtable.Rule{
+		{ID: 0, Switch: s0, Match: w, Action: flowtable.Action{Type: flowtable.ActionOutput, Port: p01}},
+		{ID: 1, Switch: s1, Match: w, Action: flowtable.Action{Type: flowtable.ActionOutput, Port: p10}},
+	}
+	rep, err := Intent(top, layout, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("loop must be reported")
+	}
+	for _, issue := range rep.PairIssues {
+		if issue.Kind != PairLooped {
+			t.Fatalf("want looped issues, got %+v", issue)
+		}
+	}
+}
+
+func TestShadowedRules(t *testing.T) {
+	m, err := layout.MatchExact(layout.Wildcard(), header.FieldDstIP, header.IPv4(10, 0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := layout.MatchPrefix(layout.Wildcard(), header.FieldDstIP, header.IPv4(10, 0, 0, 0), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []flowtable.Rule{
+		{ID: 0, Switch: 0, Priority: 100, Match: prefix, Action: flowtable.Action{Type: flowtable.ActionOutput}},
+		// Exact /32 behind the covering /8: shadowed.
+		{ID: 1, Switch: 0, Priority: 50, Match: m, Action: flowtable.Action{Type: flowtable.ActionOutput}},
+		// Same matches on another switch, reversed priority: NOT shadowed.
+		{ID: 2, Switch: 1, Priority: 100, Match: m, Action: flowtable.Action{Type: flowtable.ActionOutput}},
+		{ID: 3, Switch: 1, Priority: 50, Match: prefix, Action: flowtable.Action{Type: flowtable.ActionOutput}},
+	}
+	shadowed, err := ShadowedRules(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shadowed) != 1 || shadowed[0] != 1 {
+		t.Fatalf("shadowed = %v, want [1]", shadowed)
+	}
+	if _, err := ShadowedRules([]flowtable.Rule{{ID: 0}}); err == nil {
+		t.Fatal("invalid match must error")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	if (Report{PairsChecked: 5}).String() == "" {
+		t.Fatal("empty OK string")
+	}
+	r := Report{PairIssues: []PairIssue{{}}}
+	if r.OK() || r.String() == "" {
+		t.Fatal("broken report misreported")
+	}
+	for _, k := range []PairIssueKind{PairUnreachable, PairMisdelivered, PairLooped, PairIssueKind(0)} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+}
+
+func pairMatch(srcIP, dstIP uint64) (header.Space, error) {
+	m, err := layout.MatchExact(layout.Wildcard(), header.FieldSrcIP, srcIP)
+	if err != nil {
+		return header.Space{}, err
+	}
+	return layout.MatchExact(m, header.FieldDstIP, dstIP)
+}

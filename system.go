@@ -1,0 +1,177 @@
+package foces
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"foces/internal/controller"
+	"foces/internal/core"
+	"foces/internal/dataplane"
+	"foces/internal/fcm"
+	"foces/internal/header"
+	"foces/internal/persist"
+)
+
+// LoadBaseline restores a baseline written by System.SaveBaseline and
+// regenerates its FCM.
+func LoadBaseline(r io.Reader) (*FCM, *Topology, *HeaderLayout, []Rule, error) {
+	return persist.Load(r)
+}
+
+// System bundles the full FOCES pipeline over one network: topology,
+// controller-installed rules, simulated data plane, flow-counter
+// matrix and per-switch slices. It is the high-level entry point for
+// applications; the underlying pieces remain accessible for anything
+// bespoke.
+type System struct {
+	topology *Topology
+	layout   *HeaderLayout
+	control  *Controller
+	network  *Network
+	fcm      *FCM
+	slices   []Slice
+}
+
+// NewSystem computes and installs rules for the topology under the
+// given policy mode, generates the FCM from controller intent, and
+// prepares slices.
+func NewSystem(t *Topology, mode PolicyMode) (*System, error) {
+	layout := header.FiveTuple()
+	ctrl, network, err := controller.Bootstrap(t, layout, mode)
+	if err != nil {
+		return nil, fmt.Errorf("foces: bootstrap: %w", err)
+	}
+	f, err := fcm.Generate(t, layout, ctrl.Rules())
+	if err != nil {
+		return nil, fmt.Errorf("foces: fcm: %w", err)
+	}
+	slices, err := core.BuildSlices(f)
+	if err != nil {
+		return nil, fmt.Errorf("foces: slices: %w", err)
+	}
+	return &System{
+		topology: t,
+		layout:   layout,
+		control:  ctrl,
+		network:  network,
+		fcm:      f,
+		slices:   slices,
+	}, nil
+}
+
+// NewSystemWithPairs is NewSystem restricted to an explicit set of
+// (src, dst) host pairs under the PairExact policy — the knob behind
+// flow-count scaling studies (Fig. 12).
+func NewSystemWithPairs(t *Topology, pairs [][2]HostID) (*System, error) {
+	layout := header.FiveTuple()
+	ctrl, err := controller.New(t, layout, PairExact)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctrl.ComputeRulesForPairs(pairs); err != nil {
+		return nil, err
+	}
+	network := dataplane.NewNetwork(t, layout)
+	if err := ctrl.Install(network); err != nil {
+		return nil, err
+	}
+	f, err := fcm.Generate(t, layout, ctrl.Rules())
+	if err != nil {
+		return nil, err
+	}
+	slices, err := core.BuildSlices(f)
+	if err != nil {
+		return nil, err
+	}
+	return &System{topology: t, layout: layout, control: ctrl, network: network, fcm: f, slices: slices}, nil
+}
+
+// ObserveCountersFor simulates one collection interval restricted to
+// the given traffic matrix.
+func (s *System) ObserveCountersFor(rng *rand.Rand, tm TrafficMatrix) ([]float64, error) {
+	s.network.ResetCounters()
+	if _, err := s.network.Run(rng, tm); err != nil {
+		return nil, err
+	}
+	return s.fcm.CounterVector(s.network.CollectCounters()), nil
+}
+
+// Topology returns the system's topology.
+func (s *System) Topology() *Topology { return s.topology }
+
+// Layout returns the header layout used for matches.
+func (s *System) Layout() *HeaderLayout { return s.layout }
+
+// Controller returns the control plane.
+func (s *System) Controller() *Controller { return s.control }
+
+// Network returns the simulated data plane.
+func (s *System) Network() *Network { return s.network }
+
+// FCM returns the flow-counter matrix.
+func (s *System) FCM() *FCM { return s.fcm }
+
+// Slices returns the per-switch sub-FCMs.
+func (s *System) Slices() []Slice { return s.slices }
+
+// ObserveCounters simulates one collection interval of uniform traffic
+// and returns the counter vector Y' (indexed by rule ID). Counters are
+// reset first, so each call is an independent window.
+func (s *System) ObserveCounters(rng *rand.Rand, packetsPerFlow uint64) ([]float64, error) {
+	s.network.ResetCounters()
+	if _, err := s.network.Run(rng, dataplane.UniformTraffic(s.topology, packetsPerFlow)); err != nil {
+		return nil, err
+	}
+	return s.fcm.CounterVector(s.network.CollectCounters()), nil
+}
+
+// CounterVector converts a rule-ID keyed counter snapshot (e.g. from a
+// live collector) into the ordered vector Y'.
+func (s *System) CounterVector(counters map[int]uint64) []float64 {
+	return s.fcm.CounterVector(counters)
+}
+
+// Detect runs Algorithm 1 on the counter vector.
+func (s *System) Detect(y []float64, opts DetectOptions) (Result, error) {
+	return core.Detect(s.fcm.H, y, opts)
+}
+
+// DetectSliced runs Algorithm 2 with per-switch localization.
+func (s *System) DetectSliced(y []float64, opts DetectOptions) (SlicedOutcome, error) {
+	return core.DetectSliced(s.slices, y, opts)
+}
+
+// InjectRandomAttack draws, applies and returns a random attack of the
+// given kind (for experiments and drills). Revert with
+// Attack.Revert(sys.Network()).
+func (s *System) InjectRandomAttack(rng *rand.Rand, kind AttackKind) (Attack, error) {
+	atk, err := dataplane.RandomAttack(rng, s.network, kind)
+	if err != nil {
+		return Attack{}, err
+	}
+	if err := atk.Apply(s.network); err != nil {
+		return Attack{}, err
+	}
+	return atk, nil
+}
+
+// AnalyzeDetectability evaluates a hypothetical anomaly against this
+// system's FCM.
+func (s *System) AnalyzeDetectability(hPrime []int) (Detectability, error) {
+	return core.AnalyzeDetectability(s.fcm, hPrime)
+}
+
+// SaveBaseline writes the system's detection baseline (topology,
+// header layout, rules) as a self-contained JSON document that
+// LoadBaseline can restore — e.g. to cache FCM generation across
+// restarts or ship a baseline to an offline analyzer.
+func (s *System) SaveBaseline(w io.Writer) error {
+	return persist.Save(w, s.topology, s.layout, s.control.Rules())
+}
+
+// String summarizes the system.
+func (s *System) String() string {
+	return fmt.Sprintf("foces.System(%s, %v, %d flows, %d rules, %d slices)",
+		s.topology.Name(), s.control.Mode(), s.fcm.NumFlows(), s.fcm.NumRules(), len(s.slices))
+}
