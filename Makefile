@@ -1,0 +1,33 @@
+# Developer / CI entry points. `make ci` is the gate: formatting, vet,
+# build, the full test suite under the race detector, and a one-shot
+# run of the detection benchmarks so they cannot rot.
+
+GO ?= go
+
+.PHONY: ci fmt vet build test bench-smoke bench
+
+ci: fmt vet build test bench-smoke
+
+fmt:
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Compile-and-run-once smoke over every Detect* benchmark, including
+# the cold-vs-prepared and sequential-vs-parallel engine comparisons.
+bench-smoke:
+	$(GO) test -run '^$$' -bench Detect -benchtime 1x .
+
+# Full benchmark sweep (slow; not part of ci).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

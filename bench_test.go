@@ -186,6 +186,98 @@ func BenchmarkFig12_DetectionTime(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectColdVsPrepared measures the factor-once/detect-many
+// win on FatTree(8): "cold" re-assembles and re-factors HᵀH on every
+// call (the historical per-period cost), "prepared" reuses the
+// factorization a Detector computed once — the steady-state cost of a
+// production monitor. The prepared path must be >= 5x faster.
+func BenchmarkDetectColdVsPrepared(b *testing.B) {
+	top, err := topo.ByName("fattree8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs, err := experiment.PairSubset(top, 480)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := experiment.NewEnvOn(experiment.Config{Seed: 11, PacketsPerFlow: 100}, top, pairs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := env.Observe(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Detect(env.FCM.H, y, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		det, err := core.NewDetector(env.FCM.H, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := det.Detect(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDetectSlicedColdVsPreparedParallel measures the sliced
+// analogues on FatTree(8): cold sequential per-slice re-factoring
+// (historical DetectSliced), the prepared engine run sequentially
+// (factor-once win alone), and the prepared engine over its
+// GOMAXPROCS worker pool (the production path).
+func BenchmarkDetectSlicedColdVsPreparedParallel(b *testing.B) {
+	top, err := topo.ByName("fattree8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs, err := experiment.PairSubset(top, 480)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := experiment.NewEnvOn(experiment.Config{Seed: 12, PacketsPerFlow: 100}, top, pairs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := env.Observe(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DetectSliced(env.Slices, y, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sd, err := core.NewSlicedDetector(env.Slices, env.FCM.NumRules(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("prepared-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sd.DetectSequential(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sd.Detect(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAblation_Solver compares the least-squares backends on the
 // same system (DESIGN.md ablation: Cholesky normal equations vs
 // conjugate gradient vs Householder QR).

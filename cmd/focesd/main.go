@@ -131,14 +131,26 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Prepare the detection engines once: the factorizations are valid
+	// for as long as the installed rule set (and hence the FCM) stands,
+	// so each period below only pays triangular solves. On a rule
+	// change, regenerate the FCM, slices and both engines.
+	opts := core.Options{Threshold: *threshold}
+	detector, err := core.NewDetector(f.H, opts)
+	if err != nil {
+		return err
+	}
+	slicedDet, err := core.NewSlicedDetector(slices, f.NumRules(), opts)
+	if err != nil {
+		return err
+	}
 
-	fmt.Fprintf(out, "focesd: %s, %d flows, %d rules, %d slices, loss=%s, T=%.1f\n",
-		t.Name(), f.NumFlows(), f.NumRules(), len(slices), experiment.FormatPct(*loss), *threshold)
+	fmt.Fprintf(out, "focesd: %s, %d flows, %d rules, %d slices (%d workers), loss=%s, T=%.1f\n",
+		t.Name(), f.NumFlows(), f.NumRules(), len(slices), slicedDet.Workers(), experiment.FormatPct(*loss), *threshold)
 
 	rng := rand.New(rand.NewSource(*seed))
 	tm := dataplane.UniformTraffic(t, *volume)
 	var active *dataplane.Attack
-	opts := core.Options{Threshold: *threshold}
 	monitor := core.NewMonitor(core.MonitorConfig{Threshold: *threshold, Consecutive: *consecutive})
 
 	headers := []string{"period", "attack", "AI(baseline)", "verdict", "alarm", "AI(sliced)", "suspects"}
@@ -183,13 +195,13 @@ func run(args []string, out io.Writer) error {
 				p, len(missing), len(partial.PresentRows), f.NumRules())
 		} else {
 			var derr error
-			res, derr = core.Detect(f.H, f.CounterVector(counters), opts)
+			res, derr = detector.Detect(f.CounterVector(counters))
 			if derr != nil {
 				return derr
 			}
 		}
 		y := f.CounterVector(counters)
-		sliced, err := core.DetectSliced(slices, y, opts)
+		sliced, err := slicedDet.Detect(y)
 		if err != nil {
 			return err
 		}

@@ -35,6 +35,28 @@
 //	y, _ := sys.ObserveCounters(rng, 1000) // or collect real counters
 //	res, _ := sys.Detect(y, foces.DetectOptions{})
 //	if res.Anomalous { ... }
+//
+// # Steady-state monitoring
+//
+// The flow-counter matrix H only changes when the controller installs
+// rules, so the expensive part of detection — assembling and factoring
+// HᵀH — is done once, not every period. NewSystem prepares the
+// factorizations up front and System.Detect/System.DetectSliced reuse
+// them, so a production monitor is simply:
+//
+//	sys, _ := foces.NewSystem(top, foces.PairExact) // factors once
+//	for range ticker.C {                            // every period
+//		y := sys.CounterVector(collectedCounters)
+//		out, _ := sys.DetectSliced(y, foces.DetectOptions{})
+//		if out.Anomalous { alert(out.Suspects) }
+//	}
+//
+// Each period costs only triangular solves, a sparse mat-vec and order
+// statistics per slice, with slices checked in parallel. After any
+// rule change call sys.RebuildBaseline() — detection against a stale
+// baseline checks the wrong intent and will flag honest switches.
+// Standalone engines over a bare FCM are available via NewDetector and
+// NewSlicedDetector; both are safe for concurrent use.
 package foces
 
 import (
@@ -109,6 +131,10 @@ type (
 	DetectOptions = core.Options
 	// Result is one detection outcome.
 	Result = core.Result
+	// Detector is a prepared factor-once/detect-many Algorithm 1 engine.
+	Detector = core.Detector
+	// SlicedDetector is a prepared, parallel Algorithm 2 engine.
+	SlicedDetector = core.SlicedDetector
 	// Slice is one per-switch sub-FCM.
 	Slice = core.Slice
 	// SlicedOutcome is a sliced detection outcome with localization.
@@ -240,17 +266,41 @@ func VerifyIntent(t *Topology, layout *HeaderLayout, rules []Rule) (IntentReport
 }
 
 // Detect runs the threshold-based detection algorithm (Algorithm 1) on
-// an FCM and observed counter vector.
+// an FCM and observed counter vector. Each call re-factors the normal
+// equations; steady-state monitors should prepare once with
+// NewDetector (or use System, which embeds the prepared engines).
 func Detect(f *FCM, y []float64, opts DetectOptions) (Result, error) {
 	return core.Detect(f.H, y, opts)
+}
+
+// NewDetector prepares a factor-once/detect-many Algorithm 1 engine
+// over the FCM: the O(n³) factorization runs here, and every
+// subsequent Detector.Detect costs only triangular solves, one SpMV
+// and order statistics. Rebuild the engine whenever the rule set (and
+// hence the FCM) changes. Safe for concurrent Detect calls.
+func NewDetector(f *FCM, opts DetectOptions) (*Detector, error) {
+	return core.NewDetector(f.H, opts)
 }
 
 // BuildSlices derives per-switch sub-FCMs for sliced detection (§IV-B).
 func BuildSlices(f *FCM) ([]Slice, error) { return core.BuildSlices(f) }
 
-// DetectSliced runs the sliced detection algorithm (Algorithm 2).
+// DetectSliced runs the sliced detection algorithm (Algorithm 2)
+// sequentially, re-factoring every slice. Steady-state monitors should
+// prepare once with NewSlicedDetector (or use System, which embeds the
+// prepared engines).
 func DetectSliced(slices []Slice, y []float64, opts DetectOptions) (SlicedOutcome, error) {
 	return core.DetectSliced(slices, y, opts)
+}
+
+// NewSlicedDetector prepares a parallel Algorithm 2 engine: every
+// slice's sub-FCM is factored once and bounds-checked against the
+// FCM's rule count, and each Detect fans the slices out over a
+// GOMAXPROCS-bounded worker pool with an outcome identical to a
+// sequential run. Rebuild on any rule change. Safe for concurrent
+// Detect calls.
+func NewSlicedDetector(f *FCM, slices []Slice, opts DetectOptions) (*SlicedDetector, error) {
+	return core.NewSlicedDetector(slices, f.NumRules(), opts)
 }
 
 // AnalyzeDetectability evaluates whether a hypothetical forwarding

@@ -254,3 +254,103 @@ func TestJellyfishEndToEnd(t *testing.T) {
 		t.Fatalf("jellyfish attack missed: %+v %v", res, err)
 	}
 }
+
+func TestSystemPreparedEnginesMatchFreeFunctions(t *testing.T) {
+	sys := newSystem(t, "fattree4", foces.PairExact)
+	if sys.Detector() == nil || sys.SlicedDetector() == nil {
+		t.Fatal("NewSystem must prepare both engines")
+	}
+	rng := rand.New(rand.NewSource(7))
+	y, err := sys.ObserveCounters(rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := sys.Detect(y, foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := foces.Detect(sys.FCM(), y, foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine.Index != free.Index || engine.Anomalous != free.Anomalous {
+		t.Fatalf("engine result (%v, %v) != free result (%v, %v)",
+			engine.Index, engine.Anomalous, free.Index, free.Anomalous)
+	}
+	engineSliced, err := sys.DetectSliced(y, foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeSliced, err := foces.DetectSliced(sys.Slices(), y, foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engineSliced.Anomalous != freeSliced.Anomalous ||
+		engineSliced.MaxIndex() != freeSliced.MaxIndex() ||
+		len(engineSliced.Suspects) != len(freeSliced.Suspects) {
+		t.Fatalf("engine sliced %+v != free sliced %+v", engineSliced, freeSliced)
+	}
+	// Standalone engine constructors agree with the embedded ones.
+	det, err := foces.NewDetector(sys.FCM(), foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	standalone, err := det.Detect(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if standalone.Index != engine.Index {
+		t.Fatalf("standalone index %v != system index %v", standalone.Index, engine.Index)
+	}
+	sdet, err := foces.NewSlicedDetector(sys.FCM(), sys.Slices(), foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	standaloneSliced, err := sdet.Detect(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if standaloneSliced.MaxIndex() != engineSliced.MaxIndex() {
+		t.Fatal("standalone sliced engine diverged from system engine")
+	}
+}
+
+func TestSystemRebuildBaselineOnRuleChange(t *testing.T) {
+	top, err := foces.TopologyByName("fattree4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := foces.NewSystem(top, foces.PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRules := sys.FCM().NumRules()
+	// Shrink the installed intent to a single pair; the old engines are
+	// now stale until RebuildBaseline regenerates them.
+	hosts := top.Hosts()
+	if err := sys.Controller().ComputeRulesForPairs([][2]foces.HostID{{hosts[0].ID, hosts[1].ID}}); err != nil {
+		t.Fatal(err)
+	}
+	if sys.FCM().NumRules() != fullRules {
+		t.Fatal("FCM must be untouched before RebuildBaseline")
+	}
+	if err := sys.RebuildBaseline(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.FCM().NumRules() >= fullRules {
+		t.Fatalf("rebuilt FCM still has %d rules (was %d)", sys.FCM().NumRules(), fullRules)
+	}
+	// The rebuilt engines must accept the new counter-vector length.
+	y := make([]float64, sys.FCM().NumRules())
+	if _, err := sys.Detect(y, foces.DetectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.DetectSliced(y, foces.DetectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// And reject the old one: the stale length no longer fits.
+	stale := make([]float64, fullRules)
+	if _, err := sys.Detect(stale, foces.DetectOptions{}); err == nil {
+		t.Fatal("stale counter vector must be rejected after rebuild")
+	}
+}

@@ -101,14 +101,15 @@ func (o Options) withDefaults(y []float64) Options {
 	return o
 }
 
-// denominator computes the configured denominator statistic of delta.
-func (o Options) denominator(delta []float64) float64 {
+// denominatorInto computes the configured denominator statistic of
+// delta, using scratch as quickselect working storage for the median.
+func (o Options) denominatorInto(scratch, delta []float64) float64 {
 	switch o.Denominator {
 	case DenomMean:
 		m, _ := stats.Mean(delta)
 		return m
 	default:
-		m, _ := stats.Median(delta)
+		m, _ := stats.MedianInto(scratch, delta)
 		return m
 	}
 }
@@ -132,50 +133,19 @@ type Result struct {
 }
 
 // Detect runs Algorithm 1 (Detect_Anomaly_Baseline) on the flow-counter
-// matrix h and observed counter vector y.
+// matrix h and observed counter vector y. It builds a throwaway
+// Detector, so factorization cost is paid on every call — loops that
+// detect repeatedly against fixed rules should construct one Detector
+// and reuse it.
 func Detect(h *matrix.CSR, y []float64, opts Options) (Result, error) {
 	if h.Rows() != len(y) {
 		return Result{}, fmt.Errorf("core: H is %dx%d but y has %d entries", h.Rows(), h.Cols(), len(y))
 	}
-	opts = opts.withDefaults(y)
-	if h.Rows() == 0 {
-		// Nothing to check: an empty system is trivially consistent.
-		return Result{Delta: make([]float64, len(y))}, nil
-	}
-	if h.Cols() == 0 {
-		// No flow is expected to touch these rules, so every counter's
-		// expected value is exactly zero: any observed volume is an
-		// inconsistency no flow-volume estimate can explain (this keeps
-		// Theorem 3 intact for slices of rules outside all flow paths,
-		// like rule r4 in the paper's Fig. 2).
-		delta := make([]float64, len(y))
-		for i, v := range y {
-			delta[i] = math.Abs(v)
-		}
-		res := Result{Delta: delta, YHat: make([]float64, len(y))}
-		res.ErrMax, _ = stats.Max(delta)
-		res.Index = anomalyIndex(res.ErrMax, 0, opts.ZeroTol)
-		res.Anomalous = res.Index > opts.Threshold
-		return res, nil
-	}
-	xHat, err := solve(h, y, opts.Solver)
-	if err != nil {
-		return Result{}, fmt.Errorf("core: volume estimate: %w", err)
-	}
-	yHat, err := h.MulVec(xHat)
+	d, err := NewDetector(h, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	delta, err := matrix.AbsDiff(y, yHat)
-	if err != nil {
-		return Result{}, err
-	}
-	res := Result{Delta: delta, XHat: xHat, YHat: yHat}
-	res.ErrMax, _ = stats.Max(delta)
-	res.ErrMed = opts.denominator(delta)
-	res.Index = anomalyIndex(res.ErrMax, res.ErrMed, opts.ZeroTol)
-	res.Anomalous = res.Index > opts.Threshold
-	return res, nil
+	return d.Detect(y)
 }
 
 // anomalyIndex computes AI = Err_max/Err_med with numeric-zero

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"foces/internal/matrix"
+	"foces/internal/stats"
+	"foces/internal/topo"
+)
+
+// Detector is the prepared form of Algorithm 1 over a fixed flow-counter
+// matrix: the O(n³) normal-equations factorization runs once at
+// construction, after which every Detect call costs one sparse Hᵀy
+// product, two triangular substitutions, one SpMV and order statistics.
+// H only changes when the controller installs rules, so continuous
+// monitors build one Detector per rule generation and reuse it every
+// detection period (rebuild on any rule change — a stale factorization
+// silently checks the wrong intent).
+//
+// A Detector is safe for concurrent Detect calls.
+type Detector struct {
+	h    *matrix.CSR
+	opts Options
+	ls   *matrix.PreparedLS // nil when H is degenerate or the solver is not Cholesky
+	pool sync.Pool          // *detectScratch
+}
+
+// detectScratch is the per-call reusable workspace; pooled so
+// concurrent Detect calls never share buffers.
+type detectScratch struct {
+	ws  []float64 // triangular-solve workspace, len = Cols
+	med []float64 // quickselect median scratch, len = Rows
+}
+
+// NewDetector prepares a detection engine for h. opts fixes the
+// defaults used by Detect; DetectWithOptions can override them per
+// call without re-factoring (only the Cholesky factorization is baked
+// in — thresholds and denominators are applied at query time).
+func NewDetector(h *matrix.CSR, opts Options) (*Detector, error) {
+	d := &Detector{h: h, opts: opts}
+	solver := opts.Solver
+	if solver == 0 {
+		solver = SolverCholesky
+	}
+	if solver == SolverCholesky && h.Rows() > 0 && h.Cols() > 0 {
+		ls, err := matrix.PrepareLS(h, matrix.LeastSquaresOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("core: prepare detector: %w", err)
+		}
+		d.ls = ls
+	}
+	rows, cols := h.Rows(), h.Cols()
+	d.pool.New = func() any {
+		return &detectScratch{ws: make([]float64, cols), med: make([]float64, rows)}
+	}
+	return d, nil
+}
+
+// H returns the flow-counter matrix the engine was prepared for.
+func (d *Detector) H() *matrix.CSR { return d.h }
+
+// Detect runs Algorithm 1 on one period's counter vector using the
+// options fixed at construction.
+func (d *Detector) Detect(y []float64) (Result, error) {
+	return d.DetectWithOptions(y, d.opts)
+}
+
+// DetectWithOptions runs Algorithm 1 with per-call options. The
+// prepared factorization is used whenever the (resolved) solver is
+// Cholesky; selecting SolverCG falls back to a per-call iterative
+// solve.
+func (d *Detector) DetectWithOptions(y []float64, opts Options) (Result, error) {
+	h := d.h
+	if h.Rows() != len(y) {
+		return Result{}, fmt.Errorf("core: H is %dx%d but y has %d entries", h.Rows(), h.Cols(), len(y))
+	}
+	opts = opts.withDefaults(y)
+	if h.Rows() == 0 {
+		// Nothing to check: an empty system is trivially consistent.
+		return Result{Delta: make([]float64, len(y))}, nil
+	}
+	if h.Cols() == 0 {
+		// No flow is expected to touch these rules, so every counter's
+		// expected value is exactly zero: any observed volume is an
+		// inconsistency no flow-volume estimate can explain (this keeps
+		// Theorem 3 intact for slices of rules outside all flow paths,
+		// like rule r4 in the paper's Fig. 2).
+		delta := make([]float64, len(y))
+		for i, v := range y {
+			delta[i] = math.Abs(v)
+		}
+		res := Result{Delta: delta, YHat: make([]float64, len(y))}
+		res.ErrMax, _ = stats.Max(delta)
+		res.Index = anomalyIndex(res.ErrMax, 0, opts.ZeroTol)
+		res.Anomalous = res.Index > opts.Threshold
+		return res, nil
+	}
+	sc := d.pool.Get().(*detectScratch)
+	defer d.pool.Put(sc)
+	var xHat []float64
+	var err error
+	if opts.Solver == SolverCholesky && d.ls != nil {
+		xHat = make([]float64, h.Cols())
+		err = d.ls.SolveInto(xHat, y, sc.ws)
+	} else {
+		xHat, err = solve(h, y, opts.Solver)
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("core: volume estimate: %w", err)
+	}
+	yHat := make([]float64, h.Rows())
+	if err := h.MulVecInto(yHat, xHat); err != nil {
+		return Result{}, err
+	}
+	delta := make([]float64, h.Rows())
+	for i := range delta {
+		delta[i] = math.Abs(y[i] - yHat[i])
+	}
+	res := Result{Delta: delta, XHat: xHat, YHat: yHat}
+	res.ErrMax, _ = stats.Max(delta)
+	res.ErrMed = opts.denominatorInto(sc.med, delta)
+	res.Index = anomalyIndex(res.ErrMax, res.ErrMed, opts.ZeroTol)
+	res.Anomalous = res.Index > opts.Threshold
+	return res, nil
+}
+
+// SlicedDetector is the prepared form of Algorithm 2: one Detector per
+// per-switch slice (each slice's sub-FCM factored once), the row-gather
+// indices validated at build time, and the per-slice counter gathers
+// drawn from a pooled workspace so steady-state periods allocate only
+// their results. Detect fans the slices out over a bounded worker pool
+// sized by GOMAXPROCS; the outcome (including Suspects order) is
+// identical to a sequential run.
+//
+// A SlicedDetector is safe for concurrent Detect calls.
+type SlicedDetector struct {
+	slices   []Slice
+	engines  []*Detector
+	numRules int
+	opts     Options
+	workers  int
+	pool     sync.Pool // *slicedScratch
+}
+
+// slicedScratch holds one run's per-slice gather buffers. A run owns
+// the whole set; each slice index is touched by exactly one worker.
+type slicedScratch struct {
+	subs [][]float64
+}
+
+// NewSlicedDetector prepares one engine per slice. numRules is the
+// length of the full counter vector (FCM.NumRules()); every slice's
+// RuleRows are bounds-checked against it here, once, instead of every
+// detection period.
+func NewSlicedDetector(slices []Slice, numRules int, opts Options) (*SlicedDetector, error) {
+	engines := make([]*Detector, len(slices))
+	for i, sl := range slices {
+		for _, rid := range sl.RuleRows {
+			if rid < 0 || rid >= numRules {
+				return nil, fmt.Errorf("core: slice rule %d outside counter vector (%d)", rid, numRules)
+			}
+		}
+		d, err := NewDetector(sl.H, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: slice switch %d: %w", sl.Switch, err)
+		}
+		engines[i] = d
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(slices) {
+		workers = len(slices)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sd := &SlicedDetector{
+		slices:   slices,
+		engines:  engines,
+		numRules: numRules,
+		opts:     opts,
+		workers:  workers,
+	}
+	sd.pool.New = func() any {
+		sc := &slicedScratch{subs: make([][]float64, len(slices))}
+		for i, sl := range slices {
+			sc.subs[i] = make([]float64, len(sl.RuleRows))
+		}
+		return sc
+	}
+	return sd, nil
+}
+
+// NumSlices reports the number of prepared slices.
+func (sd *SlicedDetector) NumSlices() int { return len(sd.slices) }
+
+// Workers reports the worker-pool bound used by Detect.
+func (sd *SlicedDetector) Workers() int { return sd.workers }
+
+// Detect runs Algorithm 2 on one period's counter vector, slices in
+// parallel, using the options fixed at construction.
+func (sd *SlicedDetector) Detect(y []float64) (SlicedOutcome, error) {
+	return sd.detect(y, sd.opts, sd.workers)
+}
+
+// DetectWithOptions runs Algorithm 2 with per-call options (the
+// prepared per-slice factorizations are reused).
+func (sd *SlicedDetector) DetectWithOptions(y []float64, opts Options) (SlicedOutcome, error) {
+	return sd.detect(y, opts, sd.workers)
+}
+
+// DetectSequential runs the slices one by one on the calling
+// goroutine — the reference execution the parallel path must match
+// exactly, and a debugging aid when a slice misbehaves.
+func (sd *SlicedDetector) DetectSequential(y []float64) (SlicedOutcome, error) {
+	return sd.detect(y, sd.opts, 1)
+}
+
+func (sd *SlicedDetector) detect(y []float64, opts Options, workers int) (SlicedOutcome, error) {
+	if len(y) != sd.numRules {
+		return SlicedOutcome{}, fmt.Errorf("core: counter vector has %d entries, sliced detector expects %d", len(y), sd.numRules)
+	}
+	sc := sd.pool.Get().(*slicedScratch)
+	defer sd.pool.Put(sc)
+	results := make([]Result, len(sd.slices))
+	errs := make([]error, len(sd.slices))
+	run := func(i int) {
+		sl := sd.slices[i]
+		sub := sc.subs[i]
+		for j, rid := range sl.RuleRows {
+			sub[j] = y[rid]
+		}
+		results[i], errs[i] = sd.engines[i].DetectWithOptions(sub, opts)
+	}
+	if workers <= 1 || len(sd.slices) <= 1 {
+		for i := range sd.slices {
+			run(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					run(i)
+				}
+			}()
+		}
+		for i := range sd.slices {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	// Aggregate in slice order so parallel and sequential runs produce
+	// identical outcomes, including Suspects order under index ties.
+	var out SlicedOutcome
+	type suspect struct {
+		sw    topo.SwitchID
+		index float64
+	}
+	var suspects []suspect
+	for i, sl := range sd.slices {
+		if errs[i] != nil {
+			return SlicedOutcome{}, fmt.Errorf("core: slice switch %d: %w", sl.Switch, errs[i])
+		}
+		out.PerSwitch = append(out.PerSwitch, SliceResult{Switch: sl.Switch, Result: results[i]})
+		if results[i].Anomalous {
+			out.Anomalous = true
+			suspects = append(suspects, suspect{sw: sl.Switch, index: results[i].Index})
+		}
+	}
+	sort.SliceStable(suspects, func(i, j int) bool { return suspects[i].index > suspects[j].index })
+	for _, s := range suspects {
+		out.Suspects = append(out.Suspects, s.sw)
+	}
+	return out, nil
+}

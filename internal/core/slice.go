@@ -116,35 +116,14 @@ func (o SlicedOutcome) MaxIndex() float64 {
 
 // DetectSliced runs Algorithm 2 (Detect_Anomaly_Slicing): Algorithm 1
 // independently on each per-switch sub-FCM against the corresponding
-// sub-vector of y.
+// sub-vector of y. It builds a throwaway SlicedDetector and runs it
+// sequentially, re-factoring every slice on every call — loops that
+// detect repeatedly against fixed rules should construct one
+// SlicedDetector and reuse it.
 func DetectSliced(slices []Slice, y []float64, opts Options) (SlicedOutcome, error) {
-	var out SlicedOutcome
-	type suspect struct {
-		sw    topo.SwitchID
-		index float64
+	sd, err := NewSlicedDetector(slices, len(y), opts)
+	if err != nil {
+		return SlicedOutcome{}, err
 	}
-	var suspects []suspect
-	for _, sl := range slices {
-		sub := make([]float64, len(sl.RuleRows))
-		for i, rid := range sl.RuleRows {
-			if rid < 0 || rid >= len(y) {
-				return SlicedOutcome{}, fmt.Errorf("core: slice rule %d outside counter vector (%d)", rid, len(y))
-			}
-			sub[i] = y[rid]
-		}
-		res, err := Detect(sl.H, sub, opts)
-		if err != nil {
-			return SlicedOutcome{}, fmt.Errorf("core: slice switch %d: %w", sl.Switch, err)
-		}
-		out.PerSwitch = append(out.PerSwitch, SliceResult{Switch: sl.Switch, Result: res})
-		if res.Anomalous {
-			out.Anomalous = true
-			suspects = append(suspects, suspect{sw: sl.Switch, index: res.Index})
-		}
-	}
-	sort.SliceStable(suspects, func(i, j int) bool { return suspects[i].index > suspects[j].index })
-	for _, s := range suspects {
-		out.Suspects = append(out.Suspects, s.sw)
-	}
-	return out, nil
+	return sd.detect(y, opts, 1)
 }

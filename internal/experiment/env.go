@@ -68,15 +68,18 @@ func (c Config) withDefaults() Config {
 }
 
 // Env is a ready-to-measure environment: topology, installed data
-// plane, FCM and slices.
+// plane, FCM, slices and prepared detection engines (factored once at
+// build so per-period scoring pays only solves).
 type Env struct {
-	Config  Config
-	Topo    *topo.Topology
-	Net     *dataplane.Network
-	Control *controller.Controller
-	FCM     *fcm.FCM
-	Slices  []core.Slice
-	Rng     *rand.Rand
+	Config   Config
+	Topo     *topo.Topology
+	Net      *dataplane.Network
+	Control  *controller.Controller
+	FCM      *fcm.FCM
+	Slices   []core.Slice
+	Detector *core.Detector
+	Sliced   *core.SlicedDetector
+	Rng      *rand.Rand
 
 	traffic    dataplane.TrafficMatrix
 	ruleSwitch []topo.SwitchID
@@ -121,19 +124,29 @@ func NewEnvOn(cfg Config, t *topo.Topology, pairs [][2]topo.HostID) (*Env, error
 	if err != nil {
 		return nil, err
 	}
+	detector, err := core.NewDetector(f.H, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sliced, err := core.NewSlicedDetector(slices, f.NumRules(), core.Options{})
+	if err != nil {
+		return nil, err
+	}
 	if cfg.LossSpread > 0 {
 		if err := net.SetLossSpread(cfg.LossSpread); err != nil {
 			return nil, err
 		}
 	}
 	env := &Env{
-		Config:  cfg,
-		Topo:    t,
-		Net:     net,
-		Control: ctrl,
-		FCM:     f,
-		Slices:  slices,
-		Rng:     rand.New(rand.NewSource(cfg.Seed)),
+		Config:   cfg,
+		Topo:     t,
+		Net:      net,
+		Control:  ctrl,
+		FCM:      f,
+		Slices:   slices,
+		Detector: detector,
+		Sliced:   sliced,
+		Rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 	env.ruleSwitch = make([]topo.SwitchID, len(f.Rules))
 	for i, r := range f.Rules {
@@ -178,13 +191,14 @@ func (e *Env) Observe(loss float64) ([]float64, error) {
 	return y, nil
 }
 
-// Score runs one observation and returns the baseline anomaly index.
+// Score runs one observation and returns the baseline anomaly index,
+// using the engine prepared at build time.
 func (e *Env) Score(loss float64) (float64, error) {
 	y, err := e.Observe(loss)
 	if err != nil {
 		return 0, err
 	}
-	res, err := core.Detect(e.FCM.H, y, core.Options{})
+	res, err := e.Detector.Detect(y)
 	if err != nil {
 		return 0, err
 	}
@@ -192,13 +206,13 @@ func (e *Env) Score(loss float64) (float64, error) {
 }
 
 // ScoreSliced runs one observation and returns the maximum per-slice
-// anomaly index.
+// anomaly index, using the engine prepared at build time.
 func (e *Env) ScoreSliced(loss float64) (float64, error) {
 	y, err := e.Observe(loss)
 	if err != nil {
 		return 0, err
 	}
-	out, err := core.DetectSliced(e.Slices, y, core.Options{})
+	out, err := e.Sliced.Detect(y)
 	if err != nil {
 		return 0, err
 	}

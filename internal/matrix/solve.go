@@ -11,10 +11,13 @@ import (
 // dependent.
 var ErrNotPositiveDefinite = errors.New("matrix: not positive definite")
 
-// Cholesky holds the lower-triangular factor L of an SPD matrix A = LLᵀ.
+// Cholesky holds the lower-triangular factor L of an SPD matrix
+// A = LLᵀ, plus Lᵀ so that both substitution passes stream contiguous
+// rows of a row-major Dense instead of striding down a column.
 type Cholesky struct {
-	n int
-	l *Dense
+	n  int
+	l  *Dense
+	lt *Dense
 }
 
 // NewCholesky factors the symmetric positive-definite matrix a.
@@ -45,16 +48,33 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			liRow[j] = s / d
 		}
 	}
-	return &Cholesky{n: n, l: l}, nil
+	return &Cholesky{n: n, l: l, lt: l.Transpose()}, nil
 }
+
+// N reports the factored dimension.
+func (c *Cholesky) N() int { return c.n }
 
 // Solve solves A x = b given the factorization.
 func (c *Cholesky) Solve(b []float64) ([]float64, error) {
-	if len(b) != c.n {
-		return nil, fmt.Errorf("matrix: cholesky solve dim %d vs %d", len(b), c.n)
+	x := make([]float64, c.n)
+	if err := c.SolveInto(x, b, make([]float64, c.n)); err != nil {
+		return nil, err
 	}
-	// Forward substitution: L y = b.
-	y := make([]float64, c.n)
+	return x, nil
+}
+
+// SolveInto solves A x = b into dst without allocating, using scratch
+// (length n) for the forward-substitution intermediate. dst may alias
+// b; scratch must not alias either.
+func (c *Cholesky) SolveInto(dst, b, scratch []float64) error {
+	if len(b) != c.n {
+		return fmt.Errorf("matrix: cholesky solve dim %d vs %d", len(b), c.n)
+	}
+	if len(dst) != c.n || len(scratch) != c.n {
+		return fmt.Errorf("matrix: cholesky solve buffers %d/%d vs %d", len(dst), len(scratch), c.n)
+	}
+	// Forward substitution: L y = b, streaming rows of L.
+	y := scratch
 	for i := 0; i < c.n; i++ {
 		row := c.l.Row(i)
 		s := b[i]
@@ -63,16 +83,16 @@ func (c *Cholesky) Solve(b []float64) ([]float64, error) {
 		}
 		y[i] = s / row[i]
 	}
-	// Back substitution: Lᵀ x = y.
-	x := make([]float64, c.n)
+	// Back substitution: Lᵀ x = y, streaming rows of Lᵀ (columns of L).
 	for i := c.n - 1; i >= 0; i-- {
+		row := c.lt.Row(i)
 		s := y[i]
 		for k := i + 1; k < c.n; k++ {
-			s -= c.l.At(k, i) * x[k]
+			s -= row[k] * dst[k]
 		}
-		x[i] = s / c.l.At(i, i)
+		dst[i] = s / row[i]
 	}
-	return x, nil
+	return nil
 }
 
 // LeastSquaresOptions tunes the normal-equations solver.
@@ -86,7 +106,9 @@ type LeastSquaresOptions struct {
 // SolveNormalEquations computes the least-squares estimate
 // x̂ = (HᵀH)⁻¹ Hᵀ y for a sparse H (Eq. 4 of the paper). When HᵀH is
 // singular it retries once with ridge regularization so that detection
-// degrades gracefully instead of failing.
+// degrades gracefully instead of failing. It is the one-shot form of
+// PrepareLS + SolveInto; repeated solves against a fixed H should
+// prepare once instead.
 func SolveNormalEquations(h *CSR, y []float64, opts LeastSquaresOptions) ([]float64, error) {
 	if len(y) != h.Rows() {
 		return nil, fmt.Errorf("matrix: normal equations dims %dx%d vs %d", h.Rows(), h.Cols(), len(y))
@@ -94,34 +116,11 @@ func SolveNormalEquations(h *CSR, y []float64, opts LeastSquaresOptions) ([]floa
 	if h.Cols() == 0 {
 		return nil, nil
 	}
-	gram := h.Gram()
-	rhs, err := h.TMulVec(y)
+	p, err := PrepareLS(h, opts)
 	if err != nil {
 		return nil, err
 	}
-	chol, err := NewCholesky(gram)
-	if err == nil {
-		return chol.Solve(rhs)
-	}
-	if !errors.Is(err, ErrNotPositiveDefinite) {
-		return nil, err
-	}
-	ridge := opts.Ridge
-	if ridge == 0 {
-		trace := 0.0
-		for i := 0; i < gram.Rows(); i++ {
-			trace += gram.At(i, i)
-		}
-		ridge = 1e-9 * (trace/float64(gram.Rows()) + 1)
-	}
-	for i := 0; i < gram.Rows(); i++ {
-		gram.Add(i, i, ridge)
-	}
-	chol, err = NewCholesky(gram)
-	if err != nil {
-		return nil, fmt.Errorf("matrix: ridge-regularized normal equations: %w", err)
-	}
-	return chol.Solve(rhs)
+	return p.Solve(y)
 }
 
 // LeastSquaresQR solves min ‖A x − b‖₂ via Householder QR on a dense A

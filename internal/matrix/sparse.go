@@ -89,36 +89,62 @@ func (m *CSR) At(i, j int) float64 {
 
 // MulVec computes m * x.
 func (m *CSR) MulVec(x []float64) ([]float64, error) {
-	if len(x) != m.cols {
-		return nil, fmt.Errorf("matrix: csr mulvec dims %dx%d vs %d", m.rows, m.cols, len(x))
-	}
 	y := make([]float64, m.rows)
+	if err := m.MulVecInto(y, x); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// MulVecInto computes m * x into dst (length Rows) without allocating.
+func (m *CSR) MulVecInto(dst, x []float64) error {
+	if len(x) != m.cols {
+		return fmt.Errorf("matrix: csr mulvec dims %dx%d vs %d", m.rows, m.cols, len(x))
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("matrix: csr mulvec dst %d vs %d rows", len(dst), m.rows)
+	}
 	for i := 0; i < m.rows; i++ {
 		var s float64
 		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
 			s += m.val[k] * x[m.colIdx[k]]
 		}
-		y[i] = s
+		dst[i] = s
 	}
-	return y, nil
+	return nil
 }
 
 // TMulVec computes mᵀ * x.
 func (m *CSR) TMulVec(x []float64) ([]float64, error) {
-	if len(x) != m.rows {
-		return nil, fmt.Errorf("matrix: csr tmulvec dims %dx%d vs %d", m.rows, m.cols, len(x))
-	}
 	y := make([]float64, m.cols)
+	if err := m.TMulVecInto(y, x); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// TMulVecInto computes mᵀ * x into dst (length Cols) without
+// allocating.
+func (m *CSR) TMulVecInto(dst, x []float64) error {
+	if len(x) != m.rows {
+		return fmt.Errorf("matrix: csr tmulvec dims %dx%d vs %d", m.rows, m.cols, len(x))
+	}
+	if len(dst) != m.cols {
+		return fmt.Errorf("matrix: csr tmulvec dst %d vs %d cols", len(dst), m.cols)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := 0; i < m.rows; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
 		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
-			y[m.colIdx[k]] += m.val[k] * xi
+			dst[m.colIdx[k]] += m.val[k] * xi
 		}
 	}
-	return y, nil
+	return nil
 }
 
 // Gram computes mᵀ * m as a dense symmetric matrix by accumulating the

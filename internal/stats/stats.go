@@ -17,17 +17,76 @@ var ErrEmpty = errors.New("stats: empty input")
 // Median computes the median of xs without mutating it. For even
 // lengths it returns the mean of the two central elements.
 func Median(xs []float64) (float64, error) {
+	return MedianInto(make([]float64, len(xs)), xs)
+}
+
+// MedianInto computes the median of xs like Median, but partitions a
+// copy of xs inside scratch (grown if shorter than xs) by quickselect
+// instead of a full sort — O(n) expected instead of O(n log n), with
+// zero allocation when the caller reuses scratch across periods. xs is
+// never mutated; scratch is.
+func MedianInto(scratch, xs []float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	cp := make([]float64, len(xs))
-	copy(cp, xs)
-	sort.Float64s(cp)
-	mid := len(cp) / 2
-	if len(cp)%2 == 1 {
-		return cp[mid], nil
+	if len(scratch) < len(xs) {
+		scratch = make([]float64, len(xs))
 	}
-	return (cp[mid-1] + cp[mid]) / 2, nil
+	s := scratch[:len(xs)]
+	copy(s, xs)
+	mid := len(s) / 2
+	quickselect(s, mid)
+	if len(s)%2 == 1 {
+		return s[mid], nil
+	}
+	// After selection everything left of mid is <= s[mid]; the lower
+	// central element is the maximum of that partition.
+	lower := s[0]
+	for _, v := range s[1:mid] {
+		if v > lower {
+			lower = v
+		}
+	}
+	return (lower + s[mid]) / 2, nil
+}
+
+// quickselect partially sorts s so that s[k] holds the k-th smallest
+// element, everything before it is <= s[k] and everything after is
+// >= s[k]. Median-of-three pivoting keeps the common sorted/reversed
+// inputs at O(n) without randomness.
+func quickselect(s []float64, k int) {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		// Median-of-three pivot moved to hi.
+		mid := lo + (hi-lo)/2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[mid] < s[hi] {
+			s[mid], s[hi] = s[hi], s[mid]
+		}
+		pivot := s[hi]
+		// Lomuto partition.
+		p := lo
+		for i := lo; i < hi; i++ {
+			if s[i] < pivot {
+				s[i], s[p] = s[p], s[i]
+				p++
+			}
+		}
+		s[p], s[hi] = s[hi], s[p]
+		switch {
+		case k == p:
+			return
+		case k < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
 }
 
 // Max returns the maximum of xs.

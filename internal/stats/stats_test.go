@@ -233,3 +233,70 @@ func TestPropertyAUCBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMedianIntoMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	scratch := make([]float64, 0)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Duplicates included to exercise equal-pivot partitions.
+			xs[i] = float64(rng.Intn(10))
+		}
+		ref := make([]float64, n)
+		copy(ref, xs)
+		sort.Float64s(ref)
+		var want float64
+		if n%2 == 1 {
+			want = ref[n/2]
+		} else {
+			want = (ref[n/2-1] + ref[n/2]) / 2
+		}
+		got, err := MedianInto(scratch, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: MedianInto(%v) = %v, want %v", trial, xs, got, want)
+		}
+		quick, err := Median(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if quick != want {
+			t.Fatalf("trial %d: Median(%v) = %v, want %v", trial, xs, quick, want)
+		}
+		// Grow the reusable scratch like a hot loop would.
+		if len(scratch) < n {
+			scratch = make([]float64, n)
+		}
+	}
+}
+
+func TestMedianIntoDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	scratch := make([]float64, len(xs))
+	if _, err := MedianInto(scratch, xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 4 || xs[3] != 2 || xs[4] != 3 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestMedianIntoEmptyAndAllocationFree(t *testing.T) {
+	if _, err := MedianInto(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty input must return ErrEmpty, got %v", err)
+	}
+	xs := []float64{9, 3, 7, 1, 5, 2, 8, 4, 6, 0}
+	scratch := make([]float64, len(xs))
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := MedianInto(scratch, xs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("MedianInto with adequate scratch allocates %v times, want 0", allocs)
+	}
+}

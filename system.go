@@ -31,33 +31,25 @@ type System struct {
 	network  *Network
 	fcm      *FCM
 	slices   []Slice
+	detector *Detector
+	sliced   *SlicedDetector
 }
 
 // NewSystem computes and installs rules for the topology under the
 // given policy mode, generates the FCM from controller intent, and
-// prepares slices.
+// prepares slices and detection engines (factorizations are computed
+// here, once; each detection period then costs only triangular solves).
 func NewSystem(t *Topology, mode PolicyMode) (*System, error) {
 	layout := header.FiveTuple()
 	ctrl, network, err := controller.Bootstrap(t, layout, mode)
 	if err != nil {
 		return nil, fmt.Errorf("foces: bootstrap: %w", err)
 	}
-	f, err := fcm.Generate(t, layout, ctrl.Rules())
-	if err != nil {
-		return nil, fmt.Errorf("foces: fcm: %w", err)
+	s := &System{topology: t, layout: layout, control: ctrl, network: network}
+	if err := s.rebuildBaseline(); err != nil {
+		return nil, err
 	}
-	slices, err := core.BuildSlices(f)
-	if err != nil {
-		return nil, fmt.Errorf("foces: slices: %w", err)
-	}
-	return &System{
-		topology: t,
-		layout:   layout,
-		control:  ctrl,
-		network:  network,
-		fcm:      f,
-		slices:   slices,
-	}, nil
+	return s, nil
 }
 
 // NewSystemWithPairs is NewSystem restricted to an explicit set of
@@ -76,15 +68,46 @@ func NewSystemWithPairs(t *Topology, pairs [][2]HostID) (*System, error) {
 	if err := ctrl.Install(network); err != nil {
 		return nil, err
 	}
-	f, err := fcm.Generate(t, layout, ctrl.Rules())
-	if err != nil {
+	s := &System{topology: t, layout: layout, control: ctrl, network: network}
+	if err := s.rebuildBaseline(); err != nil {
 		return nil, err
+	}
+	return s, nil
+}
+
+// rebuildBaseline regenerates everything derived from the controller's
+// current rule set: FCM, slices and the prepared detection engines.
+func (s *System) rebuildBaseline() error {
+	f, err := fcm.Generate(s.topology, s.layout, s.control.Rules())
+	if err != nil {
+		return fmt.Errorf("foces: fcm: %w", err)
 	}
 	slices, err := core.BuildSlices(f)
 	if err != nil {
-		return nil, err
+		return fmt.Errorf("foces: slices: %w", err)
 	}
-	return &System{topology: t, layout: layout, control: ctrl, network: network, fcm: f, slices: slices}, nil
+	detector, err := core.NewDetector(f.H, core.Options{})
+	if err != nil {
+		return fmt.Errorf("foces: detector: %w", err)
+	}
+	sliced, err := core.NewSlicedDetector(slices, f.NumRules(), core.Options{})
+	if err != nil {
+		return fmt.Errorf("foces: sliced detector: %w", err)
+	}
+	s.fcm = f
+	s.slices = slices
+	s.detector = detector
+	s.sliced = sliced
+	return nil
+}
+
+// RebuildBaseline invalidates and regenerates the detection baseline —
+// FCM, slices and the prepared engines — from the controller's current
+// rules. Call it after any rule change (recomputed policies, reactive
+// installs, repairs): detection against a stale baseline checks the
+// wrong intent and will flag honest switches.
+func (s *System) RebuildBaseline() error {
+	return s.rebuildBaseline()
 }
 
 // ObserveCountersFor simulates one collection interval restricted to
@@ -132,15 +155,26 @@ func (s *System) CounterVector(counters map[int]uint64) []float64 {
 	return s.fcm.CounterVector(counters)
 }
 
-// Detect runs Algorithm 1 on the counter vector.
+// Detect runs Algorithm 1 on the counter vector via the prepared
+// engine: the FCM factorization computed at NewSystem (or the last
+// RebuildBaseline) is reused, so a steady-state period costs only
+// triangular solves. opts applies per call without re-factoring.
 func (s *System) Detect(y []float64, opts DetectOptions) (Result, error) {
-	return core.Detect(s.fcm.H, y, opts)
+	return s.detector.DetectWithOptions(y, opts)
 }
 
-// DetectSliced runs Algorithm 2 with per-switch localization.
+// DetectSliced runs Algorithm 2 with per-switch localization via the
+// prepared sliced engine, fanning slices out over a GOMAXPROCS-bounded
+// worker pool. The outcome is identical to a sequential run.
 func (s *System) DetectSliced(y []float64, opts DetectOptions) (SlicedOutcome, error) {
-	return core.DetectSliced(s.slices, y, opts)
+	return s.sliced.DetectWithOptions(y, opts)
 }
+
+// Detector returns the prepared baseline detection engine.
+func (s *System) Detector() *Detector { return s.detector }
+
+// SlicedDetector returns the prepared sliced detection engine.
+func (s *System) SlicedDetector() *SlicedDetector { return s.sliced }
 
 // InjectRandomAttack draws, applies and returns a random attack of the
 // given kind (for experiments and drills). Revert with
