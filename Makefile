@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test bench-smoke bench
+.PHONY: ci fmt vet build test test-faults bench-smoke bench
 
-ci: fmt vet build test bench-smoke
+ci: fmt vet build test test-faults bench-smoke
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -22,6 +22,13 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# The collection-plane fault machinery (deadlines, retries, quarantine,
+# counter-reset detection) is concurrency-heavy and timing-sensitive:
+# run its packages twice under the race detector to shake out
+# scheduling-dependent bugs a single pass can miss.
+test-faults:
+	$(GO) test -race -count=2 -timeout 120s ./internal/collector/ ./internal/openflow/
 
 # Compile-and-run-once smoke over every Detect* benchmark, including
 # the cold-vs-prepared and sequential-vs-parallel engine comparisons.

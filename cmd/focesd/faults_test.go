@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a strings.Builder safe to read while run() writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRunSurvivesCollectionFaults is the acceptance scenario: one
+// switch's control channel dies mid-run and another reboots, zeroing
+// its counters. The daemon must keep detecting — the dead switch is
+// quarantined, the reset period is treated as missing rather than an
+// anomaly, nothing false-alarms — and the collection metrics must be
+// visible on /status while the run is live.
+func TestRunSurvivesCollectionFaults(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-topo", "fattree4",
+			"-periods", "60",
+			"-attack-at", "0",
+			"-loss", "0",
+			"-seed", "7",
+			"-kill-at", "2",
+			"-reset-at", "4",
+			"-interval", "5ms",
+			"-http", "127.0.0.1:0",
+		}, &out)
+	}()
+
+	// Pick the status address off the daemon's own output.
+	deadline := time.Now().Add(15 * time.Second)
+	var addr string
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("status address never printed:\n%s", out.String())
+		}
+		s := out.String()
+		if i := strings.Index(s, "status: http://"); i >= 0 {
+			line := s[i+len("status: "):]
+			if j := strings.IndexByte(line, '\n'); j >= 0 {
+				addr = line[:j]
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Scrape /status while the run is live until the quarantine and the
+	// counter reset both show up in the collection metrics.
+	sawQuarantine, sawReset := false, false
+	for !(sawQuarantine && sawReset) && time.Now().Before(deadline) {
+		resp, err := http.Get(addr)
+		if err != nil {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		var st status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Collection.Quarantines >= 1 && len(st.Collection.Quarantined) >= 1 {
+			sawQuarantine = true
+		}
+		if st.Collection.Resets >= 1 {
+			sawReset = true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawQuarantine || !sawReset {
+		t.Errorf("collection metrics never surfaced on /status: quarantine=%v reset=%v", sawQuarantine, sawReset)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"control channel died",
+		"quarantined switches:",
+		"counter reset detected",
+		"switches missing, detecting on",
+		"collection: periods=",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Neither the dead switch nor the reset may read as a forwarding
+	// anomaly.
+	if strings.Contains(s, "ANOMALY") || strings.Contains(s, "ALARM") {
+		t.Errorf("collection fault raised a false alarm:\n%s", s)
+	}
+}
+
+// TestRunDetectsAttackWhileDegraded: an actual forwarding anomaly must
+// still be caught and localized while a quarantined switch keeps the
+// collector degraded.
+func TestRunDetectsAttackWhileDegraded(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-topo", "fattree4",
+		"-periods", "10",
+		"-attack-at", "6",
+		"-repair-at", "9",
+		"-kill-at", "3",
+		"-loss", "0",
+		"-seed", "7",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "quarantined switches:") {
+		t.Errorf("kill never led to quarantine:\n%s", s)
+	}
+	if !strings.Contains(s, "ANOMALY") {
+		t.Errorf("attack missed while collector degraded:\n%s", s)
+	}
+	if !strings.Contains(s, "ALARM") {
+		t.Errorf("debounced alarm never fired:\n%s", s)
+	}
+}
+
+func TestRunKillAndResetSameSwitch(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-topo", "fattree4", "-periods", "3", "-loss", "0",
+		"-kill-at", "1", "-kill-switch", "4",
+		"-reset-at", "2", "-reset-switch", "4",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "same switch") {
+		t.Fatalf("conflicting fault targets must error, got %v", err)
+	}
+}

@@ -5,21 +5,32 @@
 // period — the Fig. 7 functional test as an interactive demo, wired
 // end-to-end through the statistics-collection glue.
 //
+// Statistics collection runs through the fault-tolerant
+// collector.RobustCollector: switch counters accumulate as on real
+// hardware and are differenced into per-period windows, polls carry
+// per-request deadlines with retries, flapping switches are
+// quarantined (and probed back in), and counter resets are detected
+// instead of read as anomalies. The -kill-at / -reset-at flags inject
+// those collection-plane faults mid-run.
+//
 // Usage:
 //
 //	focesd [-topo bcube14] [-periods 36] [-attack-at 12] [-repair-at 24]
 //	       [-loss 0.05] [-threshold 4.5] [-volume 1000] [-seed 1]
 //	       [-consecutive 2] [-skip-verify] [-http 127.0.0.1:8080]
-//	       [-save-baseline baseline.json]
+//	       [-save-baseline baseline.json] [-interval 0]
+//	       [-kill-at 0] [-kill-switch -1] [-reset-at 0] [-reset-switch -1]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
 	"os"
+	"time"
 
 	"foces/internal/collector"
 	"foces/internal/controller"
@@ -54,6 +65,11 @@ func run(args []string, out io.Writer) error {
 	skipVerify := fs.Bool("skip-verify", false, "skip intent verification at startup")
 	httpAddr := fs.String("http", "", "serve GET /status on this address (e.g. 127.0.0.1:8080)")
 	saveBaseline := fs.String("save-baseline", "", "write the detection baseline (topology+rules) to this file")
+	killAt := fs.Int("kill-at", 0, "period at which a switch's control channel dies (0 = never)")
+	killSwitch := fs.Int("kill-switch", -1, "switch to kill at -kill-at (-1 = auto-pick)")
+	resetAt := fs.Int("reset-at", 0, "period at which a switch reboots and zeroes its counters (0 = never)")
+	resetSwitch := fs.Int("reset-switch", -1, "switch to reset at -reset-at (-1 = auto-pick)")
+	interval := fs.Duration("interval", 0, "sleep between detection periods, like a real collection interval (0 = run flat out)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,7 +129,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// Wire the control plane: agents per switch, rule installation via
-	// FlowMods, statistics collection via the collector.
+	// FlowMods, statistics collection via the fault-tolerant collector.
 	harness, err := collector.NewHarness(network)
 	if err != nil {
 		return err
@@ -121,6 +137,35 @@ func run(args []string, out io.Writer) error {
 	defer harness.Close()
 	if err := collector.InstallRules(harness.Clients, ctrl.Rules()); err != nil {
 		return err
+	}
+	robust := collector.NewRobust(harness.Clients, collector.RobustConfig{
+		Deadline:        time.Second,
+		Attempts:        3,
+		BackoffBase:     2 * time.Millisecond,
+		BackoffMax:      20 * time.Millisecond,
+		QuarantineAfter: 2,
+		ProbeEvery:      3,
+		Seed:            *seed,
+	})
+	// Counters accumulate on the switches as on real hardware; the
+	// priming poll establishes every switch's delta baseline so period
+	// one already produces a clean one-period window.
+	if err := robust.Prime(context.Background()); err != nil {
+		return err
+	}
+
+	// Resolve fault-injection targets.
+	sws := t.Switches()
+	pickSwitch := func(flagVal, fallbackIdx int) topo.SwitchID {
+		if flagVal >= 0 {
+			return topo.SwitchID(flagVal)
+		}
+		return sws[fallbackIdx%len(sws)].ID
+	}
+	killTarget := pickSwitch(*killSwitch, len(sws)/3)
+	resetTarget := pickSwitch(*resetSwitch, (2*len(sws))/3)
+	if *killAt > 0 && *resetAt > 0 && killTarget == resetTarget {
+		return fmt.Errorf("kill and reset target the same switch %d", killTarget)
 	}
 
 	f, err := fcm.Generate(t, layout, ctrl.Rules())
@@ -151,6 +196,7 @@ func run(args []string, out io.Writer) error {
 	rng := rand.New(rand.NewSource(*seed))
 	tm := dataplane.UniformTraffic(t, *volume)
 	var active *dataplane.Attack
+	var quarantines uint64
 	monitor := core.NewMonitor(core.MonitorConfig{Threshold: *threshold, Consecutive: *consecutive})
 
 	headers := []string{"period", "attack", "AI(baseline)", "verdict", "alarm", "AI(sliced)", "suspects"}
@@ -175,35 +221,67 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, ">> period %d: rule %d on switch %d repaired\n", p, active.RuleID, active.Switch)
 			active = nil
 		}
+		if *killAt > 0 && p == *killAt {
+			client, ok := harness.Clients[killTarget]
+			if !ok {
+				return fmt.Errorf("no control channel to kill on switch %d", killTarget)
+			}
+			_ = client.Close()
+			fmt.Fprintf(out, ">> period %d: switch %d control channel died\n", p, killTarget)
+		}
+		if *resetAt > 0 && p == *resetAt {
+			tbl, err := network.Table(resetTarget)
+			if err != nil {
+				return err
+			}
+			tbl.ResetCounters()
+			fmt.Fprintf(out, ">> period %d: switch %d rebooted (counters zeroed)\n", p, resetTarget)
+		}
 
-		network.ResetCounters()
+		// Counters keep accumulating; the robust collector differences
+		// them into this period's window.
 		if _, err := network.Run(rng, tm); err != nil {
 			return err
 		}
-		counters, missing, err := harness.Collector.CollectCountersTolerant()
+		poll, err := robust.Poll(context.Background())
 		if err != nil {
 			return err
 		}
+		counters, missing := poll.Deltas, poll.Missing
+		if len(poll.Resets) > 0 {
+			fmt.Fprintf(out, ">> period %d: counter reset detected on switches %v; their window is treated as missing\n", p, poll.Resets)
+		}
+		if len(poll.Reinstated) > 0 {
+			fmt.Fprintf(out, ">> period %d: switches %v reinstated from quarantine\n", p, poll.Reinstated)
+		}
+		met := robust.Metrics()
+		if met.Quarantines > quarantines {
+			fmt.Fprintf(out, ">> period %d: quarantined switches: %v\n", p, robust.Quarantined())
+			quarantines = met.Quarantines
+		}
 		var res core.Result
+		var sliced core.SlicedOutcome
 		if len(missing) > 0 {
 			partial, perr := core.DetectWithMissing(f, counters, missing, opts)
 			if perr != nil {
 				return perr
 			}
 			res = partial.Result
-			fmt.Fprintf(out, ">> period %d: %d switches unreachable, detecting on %d of %d rules\n",
+			fmt.Fprintf(out, ">> period %d: %d switches missing, detecting on %d of %d rules\n",
 				p, len(missing), len(partial.PresentRows), f.NumRules())
-		} else {
-			var derr error
-			res, derr = detector.Detect(f.CounterVector(counters))
-			if derr != nil {
-				return derr
+			sliced, err = core.DetectSlicedWithMissing(f, slices, counters, missing, opts)
+			if err != nil {
+				return err
 			}
-		}
-		y := f.CounterVector(counters)
-		sliced, err := slicedDet.Detect(y)
-		if err != nil {
-			return err
+		} else {
+			res, err = detector.Detect(f.CounterVector(counters))
+			if err != nil {
+				return err
+			}
+			sliced, err = slicedDet.Detect(f.CounterVector(counters))
+			if err != nil {
+				return err
+			}
 		}
 		verdict := "ok"
 		if res.Anomalous {
@@ -224,6 +302,7 @@ func run(args []string, out io.Writer) error {
 				SlicedIndex:     clampIndex(sliced.MaxIndex()),
 				Suspects:        sliced.Suspects,
 				MissingSwitches: len(missing),
+				Collection:      collectionStatus(robust, poll),
 			})
 		}
 		suspects := ""
@@ -246,8 +325,14 @@ func run(args []string, out io.Writer) error {
 			experiment.FormatIndex(sliced.MaxIndex()),
 			suspects,
 		})
+		if *interval > 0 {
+			time.Sleep(*interval)
+		}
 	}
 	fmt.Fprint(out, experiment.FormatTable(headers, rows))
+	m := robust.Metrics()
+	fmt.Fprintf(out, "collection: periods=%d requests=%d retries=%d timeouts=%d failures=%d quarantines=%d reinstatements=%d resets=%d\n",
+		m.Periods, m.Requests, m.Retries, m.Timeouts, m.Failures, m.Quarantines, m.Reinstatements, m.Resets)
 	return nil
 }
 

@@ -6,8 +6,46 @@ import (
 	"net/http"
 	"sync"
 
+	"foces/internal/collector"
 	"foces/internal/topo"
 )
+
+// collection is the /status view of the fault-tolerant collection
+// plane: cumulative operational counters plus the current quarantine
+// set and the latest poll's latency.
+type collection struct {
+	Requests       uint64          `json:"requests"`
+	Retries        uint64          `json:"retries"`
+	Timeouts       uint64          `json:"timeouts"`
+	Failures       uint64          `json:"failures"`
+	Probes         uint64          `json:"probes"`
+	Quarantines    uint64          `json:"quarantines"`
+	Reinstatements uint64          `json:"reinstatements"`
+	Resets         uint64          `json:"resets"`
+	Quarantined    []topo.SwitchID `json:"quarantined"`
+	LastPollMs     float64         `json:"lastPollMs"`
+}
+
+// collectionStatus snapshots a robust collector for /status.
+func collectionStatus(rc *collector.RobustCollector, poll collector.PollResult) collection {
+	m := rc.Metrics()
+	q := rc.Quarantined()
+	if q == nil {
+		q = []topo.SwitchID{}
+	}
+	return collection{
+		Requests:       m.Requests,
+		Retries:        m.Retries,
+		Timeouts:       m.Timeouts,
+		Failures:       m.Failures,
+		Probes:         m.Probes,
+		Quarantines:    m.Quarantines,
+		Reinstatements: m.Reinstatements,
+		Resets:         m.Resets,
+		Quarantined:    q,
+		LastPollMs:     float64(poll.Elapsed.Microseconds()) / 1000,
+	}
+}
 
 // status is the JSON document served at /status.
 type status struct {
@@ -19,6 +57,7 @@ type status struct {
 	SlicedIndex     float64         `json:"slicedIndex"`
 	Suspects        []topo.SwitchID `json:"suspects"`
 	MissingSwitches int             `json:"missingSwitches"`
+	Collection      collection      `json:"collection"`
 }
 
 // statusServer exposes the daemon's latest detection state over HTTP —

@@ -139,6 +139,9 @@ type (
 	Slice = core.Slice
 	// SlicedOutcome is a sliced detection outcome with localization.
 	SlicedOutcome = core.SlicedOutcome
+	// PartialResult is a detection outcome restricted to reachable
+	// switches (missing-switch degraded mode).
+	PartialResult = core.PartialResult
 	// Detectability is a Theorem 1/2 detectability verdict.
 	Detectability = core.Detectability
 	// Solver selects the least-squares backend.

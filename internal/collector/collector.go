@@ -11,6 +11,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"foces/internal/controller"
 	"foces/internal/dataplane"
@@ -34,38 +35,72 @@ func New(clients map[topo.SwitchID]*openflow.Client) *Collector {
 	return &Collector{clients: cp}
 }
 
+// sortedSwitches returns the collector's switch IDs in ascending
+// order, the deterministic iteration order for result merging and
+// error reporting.
+func (c *Collector) sortedSwitches() []topo.SwitchID {
+	order := make([]topo.SwitchID, 0, len(c.clients))
+	for sw := range c.clients {
+		order = append(order, sw)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	return order
+}
+
 // CollectCounters polls every switch concurrently and merges rule
-// counters by global rule ID.
+// counters by global rule ID. Failures are reported deterministically —
+// the error names the lowest-ID failing switch regardless of goroutine
+// scheduling — and the counters already received from healthy switches
+// are returned alongside the error rather than discarded. A rule ID
+// reported by more than one switch is an integrity violation (a
+// compromised switch could shadow another's counters with a forged
+// reply); it is surfaced as an error naming both switches, with the
+// lowest switch ID's value kept.
 func (c *Collector) CollectCounters() (map[int]uint64, error) {
 	type result struct {
 		reply *openflow.FlowStatsReply
 		err   error
 	}
-	results := make(chan result, len(c.clients))
+	results := make(map[topo.SwitchID]result, len(c.clients))
+	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for sw, client := range c.clients {
 		wg.Add(1)
 		go func(sw topo.SwitchID, client *openflow.Client) {
 			defer wg.Done()
 			reply, err := client.FlowStats()
-			if err != nil {
-				err = fmt.Errorf("collector: switch %d: %w", sw, err)
-			}
-			results <- result{reply: reply, err: err}
+			mu.Lock()
+			results[sw] = result{reply: reply, err: err}
+			mu.Unlock()
 		}(sw, client)
 	}
 	wg.Wait()
-	close(results)
 	out := make(map[int]uint64)
-	for r := range results {
+	owner := make(map[int]topo.SwitchID)
+	var firstErr, dupErr error
+	for _, sw := range c.sortedSwitches() {
+		r := results[sw]
 		if r.err != nil {
-			return nil, r.err
+			if firstErr == nil {
+				firstErr = fmt.Errorf("collector: switch %d: %w", sw, r.err)
+			}
+			continue
 		}
 		for _, s := range r.reply.Stats {
+			if prev, dup := owner[s.RuleID]; dup {
+				if dupErr == nil {
+					dupErr = fmt.Errorf("collector: rule %d reported by both switch %d and switch %d (counter shadowing)", s.RuleID, prev, sw)
+				}
+				continue
+			}
+			owner[s.RuleID] = sw
 			out[s.RuleID] = s.Packets
 		}
 	}
-	return out, nil
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, dupErr
 }
 
 // CollectCountersTolerant polls every switch like CollectCounters but
@@ -111,11 +146,20 @@ func (c *Collector) CollectCountersTolerant() (map[int]uint64, []topo.SwitchID, 
 	return out, missing, nil
 }
 
-// CollectPortStats polls every switch's port counters.
+// CollectPortStats polls every switch's port counters. Port vectors
+// are sized by the highest port number reported — a switch whose ports
+// are not contiguous from zero keeps every counter instead of silently
+// dropping the high ones — and a negative port number is an error
+// rather than a silent skip. Errors are reported deterministically
+// (lowest failing switch ID) and the stats already received from
+// healthy switches are returned alongside the error.
 func (c *Collector) CollectPortStats() (map[topo.SwitchID]dataplane.PortCounters, error) {
-	out := make(map[topo.SwitchID]dataplane.PortCounters, len(c.clients))
+	type result struct {
+		reply *openflow.PortStatsReply
+		err   error
+	}
+	results := make(map[topo.SwitchID]result, len(c.clients))
 	var mu sync.Mutex
-	var firstErr error
 	var wg sync.WaitGroup
 	for sw, client := range c.clients {
 		wg.Add(1)
@@ -123,31 +167,49 @@ func (c *Collector) CollectPortStats() (map[topo.SwitchID]dataplane.PortCounters
 			defer wg.Done()
 			reply, err := client.PortStats()
 			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("collector: switch %d: %w", sw, err)
-				}
-				return
-			}
-			pc := dataplane.PortCounters{
-				Rx: make([]uint64, len(reply.Stats)),
-				Tx: make([]uint64, len(reply.Stats)),
-			}
-			for _, s := range reply.Stats {
-				if s.Port >= 0 && s.Port < len(pc.Rx) {
-					pc.Rx[s.Port] = s.Rx
-					pc.Tx[s.Port] = s.Tx
-				}
-			}
-			out[sw] = pc
+			results[sw] = result{reply: reply, err: err}
+			mu.Unlock()
 		}(sw, client)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	out := make(map[topo.SwitchID]dataplane.PortCounters, len(c.clients))
+	var firstErr error
+	for _, sw := range c.sortedSwitches() {
+		r := results[sw]
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("collector: switch %d: %w", sw, r.err)
+			}
+			continue
+		}
+		maxPort := -1
+		badPort := false
+		for _, s := range r.reply.Stats {
+			if s.Port < 0 {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("collector: switch %d reported out-of-range port %d", sw, s.Port)
+				}
+				badPort = true
+				break
+			}
+			if s.Port > maxPort {
+				maxPort = s.Port
+			}
+		}
+		if badPort {
+			continue
+		}
+		pc := dataplane.PortCounters{
+			Rx: make([]uint64, maxPort+1),
+			Tx: make([]uint64, maxPort+1),
+		}
+		for _, s := range r.reply.Stats {
+			pc.Rx[s.Port] = s.Rx
+			pc.Tx[s.Port] = s.Tx
+		}
+		out[sw] = pc
 	}
-	return out, nil
+	return out, firstErr
 }
 
 // ApplyNoise adds zero-mean Gaussian read noise with the given sigma
@@ -243,14 +305,31 @@ func WireReactive(network *dataplane.Network, h *Harness, ctrl *controller.Contr
 	return installer, nil
 }
 
+// ReactiveChannelStats counts the failures of the wire-reactive path
+// that must not block a packet release but also must not vanish: a
+// stalled packet-in is undebuggable if the errors behind it were
+// silently discarded.
+type ReactiveChannelStats struct {
+	installErrs atomic.Uint64
+	releaseErrs atomic.Uint64
+}
+
+// InstallErrors reports handler failures to compute/install pair rules.
+func (s *ReactiveChannelStats) InstallErrors() uint64 { return s.installErrs.Load() }
+
+// ReleaseErrors reports failed TypePacketOut releases.
+func (s *ReactiveChannelStats) ReleaseErrors() uint64 { return s.releaseErrs.Load() }
+
 // WireReactiveChannel is WireReactive taken all the way to the wire:
 // a table miss raises a TypePacketIn frame from the switch agent to
 // its controller client, whose handler computes the pair rules,
 // installs them network-wide via FlowMods, and releases the packet
 // with a TypePacketOut echoing the packet-in's XID. The data-plane
 // lookup then retries. This is the full reactive-Floodlight round trip
-// over the control channel.
-func WireReactiveChannel(network *dataplane.Network, h *Harness, ctrl *controller.Controller) (*controller.ReactiveInstaller, error) {
+// over the control channel. Install and release failures do not stall
+// the release path (the switch retries and re-raises on the next
+// interval) but are counted in the returned stats.
+func WireReactiveChannel(network *dataplane.Network, h *Harness, ctrl *controller.Controller) (*controller.ReactiveInstaller, *ReactiveChannelStats, error) {
 	installer, err := controller.NewReactiveInstaller(ctrl, func(r flowtable.Rule) error {
 		client, ok := h.Clients[r.Switch]
 		if !ok {
@@ -259,19 +338,22 @@ func WireReactiveChannel(network *dataplane.Network, h *Harness, ctrl *controlle
 		return client.InstallRule(r)
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	stats := &ReactiveChannelStats{}
 	handle := installer.Handler()
-	for sw, client := range h.Clients {
-		sw := sw
+	for _, client := range h.Clients {
 		client := client
 		client.SetPacketInHandler(func(pi *openflow.PacketIn, xid uint32) {
 			// Install errors leave the pair uninstalled; the release
 			// still goes out so the switch retries (and re-raises on the
 			// next interval) instead of stalling on the timeout.
-			_ = handle(pi.Switch, pi.Packet)
-			_ = client.SendPacketOut(xid)
-			_ = sw
+			if err := handle(pi.Switch, pi.Packet); err != nil {
+				stats.installErrs.Add(1)
+			}
+			if err := client.SendPacketOut(xid); err != nil {
+				stats.releaseErrs.Add(1)
+			}
 		})
 	}
 	network.SetMissHandler(func(sw topo.SwitchID, pkt header.Packet) error {
@@ -281,7 +363,7 @@ func WireReactiveChannel(network *dataplane.Network, h *Harness, ctrl *controlle
 		}
 		return agent.RaisePacketIn(-1, pkt, 0)
 	})
-	return installer, nil
+	return installer, stats, nil
 }
 
 // Harness wires a complete in-memory control plane over a simulated

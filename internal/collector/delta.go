@@ -1,0 +1,78 @@
+package collector
+
+import "foces/internal/topo"
+
+// DeltaTracker converts cumulative per-switch rule counters into
+// per-period deltas — the windowed layer between a production
+// collection plane (where switch counters monotonically accumulate and
+// are never reset by the collector) and FOCES detection (which checks
+// one period's traffic against HX=Y). It also detects counter resets: a
+// counter that went backwards means the switch restarted and zeroed its
+// counters, so that switch's window spans an unknown fraction of the
+// period and must be treated as missing rather than fed into the
+// equation system as garbage (a reboot would otherwise read as a
+// massive forwarding anomaly).
+//
+// DeltaTracker is not safe for concurrent use; RobustCollector guards
+// it with its own mutex.
+type DeltaTracker struct {
+	prev map[topo.SwitchID]map[int]uint64
+}
+
+// NewDeltaTracker returns an empty tracker; every switch's first
+// observation establishes its baseline.
+func NewDeltaTracker() *DeltaTracker {
+	return &DeltaTracker{prev: make(map[topo.SwitchID]map[int]uint64)}
+}
+
+// Advance consumes one switch's cumulative counter snapshot and returns
+// the per-period delta since the previous snapshot.
+//
+//   - primed=false: the switch had no baseline (first observation, or
+//     after Forget) — the snapshot only establishes one; delta is nil
+//     and the switch's counters are unusable this period.
+//   - reset=true: some counter went backwards (cur < prev), i.e. the
+//     switch restarted mid-window. The snapshot re-baselines; delta is
+//     nil.
+//   - otherwise delta[rid] = cur[rid] − prev[rid]. Rules absent from
+//     the previous snapshot (installed mid-window) count from zero;
+//     rules absent from the current one (deleted) drop out.
+//
+// The snapshot is copied; the caller keeps ownership of cur.
+func (t *DeltaTracker) Advance(sw topo.SwitchID, cur map[int]uint64) (delta map[int]uint64, reset, primed bool) {
+	prev, ok := t.prev[sw]
+	if ok {
+		for rid, v := range cur {
+			if v < prev[rid] {
+				reset = true
+				break
+			}
+		}
+	}
+	cp := make(map[int]uint64, len(cur))
+	for rid, v := range cur {
+		cp[rid] = v
+	}
+	t.prev[sw] = cp
+	if !ok || reset {
+		return nil, reset, ok
+	}
+	delta = make(map[int]uint64, len(cur))
+	for rid, v := range cur {
+		delta[rid] = v - prev[rid]
+	}
+	return delta, false, true
+}
+
+// Forget drops a switch's baseline, forcing the next Advance to
+// re-prime. Used when a switch leaves quarantine: its last snapshot
+// predates the outage, so a delta across it would span several periods.
+func (t *DeltaTracker) Forget(sw topo.SwitchID) {
+	delete(t.prev, sw)
+}
+
+// Primed reports whether the switch currently has a baseline.
+func (t *DeltaTracker) Primed(sw topo.SwitchID) bool {
+	_, ok := t.prev[sw]
+	return ok
+}

@@ -1,0 +1,92 @@
+package collector
+
+import (
+	"testing"
+
+	"foces/internal/topo"
+)
+
+func TestDeltaTrackerPrimeAndAdvance(t *testing.T) {
+	tr := NewDeltaTracker()
+	const sw = topo.SwitchID(2)
+	if tr.Primed(sw) {
+		t.Fatal("fresh tracker must not be primed")
+	}
+	delta, reset, primed := tr.Advance(sw, map[int]uint64{1: 100, 2: 5})
+	if primed || reset || delta != nil {
+		t.Fatalf("first observation: delta=%v reset=%v primed=%v", delta, reset, primed)
+	}
+	if !tr.Primed(sw) {
+		t.Fatal("tracker must be primed after the first snapshot")
+	}
+	delta, reset, primed = tr.Advance(sw, map[int]uint64{1: 160, 2: 5})
+	if !primed || reset {
+		t.Fatalf("second observation: reset=%v primed=%v", reset, primed)
+	}
+	if delta[1] != 60 || delta[2] != 0 {
+		t.Fatalf("delta = %v, want {1:60 2:0}", delta)
+	}
+}
+
+func TestDeltaTrackerReset(t *testing.T) {
+	tr := NewDeltaTracker()
+	const sw = topo.SwitchID(0)
+	tr.Advance(sw, map[int]uint64{1: 100})
+	delta, reset, primed := tr.Advance(sw, map[int]uint64{1: 40})
+	if !reset || delta != nil || !primed {
+		t.Fatalf("backwards counter: delta=%v reset=%v primed=%v", delta, reset, primed)
+	}
+	// The reset snapshot re-baselines: the next advance is a clean delta.
+	delta, reset, primed = tr.Advance(sw, map[int]uint64{1: 70})
+	if reset || !primed || delta[1] != 30 {
+		t.Fatalf("post-reset: delta=%v reset=%v primed=%v", delta, reset, primed)
+	}
+}
+
+func TestDeltaTrackerForget(t *testing.T) {
+	tr := NewDeltaTracker()
+	const sw = topo.SwitchID(7)
+	tr.Advance(sw, map[int]uint64{1: 100})
+	tr.Forget(sw)
+	if tr.Primed(sw) {
+		t.Fatal("forget must drop the baseline")
+	}
+	delta, reset, primed := tr.Advance(sw, map[int]uint64{1: 500})
+	if primed || reset || delta != nil {
+		t.Fatalf("after forget: delta=%v reset=%v primed=%v", delta, reset, primed)
+	}
+}
+
+func TestDeltaTrackerRuleChurn(t *testing.T) {
+	tr := NewDeltaTracker()
+	const sw = topo.SwitchID(1)
+	tr.Advance(sw, map[int]uint64{1: 10})
+	// Rule 2 installed mid-window counts from zero; rule 1 deleted drops
+	// out without tripping reset detection.
+	delta, reset, _ := tr.Advance(sw, map[int]uint64{1: 15, 2: 8})
+	if reset || delta[2] != 8 || delta[1] != 5 {
+		t.Fatalf("mid-window install: delta=%v reset=%v", delta, reset)
+	}
+	delta, reset, _ = tr.Advance(sw, map[int]uint64{2: 9})
+	if reset {
+		t.Fatal("rule deletion must not read as a counter reset")
+	}
+	if _, ok := delta[1]; ok {
+		t.Fatalf("deleted rule leaked into delta: %v", delta)
+	}
+	if delta[2] != 1 {
+		t.Fatalf("delta = %v", delta)
+	}
+}
+
+func TestDeltaTrackerCopiesSnapshot(t *testing.T) {
+	tr := NewDeltaTracker()
+	const sw = topo.SwitchID(3)
+	snap := map[int]uint64{1: 100}
+	tr.Advance(sw, snap)
+	snap[1] = 0 // caller mutates its map; the baseline must not move
+	delta, reset, primed := tr.Advance(sw, map[int]uint64{1: 130})
+	if reset || !primed || delta[1] != 30 {
+		t.Fatalf("tracker aliased the caller's snapshot: delta=%v reset=%v", delta, reset)
+	}
+}

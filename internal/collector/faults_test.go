@@ -1,0 +1,184 @@
+package collector
+
+import (
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"foces/internal/controller"
+	"foces/internal/dataplane"
+	"foces/internal/openflow"
+	"foces/internal/topo"
+)
+
+// serveStats runs a minimal scripted switch on the far end of a pipe:
+// every flow-stats request is answered with flows, every port-stats
+// request with ports (XIDs echoed). It stops when the pipe closes.
+func serveStats(raw net.Conn, sw topo.SwitchID, flows []openflow.FlowStat, ports []openflow.PortStat) {
+	go func() {
+		conn := openflow.NewConn(raw)
+		for {
+			msg, err := conn.Read()
+			if err != nil {
+				return
+			}
+			var reply openflow.Message
+			switch msg.Type {
+			case openflow.TypeFlowStatsRequest:
+				reply = openflow.Message{Type: openflow.TypeFlowStatsReply, XID: msg.XID,
+					Payload: &openflow.FlowStatsReply{Switch: sw, Stats: flows}}
+			case openflow.TypePortStatsRequest:
+				reply = openflow.Message{Type: openflow.TypePortStatsReply, XID: msg.XID,
+					Payload: &openflow.PortStatsReply{Switch: sw, Stats: ports}}
+			default:
+				continue
+			}
+			if err := conn.Write(reply); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// scriptedClient returns a real openflow.Client wired to a scripted
+// switch.
+func scriptedClient(t *testing.T, sw topo.SwitchID, flows []openflow.FlowStat, ports []openflow.PortStat) *openflow.Client {
+	t.Helper()
+	serverEnd, clientEnd := net.Pipe()
+	serveStats(serverEnd, sw, flows, ports)
+	client := openflow.NewClient(clientEnd, time.Second)
+	t.Cleanup(func() { _ = client.Close() })
+	return client
+}
+
+func TestCollectCountersDuplicateRule(t *testing.T) {
+	// Both switches claim rule 7 — a compromised switch shadowing
+	// another's counters. The error must name the rule and both
+	// switches; the lowest switch ID's value must be the one kept.
+	clients := map[topo.SwitchID]*openflow.Client{
+		1: scriptedClient(t, 1, []openflow.FlowStat{{RuleID: 7, Packets: 100}}, nil),
+		2: scriptedClient(t, 2, []openflow.FlowStat{{RuleID: 7, Packets: 999}, {RuleID: 8, Packets: 5}}, nil),
+	}
+	out, err := New(clients).CollectCounters()
+	if err == nil {
+		t.Fatal("duplicate rule ID must error")
+	}
+	for _, want := range []string{"rule 7", "switch 1", "switch 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	if out[7] != 100 {
+		t.Fatalf("rule 7 = %d, want lowest switch's 100", out[7])
+	}
+	if out[8] != 5 {
+		t.Fatalf("rule 8 = %d, want 5", out[8])
+	}
+}
+
+func TestCollectCountersDeterministicErrorAndPartialResults(t *testing.T) {
+	// Switches 3 and 9 are dead. The error must name switch 3 (lowest
+	// failing ID) on every run, and the healthy switches' counters must
+	// be returned alongside the error, not discarded.
+	for run := 0; run < 5; run++ {
+		clients := map[topo.SwitchID]*openflow.Client{
+			2: scriptedClient(t, 2, []openflow.FlowStat{{RuleID: 1, Packets: 11}}, nil),
+			5: scriptedClient(t, 5, []openflow.FlowStat{{RuleID: 2, Packets: 22}}, nil),
+		}
+		for _, dead := range []topo.SwitchID{3, 9} {
+			_, clientEnd := net.Pipe()
+			c := openflow.NewClient(clientEnd, time.Second)
+			_ = c.Close()
+			clients[dead] = c
+		}
+		out, err := New(clients).CollectCounters()
+		if err == nil {
+			t.Fatal("dead switches must error")
+		}
+		if !strings.Contains(err.Error(), "switch 3") {
+			t.Fatalf("run %d: error %q must name the lowest failing switch", run, err)
+		}
+		if out[1] != 11 || out[2] != 22 {
+			t.Fatalf("run %d: healthy counters discarded: %v", run, out)
+		}
+	}
+}
+
+func TestCollectPortStatsNonContiguousPorts(t *testing.T) {
+	// A switch reporting ports {0, 5} used to have its vectors sized by
+	// len(Stats)=2, silently dropping port 5. They must be sized by the
+	// highest port.
+	clients := map[topo.SwitchID]*openflow.Client{
+		4: scriptedClient(t, 4, nil, []openflow.PortStat{
+			{Port: 0, Rx: 10, Tx: 20},
+			{Port: 5, Rx: 50, Tx: 60},
+		}),
+	}
+	out, err := New(clients).CollectPortStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := out[4]
+	if len(pc.Rx) != 6 || len(pc.Tx) != 6 {
+		t.Fatalf("vectors sized %d/%d, want 6", len(pc.Rx), len(pc.Tx))
+	}
+	if pc.Rx[5] != 50 || pc.Tx[5] != 60 || pc.Rx[0] != 10 {
+		t.Fatalf("port counters misplaced: rx=%v tx=%v", pc.Rx, pc.Tx)
+	}
+}
+
+func TestCollectPortStatsNegativePort(t *testing.T) {
+	clients := map[topo.SwitchID]*openflow.Client{
+		1: scriptedClient(t, 1, nil, []openflow.PortStat{{Port: -2, Rx: 1, Tx: 1}}),
+		6: scriptedClient(t, 6, nil, []openflow.PortStat{{Port: 0, Rx: 7, Tx: 8}}),
+	}
+	out, err := New(clients).CollectPortStats()
+	if err == nil || !strings.Contains(err.Error(), "out-of-range port") {
+		t.Fatalf("negative port must error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "switch 1") {
+		t.Fatalf("error %q must name the offending switch", err)
+	}
+	// The healthy switch's stats survive the error.
+	if pc, ok := out[6]; !ok || pc.Rx[0] != 7 {
+		t.Fatalf("healthy port stats discarded: %v", out)
+	}
+	if _, ok := out[1]; ok {
+		t.Fatal("corrupt reply must not contribute port stats")
+	}
+}
+
+func TestWireReactiveChannelCountsInstallErrors(t *testing.T) {
+	// Switch 1's control channel dies before the first miss. The
+	// reactive handler's network-wide install then partially fails; that
+	// failure used to be silently discarded — it must be counted.
+	top, err := topo.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := controller.New(top, layout, controller.PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := dataplane.NewNetwork(top, layout)
+	h, err := NewHarness(network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	_, chStats, err := WireReactiveChannel(network, h, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = h.Clients[1].Close()
+
+	rng := rand.New(rand.NewSource(4))
+	// The run itself may fail (switch 1 cannot raise its own misses any
+	// more); what matters is that the failed installs were counted.
+	_, _ = network.Run(rng, dataplane.UniformTraffic(top, 5))
+	if chStats.InstallErrors() == 0 {
+		t.Fatal("failed FlowMod installs were not counted")
+	}
+}

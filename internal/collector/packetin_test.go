@@ -27,7 +27,7 @@ func TestWireReactiveChannelEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer h.Close()
-	installer, err := WireReactiveChannel(network, h, ctrl)
+	installer, chStats, err := WireReactiveChannel(network, h, ctrl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,6 +56,10 @@ func TestWireReactiveChannelEndToEnd(t *testing.T) {
 	}
 	if ctrl.NumRules() != before {
 		t.Fatal("second interval must not install more rules")
+	}
+	if chStats.InstallErrors() != 0 || chStats.ReleaseErrors() != 0 {
+		t.Fatalf("clean run must not count errors: install=%d release=%d",
+			chStats.InstallErrors(), chStats.ReleaseErrors())
 	}
 }
 

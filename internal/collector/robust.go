@@ -1,0 +1,478 @@
+package collector
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"foces/internal/openflow"
+	"foces/internal/topo"
+)
+
+// StatsClient is the slice of openflow.Client the robust collector
+// needs: deadline-bounded counter polls and a cheap liveness probe.
+// Narrowing to an interface keeps the fault machinery testable against
+// scripted switches without a real control channel.
+type StatsClient interface {
+	FlowStatsContext(ctx context.Context) (*openflow.FlowStatsReply, error)
+	EchoContext(ctx context.Context) error
+}
+
+// SwitchHealth is the collector's per-switch availability state.
+type SwitchHealth int
+
+// Health states. A switch moves Healthy → Degraded on its first failed
+// poll, Degraded → Quarantined after QuarantineAfter consecutive
+// failures, and Quarantined → Degraded when a reinstatement probe
+// succeeds (its first post-outage poll only re-baselines the delta
+// tracker, so one clean period passes before its counters count again).
+const (
+	Healthy SwitchHealth = iota
+	Degraded
+	Quarantined
+)
+
+func (h SwitchHealth) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Quarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("health-%d", int(h))
+	}
+}
+
+// RobustConfig tunes the fault-tolerant collector. The zero value
+// selects production-ish defaults scaled for the in-memory channel.
+type RobustConfig struct {
+	// Deadline bounds each individual request; zero selects 2s.
+	Deadline time.Duration
+	// Attempts is the maximum number of flow-stats requests per switch
+	// per period (1 = no retry); zero selects 3.
+	Attempts int
+	// BackoffBase is the first retry delay; it doubles per attempt up
+	// to BackoffMax. Zero selects 50ms (capped at 1s).
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff; zero selects 1s.
+	BackoffMax time.Duration
+	// JitterFrac spreads each backoff by ±JitterFrac so synchronized
+	// retries cannot stampede a recovering switch; zero selects 0.2,
+	// negative disables jitter.
+	JitterFrac float64
+	// QuarantineAfter is the number of consecutive failed polls before
+	// a switch is quarantined (skipped entirely, so a flapping switch
+	// cannot stall the detection period); zero selects 2.
+	QuarantineAfter int
+	// ProbeEvery is how many periods a quarantined switch waits between
+	// reinstatement probes; zero selects 3.
+	ProbeEvery int
+	// Seed drives backoff jitter deterministically; zero selects 1.
+	Seed int64
+}
+
+func (c RobustConfig) withDefaults() RobustConfig {
+	if c.Deadline <= 0 {
+		c.Deadline = 2 * time.Second
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.JitterFrac == 0 {
+		c.JitterFrac = 0.2
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 2
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RobustMetrics is a snapshot of the collection plane's operational
+// counters — the /status surface of the collector.
+type RobustMetrics struct {
+	// Periods is the number of Poll calls so far.
+	Periods uint64 `json:"periods"`
+	// Requests counts flow-stats requests sent, including retries.
+	Requests uint64 `json:"requests"`
+	// Retries counts re-sent requests after a per-request failure.
+	Retries uint64 `json:"retries"`
+	// Failures counts polls that exhausted every attempt.
+	Failures uint64 `json:"failures"`
+	// Timeouts counts individual requests that hit their deadline.
+	Timeouts uint64 `json:"timeouts"`
+	// Probes counts reinstatement probes sent to quarantined switches.
+	Probes uint64 `json:"probes"`
+	// Quarantines counts transitions into quarantine.
+	Quarantines uint64 `json:"quarantines"`
+	// Reinstatements counts successful probe recoveries.
+	Reinstatements uint64 `json:"reinstatements"`
+	// Resets counts detected counter resets (switch restarts).
+	Resets uint64 `json:"resets"`
+	// DuplicateRules counts rule IDs reported by more than one switch.
+	DuplicateRules uint64 `json:"duplicateRules"`
+	// LastElapsed is the wall-clock duration of the latest Poll.
+	LastElapsed time.Duration `json:"lastElapsedNs"`
+}
+
+// PollResult is one period's collection outcome.
+type PollResult struct {
+	// Deltas holds per-period counter deltas keyed by global rule ID,
+	// from switches that answered and had a valid one-period baseline.
+	Deltas map[int]uint64
+	// Missing lists (sorted) every switch whose counters are unusable
+	// this period: quarantined, poll failed, counters reset, or freshly
+	// (re)baselined. Feed it to core.DetectWithMissing.
+	Missing []topo.SwitchID
+	// Resets lists switches whose counters went backwards this period.
+	Resets []topo.SwitchID
+	// Reinstated lists switches brought back from quarantine by a
+	// successful probe this period.
+	Reinstated []topo.SwitchID
+	// DuplicateRules lists rule IDs reported by more than one switch —
+	// a compromised switch shadowing another's counters. The lowest
+	// switch ID's report wins deterministically; localization should
+	// treat every involved switch as suspect.
+	DuplicateRules []int
+	// Elapsed is the wall-clock duration of the poll.
+	Elapsed time.Duration
+}
+
+// switchState is one switch's slot in the health state machine.
+type switchState struct {
+	health     SwitchHealth
+	fails      int // consecutive failed polls
+	sinceProbe int // periods spent waiting in quarantine
+}
+
+// RobustCollector is a production-grade statistics collection plane:
+// every switch is polled concurrently under a per-request deadline with
+// bounded exponential-backoff retries, a per-switch health state
+// machine quarantines flapping switches (with periodic reinstatement
+// probes) so they cannot stall a detection period, and a windowed-delta
+// layer converts cumulative counters to per-period deltas while
+// detecting counter resets. Quarantined/failed/reset switches surface
+// in PollResult.Missing, which plugs straight into
+// core.DetectWithMissing / core.DetectSlicedWithMissing.
+//
+// Safe for concurrent use, though polls are serialized by design: a
+// period's state transitions must observe the previous period's.
+type RobustCollector struct {
+	cfg RobustConfig
+
+	mu      sync.Mutex
+	clients map[topo.SwitchID]StatsClient
+	order   []topo.SwitchID
+	state   map[topo.SwitchID]*switchState
+	deltas  *DeltaTracker
+	metrics RobustMetrics
+
+	sleep func(time.Duration) // test hook; nil = time.Sleep
+	now   func() time.Time    // test hook; nil = time.Now
+}
+
+// NewRobust builds a fault-tolerant collector over per-switch control
+// clients.
+func NewRobust(clients map[topo.SwitchID]*openflow.Client, cfg RobustConfig) *RobustCollector {
+	generic := make(map[topo.SwitchID]StatsClient, len(clients))
+	for sw, c := range clients {
+		generic[sw] = c
+	}
+	return NewRobustFromStats(generic, cfg)
+}
+
+// NewRobustFromStats is NewRobust over any StatsClient implementation.
+func NewRobustFromStats(clients map[topo.SwitchID]StatsClient, cfg RobustConfig) *RobustCollector {
+	rc := &RobustCollector{
+		cfg:     cfg.withDefaults(),
+		clients: make(map[topo.SwitchID]StatsClient, len(clients)),
+		state:   make(map[topo.SwitchID]*switchState, len(clients)),
+		deltas:  NewDeltaTracker(),
+	}
+	for sw, c := range clients {
+		rc.clients[sw] = c
+		rc.state[sw] = &switchState{}
+		rc.order = append(rc.order, sw)
+	}
+	sort.Slice(rc.order, func(i, j int) bool { return rc.order[i] < rc.order[j] })
+	return rc
+}
+
+// Metrics returns a snapshot of the collection counters.
+func (rc *RobustCollector) Metrics() RobustMetrics {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.metrics
+}
+
+// Health returns every switch's current availability state.
+func (rc *RobustCollector) Health() map[topo.SwitchID]SwitchHealth {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make(map[topo.SwitchID]SwitchHealth, len(rc.state))
+	for sw, st := range rc.state {
+		out[sw] = st.health
+	}
+	return out
+}
+
+// Quarantined returns the sorted set of quarantined switches.
+func (rc *RobustCollector) Quarantined() []topo.SwitchID {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var out []topo.SwitchID
+	for _, sw := range rc.order {
+		if rc.state[sw].health == Quarantined {
+			out = append(out, sw)
+		}
+	}
+	return out
+}
+
+// Prime performs one poll solely to establish every switch's delta
+// baseline — call it once after rule installation, before the first
+// detection period, so period one produces clean one-period deltas.
+func (rc *RobustCollector) Prime(ctx context.Context) error {
+	_, err := rc.Poll(ctx)
+	return err
+}
+
+// pollOutcome is one switch's raw result from the concurrent phase.
+type pollOutcome struct {
+	reply    *openflow.FlowStatsReply
+	err      error
+	requests uint64
+	retries  uint64
+	timeouts uint64
+	probed   bool
+	probeOK  bool
+}
+
+// Poll runs one collection period: probes, polls, retries, state
+// transitions and delta computation. It errors only when the context is
+// cancelled or the collector has no switches; per-switch failures are
+// reported through PollResult.Missing.
+func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
+	rc.mu.Lock()
+	if len(rc.clients) == 0 {
+		rc.mu.Unlock()
+		return PollResult{}, errors.New("collector: no switches to poll")
+	}
+	rc.metrics.Periods++
+	period := rc.metrics.Periods
+	type plan struct {
+		sw     topo.SwitchID
+		client StatsClient
+		probe  bool // quarantined: echo first, poll only if it succeeds
+	}
+	var plans []plan
+	for _, sw := range rc.order {
+		st := rc.state[sw]
+		if st.health == Quarantined {
+			st.sinceProbe++
+			if st.sinceProbe >= rc.cfg.ProbeEvery {
+				st.sinceProbe = 0
+				plans = append(plans, plan{sw: sw, client: rc.clients[sw], probe: true})
+			}
+			continue
+		}
+		plans = append(plans, plan{sw: sw, client: rc.clients[sw]})
+	}
+	cfg := rc.cfg
+	sleep := rc.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	now := rc.now
+	if now == nil {
+		now = time.Now
+	}
+	rc.mu.Unlock()
+
+	start := now()
+	outcomes := make(map[topo.SwitchID]*pollOutcome, len(plans))
+	var outMu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range plans {
+		wg.Add(1)
+		go func(p plan) {
+			defer wg.Done()
+			o := &pollOutcome{probed: p.probe}
+			// Per-goroutine jitter source: deterministic under the seed,
+			// race-free without locking the collector.
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(p.sw)<<16 ^ int64(period)))
+			if p.probe {
+				probeCtx, cancel := context.WithTimeout(ctx, cfg.Deadline)
+				err := p.client.EchoContext(probeCtx)
+				cancel()
+				if err != nil {
+					o.err = err
+					if errors.Is(err, context.DeadlineExceeded) {
+						o.timeouts++
+					}
+					outMu.Lock()
+					outcomes[p.sw] = o
+					outMu.Unlock()
+					return
+				}
+				o.probeOK = true
+			}
+			for attempt := 0; attempt < cfg.Attempts; attempt++ {
+				if attempt > 0 {
+					o.retries++
+					sleep(backoff(cfg, attempt-1, rng))
+				}
+				reqCtx, cancel := context.WithTimeout(ctx, cfg.Deadline)
+				reply, err := p.client.FlowStatsContext(reqCtx)
+				cancel()
+				o.requests++
+				if err == nil {
+					o.reply, o.err = reply, nil
+					break
+				}
+				o.err = err
+				if errors.Is(err, context.DeadlineExceeded) {
+					o.timeouts++
+				}
+				if ctx.Err() != nil {
+					break // the whole poll was cancelled; stop retrying
+				}
+			}
+			outMu.Lock()
+			outcomes[p.sw] = o
+			outMu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return PollResult{}, fmt.Errorf("collector: poll cancelled: %w", err)
+	}
+
+	// Merge phase: deterministic, in ascending switch order.
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	res := PollResult{Deltas: make(map[int]uint64)}
+	owner := make(map[int]topo.SwitchID)
+	dupSeen := make(map[int]bool)
+	for _, sw := range rc.order {
+		st := rc.state[sw]
+		o, polled := outcomes[sw]
+		if !polled {
+			// Quarantined and not due for a probe this period.
+			res.Missing = append(res.Missing, sw)
+			continue
+		}
+		rc.metrics.Requests += o.requests
+		rc.metrics.Retries += o.retries
+		rc.metrics.Timeouts += o.timeouts
+		if o.probed {
+			rc.metrics.Probes++
+			if !o.probeOK {
+				// Probe failed; stay quarantined, wait out another window.
+				res.Missing = append(res.Missing, sw)
+				continue
+			}
+		}
+		if o.err != nil {
+			// Poll exhausted its attempts (or the probe succeeded but the
+			// full poll did not). The switch's baseline is now stale — a
+			// delta across the gap would span several periods of traffic
+			// and read as a false anomaly — so the next successful poll
+			// must re-prime rather than difference.
+			rc.metrics.Failures++
+			rc.deltas.Forget(sw)
+			st.fails++
+			if st.health == Quarantined {
+				// Probe passed but the poll failed: not reinstated.
+				res.Missing = append(res.Missing, sw)
+				continue
+			}
+			if st.fails >= rc.cfg.QuarantineAfter {
+				st.health = Quarantined
+				st.sinceProbe = 0
+				rc.metrics.Quarantines++
+			} else {
+				st.health = Degraded
+			}
+			res.Missing = append(res.Missing, sw)
+			continue
+		}
+		if st.health == Quarantined {
+			st.health = Degraded
+			rc.metrics.Reinstatements++
+			res.Reinstated = append(res.Reinstated, sw)
+		} else {
+			st.health = Healthy
+		}
+		st.fails = 0
+		cur := make(map[int]uint64, len(o.reply.Stats))
+		for _, s := range o.reply.Stats {
+			cur[s.RuleID] = s.Packets
+		}
+		delta, reset, primed := rc.deltas.Advance(sw, cur)
+		if reset {
+			rc.metrics.Resets++
+			res.Resets = append(res.Resets, sw)
+			res.Missing = append(res.Missing, sw)
+			continue
+		}
+		if !primed {
+			// First observation (startup or post-quarantine): baseline
+			// only; usable deltas start next period.
+			res.Missing = append(res.Missing, sw)
+			continue
+		}
+		for rid, v := range delta {
+			if _, dup := owner[rid]; dup {
+				// The lowest switch ID's value is already merged; only
+				// record the shadowing once per rule.
+				if !dupSeen[rid] {
+					dupSeen[rid] = true
+					res.DuplicateRules = append(res.DuplicateRules, rid)
+					rc.metrics.DuplicateRules++
+				}
+				continue
+			}
+			owner[rid] = sw
+			res.Deltas[rid] = v
+		}
+	}
+	sort.Ints(res.DuplicateRules)
+	res.Elapsed = now().Sub(start)
+	rc.metrics.LastElapsed = res.Elapsed
+	return res, nil
+}
+
+// backoff computes the delay before retry number attempt (0-based),
+// exponential from BackoffBase, capped at BackoffMax, spread by
+// ±JitterFrac.
+func backoff(cfg RobustConfig, attempt int, rng *rand.Rand) time.Duration {
+	d := cfg.BackoffBase
+	for i := 0; i < attempt && d < cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > cfg.BackoffMax {
+		d = cfg.BackoffMax
+	}
+	if cfg.JitterFrac > 0 {
+		d = time.Duration(float64(d) * (1 + cfg.JitterFrac*(2*rng.Float64()-1)))
+	}
+	return d
+}

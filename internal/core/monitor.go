@@ -21,14 +21,22 @@ type MonitorConfig struct {
 }
 
 func (c MonitorConfig) withDefaults() MonitorConfig {
-	if c.Threshold == 0 {
+	// Non-positive values select the defaults. Negatives would bypass a
+	// zero-only check and yield monitors that always fire (negative
+	// threshold), alert on the first exceedance regardless of debouncing
+	// (negative consecutive) or diverge (negative alpha); an alpha above
+	// 1 would likewise oscillate, so clamp it to plain averaging.
+	if c.Threshold <= 0 {
 		c.Threshold = 4.5
 	}
-	if c.Consecutive == 0 {
+	if c.Consecutive <= 0 {
 		c.Consecutive = 2
 	}
-	if c.EWMAAlpha == 0 {
+	if c.EWMAAlpha <= 0 {
 		c.EWMAAlpha = 0.3
+	}
+	if c.EWMAAlpha > 1 {
+		c.EWMAAlpha = 1
 	}
 	return c
 }

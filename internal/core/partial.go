@@ -68,3 +68,67 @@ func DetectWithMissing(f *fcm.FCM, counters map[int]uint64, missing []topo.Switc
 		MissingRules: f.NumRules() - len(present),
 	}, nil
 }
+
+// DetectSlicedWithMissing runs Algorithm 2 restricted to reachable
+// switches: slices belonging to missing (unreachable or quarantined)
+// switches are skipped outright — their own rules are unobservable, so
+// there is nothing to check — and the remaining slices drop any
+// predecessor rows hosted on missing switches before solving, re-deriving
+// each affected sub-FCM from f.H. Like DetectWithMissing this re-factors
+// per call; it is the degraded path, not the steady state.
+//
+// An anomaly confined entirely to the missing switches is invisible
+// here — treat a long-missing switch as an incident of its own.
+func DetectSlicedWithMissing(f *fcm.FCM, slices []Slice, counters map[int]uint64, missing []topo.SwitchID, opts Options) (SlicedOutcome, error) {
+	down := make(map[topo.SwitchID]bool, len(missing))
+	for _, sw := range missing {
+		down[sw] = true
+	}
+	var out SlicedOutcome
+	type suspect struct {
+		sw    topo.SwitchID
+		index float64
+	}
+	var suspects []suspect
+	checked := 0
+	for _, sl := range slices {
+		if down[sl.Switch] {
+			continue
+		}
+		rows := make([]int, 0, len(sl.RuleRows))
+		for _, rid := range sl.RuleRows {
+			if !down[f.Rules[rid].Switch] {
+				rows = append(rows, rid)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		sub, err := f.H.SubMatrix(rows, sl.FlowCols)
+		if err != nil {
+			return SlicedOutcome{}, fmt.Errorf("core: partial slice for switch %d: %w", sl.Switch, err)
+		}
+		y := make([]float64, len(rows))
+		for i, rid := range rows {
+			y[i] = float64(counters[rid])
+		}
+		res, err := Detect(sub, y, opts)
+		if err != nil {
+			return SlicedOutcome{}, fmt.Errorf("core: partial slice for switch %d: %w", sl.Switch, err)
+		}
+		checked++
+		out.PerSwitch = append(out.PerSwitch, SliceResult{Switch: sl.Switch, Result: res})
+		if res.Anomalous {
+			out.Anomalous = true
+			suspects = append(suspects, suspect{sw: sl.Switch, index: res.Index})
+		}
+	}
+	if checked == 0 {
+		return SlicedOutcome{}, fmt.Errorf("core: every slice is hosted on a missing switch; nothing to check")
+	}
+	sort.SliceStable(suspects, func(i, j int) bool { return suspects[i].index > suspects[j].index })
+	for _, s := range suspects {
+		out.Suspects = append(out.Suspects, s.sw)
+	}
+	return out, nil
+}

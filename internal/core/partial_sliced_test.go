@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"foces/internal/dataplane"
+	"foces/internal/topo"
+)
+
+func TestDetectSlicedWithMissingCleanNetwork(t *testing.T) {
+	top, net, f := partialSetup(t)
+	slices, err := BuildSlices(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	counters := net.CollectCounters()
+	missing := []topo.SwitchID{0, 5}
+	out, err := DetectSlicedWithMissing(f, slices, counters, missing, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Anomalous {
+		t.Fatalf("clean partial sliced view flagged: suspects=%v", out.Suspects)
+	}
+	// Missing switches' own slices must be skipped.
+	for _, r := range out.PerSwitch {
+		if r.Switch == 0 || r.Switch == 5 {
+			t.Fatalf("slice of missing switch %d was checked", r.Switch)
+		}
+	}
+	if len(out.PerSwitch) != len(slices)-2 {
+		t.Fatalf("checked %d slices, want %d", len(out.PerSwitch), len(slices)-2)
+	}
+}
+
+func TestDetectSlicedWithMissingStillLocalizes(t *testing.T) {
+	top, net, f := partialSetup(t)
+	slices, err := BuildSlices(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	atk, err := dataplane.RandomAttack(rng, net, dataplane.AttackDrop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	counters := net.CollectCounters()
+	// A switch that is neither the attacker nor its neighbour goes dark.
+	var missing []topo.SwitchID
+	for _, s := range top.Switches() {
+		if s.ID == atk.Switch {
+			continue
+		}
+		isNbr := false
+		for _, n := range top.Neighbors(atk.Switch) {
+			if n == s.ID {
+				isNbr = true
+			}
+		}
+		if !isNbr {
+			missing = append(missing, s.ID)
+			break
+		}
+	}
+	for _, r := range f.Rules {
+		if r.Switch == missing[0] {
+			delete(counters, r.ID)
+		}
+	}
+	out, err := DetectSlicedWithMissing(f, slices, counters, missing, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Anomalous || len(out.Suspects) == 0 {
+		t.Fatalf("degraded sliced view missed the attack: %+v", out)
+	}
+	for _, s := range out.Suspects {
+		if s == missing[0] {
+			t.Fatalf("missing switch %d cannot be a suspect — its slice was skipped", s)
+		}
+	}
+}
+
+func TestDetectSlicedWithMissingNoneMatchesFull(t *testing.T) {
+	top, net, f := partialSetup(t)
+	slices, err := BuildSlices(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 500)); err != nil {
+		t.Fatal(err)
+	}
+	counters := net.CollectCounters()
+	out, err := DetectSlicedWithMissing(f, slices, counters, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DetectSliced(slices, f.CounterVector(counters), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Anomalous != full.Anomalous || len(out.PerSwitch) != len(full.PerSwitch) {
+		t.Fatalf("no-missing sliced run diverged: partial %d slices anomalous=%v, full %d slices anomalous=%v",
+			len(out.PerSwitch), out.Anomalous, len(full.PerSwitch), full.Anomalous)
+	}
+}
+
+func TestDetectSlicedWithMissingAllSwitches(t *testing.T) {
+	top, _, f := partialSetup(t)
+	slices, err := BuildSlices(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []topo.SwitchID
+	for _, s := range top.Switches() {
+		all = append(all, s.ID)
+	}
+	if _, err := DetectSlicedWithMissing(f, slices, nil, all, Options{}); err == nil {
+		t.Fatal("all-missing sliced detection must error")
+	}
+}
+
+func TestMonitorClampsNegativeConfig(t *testing.T) {
+	// Negative values used to slip past the zero-only default checks:
+	// a negative threshold always fires, a negative consecutive alerts
+	// without debouncing, a negative alpha diverges the EWMA.
+	m := NewMonitor(MonitorConfig{Threshold: -3, Consecutive: -1, EWMAAlpha: -0.5})
+	if m.cfg.Threshold != 4.5 || m.cfg.Consecutive != 2 || m.cfg.EWMAAlpha != 0.3 {
+		t.Fatalf("negative config not clamped: %+v", m.cfg)
+	}
+	if v := m.Feed(1); v.Exceeded || v.Alert {
+		t.Fatalf("quiet index must not fire: %+v", v)
+	}
+	// Alpha above 1 clamps to plain averaging instead of oscillating.
+	m = NewMonitor(MonitorConfig{EWMAAlpha: 2.5})
+	if m.cfg.EWMAAlpha != 1 {
+		t.Fatalf("alpha > 1 not clamped: %v", m.cfg.EWMAAlpha)
+	}
+	m.Feed(10)
+	if v := m.Feed(4); v.EWMA != 4 {
+		t.Fatalf("alpha=1 must track the latest index, EWMA=%v", v.EWMA)
+	}
+}

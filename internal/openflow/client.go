@@ -1,6 +1,7 @@
 package openflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -119,8 +120,20 @@ func (c *Client) readLoop() {
 	}
 }
 
-// roundTrip sends a request and waits for its matching reply.
+// roundTrip sends a request and waits for its matching reply, bounded
+// by the client's default timeout.
 func (c *Client) roundTrip(t MsgType, payload Payload) (Message, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	return c.roundTripCtx(ctx, t, payload)
+}
+
+// roundTripCtx sends a request and waits for its matching reply until
+// the context expires. The write itself also races the context: a peer
+// that stopped reading (dead agent behind a live pipe) cannot stall the
+// caller past its deadline — the frame writer is left behind on its own
+// goroutine and unblocks when the connection closes.
+func (c *Client) roundTripCtx(ctx context.Context, t MsgType, payload Payload) (Message, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -132,14 +145,25 @@ func (c *Client) roundTrip(t MsgType, payload Payload) (Message, error) {
 	c.pending[xid] = ch
 	c.mu.Unlock()
 
-	if err := c.conn.Write(Message{Type: t, XID: xid, Payload: payload}); err != nil {
+	abandon := func() {
 		c.mu.Lock()
 		delete(c.pending, xid)
 		c.mu.Unlock()
-		return Message{}, err
 	}
-	timer := time.NewTimer(c.timeout)
-	defer timer.Stop()
+	written := make(chan error, 1)
+	go func() {
+		written <- c.conn.Write(Message{Type: t, XID: xid, Payload: payload})
+	}()
+	select {
+	case err := <-written:
+		if err != nil {
+			abandon()
+			return Message{}, err
+		}
+	case <-ctx.Done():
+		abandon()
+		return Message{}, fmt.Errorf("openflow: %v request: %w", t, ctx.Err())
+	}
 	select {
 	case reply, ok := <-ch:
 		if !ok {
@@ -152,11 +176,9 @@ func (c *Client) roundTrip(t MsgType, payload Payload) (Message, error) {
 			return Message{}, em
 		}
 		return reply, nil
-	case <-timer.C:
-		c.mu.Lock()
-		delete(c.pending, xid)
-		c.mu.Unlock()
-		return Message{}, fmt.Errorf("openflow: %v timed out after %v", t, c.timeout)
+	case <-ctx.Done():
+		abandon()
+		return Message{}, fmt.Errorf("openflow: %v reply: %w", t, ctx.Err())
 	}
 }
 
@@ -174,7 +196,15 @@ func (c *Client) Hello() error {
 
 // Echo verifies liveness.
 func (c *Client) Echo() error {
-	reply, err := c.roundTrip(TypeEchoRequest, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	return c.EchoContext(ctx)
+}
+
+// EchoContext verifies liveness under a caller-supplied deadline — the
+// collector's cheap reinstatement probe for quarantined switches.
+func (c *Client) EchoContext(ctx context.Context) error {
+	reply, err := c.roundTripCtx(ctx, TypeEchoRequest, nil)
 	if err != nil {
 		return err
 	}
@@ -211,7 +241,16 @@ func (c *Client) DeleteRule(id int) error {
 
 // FlowStats fetches the switch's rule counters.
 func (c *Client) FlowStats() (*FlowStatsReply, error) {
-	reply, err := c.roundTrip(TypeFlowStatsRequest, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	return c.FlowStatsContext(ctx)
+}
+
+// FlowStatsContext fetches the switch's rule counters under a
+// caller-supplied deadline, so a slow or dead switch costs the
+// collector exactly its per-request budget and nothing more.
+func (c *Client) FlowStatsContext(ctx context.Context) (*FlowStatsReply, error) {
+	reply, err := c.roundTripCtx(ctx, TypeFlowStatsRequest, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +263,15 @@ func (c *Client) FlowStats() (*FlowStatsReply, error) {
 
 // PortStats fetches the switch's port counters.
 func (c *Client) PortStats() (*PortStatsReply, error) {
-	reply, err := c.roundTrip(TypePortStatsRequest, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	return c.PortStatsContext(ctx)
+}
+
+// PortStatsContext fetches the switch's port counters under a
+// caller-supplied deadline.
+func (c *Client) PortStatsContext(ctx context.Context) (*PortStatsReply, error) {
+	reply, err := c.roundTripCtx(ctx, TypePortStatsRequest, nil)
 	if err != nil {
 		return nil, err
 	}

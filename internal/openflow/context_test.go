@@ -1,0 +1,170 @@
+package openflow
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// muteReader accepts the client's frames but never replies — a live
+// pipe in front of a dead agent.
+func muteReader(raw net.Conn) {
+	go func() {
+		conn := NewConn(raw)
+		for {
+			if _, err := conn.Read(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func TestClientContextDeadlineOnMuteReply(t *testing.T) {
+	serverEnd, clientEnd := net.Pipe()
+	muteReader(serverEnd)
+	c := NewClient(clientEnd, time.Minute) // default timeout must NOT apply
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.FlowStatsContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("caller deadline ignored: took %v", elapsed)
+	}
+}
+
+func TestClientContextCancelOnMuteReply(t *testing.T) {
+	serverEnd, clientEnd := net.Pipe()
+	muteReader(serverEnd)
+	c := NewClient(clientEnd, time.Minute)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		err := c.EchoContext(ctx)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancel did not unblock the request")
+	}
+}
+
+func TestClientContextDeadlineOnBlockedWrite(t *testing.T) {
+	// The peer never reads, so the frame write itself blocks
+	// (net.Pipe is unbuffered). The deadline must still bound the call.
+	serverEnd, clientEnd := net.Pipe()
+	defer serverEnd.Close()
+	c := NewClient(clientEnd, time.Minute)
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.EchoContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("blocked write stalled past the deadline: %v", elapsed)
+	}
+}
+
+func TestClientContextAbandonsPendingXID(t *testing.T) {
+	// A request that times out must deregister its XID so a late reply
+	// doesn't leak into a later request, and the client must remain
+	// usable afterwards.
+	serverEnd, clientEnd := net.Pipe()
+	c := NewClient(clientEnd, time.Minute)
+	defer c.Close()
+
+	conn := NewConn(serverEnd)
+	xids := make(chan uint32, 2)
+	go func() {
+		for {
+			msg, err := conn.Read()
+			if err != nil {
+				return
+			}
+			xids <- msg.XID
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	_, err := c.FlowStatsContext(ctx)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("first request: %v", err)
+	}
+	staleXID := <-xids
+
+	// Answer the abandoned request late, then serve the next one
+	// properly; the late reply must be dropped, not matched.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = conn.Write(Message{Type: TypeFlowStatsReply, XID: staleXID,
+			Payload: &FlowStatsReply{Switch: 1, Stats: []FlowStat{{RuleID: 99, Packets: 1}}}})
+		nextXID := <-xids
+		_ = conn.Write(Message{Type: TypeFlowStatsReply, XID: nextXID,
+			Payload: &FlowStatsReply{Switch: 1, Stats: []FlowStat{{RuleID: 7, Packets: 42}}}})
+	}()
+
+	reply, err := c.FlowStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Stats) != 1 || reply.Stats[0].RuleID != 7 {
+		t.Fatalf("late stale reply leaked into a fresh request: %+v", reply.Stats)
+	}
+	<-done
+}
+
+func TestClientContextSuccessPath(t *testing.T) {
+	serverEnd, clientEnd := net.Pipe()
+	c := NewClient(clientEnd, time.Minute)
+	defer c.Close()
+
+	conn := NewConn(serverEnd)
+	go func() {
+		for {
+			msg, err := conn.Read()
+			if err != nil {
+				return
+			}
+			switch msg.Type {
+			case TypeEchoRequest:
+				_ = conn.Write(Message{Type: TypeEchoReply, XID: msg.XID})
+			case TypePortStatsRequest:
+				_ = conn.Write(Message{Type: TypePortStatsReply, XID: msg.XID,
+					Payload: &PortStatsReply{Switch: 2, Stats: []PortStat{{Port: 0, Rx: 1, Tx: 2}}}})
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := c.EchoContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := c.PortStatsContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Stats) != 1 || pr.Stats[0].Rx != 1 {
+		t.Fatalf("port stats = %+v", pr.Stats)
+	}
+}

@@ -170,6 +170,24 @@ func (s *System) DetectSliced(y []float64, opts DetectOptions) (SlicedOutcome, e
 	return s.sliced.DetectWithOptions(y, opts)
 }
 
+// DetectWithMissing runs Algorithm 1 restricted to reachable switches:
+// the rule rows of missing (unreachable, quarantined or
+// counter-reset) switches are dropped and consistency is checked on
+// everything still observable. This is the degraded path behind a
+// fault-tolerant collector's PollResult.Missing; it re-factors per
+// call, so use Detect whenever the missing set is empty.
+func (s *System) DetectWithMissing(counters map[int]uint64, missing []SwitchID, opts DetectOptions) (PartialResult, error) {
+	return core.DetectWithMissing(s.fcm, counters, missing, opts)
+}
+
+// DetectSlicedWithMissing runs Algorithm 2 restricted to reachable
+// switches: missing switches' slices are skipped and surviving slices
+// drop rows hosted on missing switches. Re-factors per call — the
+// degraded counterpart of DetectSliced.
+func (s *System) DetectSlicedWithMissing(counters map[int]uint64, missing []SwitchID, opts DetectOptions) (SlicedOutcome, error) {
+	return core.DetectSlicedWithMissing(s.fcm, s.slices, counters, missing, opts)
+}
+
 // Detector returns the prepared baseline detection engine.
 func (s *System) Detector() *Detector { return s.detector }
 
