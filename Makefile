@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test test-faults bench-smoke bench
+.PHONY: ci fmt vet build test test-faults test-churn bench-smoke bench
 
-ci: fmt vet build test test-faults bench-smoke
+ci: fmt vet build test test-faults test-churn bench-smoke
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -29,6 +29,13 @@ test:
 # scheduling-dependent bugs a single pass can miss.
 test-faults:
 	$(GO) test -race -count=2 -timeout 120s ./internal/collector/ ./internal/openflow/
+
+# The rule-churn subsystem mutates the baseline (epoch log, incremental
+# FCM, rank-one factor updates) while detection may be running: run its
+# package and the matrix factor-update machinery twice under the race
+# detector.
+test-churn:
+	$(GO) test -race -count=2 -timeout 120s ./internal/churn/ ./internal/matrix/
 
 # Compile-and-run-once smoke over every Detect* benchmark, including
 # the cold-vs-prepared and sequential-vs-parallel engine comparisons.

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,7 +47,7 @@ type options struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("focesbench", flag.ContinueOnError)
 	opts := options{}
-	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12")
+	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12|loc|coverage|overhead|monitor|churn")
 	fs.IntVar(&opts.runs, "runs", 0, "observations per point (0 = experiment default)")
 	fs.Int64Var(&opts.seed, "seed", 1, "random seed")
 	fs.StringVar(&opts.csvDir, "csv", "", "directory for CSV output (optional)")
@@ -81,9 +82,10 @@ func run(args []string, out io.Writer) error {
 		"coverage": runCoverage,     // extension: future work #2
 		"overhead": runOverhead,     // §VII deployment-cost comparison
 		"monitor":  runMonitor,      // extension: debounced-alarm study
+		"churn":    runChurn,        // extension: incremental vs full-rebuild updates
 	}
 	if opts.exp == "all" {
-		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig12", "loc", "coverage", "overhead", "monitor"} {
+		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig12", "loc", "coverage", "overhead", "monitor", "churn"} {
 			if err := experiments[name](opts, out); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -397,6 +399,58 @@ func runMonitor(opts options, out io.Writer) error {
 	fmt.Fprintln(out, "\n== Extension: debounced K-of-N alarms at heavy loss (FatTree(4)) ==")
 	fmt.Fprint(out, experiment.FormatTable(headers, cells))
 	return writeCSV(opts, "monitor", headers, cells)
+}
+
+// runChurn benchmarks the dynamic-network subsystem: per-update latency
+// of absorbing single-rule changes incrementally (epoch-versioned churn
+// manager) versus a cold full-baseline rebuild, on FatTree(8). Besides
+// the table/CSV it writes the full trajectory as churn.json so the
+// per-update latency series can be tracked over time.
+func runChurn(opts options, out io.Writer) error {
+	cfg := experiment.ChurnConfig{Config: baseConfig(opts)}
+	if opts.runs > 0 {
+		cfg.Updates = opts.runs
+	}
+	if len(opts.flows) > 0 {
+		cfg.Flows = opts.flows[0]
+	}
+	res, err := experiment.Churn(cfg)
+	if err != nil {
+		return err
+	}
+	headers := []string{"update", "op", "live_rules", "flows", "incremental_ms", "full_rebuild_ms", "speedup",
+		"retraced", "slices_reused", "slices_updated", "slices_refactored", "verdict_match"}
+	var cells [][]string
+	for _, p := range res.Points {
+		cells = append(cells, []string{
+			fmt.Sprint(p.Update),
+			p.Op,
+			fmt.Sprint(p.Rules),
+			fmt.Sprint(p.Flows),
+			fmt.Sprintf("%.3f", p.IncrementalSecs*1000),
+			fmt.Sprintf("%.3f", p.FullSecs*1000),
+			fmt.Sprintf("%.1fx", p.Speedup),
+			fmt.Sprint(p.Retraced),
+			fmt.Sprint(p.SlicesReused),
+			fmt.Sprint(p.SlicesUpdated),
+			fmt.Sprint(p.SlicesRefactored),
+			fmt.Sprint(p.VerdictMatch),
+		})
+	}
+	fmt.Fprintf(out, "\n== Extension: dynamic networks — incremental update vs full rebuild, %s ==\n", res.Topology)
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	fmt.Fprintf(out, "median speedup %.1fx (target >= 10x); totals: incremental %.3fs, full rebuilds %.3fs\n",
+		res.MedianSpeedup, res.TotalIncrementalSecs, res.TotalFullSecs)
+	if opts.csvDir != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(opts.csvDir, "churn.json"), append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return writeCSV(opts, "churn", headers, cells)
 }
 
 // sortCells orders rows lexicographically for deterministic output

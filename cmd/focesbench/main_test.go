@@ -59,6 +59,29 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunChurnWritesTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-exp", "churn", "-runs", "3", "-flows", "120", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dynamic networks") || !strings.Contains(out.String(), "median speedup") {
+		t.Errorf("missing section:\n%s", out.String())
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "churn.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"topology": "FatTree(8)"`, `"medianSpeedup"`, `"incrementalSecs"`, `"verdictMatch": true`} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("churn.json missing %s:\n%s", want, blob)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "churn.csv")); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestRunAllExperimentsSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment smoke is slow")

@@ -32,13 +32,15 @@ import (
 	"os"
 	"time"
 
+	"foces/internal/churn"
 	"foces/internal/collector"
 	"foces/internal/controller"
 	"foces/internal/core"
 	"foces/internal/dataplane"
 	"foces/internal/experiment"
-	"foces/internal/fcm"
+	"foces/internal/flowtable"
 	"foces/internal/header"
+	"foces/internal/openflow"
 	"foces/internal/persist"
 	"foces/internal/topo"
 	"foces/internal/verify"
@@ -69,6 +71,7 @@ func run(args []string, out io.Writer) error {
 	killSwitch := fs.Int("kill-switch", -1, "switch to kill at -kill-at (-1 = auto-pick)")
 	resetAt := fs.Int("reset-at", 0, "period at which a switch reboots and zeroes its counters (0 = never)")
 	resetSwitch := fs.Int("reset-switch", -1, "switch to reset at -reset-at (-1 = auto-pick)")
+	churnEvery := fs.Int("churn-every", 0, "apply a rule update (remove one rule, add one) every N periods, mid-window (0 = never)")
 	interval := fs.Duration("interval", 0, "sleep between detection periods, like a real collection interval (0 = run flat out)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -168,24 +171,17 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("kill and reset target the same switch %d", killTarget)
 	}
 
-	f, err := fcm.Generate(t, layout, ctrl.Rules())
-	if err != nil {
-		return err
-	}
-	slices, err := core.BuildSlices(f)
-	if err != nil {
-		return err
-	}
-	// Prepare the detection engines once: the factorizations are valid
-	// for as long as the installed rule set (and hence the FCM) stands,
-	// so each period below only pays triangular solves. On a rule
-	// change, regenerate the FCM, slices and both engines.
+	// The churn manager owns the epoch-versioned baseline: FCM, slices
+	// and the prepared engines. Steady-state periods pay only triangular
+	// solves; a rule update (-churn-every) re-traces affected sources
+	// and repairs slice engines incrementally instead of rebuilding.
 	opts := core.Options{Threshold: *threshold}
-	detector, err := core.NewDetector(f.H, opts)
+	mgr, err := churn.NewManager(t, layout, ctrl.Rules(), ctrl.RuleSpace(), opts, churn.Config{})
 	if err != nil {
 		return err
 	}
-	slicedDet, err := core.NewSlicedDetector(slices, f.NumRules(), opts)
+	f, slices, slicedDet := mgr.FCM(), mgr.Slices(), mgr.Sliced()
+	detector, err := mgr.Full()
 	if err != nil {
 		return err
 	}
@@ -238,6 +234,28 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, ">> period %d: switch %d rebooted (counters zeroed)\n", p, resetTarget)
 		}
 
+		if *churnEvery > 0 && p%*churnEvery == 0 {
+			// Run half the period's traffic first so the update lands
+			// mid-window: the poll below sees counters that mix two rule
+			// generations — exactly the straddling case the epoch-tagged
+			// windows reconcile.
+			if _, err := network.Run(rng, tm); err != nil {
+				return err
+			}
+			events, err := injectChurn(rng, ctrl, layout, t, harness.Clients)
+			if err != nil {
+				return err
+			}
+			u, err := mgr.Apply(events)
+			if err != nil {
+				return err
+			}
+			robust.SetEpoch(mgr.Epoch())
+			f, slices, slicedDet = mgr.FCM(), mgr.Slices(), mgr.Sliced()
+			fmt.Fprintf(out, ">> period %d: rule churn epoch %d (%d events): retraced %d sources, slices reused/updated/refactored %d/%d/%d in %s\n",
+				p, u.Epoch, len(u.Events), u.Retraced, u.SlicesReused, u.SlicesUpdated, u.SlicesRefactored, u.Elapsed.Round(time.Microsecond))
+		}
+
 		// Counters keep accumulating; the robust collector differences
 		// them into this period's window.
 		if _, err := network.Run(rng, tm); err != nil {
@@ -273,12 +291,46 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-		} else {
-			res, err = detector.Detect(f.CounterVector(counters))
+		} else if len(poll.Straddled) > 0 {
+			// One or more switch windows span a rule update: their
+			// counters mix two rule generations. Mask the rows changed
+			// since the oldest straddled baseline epoch instead of
+			// reading the mixture as a forwarding anomaly.
+			from := mgr.Epoch()
+			for _, e := range poll.Straddled {
+				if e < from {
+					from = e
+				}
+			}
+			masked := mgr.AffectedSince(from)
+			fmt.Fprintf(out, ">> period %d: %d switch windows straddle rule updates since epoch %d; masking %d rule rows\n",
+				p, len(poll.Straddled), from, len(masked))
+			y := f.CounterVector(counters)
+			detector, err = mgr.Full()
 			if err != nil {
 				return err
 			}
-			sliced, err = slicedDet.Detect(f.CounterVector(counters))
+			res, err = detector.DetectMasked(y, masked)
+			if err != nil {
+				return err
+			}
+			sliced, err = slicedDet.DetectMasked(y, masked)
+			if err != nil {
+				return err
+			}
+		} else {
+			y := f.CounterVector(counters)
+			// mgr caches the full engine per epoch; after a churn update
+			// the first clean window pays one refactorization here.
+			detector, err = mgr.Full()
+			if err != nil {
+				return err
+			}
+			res, err = detector.Detect(y)
+			if err != nil {
+				return err
+			}
+			sliced, err = slicedDet.Detect(y)
 			if err != nil {
 				return err
 			}
@@ -294,15 +346,17 @@ func run(args []string, out io.Writer) error {
 		}
 		if statusSrv != nil {
 			statusSrv.Update(status{
-				Period:          p,
-				AttackActive:    active != nil,
-				Index:           clampIndex(res.Index),
-				Anomalous:       res.Anomalous,
-				Alarm:           mv.Alert,
-				SlicedIndex:     clampIndex(sliced.MaxIndex()),
-				Suspects:        sliced.Suspects,
-				MissingSwitches: len(missing),
-				Collection:      collectionStatus(robust, poll),
+				Period:           p,
+				AttackActive:     active != nil,
+				Index:            clampIndex(res.Index),
+				Anomalous:        res.Anomalous,
+				Alarm:            mv.Alert,
+				SlicedIndex:      clampIndex(sliced.MaxIndex()),
+				Suspects:         sliced.Suspects,
+				MissingSwitches:  len(missing),
+				StraddledWindows: len(poll.Straddled),
+				Collection:       collectionStatus(robust, poll),
+				Churn:            churnStatus(mgr.Stats()),
 			})
 		}
 		suspects := ""
@@ -334,6 +388,40 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "collection: periods=%d requests=%d retries=%d timeouts=%d failures=%d quarantines=%d reinstatements=%d resets=%d\n",
 		m.Periods, m.Requests, m.Retries, m.Timeouts, m.Failures, m.Quarantines, m.Reinstatements, m.Resets)
 	return nil
+}
+
+// injectChurn applies one live rule update end to end: remove a random
+// live rule and add a fresh src-pinned drop rule, mutating the
+// controller's intent AND the switches (via FlowMods on the control
+// channel), and returns the event batch for the churn manager.
+func injectChurn(rng *rand.Rand, ctrl *controller.Controller, layout *header.Layout, t *topo.Topology, clients map[topo.SwitchID]*openflow.Client) ([]controller.RuleChange, error) {
+	live := ctrl.Rules()
+	victim := live[rng.Intn(len(live))]
+	if _, err := ctrl.RemoveRule(victim.ID); err != nil {
+		return nil, err
+	}
+	if err := clients[victim.Switch].DeleteRule(victim.ID); err != nil {
+		return nil, fmt.Errorf("delete rule %d on switch %d: %w", victim.ID, victim.Switch, err)
+	}
+	hosts := t.Hosts()
+	h := hosts[rng.Intn(len(hosts))]
+	match, err := layout.MatchExact(layout.Wildcard(), header.FieldSrcIP, h.IP)
+	if err != nil {
+		return nil, err
+	}
+	sws := t.Switches()
+	sw := sws[rng.Intn(len(sws))].ID
+	added, err := ctrl.AddRule(sw, 500, match, flowtable.Action{Type: flowtable.ActionDrop})
+	if err != nil {
+		return nil, err
+	}
+	if err := clients[sw].InstallRule(added); err != nil {
+		return nil, fmt.Errorf("install rule %d on switch %d: %w", added.ID, sw, err)
+	}
+	return []controller.RuleChange{
+		{Op: controller.RuleRemoved, Rule: victim},
+		{Op: controller.RuleAdded, Rule: added},
+	}, nil
 }
 
 // clampIndex bounds +Inf anomaly indices for JSON encoding.

@@ -123,3 +123,32 @@ func TestClampIndex(t *testing.T) {
 		t.Fatal("clamp wrong")
 	}
 }
+
+// TestRunWithChurn drives live rule updates mid-run: updates must be
+// absorbed incrementally, straddling windows must be reconciled (no
+// false alarm without an attack), and the churn block must reach
+// /status.
+func TestRunWithChurn(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-topo", "fattree4",
+		"-periods", "6",
+		"-attack-at", "0",
+		"-churn-every", "2",
+		"-loss", "0",
+		"-seed", "5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Contains(s, "ANOMALY") {
+		t.Errorf("rule churn read as forwarding anomaly:\n%s", s)
+	}
+	if !strings.Contains(s, "rule churn epoch 1") || !strings.Contains(s, "rule churn epoch 3") {
+		t.Errorf("churn epochs missing from:\n%s", s)
+	}
+	if !strings.Contains(s, "straddle rule updates") {
+		t.Errorf("no straddling window reconciled in:\n%s", s)
+	}
+}

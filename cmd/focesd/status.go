@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sync"
 
+	"foces/internal/churn"
 	"foces/internal/collector"
 	"foces/internal/topo"
 )
@@ -47,17 +48,50 @@ func collectionStatus(rc *collector.RobustCollector, poll collector.PollResult) 
 	}
 }
 
+// churnView is the /status view of the epoch-versioned rule-churn
+// subsystem: current epoch plus cumulative incremental-maintenance
+// work, so an operator can see updates being absorbed without full
+// rebuilds.
+type churnView struct {
+	Epoch            uint64  `json:"epoch"`
+	Updates          int     `json:"updates"`
+	Events           int     `json:"events"`
+	Retraced         int     `json:"retracedSources"`
+	SlicesReused     int     `json:"slicesReused"`
+	SlicesUpdated    int     `json:"slicesUpdated"`
+	SlicesRefactored int     `json:"slicesRefactored"`
+	FullRebuilds     int     `json:"fullRebuilds"`
+	LastUpdateMs     float64 `json:"lastUpdateMs"`
+}
+
+// churnStatus snapshots a churn manager for /status.
+func churnStatus(st churn.Stats) churnView {
+	return churnView{
+		Epoch:            st.Epoch,
+		Updates:          st.Updates,
+		Events:           st.Events,
+		Retraced:         st.Retraced,
+		SlicesReused:     st.SlicesReused,
+		SlicesUpdated:    st.SlicesUpdated,
+		SlicesRefactored: st.SlicesRefactored,
+		FullRebuilds:     st.FullRebuilds,
+		LastUpdateMs:     float64(st.LastElapsed.Microseconds()) / 1000,
+	}
+}
+
 // status is the JSON document served at /status.
 type status struct {
-	Period          int             `json:"period"`
-	AttackActive    bool            `json:"attackActive"`
-	Index           float64         `json:"anomalyIndex"`
-	Anomalous       bool            `json:"anomalous"`
-	Alarm           bool            `json:"alarm"`
-	SlicedIndex     float64         `json:"slicedIndex"`
-	Suspects        []topo.SwitchID `json:"suspects"`
-	MissingSwitches int             `json:"missingSwitches"`
-	Collection      collection      `json:"collection"`
+	Period           int             `json:"period"`
+	AttackActive     bool            `json:"attackActive"`
+	Index            float64         `json:"anomalyIndex"`
+	Anomalous        bool            `json:"anomalous"`
+	Alarm            bool            `json:"alarm"`
+	SlicedIndex      float64         `json:"slicedIndex"`
+	Suspects         []topo.SwitchID `json:"suspects"`
+	MissingSwitches  int             `json:"missingSwitches"`
+	StraddledWindows int             `json:"straddledWindows"`
+	Collection       collection      `json:"collection"`
+	Churn            churnView       `json:"churn"`
 }
 
 // statusServer exposes the daemon's latest detection state over HTTP —

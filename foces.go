@@ -61,6 +61,7 @@ package foces
 
 import (
 	"foces/internal/analysis"
+	"foces/internal/churn"
 	"foces/internal/controller"
 	"foces/internal/core"
 	"foces/internal/dataplane"
@@ -146,6 +147,30 @@ type (
 	Detectability = core.Detectability
 	// Solver selects the least-squares backend.
 	Solver = core.Solver
+
+	// RuleChange is one controller rule mutation event.
+	RuleChange = controller.RuleChange
+	// RuleOp enumerates rule mutation kinds.
+	RuleOp = controller.RuleOp
+	// ChurnManager maintains an epoch-versioned detection baseline
+	// under rule churn.
+	ChurnManager = churn.Manager
+	// ChurnConfig tunes incremental baseline maintenance.
+	ChurnConfig = churn.Config
+	// ChurnUpdate is one applied epoch of rule churn.
+	ChurnUpdate = churn.Update
+	// ChurnStats summarizes incremental-maintenance work.
+	ChurnStats = churn.Stats
+)
+
+// Rule mutation kinds.
+const (
+	// RuleAdded is a new rule installation.
+	RuleAdded = controller.RuleAdded
+	// RuleRemoved is a rule deletion (its ID is retired forever).
+	RuleRemoved = controller.RuleRemoved
+	// RuleModified is an in-place rewrite (same switch, same ID).
+	RuleModified = controller.RuleModified
 )
 
 // Policy modes.

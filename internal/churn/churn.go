@@ -1,0 +1,154 @@
+// Package churn is the dynamic-network subsystem: it keeps FOCES
+// detection correct and cheap while the controller's rule set changes.
+//
+// FOCES (§VII) assumes a static rule set between measurement windows;
+// naively, any FlowMod forces a full baseline rebuild — symbolic
+// re-trace of every source, FCM regeneration, and a fresh Cholesky
+// factorization of every per-switch slice — and a counter window that
+// straddles the update silently mixes two rule generations. This
+// package closes both gaps:
+//
+//   - Every controller mutation batch becomes an epoch: a monotonically
+//     numbered entry in an append-only log recording the events, the
+//     switches they touched, and the rule rows whose counters cannot be
+//     trusted across the boundary.
+//   - The FCM is maintained incrementally. Each source host's symbolic
+//     trace records the set of switches it visited; only sources whose
+//     visited set intersects the changed switches are re-traced, and
+//     logical-flow classes are updated in place (surviving columns keep
+//     their relative order). Rule rows are keyed by controller rule ID,
+//     which is never reclaimed, so removed rules leave permanent
+//     placeholder rows and row indexing is stable for the rule set's
+//     lifetime.
+//   - Per-switch slice engines are invalidated selectively using the
+//     slice (Rule Bipartite Graph) structure: a slice whose rows and
+//     column classes are untouched keeps its prepared factorization; a
+//     slice whose columns are intact but whose row set changed by at
+//     most Config.UpdateThreshold rows gets a rank-one Cholesky
+//     update/downdate of its Gram factor (O(k·n²)); anything larger is
+//     refactored from scratch (O(n³)), but only for that slice.
+//   - The full-matrix (Algorithm 1) engine is epoch-tagged and rebuilt
+//     lazily on first use, since almost every flow change perturbs the
+//     global Gram; sliced detection (Algorithm 2) is the eagerly
+//     maintained production path.
+//   - Counter windows that straddle one or more epochs are reconciled
+//     rather than discarded or misread: AffectedSince reports the union
+//     of rule rows changed over the spanned epochs, and detection masks
+//     those rows out of the equation system (removed-rule counters have
+//     already dropped out of the per-period delta).
+package churn
+
+import (
+	"sort"
+	"time"
+
+	"foces/internal/controller"
+	"foces/internal/topo"
+)
+
+// Config tunes the incremental-maintenance policy.
+type Config struct {
+	// UpdateThreshold is the largest per-slice row delta (adds plus
+	// removes) repaired by rank-one Cholesky update/downdate; a bigger
+	// delta triggers a full refactorization of that slice. Zero selects
+	// DefaultUpdateThreshold; negative disables the rank-one path.
+	UpdateThreshold int
+}
+
+// DefaultUpdateThreshold is the rank-one repair cutoff: k rank-one
+// passes cost O(k·n²), so beyond a handful of rows the O(n³) refactor
+// with its better constant wins.
+const DefaultUpdateThreshold = 4
+
+func (c Config) withDefaults() Config {
+	if c.UpdateThreshold == 0 {
+		c.UpdateThreshold = DefaultUpdateThreshold
+	}
+	return c
+}
+
+// Update is one applied epoch: the mutation batch plus what its
+// incremental application actually did.
+type Update struct {
+	// Epoch is the monotonic epoch number this update created; the
+	// manager's state incorporates all updates with epoch ≤ Epoch.
+	Epoch uint64
+	// Events is the controller mutation batch, in application order.
+	Events []controller.RuleChange
+	// ChangedSwitches lists (ascending) the switches whose tables the
+	// batch touched.
+	ChangedSwitches []topo.SwitchID
+	// Affected lists (ascending) the rule rows whose counters cannot be
+	// compared across this epoch boundary: the mutated rules plus every
+	// rule on a logical flow that appeared or disappeared. A counter
+	// window spanning this update must mask these rows.
+	Affected []int
+	// Retraced is how many source hosts were symbolically re-traced.
+	Retraced int
+	// SlicesReused / SlicesUpdated / SlicesRefactored count per-switch
+	// engines carried over unchanged, repaired by rank-one
+	// update/downdate, and refactored from scratch.
+	SlicesReused, SlicesUpdated, SlicesRefactored int
+	// Elapsed is the wall-clock cost of applying the update.
+	Elapsed time.Duration
+}
+
+// Log is the append-only epoch log.
+type Log struct {
+	updates []Update
+}
+
+// Len reports the number of applied updates.
+func (l *Log) Len() int { return len(l.updates) }
+
+// Updates returns a copy of the applied updates, oldest first.
+func (l *Log) Updates() []Update {
+	out := make([]Update, len(l.updates))
+	copy(out, l.updates)
+	return out
+}
+
+// append records an applied update. Epochs must arrive in order.
+func (l *Log) append(u Update) { l.updates = append(l.updates, u) }
+
+// AffectedRules returns the ascending union of affected rule rows over
+// epochs in (from, to]. A counter window whose baseline snapshot was
+// taken at epoch `from` and whose closing snapshot at epoch `to` must
+// mask exactly these rows.
+func (l *Log) AffectedRules(from, to uint64) []int {
+	set := make(map[int]bool)
+	for _, u := range l.updates {
+		if u.Epoch > from && u.Epoch <= to {
+			for _, rid := range u.Affected {
+				set[rid] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for rid := range set {
+		out = append(out, rid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Stats is a cumulative view of the manager's work, for /status
+// scraping and benchmarks.
+type Stats struct {
+	// Epoch is the current epoch (0 until the first update).
+	Epoch uint64
+	// Updates and Events count applied batches and individual
+	// mutations.
+	Updates, Events int
+	// Retraced counts source re-traces across all updates; Sources is
+	// the total source count (so Retraced/Updates·Sources is the
+	// re-trace fraction).
+	Retraced, Sources int
+	// SlicesReused / SlicesUpdated / SlicesRefactored accumulate the
+	// per-update engine dispositions.
+	SlicesReused, SlicesUpdated, SlicesRefactored int
+	// FullRebuilds counts lazy full-engine (Algorithm 1) rebuilds.
+	FullRebuilds int
+	// LastElapsed and TotalElapsed track update wall-clock cost.
+	LastElapsed, TotalElapsed time.Duration
+}

@@ -13,17 +13,36 @@ import "foces/internal/topo"
 // equation system as garbage (a reboot would otherwise read as a
 // massive forwarding anomaly).
 //
+// Windows are additionally tagged with the rule-set epoch (SetEpoch):
+// each switch's baseline snapshot remembers the epoch it was taken
+// under, so AdvanceEpoch can report when a delta window straddles a
+// rule update — those windows mix traffic matched under two different
+// rule generations and must be reconciled (changed rules masked)
+// rather than read as forwarding anomalies.
+//
 // DeltaTracker is not safe for concurrent use; RobustCollector guards
 // it with its own mutex.
 type DeltaTracker struct {
-	prev map[topo.SwitchID]map[int]uint64
+	prev      map[topo.SwitchID]map[int]uint64
+	prevEpoch map[topo.SwitchID]uint64
+	epoch     uint64
 }
 
 // NewDeltaTracker returns an empty tracker; every switch's first
 // observation establishes its baseline.
 func NewDeltaTracker() *DeltaTracker {
-	return &DeltaTracker{prev: make(map[topo.SwitchID]map[int]uint64)}
+	return &DeltaTracker{
+		prev:      make(map[topo.SwitchID]map[int]uint64),
+		prevEpoch: make(map[topo.SwitchID]uint64),
+	}
 }
+
+// SetEpoch records the rule-set epoch that snapshots consumed from now
+// on belong to. Call it whenever the churn subsystem applies an update.
+func (t *DeltaTracker) SetEpoch(e uint64) { t.epoch = e }
+
+// Epoch reports the current rule-set epoch.
+func (t *DeltaTracker) Epoch() uint64 { return t.epoch }
 
 // Advance consumes one switch's cumulative counter snapshot and returns
 // the per-period delta since the previous snapshot.
@@ -40,6 +59,17 @@ func NewDeltaTracker() *DeltaTracker {
 //
 // The snapshot is copied; the caller keeps ownership of cur.
 func (t *DeltaTracker) Advance(sw topo.SwitchID, cur map[int]uint64) (delta map[int]uint64, reset, primed bool) {
+	delta, reset, primed, _, _ = t.AdvanceEpoch(sw, cur)
+	return delta, reset, primed
+}
+
+// AdvanceEpoch is Advance plus epoch accounting. fromEpoch is the
+// rule-set epoch the window's baseline snapshot was taken under, and
+// straddles reports whether a usable delta window spans one or more
+// rule updates (fromEpoch != the current epoch): its counters mix two
+// rule generations and the rules changed in between must be masked out
+// of detection for this window.
+func (t *DeltaTracker) AdvanceEpoch(sw topo.SwitchID, cur map[int]uint64) (delta map[int]uint64, reset, primed bool, fromEpoch uint64, straddles bool) {
 	prev, ok := t.prev[sw]
 	if ok {
 		for rid, v := range cur {
@@ -53,15 +83,17 @@ func (t *DeltaTracker) Advance(sw topo.SwitchID, cur map[int]uint64) (delta map[
 	for rid, v := range cur {
 		cp[rid] = v
 	}
+	fromEpoch = t.prevEpoch[sw]
 	t.prev[sw] = cp
+	t.prevEpoch[sw] = t.epoch
 	if !ok || reset {
-		return nil, reset, ok
+		return nil, reset, ok, fromEpoch, false
 	}
 	delta = make(map[int]uint64, len(cur))
 	for rid, v := range cur {
 		delta[rid] = v - prev[rid]
 	}
-	return delta, false, true
+	return delta, false, true, fromEpoch, fromEpoch != t.epoch
 }
 
 // Forget drops a switch's baseline, forcing the next Advance to
@@ -69,6 +101,7 @@ func (t *DeltaTracker) Advance(sw topo.SwitchID, cur map[int]uint64) (delta map[
 // predates the outage, so a delta across it would span several periods.
 func (t *DeltaTracker) Forget(sw topo.SwitchID) {
 	delete(t.prev, sw)
+	delete(t.prevEpoch, sw)
 }
 
 // Primed reports whether the switch currently has a baseline.

@@ -90,3 +90,34 @@ func TestDeltaTrackerCopiesSnapshot(t *testing.T) {
 		t.Fatalf("tracker aliased the caller's snapshot: delta=%v reset=%v", delta, reset)
 	}
 }
+
+func TestDeltaTrackerEpochStraddling(t *testing.T) {
+	tr := NewDeltaTracker()
+	const sw = topo.SwitchID(4)
+	tr.SetEpoch(1)
+	// Prime under epoch 1.
+	if _, _, primed, _, straddles := tr.AdvanceEpoch(sw, map[int]uint64{1: 10}); primed || straddles {
+		t.Fatalf("first observation: primed=%v straddles=%v", primed, straddles)
+	}
+	// Same-epoch window: no straddle.
+	delta, _, primed, from, straddles := tr.AdvanceEpoch(sw, map[int]uint64{1: 15})
+	if !primed || straddles || from != 1 || delta[1] != 5 {
+		t.Fatalf("steady window: delta=%v from=%d straddles=%v", delta, from, straddles)
+	}
+	// A rule update lands mid-window.
+	tr.SetEpoch(2)
+	delta, _, primed, from, straddles = tr.AdvanceEpoch(sw, map[int]uint64{1: 21})
+	if !primed || !straddles || from != 1 || delta[1] != 6 {
+		t.Fatalf("straddling window: delta=%v from=%d straddles=%v", delta, from, straddles)
+	}
+	// The window after the update is clean again.
+	_, _, _, from, straddles = tr.AdvanceEpoch(sw, map[int]uint64{1: 30})
+	if straddles || from != 2 {
+		t.Fatalf("post-update window: from=%d straddles=%v", from, straddles)
+	}
+	// Forget drops the epoch baseline along with the counters.
+	tr.Forget(sw)
+	if _, _, primed, _, straddles := tr.AdvanceEpoch(sw, map[int]uint64{1: 40}); primed || straddles {
+		t.Fatalf("after forget: primed=%v straddles=%v", primed, straddles)
+	}
+}

@@ -151,6 +151,13 @@ type PollResult struct {
 	// switch ID's report wins deterministically; localization should
 	// treat every involved switch as suspect.
 	DuplicateRules []int
+	// Epoch is the rule-set epoch (SetEpoch) the poll was merged under.
+	Epoch uint64
+	// Straddled maps each switch whose delta window spans one or more
+	// rule updates to the epoch its baseline snapshot was taken under.
+	// The union of rules changed in epochs (from, Epoch] must be masked
+	// out of this period's detection (core.SlicedDetector.DetectMasked).
+	Straddled map[topo.SwitchID]uint64
 	// Elapsed is the wall-clock duration of the poll.
 	Elapsed time.Duration
 }
@@ -213,6 +220,23 @@ func NewRobustFromStats(clients map[topo.SwitchID]StatsClient, cfg RobustConfig)
 	}
 	sort.Slice(rc.order, func(i, j int) bool { return rc.order[i] < rc.order[j] })
 	return rc
+}
+
+// SetEpoch tags snapshots consumed from now on with the given rule-set
+// epoch. The churn subsystem calls it whenever an update is applied;
+// the next Poll then reports, per switch, whether the delta window
+// straddled the update.
+func (rc *RobustCollector) SetEpoch(e uint64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.deltas.SetEpoch(e)
+}
+
+// Epoch reports the rule-set epoch snapshots are currently tagged with.
+func (rc *RobustCollector) Epoch() uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.deltas.Epoch()
 }
 
 // Metrics returns a snapshot of the collection counters.
@@ -368,7 +392,7 @@ func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
 	// Merge phase: deterministic, in ascending switch order.
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	res := PollResult{Deltas: make(map[int]uint64)}
+	res := PollResult{Deltas: make(map[int]uint64), Epoch: rc.deltas.Epoch()}
 	owner := make(map[int]topo.SwitchID)
 	dupSeen := make(map[int]bool)
 	for _, sw := range rc.order {
@@ -426,7 +450,13 @@ func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
 		for _, s := range o.reply.Stats {
 			cur[s.RuleID] = s.Packets
 		}
-		delta, reset, primed := rc.deltas.Advance(sw, cur)
+		delta, reset, primed, fromEpoch, straddles := rc.deltas.AdvanceEpoch(sw, cur)
+		if straddles {
+			if res.Straddled == nil {
+				res.Straddled = make(map[topo.SwitchID]uint64)
+			}
+			res.Straddled[sw] = fromEpoch
+		}
 		if reset {
 			rc.metrics.Resets++
 			res.Resets = append(res.Resets, sw)

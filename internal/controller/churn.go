@@ -1,0 +1,135 @@
+package controller
+
+import (
+	"fmt"
+
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+// Dynamic rule churn. The controller is the single writer of the
+// intended rule set; every mutation goes through AddRule / RemoveRule /
+// ModifyRule so that (a) rule IDs are allocated by a monotonic counter
+// and NEVER reclaimed — flowtable.Table.Remove leaves an ID technically
+// reusable, but the controller guarantees a removed ID stays dead
+// forever, so epoch logs, FCM rows and counter vectors can key on rule
+// ID across the rule set's whole lifetime without ABA confusion — and
+// (b) every change is reported to the registered observer (the churn
+// subsystem) as a RuleChange event.
+
+// RuleOp classifies one rule-set mutation.
+type RuleOp int
+
+// Rule-set mutations.
+const (
+	RuleAdded RuleOp = iota + 1
+	RuleRemoved
+	RuleModified
+)
+
+func (o RuleOp) String() string {
+	switch o {
+	case RuleAdded:
+		return "add"
+	case RuleRemoved:
+		return "remove"
+	case RuleModified:
+		return "modify"
+	default:
+		return "unknown"
+	}
+}
+
+// RuleChange is one observed rule-set mutation. For RuleModified, Prev
+// holds the rule as it was before the change; Rule always holds the
+// rule the operation concerned (for RuleRemoved, the removed rule).
+type RuleChange struct {
+	Op   RuleOp
+	Rule flowtable.Rule
+	Prev flowtable.Rule
+}
+
+// SetChangeObserver registers fn to be called with each batch of
+// rule-set mutations, after the controller's own state has been
+// updated. Recompute (ComputeRules*) resets the rule set wholesale and
+// does not emit events; observers must treat it as a new baseline.
+func (c *Controller) SetChangeObserver(fn func([]RuleChange)) { c.observer = fn }
+
+// RuleSpace reports the exclusive upper bound of ever-allocated rule
+// IDs: all live rule IDs are in [0, RuleSpace), and removed IDs in that
+// range are never reused.
+func (c *Controller) RuleSpace() int { return c.nextID }
+
+// allocID hands out the next rule ID. IDs are dense while rules are
+// only added; removals leave permanent holes.
+func (c *Controller) allocID() int {
+	id := c.nextID
+	c.nextID++
+	return id
+}
+
+func (c *Controller) notify(changes ...RuleChange) {
+	if c.observer != nil && len(changes) > 0 {
+		c.observer(changes)
+	}
+}
+
+// AddRule installs a new rule with a freshly allocated ID on the given
+// switch and reports it to the observer. It returns the installed rule.
+func (c *Controller) AddRule(sw topo.SwitchID, priority int, match header.Space, act flowtable.Action) (flowtable.Rule, error) {
+	if _, err := c.topology.Switch(sw); err != nil {
+		return flowtable.Rule{}, fmt.Errorf("controller: add rule: %w", err)
+	}
+	r := flowtable.Rule{
+		ID:       c.allocID(),
+		Switch:   sw,
+		Priority: priority,
+		Match:    match,
+		Action:   act,
+	}
+	c.rules = append(c.rules, r)
+	c.notify(RuleChange{Op: RuleAdded, Rule: r})
+	return r, nil
+}
+
+// RemoveRule removes the rule with the given ID from the intended set
+// and reports it. The ID is retired permanently.
+func (c *Controller) RemoveRule(id int) (flowtable.Rule, error) {
+	for i, r := range c.rules {
+		if r.ID == id {
+			c.rules = append(c.rules[:i], c.rules[i+1:]...)
+			c.notify(RuleChange{Op: RuleRemoved, Rule: r})
+			return r, nil
+		}
+	}
+	return flowtable.Rule{}, fmt.Errorf("controller: remove rule %d: not installed", id)
+}
+
+// ModifyRule replaces the priority, match and action of an installed
+// rule in place (the rule stays on its switch and keeps its ID — a
+// switch move is a remove plus an add) and reports the change.
+func (c *Controller) ModifyRule(id int, priority int, match header.Space, act flowtable.Action) (flowtable.Rule, error) {
+	for i, r := range c.rules {
+		if r.ID == id {
+			prev := r
+			r.Priority = priority
+			r.Match = match
+			r.Action = act
+			c.rules[i] = r
+			c.notify(RuleChange{Op: RuleModified, Rule: r, Prev: prev})
+			return r, nil
+		}
+	}
+	return flowtable.Rule{}, fmt.Errorf("controller: modify rule %d: not installed", id)
+}
+
+// Rule returns the installed rule with the given ID.
+func (c *Controller) Rule(id int) (flowtable.Rule, bool) {
+	for _, r := range c.rules {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return flowtable.Rule{}, false
+}

@@ -1,0 +1,133 @@
+package controller
+
+import (
+	"testing"
+
+	"foces/internal/flowtable"
+	"foces/internal/topo"
+)
+
+func churnTestTopology(t *testing.T) *topo.Topology {
+	t.Helper()
+	top, err := topo.Linear(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+// TestRuleIDsNeverReclaimed pins the allocator invariant the churn
+// subsystem depends on: once a rule ID has been handed out, no later
+// Add may ever reuse it — even after the rule is removed — so epoch
+// logs and FCM rows can key on rule ID for the rule set's lifetime.
+func TestRuleIDsNeverReclaimed(t *testing.T) {
+	topol := churnTestTopology(t)
+	c, err := New(topol, layout, PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ComputeRules(); err != nil {
+		t.Fatal(err)
+	}
+	base := c.NumRules()
+	if base == 0 {
+		t.Fatal("no rules computed")
+	}
+	if c.RuleSpace() != base {
+		t.Fatalf("RuleSpace %d after computing %d dense rules", c.RuleSpace(), base)
+	}
+	everIssued := make(map[int]bool, base)
+	for _, r := range c.Rules() {
+		everIssued[r.ID] = true
+	}
+	sw := topol.Switches()[0].ID
+	match := layout.Wildcard()
+	act := flowtable.Action{Type: flowtable.ActionDrop}
+	// Interleave adds and removes; every add must produce a brand-new ID
+	// strictly above all earlier ones.
+	var added []int
+	for i := 0; i < 20; i++ {
+		r, err := c.AddRule(sw, 10+i, match, act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if everIssued[r.ID] {
+			t.Fatalf("rule ID %d reissued", r.ID)
+		}
+		if r.ID != c.RuleSpace()-1 {
+			t.Fatalf("rule ID %d not monotonic (space %d)", r.ID, c.RuleSpace())
+		}
+		everIssued[r.ID] = true
+		added = append(added, r.ID)
+		if i%2 == 1 {
+			// Remove the rule added two iterations ago; its ID must stay
+			// retired.
+			victim := added[len(added)-2]
+			if _, err := c.RemoveRule(victim); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// After churn, RuleSpace covers every ID ever issued and exceeds the
+	// live count (holes are permanent).
+	if c.RuleSpace() != base+20 {
+		t.Fatalf("RuleSpace %d, want %d", c.RuleSpace(), base+20)
+	}
+	if c.NumRules() >= c.RuleSpace() {
+		t.Fatalf("no holes after removals: %d live rules in space %d", c.NumRules(), c.RuleSpace())
+	}
+	// Removing an already-removed ID fails rather than resurrecting it.
+	if _, err := c.RemoveRule(added[0]); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	// A full recompute is a new baseline: dense IDs from zero again.
+	if err := c.ComputeRules(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range c.Rules() {
+		if r.ID != i {
+			t.Fatalf("recompute not dense: rules[%d].ID = %d", i, r.ID)
+		}
+	}
+	if c.RuleSpace() != c.NumRules() {
+		t.Fatalf("recompute RuleSpace %d vs %d rules", c.RuleSpace(), c.NumRules())
+	}
+}
+
+// TestChangeObserverSeesMutations checks that every mutator emits one
+// event batch with the post-state (and prior state for modifies).
+func TestChangeObserverSeesMutations(t *testing.T) {
+	topol := churnTestTopology(t)
+	c, err := New(topol, layout, PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ComputeRules(); err != nil {
+		t.Fatal(err)
+	}
+	var got []RuleChange
+	c.SetChangeObserver(func(ch []RuleChange) { got = append(got, ch...) })
+	sw := topol.Switches()[0].ID
+	r, err := c.AddRule(sw, 50, layout.Wildcard(), flowtable.Action{Type: flowtable.ActionDrop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ModifyRule(r.ID, 60, layout.Wildcard(), flowtable.Action{Type: flowtable.ActionDrop}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RemoveRule(r.ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("observed %d events, want 3: %+v", len(got), got)
+	}
+	if got[0].Op != RuleAdded || got[0].Rule.ID != r.ID {
+		t.Fatalf("event 0 = %+v", got[0])
+	}
+	if got[1].Op != RuleModified || got[1].Rule.Priority != 60 || got[1].Prev.Priority != 50 {
+		t.Fatalf("event 1 = %+v", got[1])
+	}
+	if got[2].Op != RuleRemoved || got[2].Rule.ID != r.ID {
+		t.Fatalf("event 2 = %+v", got[2])
+	}
+}

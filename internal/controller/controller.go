@@ -53,6 +53,11 @@ type Controller struct {
 	layout   *header.Layout
 	mode     PolicyMode
 	rules    []flowtable.Rule
+	// nextID is the monotonic rule-ID allocator. IDs are never reused
+	// once handed out (see churn.go); a full recompute resets the
+	// allocator along with the rule set.
+	nextID   int
+	observer func([]RuleChange)
 }
 
 // New returns a controller for the given topology.
@@ -71,6 +76,7 @@ func (c *Controller) Mode() PolicyMode { return c.mode }
 // deterministic order, so they map directly to FCM rows.
 func (c *Controller) ComputeRules() error {
 	c.rules = nil
+	c.nextID = 0
 	switch c.mode {
 	case PairExact:
 		return c.computePairExact()
@@ -105,6 +111,7 @@ func (c *Controller) ComputeRulesForPairs(pairs [][2]topo.HostID) error {
 		return fmt.Errorf("controller: pair subsets require %v mode, have %v", PairExact, c.mode)
 	}
 	c.rules = nil
+	c.nextID = 0
 	for _, p := range pairs {
 		if p[0] == p[1] {
 			return fmt.Errorf("controller: degenerate pair %d->%d", p[0], p[1])
@@ -145,7 +152,7 @@ func (c *Controller) addPairRules(srcID, dstID topo.HostID) error {
 			act = flowtable.Action{Type: flowtable.ActionOutput, Port: port}
 		}
 		c.rules = append(c.rules, flowtable.Rule{
-			ID:       len(c.rules),
+			ID:       c.allocID(),
 			Switch:   sw,
 			Priority: 200,
 			Match:    match,
@@ -181,7 +188,7 @@ func (c *Controller) computeDestAggregate() error {
 				act = flowtable.Action{Type: flowtable.ActionOutput, Port: port}
 			}
 			c.rules = append(c.rules, flowtable.Rule{
-				ID:       len(c.rules),
+				ID:       c.allocID(),
 				Switch:   sw.ID,
 				Priority: 100,
 				Match:    match,

@@ -38,6 +38,9 @@ func DetectWithMissing(f *fcm.FCM, counters map[int]uint64, missing []topo.Switc
 	}
 	present := make([]int, 0, f.NumRules())
 	for _, r := range f.Rules {
+		if r.Switch < 0 {
+			continue // placeholder row for a removed rule ID
+		}
 		if !down[r.Switch] {
 			present = append(present, r.ID)
 		}

@@ -27,7 +27,10 @@ type Slice struct {
 // BuildSlices derives one slice per switch that has at least one rule,
 // following the FCM-slicing construction: R(S) = (V_in ∪ V_out) \ r_s
 // from the switch's Rule Bipartite Graph, F(S) = flows matching at
-// least one rule of R(S).
+// least one rule of R(S). Column assignment goes through a rule→slice
+// inverse index so the whole construction is one pass over the flow
+// histories, not one scan per switch — the churn subsystem rebuilds
+// slices on every applied update, so this is on the per-update path.
 func BuildSlices(f *fcm.FCM) ([]Slice, error) {
 	// Predecessor sets per switch: for each flow history, rule r
 	// preceding a rule on switch S joins V_in(S).
@@ -44,14 +47,27 @@ func BuildSlices(f *fcm.FCM) ([]Slice, error) {
 			vin[sw][fl.RuleIDs[i-1]] = true
 		}
 	}
-	var slices []Slice
+	// V_out per switch: every installed rule (traffic-carrying or not),
+	// skipping placeholder rows of retired rule IDs.
+	vout := make(map[topo.SwitchID][]int)
+	for _, r := range f.Rules {
+		if r.Switch >= 0 {
+			vout[r.Switch] = append(vout[r.Switch], r.ID)
+		}
+	}
+	type protoSlice struct {
+		sw   topo.SwitchID
+		rows []int
+	}
+	var protos []protoSlice
+	ruleSlices := make(map[int][]int) // rule ID -> indices into protos
 	for _, s := range f.Topology().Switches() {
-		vout := f.RulesAt(s.ID)
-		if len(vout) == 0 {
+		out := vout[s.ID]
+		if len(out) == 0 {
 			continue
 		}
-		ruleSet := make(map[int]bool, len(vout))
-		for _, rid := range vout {
+		ruleSet := make(map[int]bool, len(out)+len(vin[s.ID]))
+		for _, rid := range out {
 			ruleSet[rid] = true
 		}
 		for rid := range vin[s.ID] {
@@ -62,21 +78,36 @@ func BuildSlices(f *fcm.FCM) ([]Slice, error) {
 			rows = append(rows, rid)
 		}
 		sort.Ints(rows)
-		// F(S): flows with at least one rule in R(S).
-		var cols []int
-		for _, fl := range f.Flows {
-			for _, rid := range fl.RuleIDs {
-				if ruleSet[rid] {
-					cols = append(cols, fl.ID)
-					break
+		idx := len(protos)
+		protos = append(protos, protoSlice{sw: s.ID, rows: rows})
+		for _, rid := range rows {
+			ruleSlices[rid] = append(ruleSlices[rid], idx)
+		}
+	}
+	// F(S): flows with at least one rule in R(S), ascending by flow ID
+	// (f.Flows is in column order).
+	cols := make([][]int, len(protos))
+	seen := make([]int, len(protos))
+	for i := range seen {
+		seen[i] = -1
+	}
+	for j, fl := range f.Flows {
+		for _, rid := range fl.RuleIDs {
+			for _, idx := range ruleSlices[rid] {
+				if seen[idx] != j {
+					seen[idx] = j
+					cols[idx] = append(cols[idx], fl.ID)
 				}
 			}
 		}
-		sub, err := f.H.SubMatrix(rows, cols)
+	}
+	slices := make([]Slice, 0, len(protos))
+	for i, p := range protos {
+		sub, err := f.H.SubMatrix(p.rows, cols[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: slice for switch %d: %w", s.ID, err)
+			return nil, fmt.Errorf("core: slice for switch %d: %w", p.sw, err)
 		}
-		slices = append(slices, Slice{Switch: s.ID, RuleRows: rows, FlowCols: cols, H: sub})
+		slices = append(slices, Slice{Switch: p.sw, RuleRows: p.rows, FlowCols: cols[i], H: sub})
 	}
 	return slices, nil
 }

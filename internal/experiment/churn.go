@@ -1,0 +1,236 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"foces/internal/churn"
+	"foces/internal/controller"
+	"foces/internal/core"
+	"foces/internal/fcm"
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/stats"
+	"foces/internal/topo"
+)
+
+// ChurnConfig drives the dynamic-network benchmark: the per-update
+// latency of absorbing a single rule change through the epoch-versioned
+// churn manager (incremental re-trace plus selective slice maintenance)
+// versus rebuilding the whole baseline cold from the controller's rule
+// set, as a static-FOCES deployment would have to.
+type ChurnConfig struct {
+	Config
+	// Flows is the PairExact flow-subset size; default 480.
+	Flows int
+	// Updates is the number of single-rule updates measured; default 12.
+	// Updates cycle through remove / add / modify so each disposition of
+	// the incremental path (re-trace, rank-one repair, reuse) is hit.
+	Updates int
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	c.Config = c.Config.withDefaults()
+	if c.Topology == "" {
+		c.Topology = "fattree8"
+	}
+	if c.Flows == 0 {
+		c.Flows = 480
+	}
+	if c.Updates == 0 {
+		c.Updates = 12
+	}
+	return c
+}
+
+// ChurnPoint is one single-rule update's measurement.
+type ChurnPoint struct {
+	Update           int     `json:"update"`
+	Op               string  `json:"op"`
+	Rules            int     `json:"liveRules"`
+	Flows            int     `json:"flows"`
+	IncrementalSecs  float64 `json:"incrementalSecs"`
+	FullSecs         float64 `json:"fullRebuildSecs"`
+	Speedup          float64 `json:"speedup"`
+	Retraced         int     `json:"retracedSources"`
+	SlicesReused     int     `json:"slicesReused"`
+	SlicesUpdated    int     `json:"slicesUpdated"`
+	SlicesRefactored int     `json:"slicesRefactored"`
+	// VerdictMatch reports whether sliced detection over the expected
+	// (clean) counters agreed between the incrementally maintained
+	// engines and the cold rebuild — both must read the window as clean.
+	VerdictMatch bool `json:"verdictMatch"`
+}
+
+// ChurnResult is the full benchmark trajectory plus its summary.
+type ChurnResult struct {
+	Topology             string       `json:"topology"`
+	Points               []ChurnPoint `json:"points"`
+	MedianSpeedup        float64      `json:"medianSpeedup"`
+	TotalIncrementalSecs float64      `json:"totalIncrementalSecs"`
+	TotalFullSecs        float64      `json:"totalFullSecs"`
+}
+
+// Churn measures incremental ApplyUpdate latency against a cold full
+// rebuild for a sequence of randomized single-rule updates.
+func Churn(cfg ChurnConfig) (*ChurnResult, error) {
+	cfg = cfg.withDefaults()
+	t, err := topo.ByName(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := spreadPairs(t, cfg.Flows)
+	if err != nil {
+		return nil, err
+	}
+	layout := header.FiveTuple()
+	ctrl, err := controller.New(t, layout, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctrl.ComputeRulesForPairs(pairs); err != nil {
+		return nil, err
+	}
+	mgr, err := churn.NewManager(t, layout, ctrl.Rules(), ctrl.RuleSpace(), core.Options{}, churn.Config{})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &ChurnResult{Topology: t.Name()}
+	speedups := make([]float64, 0, cfg.Updates)
+	for i := 0; i < cfg.Updates; i++ {
+		ev, err := randomUpdate(rng, ctrl, layout, t, i)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		u, err := mgr.Apply([]controller.RuleChange{ev})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: churn update %d (%s): %w", i, ev.Op, err)
+		}
+		inc := time.Since(start).Seconds()
+
+		start = time.Now()
+		cold, err := churn.NewManager(t, layout, ctrl.Rules(), ctrl.RuleSpace(), core.Options{}, churn.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: churn cold rebuild %d: %w", i, err)
+		}
+		full := time.Since(start).Seconds()
+
+		match, err := churnVerdictsAgree(mgr, cold, cfg.PacketsPerFlow)
+		if err != nil {
+			return nil, err
+		}
+		p := ChurnPoint{
+			Update:           i,
+			Op:               ev.Op.String(),
+			Rules:            len(ctrl.Rules()),
+			Flows:            mgr.FCM().NumFlows(),
+			IncrementalSecs:  inc,
+			FullSecs:         full,
+			Speedup:          full / inc,
+			Retraced:         u.Retraced,
+			SlicesReused:     u.SlicesReused,
+			SlicesUpdated:    u.SlicesUpdated,
+			SlicesRefactored: u.SlicesRefactored,
+			VerdictMatch:     match,
+		}
+		res.Points = append(res.Points, p)
+		res.TotalIncrementalSecs += inc
+		res.TotalFullSecs += full
+		speedups = append(speedups, p.Speedup)
+	}
+	res.MedianSpeedup, err = stats.Median(speedups)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// spreadPairs enumerates k ordered pairs round-robin across all
+// sources (every host sends to its d-th successor for growing d), so
+// per-source flow counts stay small and uniform. This is the regime
+// dynamic updates care about — a rule change touches few sources —
+// whereas PairSubset's source-major order concentrates every flow on
+// the first hosts and a single change would re-trace the whole set.
+func spreadPairs(t *topo.Topology, k int) ([][2]topo.HostID, error) {
+	hosts := t.Hosts()
+	n := len(hosts)
+	maxPairs := n * (n - 1)
+	if k < 1 || k > maxPairs {
+		return nil, fmt.Errorf("experiment: %d flows outside [1, %d] for %s", k, maxPairs, t.Name())
+	}
+	pairs := make([][2]topo.HostID, 0, k)
+	for d := 1; d < n; d++ {
+		for i := 0; i < n; i++ {
+			pairs = append(pairs, [2]topo.HostID{hosts[i].ID, hosts[(i+d)%n].ID})
+			if len(pairs) == k {
+				return pairs, nil
+			}
+		}
+	}
+	return pairs, nil
+}
+
+// randomUpdate mutates the controller's rule set by one rule — cycling
+// remove / add / modify — and returns the change event to feed the
+// churn manager.
+func randomUpdate(rng *rand.Rand, ctrl *controller.Controller, layout *header.Layout, t *topo.Topology, i int) (controller.RuleChange, error) {
+	live := ctrl.Rules()
+	switch op := i % 3; {
+	case op == 1 || len(live) < 2:
+		// Add a drop rule pinned to one host's source address on a
+		// random switch: the canonical "policy tweak" update.
+		h := t.Hosts()[rng.Intn(t.NumHosts())]
+		sw := t.Switches()[rng.Intn(t.NumSwitches())].ID
+		match, err := layout.MatchExact(layout.Wildcard(), header.FieldSrcIP, h.IP)
+		if err != nil {
+			return controller.RuleChange{}, err
+		}
+		r, err := ctrl.AddRule(sw, 500, match, flowtable.Action{Type: flowtable.ActionDrop})
+		if err != nil {
+			return controller.RuleChange{}, err
+		}
+		return controller.RuleChange{Op: controller.RuleAdded, Rule: r}, nil
+	case op == 0:
+		victim := live[rng.Intn(len(live))]
+		r, err := ctrl.RemoveRule(victim.ID)
+		if err != nil {
+			return controller.RuleChange{}, err
+		}
+		return controller.RuleChange{Op: controller.RuleRemoved, Rule: r}, nil
+	default:
+		victim := live[rng.Intn(len(live))]
+		r, err := ctrl.ModifyRule(victim.ID, victim.Priority+1, victim.Match, victim.Action)
+		if err != nil {
+			return controller.RuleChange{}, err
+		}
+		return controller.RuleChange{Op: controller.RuleModified, Rule: r, Prev: victim}, nil
+	}
+}
+
+// churnVerdictsAgree runs sliced detection over the expected clean
+// counters of the incremental FCM on both engine sets; the incremental
+// baseline is only trustworthy if both read the window as clean.
+func churnVerdictsAgree(inc, cold *churn.Manager, volume uint64) (bool, error) {
+	volumes := make(map[fcm.Pair]uint64)
+	for _, f := range inc.FCM().Flows {
+		for _, p := range f.Pairs {
+			volumes[p] = volume
+		}
+	}
+	y, err := inc.FCM().ExpectedCounters(volumes)
+	if err != nil {
+		return false, err
+	}
+	a, err := inc.DetectSliced(y)
+	if err != nil {
+		return false, err
+	}
+	b, err := cold.DetectSliced(y)
+	if err != nil {
+		return false, err
+	}
+	return !a.Anomalous && !b.Anomalous, nil
+}

@@ -1,0 +1,64 @@
+package experiment
+
+import "testing"
+
+// TestChurnIncrementalFasterAndConsistent runs the dynamic-network
+// benchmark on a small fabric: every update's verdict must agree with a
+// cold rebuild, and absorbing updates incrementally must beat
+// rebuilding from scratch in aggregate.
+func TestChurnIncrementalFasterAndConsistent(t *testing.T) {
+	cfg := ChurnConfig{Flows: 24, Updates: 6}
+	cfg.Topology = "fattree4"
+	cfg.Seed = 9
+	res, err := Churn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("got %d points, want 6", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if !p.VerdictMatch {
+			t.Errorf("update %d (%s): incremental and cold verdicts diverged", p.Update, p.Op)
+		}
+		if p.IncrementalSecs <= 0 || p.FullSecs <= 0 {
+			t.Errorf("update %d: non-positive timing %+v", p.Update, p)
+		}
+		if p.SlicesReused+p.SlicesUpdated+p.SlicesRefactored == 0 {
+			t.Errorf("update %d: no slice dispositions recorded", p.Update)
+		}
+	}
+	if res.TotalIncrementalSecs >= res.TotalFullSecs {
+		t.Errorf("incremental maintenance (%.4fs) not faster than cold rebuilds (%.4fs)",
+			res.TotalIncrementalSecs, res.TotalFullSecs)
+	}
+	if res.MedianSpeedup <= 0 {
+		t.Errorf("median speedup %.2f", res.MedianSpeedup)
+	}
+}
+
+// TestChurnSpeedupAtScale is the acceptance benchmark: on FatTree(8),
+// absorbing a single-rule update incrementally must be at least 10x
+// faster than a cold full rebuild.
+func TestChurnSpeedupAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("FatTree(8) churn benchmark is slow")
+	}
+	cfg := ChurnConfig{Updates: 6}
+	cfg.Seed = 2
+	res, err := Churn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Topology != "FatTree(8)" {
+		t.Fatalf("default topology %q", res.Topology)
+	}
+	for _, p := range res.Points {
+		if !p.VerdictMatch {
+			t.Errorf("update %d (%s): verdicts diverged", p.Update, p.Op)
+		}
+	}
+	if res.MedianSpeedup < 10 {
+		t.Errorf("median incremental speedup %.1fx, want >= 10x", res.MedianSpeedup)
+	}
+}

@@ -65,51 +65,7 @@ func Generate(t *topo.Topology, layout *header.Layout, rules []flowtable.Rule) (
 			return nil, fmt.Errorf("fcm: rule IDs must be dense, rules[%d].ID = %d", i, r.ID)
 		}
 	}
-	// Build intent tables.
-	tables := make(map[topo.SwitchID]*flowtable.Table, t.NumSwitches())
-	for _, s := range t.Switches() {
-		tables[s.ID] = flowtable.NewTable(s.ID)
-	}
-	for _, r := range rules {
-		tbl, ok := tables[r.Switch]
-		if !ok {
-			return nil, fmt.Errorf("fcm: rule %d on unknown switch %d", r.ID, r.Switch)
-		}
-		if err := tbl.Install(r); err != nil {
-			return nil, fmt.Errorf("fcm: intent table: %w", err)
-		}
-	}
-	g := &generator{
-		topol:   t,
-		layout:  layout,
-		tables:  tables,
-		classes: make(map[string]*Flow),
-	}
-	for _, h := range t.Hosts() {
-		if err := g.injectFrom(h); err != nil {
-			return nil, err
-		}
-	}
-	// Deterministic column order: first discovery order.
-	flows := g.order
-	var entries []matrix.Triplet
-	for j, f := range flows {
-		f.ID = j
-		seen := make(map[int]bool, len(f.RuleIDs))
-		for _, rid := range f.RuleIDs {
-			if !seen[rid] {
-				seen[rid] = true
-				entries = append(entries, matrix.Triplet{Row: rid, Col: j, Val: 1})
-			}
-		}
-	}
-	h, err := matrix.NewCSR(len(rules), len(flows), entries)
-	if err != nil {
-		return nil, fmt.Errorf("fcm: assemble: %w", err)
-	}
-	rulesCopy := make([]flowtable.Rule, len(rules))
-	copy(rulesCopy, rules)
-	return &FCM{H: h, Flows: flows, Rules: rulesCopy, topol: t, layout: layout}, nil
+	return GenerateSparse(t, layout, rules, len(rules))
 }
 
 // Regenerate recomputes the FCM over a modified rule set (e.g. with
@@ -120,86 +76,6 @@ func (f *FCM) Regenerate(rules []flowtable.Rule) (*FCM, error) {
 		return nil, fmt.Errorf("fcm: regenerate needs a layout; this FCM was built from histories")
 	}
 	return Generate(f.topol, f.layout, rules)
-}
-
-type generator struct {
-	topol   *topo.Topology
-	layout  *header.Layout
-	tables  map[topo.SwitchID]*flowtable.Table
-	classes map[string]*Flow
-	order   []*Flow
-}
-
-// injectFrom walks a symbolic header with src_ip pinned to host h's
-// address from h's terminal port through the network.
-func (g *generator) injectFrom(h *topo.Host) error {
-	space, err := g.layout.MatchExact(g.layout.Wildcard(), header.FieldSrcIP, h.IP)
-	if err != nil {
-		return err
-	}
-	return g.walk(h, h.Attach, space, nil, 0)
-}
-
-// walk recursively propagates one symbolic class.
-func (g *generator) walk(src *topo.Host, sw topo.SwitchID, space header.Space, history []int, hops int) error {
-	if hops > maxSymbolicHops {
-		return fmt.Errorf("fcm: symbolic loop detected from host %q (history %v)", src.Name, history)
-	}
-	tbl := g.tables[sw]
-	for _, m := range tbl.SymbolicMatches(space) {
-		hist := append(append([]int(nil), history...), m.Rule.ID)
-		switch m.Rule.Action.Type {
-		case flowtable.ActionDrop:
-			g.record(src, -1, hist, m.Space)
-		case flowtable.ActionDeliver:
-			peer, err := g.topol.PeerAt(sw, m.Rule.Action.Port)
-			if err != nil {
-				return fmt.Errorf("fcm: rule %d delivery port: %w", m.Rule.ID, err)
-			}
-			if peer.Kind != topo.PeerHost {
-				return fmt.Errorf("fcm: rule %d delivers to non-host port", m.Rule.ID)
-			}
-			if peer.Host == src.ID {
-				continue // self flow: no traffic ever rides it
-			}
-			g.record(src, peer.Host, hist, m.Space)
-		case flowtable.ActionOutput:
-			peer, err := g.topol.PeerAt(sw, m.Rule.Action.Port)
-			if err != nil {
-				return fmt.Errorf("fcm: rule %d output port: %w", m.Rule.ID, err)
-			}
-			switch peer.Kind {
-			case topo.PeerSwitch:
-				if err := g.walk(src, peer.Switch, m.Space, hist, hops+1); err != nil {
-					return err
-				}
-			case topo.PeerHost:
-				if peer.Host != src.ID {
-					g.record(src, peer.Host, hist, m.Space)
-				}
-			default:
-				g.record(src, -1, hist, m.Space)
-			}
-		}
-	}
-	return nil
-}
-
-// record registers a terminated class, merging identical rule
-// histories.
-func (g *generator) record(src *topo.Host, dst topo.HostID, history []int, space header.Space) {
-	key := historyKey(history)
-	if f, ok := g.classes[key]; ok {
-		f.Pairs = append(f.Pairs, Pair{Src: src.ID, Dst: dst})
-		return
-	}
-	f := &Flow{
-		RuleIDs: history,
-		Pairs:   []Pair{{Src: src.ID, Dst: dst}},
-		Space:   space,
-	}
-	g.classes[key] = f
-	g.order = append(g.order, f)
 }
 
 // historyKey canonicalizes a rule history as a set.

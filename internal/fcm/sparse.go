@@ -1,0 +1,247 @@
+package fcm
+
+import (
+	"fmt"
+
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/matrix"
+	"foces/internal/topo"
+)
+
+// This file holds the decomposed FCM pipeline used by the churn
+// subsystem: per-source symbolic tracing (TraceSource), assembly from
+// externally maintained flow classes (Assemble), and generation over a
+// rule set whose IDs have holes (GenerateSparse). The classic Generate
+// is the dense-ID composition of these pieces, so the incremental and
+// cold paths share one tracer and cannot drift apart.
+
+// TraceRecord is one terminated symbolic class discovered while tracing
+// a single source host: the rule history in path order, the delivery
+// host (−1 for drops), and a representative header space.
+type TraceRecord struct {
+	History []int
+	Dst     topo.HostID
+	Space   header.Space
+}
+
+// SourceTrace is the all-reachability result for one source host.
+// Visited lists every switch whose flow table the walk consulted —
+// including switches where part of the header space died unmatched — so
+// a rule change on a switch outside Visited provably cannot alter this
+// source's records. The churn subsystem re-traces exactly the sources
+// whose Visited set intersects the changed switches.
+type SourceTrace struct {
+	Src     topo.HostID
+	Records []TraceRecord
+	Visited map[topo.SwitchID]bool
+}
+
+// BuildTables constructs per-switch intent flow tables for a rule set.
+func BuildTables(t *topo.Topology, rules []flowtable.Rule) (map[topo.SwitchID]*flowtable.Table, error) {
+	tables := make(map[topo.SwitchID]*flowtable.Table, t.NumSwitches())
+	for _, s := range t.Switches() {
+		tables[s.ID] = flowtable.NewTable(s.ID)
+	}
+	for _, r := range rules {
+		tbl, ok := tables[r.Switch]
+		if !ok {
+			return nil, fmt.Errorf("fcm: rule %d on unknown switch %d", r.ID, r.Switch)
+		}
+		if err := tbl.Install(r); err != nil {
+			return nil, fmt.Errorf("fcm: intent table: %w", err)
+		}
+	}
+	return tables, nil
+}
+
+// SourcePin is the symbolic header space a source trace injects: the
+// full wildcard with src_ip pinned to the host's address. Every packet
+// host h can ever emit lies inside this space, so a rule whose match is
+// disjoint from SourcePin(h) provably never touches h's traffic — the
+// churn subsystem uses exactly this to skip re-tracing sources an
+// added or modified rule cannot affect.
+func SourcePin(layout *header.Layout, h *topo.Host) (header.Space, error) {
+	return layout.MatchExact(layout.Wildcard(), header.FieldSrcIP, h.IP)
+}
+
+// TraceSource injects a symbolic header with src_ip pinned to host h's
+// address at h's terminal port and propagates it through the intent
+// tables, returning the terminated classes in discovery order. Records
+// are not merged into logical flows here; callers group them by
+// HistoryKey (Generate and the churn manager do so identically).
+func TraceSource(t *topo.Topology, layout *header.Layout, tables map[topo.SwitchID]*flowtable.Table, h *topo.Host) (*SourceTrace, error) {
+	space, err := SourcePin(layout, h)
+	if err != nil {
+		return nil, err
+	}
+	w := &symWalker{
+		topol:  t,
+		tables: tables,
+		src:    h,
+		trace:  &SourceTrace{Src: h.ID, Visited: make(map[topo.SwitchID]bool)},
+	}
+	if err := w.walk(h.Attach, space, nil, 0); err != nil {
+		return nil, err
+	}
+	return w.trace, nil
+}
+
+type symWalker struct {
+	topol  *topo.Topology
+	tables map[topo.SwitchID]*flowtable.Table
+	src    *topo.Host
+	trace  *SourceTrace
+}
+
+// walk recursively propagates one symbolic class.
+func (w *symWalker) walk(sw topo.SwitchID, space header.Space, history []int, hops int) error {
+	if hops > maxSymbolicHops {
+		return fmt.Errorf("fcm: symbolic loop detected from host %q (history %v)", w.src.Name, history)
+	}
+	w.trace.Visited[sw] = true
+	tbl := w.tables[sw]
+	matches, remainder := tbl.SymbolicMatchesWithRemainder(space)
+	// Part of the class no rule matches dies table-miss here — but it
+	// already incremented every earlier hop's counters, so it must exist
+	// as a truncated-path class or detection reads those counters as an
+	// anomaly. (With an empty history no counter ever saw the traffic,
+	// and a rule-less class would add a zero FCM column; skip it.)
+	if len(remainder) > 0 && len(history) > 0 {
+		w.record(-1, append([]int(nil), history...), remainder[0])
+	}
+	for _, m := range matches {
+		hist := append(append([]int(nil), history...), m.Rule.ID)
+		switch m.Rule.Action.Type {
+		case flowtable.ActionDrop:
+			w.record(-1, hist, m.Space)
+		case flowtable.ActionDeliver:
+			peer, err := w.topol.PeerAt(sw, m.Rule.Action.Port)
+			if err != nil {
+				return fmt.Errorf("fcm: rule %d delivery port: %w", m.Rule.ID, err)
+			}
+			if peer.Kind != topo.PeerHost {
+				return fmt.Errorf("fcm: rule %d delivers to non-host port", m.Rule.ID)
+			}
+			if peer.Host == w.src.ID {
+				continue // self flow: no traffic ever rides it
+			}
+			w.record(peer.Host, hist, m.Space)
+		case flowtable.ActionOutput:
+			peer, err := w.topol.PeerAt(sw, m.Rule.Action.Port)
+			if err != nil {
+				return fmt.Errorf("fcm: rule %d output port: %w", m.Rule.ID, err)
+			}
+			switch peer.Kind {
+			case topo.PeerSwitch:
+				if err := w.walk(peer.Switch, m.Space, hist, hops+1); err != nil {
+					return err
+				}
+			case topo.PeerHost:
+				if peer.Host != w.src.ID {
+					w.record(peer.Host, hist, m.Space)
+				}
+			default:
+				w.record(-1, hist, m.Space)
+			}
+		}
+	}
+	return nil
+}
+
+func (w *symWalker) record(dst topo.HostID, history []int, space header.Space) {
+	w.trace.Records = append(w.trace.Records, TraceRecord{History: history, Dst: dst, Space: space})
+}
+
+// HistoryKey canonicalizes a rule history as an order-insensitive set
+// key; records with equal keys belong to the same logical flow.
+func HistoryKey(history []int) string { return historyKey(history) }
+
+// Assemble builds an FCM over `space` rule-ID rows from externally
+// maintained logical flows. Flow IDs are reassigned to column indices
+// in the given order. Rule IDs absent from rules become placeholder
+// rows (Switch −1) that no flow may reference; they read as expected
+// zero counters in detection, which keeps row indexing stable across
+// rule removals (the controller never reclaims IDs).
+func Assemble(t *topo.Topology, layout *header.Layout, rules []flowtable.Rule, space int, flows []*Flow) (*FCM, error) {
+	full := make([]flowtable.Rule, space)
+	for i := range full {
+		full[i] = flowtable.Rule{ID: i, Switch: -1}
+	}
+	for _, r := range rules {
+		if r.ID < 0 || r.ID >= space {
+			return nil, fmt.Errorf("fcm: rule ID %d outside row space [0,%d)", r.ID, space)
+		}
+		if full[r.ID].Switch >= 0 {
+			return nil, fmt.Errorf("fcm: duplicate rule ID %d", r.ID)
+		}
+		full[r.ID] = r
+	}
+	var entries []matrix.Triplet
+	for j, f := range flows {
+		f.ID = j
+		seen := make(map[int]bool, len(f.RuleIDs))
+		for _, rid := range f.RuleIDs {
+			if rid < 0 || rid >= space {
+				return nil, fmt.Errorf("fcm: flow %d references rule %d outside row space [0,%d)", j, rid, space)
+			}
+			if !seen[rid] {
+				seen[rid] = true
+				entries = append(entries, matrix.Triplet{Row: rid, Col: j, Val: 1})
+			}
+		}
+	}
+	h, err := matrix.NewCSR(space, len(flows), entries)
+	if err != nil {
+		return nil, fmt.Errorf("fcm: assemble: %w", err)
+	}
+	return &FCM{H: h, Flows: flows, Rules: full, topol: t, layout: layout}, nil
+}
+
+// GenerateSparse computes the FCM for a rule set whose IDs need not be
+// dense: rows span [0, space) and absent IDs become placeholder rows.
+// With dense IDs and space == len(rules) it is exactly Generate.
+func GenerateSparse(t *topo.Topology, layout *header.Layout, rules []flowtable.Rule, space int) (*FCM, error) {
+	tables, err := BuildTables(t, rules)
+	if err != nil {
+		return nil, err
+	}
+	classes := make(map[string]*Flow)
+	var order []*Flow
+	for _, h := range t.Hosts() {
+		tr, err := TraceSource(t, layout, tables, h)
+		if err != nil {
+			return nil, err
+		}
+		// Deterministic column order: first discovery order.
+		for _, rec := range tr.Records {
+			key := historyKey(rec.History)
+			if f, ok := classes[key]; ok {
+				f.Pairs = append(f.Pairs, Pair{Src: tr.Src, Dst: rec.Dst})
+				continue
+			}
+			f := &Flow{
+				RuleIDs: rec.History,
+				Pairs:   []Pair{{Src: tr.Src, Dst: rec.Dst}},
+				Space:   rec.Space,
+			}
+			classes[key] = f
+			order = append(order, f)
+		}
+	}
+	return Assemble(t, layout, rules, space, order)
+}
+
+// RuleSpace reports the FCM's row-ID space (number of H rows, including
+// placeholder rows for removed rules).
+func (f *FCM) RuleSpace() int { return len(f.Rules) }
+
+// IsPlaceholder reports whether row id is a placeholder for a removed
+// (or never-installed) rule ID.
+func (f *FCM) IsPlaceholder(id int) bool {
+	return id >= 0 && id < len(f.Rules) && f.Rules[id].Switch < 0
+}
+
+// Layout returns the header layout the FCM was generated over (nil for
+// FromHistories FCMs).
+func (f *FCM) Layout() *header.Layout { return f.layout }

@@ -130,7 +130,11 @@ func (t *Table) Install(r Rule) error {
 	return nil
 }
 
-// Remove deletes a rule by ID.
+// Remove deletes a rule by ID. The table itself would accept a later
+// Install reusing the ID, but the controller's allocator never reclaims
+// one: a removed rule ID stays retired forever, so epoch logs, FCM rows
+// and counter vectors can key on rule ID without ABA confusion (see
+// controller.Controller.RuleSpace).
 func (t *Table) Remove(id int) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -322,6 +326,17 @@ type SymbolicMatch struct {
 // portion of the input space that the rule would match, exactly as in
 // ATPG's all-reachability computation.
 func (t *Table) SymbolicMatches(s header.Space) []SymbolicMatch {
+	out, _ := t.SymbolicMatchesWithRemainder(s)
+	return out
+}
+
+// SymbolicMatchesWithRemainder is SymbolicMatches plus the unmatched
+// remainder: the (possibly empty) disjoint pieces of the input space no
+// rule matches, which the switch would drop table-miss. Under an
+// incomplete rule set — e.g. after a mid-path rule removal — traffic in
+// the remainder still incremented every earlier hop's counters, so FCM
+// generation must account for these deaths rather than ignore them.
+func (t *Table) SymbolicMatchesWithRemainder(s header.Space) ([]SymbolicMatch, []header.Space) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var out []SymbolicMatch
@@ -342,5 +357,5 @@ func (t *Table) SymbolicMatches(s header.Space) []SymbolicMatch {
 		}
 		remaining = next
 	}
-	return out
+	return out, remaining
 }

@@ -50,6 +50,26 @@ func PrepareLS(h *CSR, opts LeastSquaresOptions) (*PreparedLS, error) {
 	return &PreparedLS{h: h, chol: chol, ridge: ridge}, nil
 }
 
+// NewPreparedLSFromFactor wraps an externally maintained Cholesky
+// factor of hᵀh (for example one produced by rank-one Update/Downdate
+// from a previous generation's factor) as a prepared engine. The caller
+// is responsible for chol actually factoring hᵀh (+ ridge·I); no check
+// is performed beyond the dimension match.
+func NewPreparedLSFromFactor(h *CSR, chol *Cholesky, ridge float64) (*PreparedLS, error) {
+	if chol.N() != h.Cols() {
+		return nil, fmt.Errorf("matrix: factor dim %d vs %d columns", chol.N(), h.Cols())
+	}
+	return &PreparedLS{h: h, chol: chol, ridge: ridge}, nil
+}
+
+// Factor exposes the underlying Cholesky factorization of HᵀH. Callers
+// that need a modified engine must Clone it first; mutating the
+// returned factor corrupts the prepared engine.
+func (p *PreparedLS) Factor() *Cholesky { return p.chol }
+
+// H exposes the prepared coefficient matrix.
+func (p *PreparedLS) H() *CSR { return p.h }
+
 // Rows reports the row count of the prepared H.
 func (p *PreparedLS) Rows() int { return p.h.Rows() }
 

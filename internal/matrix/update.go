@@ -1,0 +1,76 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rank-one maintenance of a Cholesky factorization. When a single row r
+// is appended to (or deleted from) H, the normal-equations matrix moves
+// by ±rᵀr — a symmetric rank-one perturbation — and the factor of the
+// new Gram can be obtained in O(n²) from the old one instead of the
+// O(n³) refactorization. The churn subsystem uses Update/Downdate for
+// small per-slice rule deltas and for masking epoch-straddling rows out
+// of a prepared engine without rebuilding it.
+
+// Clone returns an independent copy of the factorization, so callers
+// can derive an updated factor while the original keeps serving solves.
+func (c *Cholesky) Clone() *Cholesky {
+	return &Cholesky{n: c.n, l: c.l.Clone(), lt: c.lt.Clone()}
+}
+
+// Update rewrites the factorization of A into the factorization of
+// A + xxᵀ in O(n²) using Givens rotations. x is not modified.
+func (c *Cholesky) Update(x []float64) error {
+	if len(x) != c.n {
+		return fmt.Errorf("matrix: cholesky update dim %d vs %d", len(x), c.n)
+	}
+	work := make([]float64, c.n)
+	copy(work, x)
+	for k := 0; k < c.n; k++ {
+		lkk := c.l.At(k, k)
+		r := math.Hypot(lkk, work[k])
+		cos := r / lkk
+		sin := work[k] / lkk
+		c.l.Set(k, k, r)
+		for i := k + 1; i < c.n; i++ {
+			lik := (c.l.At(i, k) + sin*work[i]) / cos
+			work[i] = cos*work[i] - sin*lik
+			c.l.Set(i, k, lik)
+		}
+	}
+	c.lt = c.l.Transpose()
+	return nil
+}
+
+// Downdate rewrites the factorization of A into the factorization of
+// A − xxᵀ in O(n²) using hyperbolic rotations. It fails with
+// ErrNotPositiveDefinite when the result would not be positive
+// definite (x carries more weight than A holds in some direction); the
+// factor is left unusable in that case and callers must fall back to a
+// fresh factorization. x is not modified.
+func (c *Cholesky) Downdate(x []float64) error {
+	if len(x) != c.n {
+		return fmt.Errorf("matrix: cholesky downdate dim %d vs %d", len(x), c.n)
+	}
+	work := make([]float64, c.n)
+	copy(work, x)
+	for k := 0; k < c.n; k++ {
+		lkk := c.l.At(k, k)
+		d := (lkk - work[k]) * (lkk + work[k])
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("%w: downdate pivot %d = %g", ErrNotPositiveDefinite, k, d)
+		}
+		r := math.Sqrt(d)
+		cos := r / lkk
+		sin := work[k] / lkk
+		c.l.Set(k, k, r)
+		for i := k + 1; i < c.n; i++ {
+			lik := (c.l.At(i, k) - sin*work[i]) / cos
+			work[i] = cos*work[i] - sin*lik
+			c.l.Set(i, k, lik)
+		}
+	}
+	c.lt = c.l.Transpose()
+	return nil
+}

@@ -1,0 +1,243 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomSPD builds A = BᵀB + I for a random B, guaranteeing a
+// well-conditioned SPD matrix.
+func randomSPD(rng *rand.Rand, n int) *Dense {
+	b := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a := b.Gram()
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 1)
+	}
+	return a
+}
+
+func factorEqualApprox(t *testing.T, got, want *Cholesky, tol float64) {
+	t.Helper()
+	if got.n != want.n {
+		t.Fatalf("factor dims %d vs %d", got.n, want.n)
+	}
+	if !got.l.EqualApprox(want.l, tol) {
+		t.Fatalf("L mismatch:\ngot\n%v\nwant\n%v", got.l, want.l)
+	}
+	if !got.lt.EqualApprox(want.lt, tol) {
+		t.Fatalf("Lᵀ mismatch (stale transpose?):\ngot\n%v\nwant\n%v", got.lt, want.lt)
+	}
+}
+
+func TestCholeskyUpdateMatchesRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 12, 30} {
+		a := randomSPD(rng, n)
+		chol, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		up := chol.Clone()
+		if err := up.Update(x); err != nil {
+			t.Fatalf("n=%d update: %v", n, err)
+		}
+		// Reference: factor A + xxᵀ from scratch.
+		ref := a.Clone()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ref.Add(i, j, x[i]*x[j])
+			}
+		}
+		want, err := NewCholesky(ref)
+		if err != nil {
+			t.Fatalf("n=%d refactor: %v", n, err)
+		}
+		factorEqualApprox(t, up, want, 1e-9)
+		// The original factor must be untouched by Clone+Update.
+		orig, _ := NewCholesky(a)
+		factorEqualApprox(t, chol, orig, 0)
+	}
+}
+
+func TestCholeskyDowndateMatchesRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 5, 12, 30} {
+		a := randomSPD(rng, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		// Downdate is only defined when A − xxᵀ stays PD; build A as
+		// base + xxᵀ so removal is exact.
+		upd := a.Clone()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				upd.Add(i, j, x[i]*x[j])
+			}
+		}
+		chol, err := NewCholesky(upd)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		down := chol.Clone()
+		if err := down.Downdate(x); err != nil {
+			t.Fatalf("n=%d downdate: %v", n, err)
+		}
+		want, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d refactor: %v", n, err)
+		}
+		factorEqualApprox(t, down, want, 1e-8)
+	}
+}
+
+func TestCholeskyDowndateNotPD(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	chol, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = chol.Downdate([]float64{2, 0}) // I − xxᵀ has a −3 eigenvalue
+	if !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("want ErrNotPositiveDefinite, got %v", err)
+	}
+}
+
+func TestCholeskyUpdateSolveAgrees(t *testing.T) {
+	// End-to-end: solve (A + xxᵀ) z = b via the updated factor and
+	// compare against a fresh factorization's solution.
+	rng := rand.New(rand.NewSource(3))
+	n := 20
+	a := randomSPD(rng, n)
+	chol, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	b := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	up := chol.Clone()
+	if err := up.Update(x); err != nil {
+		t.Fatal(err)
+	}
+	got, err := up.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := a.Clone()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ref.Add(i, j, x[i]*x[j])
+		}
+	}
+	want, err := NewCholesky(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wz, err := want.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqualApprox(got, wz, 1e-9) {
+		t.Fatalf("solve mismatch:\ngot  %v\nwant %v", got, wz)
+	}
+}
+
+func TestCholeskyUpdateDimMismatch(t *testing.T) {
+	a := randomSPD(rand.New(rand.NewSource(1)), 3)
+	chol, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chol.Update([]float64{1, 2}); err == nil {
+		t.Fatal("update accepted wrong-length vector")
+	}
+	if err := chol.Downdate([]float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("downdate accepted wrong-length vector")
+	}
+}
+
+func TestCholeskyUpdateDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomSPD(rng, 6)
+	chol, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, -2, 3, 0.5, -0.25, 4}
+	saved := append([]float64(nil), x...)
+	if err := chol.Update(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := chol.Downdate(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != saved[i] {
+			t.Fatalf("input mutated at %d: %g vs %g", i, x[i], saved[i])
+		}
+	}
+}
+
+func TestNewPreparedLSFromFactor(t *testing.T) {
+	// Build H, prepare it, then rebuild an engine from a cloned factor
+	// and check identical solves; a dimension mismatch must error.
+	rows := [][]float64{{1, 0}, {1, 1}, {0, 1}, {1, 1}}
+	var trips []Triplet
+	for i, r := range rows {
+		for j, v := range r {
+			if v != 0 {
+				trips = append(trips, Triplet{Row: i, Col: j, Val: v})
+			}
+		}
+	}
+	csr, err := NewCSR(4, 2, trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PrepareLS(csr, LeastSquaresOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewPreparedLSFromFactor(csr, p.Factor().Clone(), p.Ridge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := []float64{3, 7, 4, 7}
+	a, err := p.Solve(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.Solve(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] || math.IsNaN(a[i]) {
+			t.Fatalf("solve mismatch at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	bad, err := NewCSR(4, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPreparedLSFromFactor(bad, p.Factor(), 0); err == nil {
+		t.Fatal("accepted mismatched factor dimension")
+	}
+}

@@ -150,7 +150,16 @@ func Load(r io.Reader) (*fcm.FCM, *topo.Topology, *header.Layout, []flowtable.Ru
 			Action:   flowtable.Action{Type: flowtable.ActionType(rd.Action), Port: rd.Port},
 		})
 	}
-	f, err := fcm.Generate(t, layout, rules)
+	// Baselines saved after rule churn have holes in the ID sequence
+	// (controller IDs are never reclaimed), so regenerate over the full
+	// rule-ID space rather than requiring dense IDs.
+	space := 0
+	for _, r := range rules {
+		if r.ID+1 > space {
+			space = r.ID + 1
+		}
+	}
+	f, err := fcm.GenerateSparse(t, layout, rules, space)
 	if err != nil {
 		return nil, nil, nil, nil, fmt.Errorf("persist: regenerate fcm: %w", err)
 	}

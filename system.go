@@ -1,14 +1,16 @@
 package foces
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 
+	"foces/internal/churn"
 	"foces/internal/controller"
 	"foces/internal/core"
 	"foces/internal/dataplane"
-	"foces/internal/fcm"
 	"foces/internal/header"
 	"foces/internal/persist"
 )
@@ -33,6 +35,14 @@ type System struct {
 	slices   []Slice
 	detector *Detector
 	sliced   *SlicedDetector
+
+	// churnMgr owns the epoch-versioned baseline; fcm/slices/sliced are
+	// views of its current generation. ruleHash fingerprints the
+	// controller rule set the baseline was built from, backing the
+	// RebuildBaseline no-op fast path.
+	churnMgr  *churn.Manager
+	ruleHash  uint64
+	hashValid bool
 }
 
 // NewSystem computes and installs rules for the topology under the
@@ -75,29 +85,49 @@ func NewSystemWithPairs(t *Topology, pairs [][2]HostID) (*System, error) {
 	return s, nil
 }
 
+// ruleSetHash fingerprints a rule set (plus its ID space) with FNV-1a
+// over every field that influences the FCM. Hash equality ⇒ identical
+// baseline, so RebuildBaseline can skip regeneration.
+func ruleSetHash(rules []Rule, space int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	word(uint64(space))
+	for _, r := range rules {
+		word(uint64(r.ID))
+		word(uint64(r.Switch))
+		word(uint64(r.Priority))
+		word(uint64(r.Action.Type))
+		word(uint64(r.Action.Port))
+		if b, err := r.Match.MarshalBinary(); err == nil {
+			h.Write(b)
+		}
+	}
+	return h.Sum64()
+}
+
 // rebuildBaseline regenerates everything derived from the controller's
-// current rule set: FCM, slices and the prepared detection engines.
+// current rule set: the churn manager (FCM, slices, prepared sliced
+// engine) and the full-matrix engine.
 func (s *System) rebuildBaseline() error {
-	f, err := fcm.Generate(s.topology, s.layout, s.control.Rules())
+	mgr, err := churn.NewManager(s.topology, s.layout, s.control.Rules(), s.control.RuleSpace(), core.Options{}, churn.Config{})
 	if err != nil {
-		return fmt.Errorf("foces: fcm: %w", err)
+		return fmt.Errorf("foces: baseline: %w", err)
 	}
-	slices, err := core.BuildSlices(f)
-	if err != nil {
-		return fmt.Errorf("foces: slices: %w", err)
-	}
-	detector, err := core.NewDetector(f.H, core.Options{})
+	detector, err := mgr.Full()
 	if err != nil {
 		return fmt.Errorf("foces: detector: %w", err)
 	}
-	sliced, err := core.NewSlicedDetector(slices, f.NumRules(), core.Options{})
-	if err != nil {
-		return fmt.Errorf("foces: sliced detector: %w", err)
-	}
-	s.fcm = f
-	s.slices = slices
+	s.churnMgr = mgr
+	s.fcm = mgr.FCM()
+	s.slices = mgr.Slices()
 	s.detector = detector
-	s.sliced = sliced
+	s.sliced = mgr.Sliced()
+	s.ruleHash = ruleSetHash(s.control.Rules(), s.control.RuleSpace())
+	s.hashValid = true
 	return nil
 }
 
@@ -106,7 +136,17 @@ func (s *System) rebuildBaseline() error {
 // rules. Call it after any rule change (recomputed policies, reactive
 // installs, repairs): detection against a stale baseline checks the
 // wrong intent and will flag honest switches.
+//
+// When the installed rule set is unchanged since the last build
+// (fingerprinted by hash), the call is a no-op — callers may invoke it
+// defensively on every cycle without paying regeneration. Prefer
+// ApplyUpdate for incremental changes: it re-traces only affected
+// sources instead of rebuilding from scratch.
 func (s *System) RebuildBaseline() error {
+	if s.hashValid && s.fcm != nil &&
+		ruleSetHash(s.control.Rules(), s.control.RuleSpace()) == s.ruleHash {
+		return nil
+	}
 	return s.rebuildBaseline()
 }
 
@@ -155,12 +195,32 @@ func (s *System) CounterVector(counters map[int]uint64) []float64 {
 	return s.fcm.CounterVector(counters)
 }
 
+// fullDetector returns the Algorithm 1 engine for the current epoch.
+// After ApplyUpdate the engine is stale and rebuilt lazily here (the
+// churn manager caches it per epoch), keeping the update path itself
+// free of the O(n³) global factorization.
+func (s *System) fullDetector() (*Detector, error) {
+	if s.churnMgr == nil {
+		return s.detector, nil
+	}
+	d, err := s.churnMgr.Full()
+	if err != nil {
+		return nil, err
+	}
+	s.detector = d
+	return d, nil
+}
+
 // Detect runs Algorithm 1 on the counter vector via the prepared
 // engine: the FCM factorization computed at NewSystem (or the last
 // RebuildBaseline) is reused, so a steady-state period costs only
 // triangular solves. opts applies per call without re-factoring.
 func (s *System) Detect(y []float64, opts DetectOptions) (Result, error) {
-	return s.detector.DetectWithOptions(y, opts)
+	d, err := s.fullDetector()
+	if err != nil {
+		return Result{}, err
+	}
+	return d.DetectWithOptions(y, opts)
 }
 
 // DetectSliced runs Algorithm 2 with per-switch localization via the
@@ -188,11 +248,121 @@ func (s *System) DetectSlicedWithMissing(counters map[int]uint64, missing []Swit
 	return core.DetectSlicedWithMissing(s.fcm, s.slices, counters, missing, opts)
 }
 
-// Detector returns the prepared baseline detection engine.
-func (s *System) Detector() *Detector { return s.detector }
+// Detector returns the prepared baseline detection engine (rebuilt
+// lazily if rule updates made it stale).
+func (s *System) Detector() *Detector {
+	if d, err := s.fullDetector(); err == nil {
+		return d
+	}
+	return s.detector
+}
 
 // SlicedDetector returns the prepared sliced detection engine.
 func (s *System) SlicedDetector() *SlicedDetector { return s.sliced }
+
+// ApplyUpdate incrementally folds a batch of rule changes — already
+// applied to the controller — into the detection baseline, advancing
+// the churn epoch: the data-plane tables are patched, only sources
+// whose forwarding touched the changed switches are re-traced, and
+// per-switch engines are reused or rank-one-repaired where the slice
+// structure permits. The full-matrix engine goes stale and is rebuilt
+// lazily on the next Detect. Prefer the AddRule/RemoveRule/ModifyRule
+// wrappers, which drive the controller and this method together.
+func (s *System) ApplyUpdate(events []RuleChange) (ChurnUpdate, error) {
+	for _, e := range events {
+		tbl, err := s.network.Table(e.Rule.Switch)
+		if err != nil {
+			return ChurnUpdate{}, fmt.Errorf("foces: apply update: %w", err)
+		}
+		switch e.Op {
+		case controller.RuleRemoved:
+			if err := tbl.Remove(e.Rule.ID); err != nil {
+				return ChurnUpdate{}, fmt.Errorf("foces: apply update: %w", err)
+			}
+		case controller.RuleModified:
+			if err := tbl.Remove(e.Rule.ID); err != nil {
+				return ChurnUpdate{}, fmt.Errorf("foces: apply update: %w", err)
+			}
+			if err := tbl.Install(e.Rule); err != nil {
+				return ChurnUpdate{}, fmt.Errorf("foces: apply update: %w", err)
+			}
+		case controller.RuleAdded:
+			if err := tbl.Install(e.Rule); err != nil {
+				return ChurnUpdate{}, fmt.Errorf("foces: apply update: %w", err)
+			}
+		}
+	}
+	u, err := s.churnMgr.Apply(events)
+	if err != nil {
+		return ChurnUpdate{}, err
+	}
+	s.fcm = s.churnMgr.FCM()
+	s.slices = s.churnMgr.Slices()
+	s.sliced = s.churnMgr.Sliced()
+	s.ruleHash = ruleSetHash(s.control.Rules(), s.control.RuleSpace())
+	s.hashValid = true
+	return u, nil
+}
+
+// AddRule installs a rule live: the controller allocates a fresh
+// never-reused ID, the data plane installs it, and the baseline is
+// updated incrementally.
+func (s *System) AddRule(sw SwitchID, priority int, match HeaderSpace, act Action) (Rule, ChurnUpdate, error) {
+	r, err := s.control.AddRule(sw, priority, match, act)
+	if err != nil {
+		return Rule{}, ChurnUpdate{}, err
+	}
+	u, err := s.ApplyUpdate([]RuleChange{{Op: controller.RuleAdded, Rule: r}})
+	return r, u, err
+}
+
+// RemoveRule removes a rule live; its ID is retired permanently and its
+// FCM row becomes a placeholder.
+func (s *System) RemoveRule(id int) (ChurnUpdate, error) {
+	r, err := s.control.RemoveRule(id)
+	if err != nil {
+		return ChurnUpdate{}, err
+	}
+	return s.ApplyUpdate([]RuleChange{{Op: controller.RuleRemoved, Rule: r}})
+}
+
+// ModifyRule rewrites a live rule in place (same switch, same ID) and
+// updates the baseline incrementally.
+func (s *System) ModifyRule(id, priority int, match HeaderSpace, act Action) (ChurnUpdate, error) {
+	prev, ok := s.control.Rule(id)
+	if !ok {
+		return ChurnUpdate{}, fmt.Errorf("foces: modify rule: unknown rule %d", id)
+	}
+	r, err := s.control.ModifyRule(id, priority, match, act)
+	if err != nil {
+		return ChurnUpdate{}, err
+	}
+	return s.ApplyUpdate([]RuleChange{{Op: controller.RuleModified, Rule: r, Prev: prev}})
+}
+
+// Epoch reports the baseline's churn epoch (0 until the first update
+// after the last full rebuild).
+func (s *System) Epoch() uint64 { return s.churnMgr.Epoch() }
+
+// ChurnStats returns cumulative incremental-maintenance statistics.
+func (s *System) ChurnStats() ChurnStats { return s.churnMgr.Stats() }
+
+// ChurnLog returns the epoch log, oldest first.
+func (s *System) ChurnLog() []ChurnUpdate { return s.churnMgr.Updates() }
+
+// AffectedSince returns the rule rows changed by updates applied after
+// epoch `since` — the rows a counter window with a baseline snapshot
+// from that epoch must mask.
+func (s *System) AffectedSince(since uint64) []int { return s.churnMgr.AffectedSince(since) }
+
+// DetectReconciled runs sliced detection on a counter window whose
+// baseline snapshot was taken at epoch `from`: rule rows changed by the
+// updates the window straddles are masked out of the equation system,
+// so mid-window rule churn is reconciled instead of read as a
+// forwarding anomaly.
+func (s *System) DetectReconciled(y []float64, from uint64) (SlicedOutcome, error) {
+	return s.churnMgr.DetectReconciled(y, from)
+}
 
 // InjectRandomAttack draws, applies and returns a random attack of the
 // given kind (for experiments and drills). Revert with
