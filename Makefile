@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test test-faults test-churn bench-smoke bench
+.PHONY: ci fmt vet vet-metrics build test test-faults test-churn test-telemetry bench-smoke bench
 
-ci: fmt vet build test test-faults test-churn bench-smoke
+ci: fmt vet vet-metrics build test test-faults test-churn test-telemetry bench-smoke
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -36,6 +36,27 @@ test-faults:
 # detector.
 test-churn:
 	$(GO) test -race -count=2 -timeout 120s ./internal/churn/ ./internal/matrix/
+
+# The telemetry core is lock-free on the hot path and scraped
+# concurrently with detection: run it and the packages that record into
+# it twice under the race detector.
+test-telemetry:
+	$(GO) test -race -count=2 -timeout 120s ./internal/telemetry/ ./cmd/focesd/
+
+# Metric-hygiene lint: the telemetry hot path must not format strings
+# (fmt is banned from the package outright), and every metric name
+# minted in metrics.go must be documented in README.md's catalogue.
+vet-metrics:
+	@if grep -n 'fmt\.' internal/telemetry/*.go | grep -v _test.go; then \
+		echo "vet-metrics: fmt usage in internal/telemetry (hot paths must not format)"; exit 1; \
+	fi
+	@missing=0; \
+	for name in $$(grep -oE '"foces_[a-z_]+"' internal/telemetry/metrics.go | tr -d '"' | sort -u); do \
+		if ! grep -q "$$name" README.md; then \
+			echo "vet-metrics: $$name not documented in README.md"; missing=1; \
+		fi; \
+	done; \
+	if [ "$$missing" -ne 0 ]; then exit 1; fi
 
 # Compile-and-run-once smoke over every Detect* benchmark, including
 # the cold-vs-prepared and sequential-vs-parallel engine comparisons.

@@ -10,10 +10,12 @@ import (
 	"sync"
 	"testing"
 
+	"foces"
 	"foces/internal/core"
 	"foces/internal/experiment"
 	"foces/internal/matrix"
 	"foces/internal/stats"
+	"foces/internal/telemetry"
 	"foces/internal/topo"
 )
 
@@ -227,6 +229,45 @@ func BenchmarkDetectColdVsPrepared(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkDetectTelemetryOverhead measures what live metrics cost on
+// the unified System.Run hot path: the same prepared engines and the
+// same observation, wired first to a no-op registry (time.Now reads
+// still happen; metric updates drop at a single branch) and then to a
+// live one (atomic counter/histogram updates). The acceptance budget
+// for the delta is <2%.
+func BenchmarkDetectTelemetryOverhead(b *testing.B) {
+	env := getEnv(b, experiment.Config{Topology: "fattree4", Seed: 21})
+	sys, err := env.System()
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := env.Observe(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := foces.Observation{Vector: y}
+	for _, arm := range []struct {
+		name string
+		reg  *telemetry.Registry
+	}{
+		{"nop", telemetry.NewNop()},
+		{"enabled", telemetry.New()},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			sys.EnableTelemetry(arm.reg)
+			if _, err := sys.Run(obs); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Run(obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkDetectSlicedColdVsPreparedParallel measures the sliced

@@ -47,7 +47,7 @@ type options struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("focesbench", flag.ContinueOnError)
 	opts := options{}
-	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12|loc|coverage|overhead|monitor|churn")
+	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12|loc|coverage|overhead|monitor|churn|telemetry")
 	fs.IntVar(&opts.runs, "runs", 0, "observations per point (0 = experiment default)")
 	fs.Int64Var(&opts.seed, "seed", 1, "random seed")
 	fs.StringVar(&opts.csvDir, "csv", "", "directory for CSV output (optional)")
@@ -71,21 +71,22 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	experiments := map[string]func(options, io.Writer) error{
-		"table1":   runTableI,
-		"fig7":     runFig7,
-		"fig8":     runFig8,
-		"fig9":     runFig9,
-		"fig10":    runFig10, // fig10 and fig11 share the Slicing experiment
-		"fig11":    runFig10,
-		"fig12":    runFig12,
-		"loc":      runLocalization, // extension: future work #1
-		"coverage": runCoverage,     // extension: future work #2
-		"overhead": runOverhead,     // §VII deployment-cost comparison
-		"monitor":  runMonitor,      // extension: debounced-alarm study
-		"churn":    runChurn,        // extension: incremental vs full-rebuild updates
+		"table1":    runTableI,
+		"fig7":      runFig7,
+		"fig8":      runFig8,
+		"fig9":      runFig9,
+		"fig10":     runFig10, // fig10 and fig11 share the Slicing experiment
+		"fig11":     runFig10,
+		"fig12":     runFig12,
+		"loc":       runLocalization, // extension: future work #1
+		"coverage":  runCoverage,     // extension: future work #2
+		"overhead":  runOverhead,     // §VII deployment-cost comparison
+		"monitor":   runMonitor,      // extension: debounced-alarm study
+		"churn":     runChurn,        // extension: incremental vs full-rebuild updates
+		"telemetry": runTelemetry,    // hot-path cost of the metrics instrumentation
 	}
 	if opts.exp == "all" {
-		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig12", "loc", "coverage", "overhead", "monitor", "churn"} {
+		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig12", "loc", "coverage", "overhead", "monitor", "churn", "telemetry"} {
 			if err := experiments[name](opts, out); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -451,6 +452,44 @@ func runChurn(opts options, out io.Writer) error {
 		}
 	}
 	return writeCSV(opts, "churn", headers, cells)
+}
+
+// runTelemetry measures what live metrics cost on the detection hot
+// path (System.Run with a no-op vs a live registry) and archives the
+// result — including the full metrics snapshot the instrumented arm
+// produced — as results/telemetry_overhead.json.
+func runTelemetry(opts options, out io.Writer) error {
+	cfg := experiment.TelemetryOverheadConfig{Seed: opts.seed}
+	if opts.runs > 0 {
+		cfg.Runs = opts.runs
+	}
+	res, err := experiment.TelemetryOverhead(cfg)
+	if err != nil {
+		return err
+	}
+	headers := []string{"topology", "rules", "slices", "nop_ns/detect", "live_ns/detect", "overhead"}
+	cells := [][]string{{
+		res.Topology,
+		fmt.Sprint(res.Rules),
+		fmt.Sprint(res.Slices),
+		fmt.Sprintf("%.0f", res.NopNs),
+		fmt.Sprintf("%.0f", res.EnabledNs),
+		fmt.Sprintf("%+.2f%%", res.OverheadPct),
+	}}
+	fmt.Fprintln(out, "\n== telemetry overhead (prepared engines, clean path) ==")
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	fmt.Fprintf(out, "metric families populated: %d\n", len(res.Families))
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join("results", "telemetry_overhead.json"), append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	return writeCSV(opts, "telemetry", headers, cells)
 }
 
 // sortCells orders rows lexicographically for deterministic output

@@ -13,13 +13,21 @@
 // instead of read as anomalies. The -kill-at / -reset-at flags inject
 // those collection-plane faults mid-run.
 //
+// Detection runs through the unified foces.System.Run entry point:
+// every period is described as one Observation (counter deltas, missing
+// switches, the window's baseline epoch) and Run dispatches to the
+// clean, missing or reconciled path. The -metrics-addr flag exposes the
+// internal telemetry registry as a Prometheus /metrics endpoint plus
+// the pprof profiling surface.
+//
 // Usage:
 //
 //	focesd [-topo bcube14] [-periods 36] [-attack-at 12] [-repair-at 24]
 //	       [-loss 0.05] [-threshold 4.5] [-volume 1000] [-seed 1]
 //	       [-consecutive 2] [-skip-verify] [-http 127.0.0.1:8080]
-//	       [-save-baseline baseline.json] [-interval 0]
-//	       [-kill-at 0] [-kill-switch -1] [-reset-at 0] [-reset-switch -1]
+//	       [-metrics-addr 127.0.0.1:9090] [-save-baseline baseline.json]
+//	       [-interval 0] [-kill-at 0] [-kill-switch -1] [-reset-at 0]
+//	       [-reset-switch -1] [-churn-every 0]
 package main
 
 import (
@@ -32,7 +40,7 @@ import (
 	"os"
 	"time"
 
-	"foces/internal/churn"
+	"foces"
 	"foces/internal/collector"
 	"foces/internal/controller"
 	"foces/internal/core"
@@ -42,6 +50,7 @@ import (
 	"foces/internal/header"
 	"foces/internal/openflow"
 	"foces/internal/persist"
+	"foces/internal/telemetry"
 	"foces/internal/topo"
 	"foces/internal/verify"
 )
@@ -66,6 +75,7 @@ func run(args []string, out io.Writer) error {
 	consecutive := fs.Int("consecutive", 2, "periods above threshold before the debounced alarm fires")
 	skipVerify := fs.Bool("skip-verify", false, "skip intent verification at startup")
 	httpAddr := fs.String("http", "", "serve GET /status on this address (e.g. 127.0.0.1:8080)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus GET /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	saveBaseline := fs.String("save-baseline", "", "write the detection baseline (topology+rules) to this file")
 	killAt := fs.Int("kill-at", 0, "period at which a switch's control channel dies (0 = never)")
 	killSwitch := fs.Int("kill-switch", -1, "switch to kill at -kill-at (-1 = auto-pick)")
@@ -171,23 +181,34 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("kill and reset target the same switch %d", killTarget)
 	}
 
-	// The churn manager owns the epoch-versioned baseline: FCM, slices
-	// and the prepared engines. Steady-state periods pay only triangular
-	// solves; a rule update (-churn-every) re-traces affected sources
-	// and repairs slice engines incrementally instead of rebuilding.
-	opts := core.Options{Threshold: *threshold}
-	mgr, err := churn.NewManager(t, layout, ctrl.Rules(), ctrl.RuleSpace(), opts, churn.Config{})
+	// The System owns the epoch-versioned baseline: FCM, slices and the
+	// prepared engines, with the threshold baked in at construction.
+	// Steady-state periods pay only triangular solves; a rule update
+	// (-churn-every) re-traces affected sources and repairs slice
+	// engines incrementally instead of rebuilding.
+	sys, err := foces.NewSystemFromParts(t, layout, ctrl, network, foces.DetectOptions{Threshold: *threshold})
 	if err != nil {
 		return err
 	}
-	f, slices, slicedDet := mgr.FCM(), mgr.Slices(), mgr.Sliced()
-	detector, err := mgr.Full()
-	if err != nil {
-		return err
+	f := sys.FCM()
+
+	// Telemetry is always wired — the registry is atomics-only and
+	// near-free when nobody scrapes; -metrics-addr decides whether it is
+	// exposed over HTTP.
+	reg := telemetry.New()
+	sys.EnableTelemetry(reg)
+	robust.SetTelemetry(telemetry.NewCollectorMetrics(reg))
+	if *metricsAddr != "" {
+		metricsSrv, err := startMetricsServer(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer metricsSrv.Close()
+		fmt.Fprintf(out, "metrics: http://%s/metrics\n", metricsSrv.Addr())
 	}
 
 	fmt.Fprintf(out, "focesd: %s, %d flows, %d rules, %d slices (%d workers), loss=%s, T=%.1f\n",
-		t.Name(), f.NumFlows(), f.NumRules(), len(slices), slicedDet.Workers(), experiment.FormatPct(*loss), *threshold)
+		t.Name(), f.NumFlows(), f.NumRules(), len(sys.Slices()), sys.SlicedDetector().Workers(), experiment.FormatPct(*loss), *threshold)
 
 	rng := rand.New(rand.NewSource(*seed))
 	tm := dataplane.UniformTraffic(t, *volume)
@@ -246,12 +267,14 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			u, err := mgr.Apply(events)
+			// The switches were already patched via FlowMods above, so
+			// only the detection baseline needs to absorb the events.
+			u, err := sys.ObserveUpdate(events)
 			if err != nil {
 				return err
 			}
-			robust.SetEpoch(mgr.Epoch())
-			f, slices, slicedDet = mgr.FCM(), mgr.Slices(), mgr.Sliced()
+			robust.SetEpoch(sys.Epoch())
+			f = sys.FCM()
 			fmt.Fprintf(out, ">> period %d: rule churn epoch %d (%d events): retraced %d sources, slices reused/updated/refactored %d/%d/%d in %s\n",
 				p, u.Epoch, len(u.Events), u.Retraced, u.SlicesReused, u.SlicesUpdated, u.SlicesRefactored, u.Elapsed.Round(time.Microsecond))
 		}
@@ -277,64 +300,42 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, ">> period %d: quarantined switches: %v\n", p, robust.Quarantined())
 			quarantines = met.Quarantines
 		}
-		var res core.Result
-		var sliced core.SlicedOutcome
-		if len(missing) > 0 {
-			partial, perr := core.DetectWithMissing(f, counters, missing, opts)
-			if perr != nil {
-				return perr
-			}
-			res = partial.Result
-			fmt.Fprintf(out, ">> period %d: %d switches missing, detecting on %d of %d rules\n",
-				p, len(missing), len(partial.PresentRows), f.NumRules())
-			sliced, err = core.DetectSlicedWithMissing(f, slices, counters, missing, opts)
-			if err != nil {
-				return err
-			}
-		} else if len(poll.Straddled) > 0 {
-			// One or more switch windows span a rule update: their
-			// counters mix two rule generations. Mask the rows changed
-			// since the oldest straddled baseline epoch instead of
-			// reading the mixture as a forwarding anomaly.
-			from := mgr.Epoch()
-			for _, e := range poll.Straddled {
-				if e < from {
-					from = e
-				}
-			}
-			masked := mgr.AffectedSince(from)
-			fmt.Fprintf(out, ">> period %d: %d switch windows straddle rule updates since epoch %d; masking %d rule rows\n",
-				p, len(poll.Straddled), from, len(masked))
-			y := f.CounterVector(counters)
-			detector, err = mgr.Full()
-			if err != nil {
-				return err
-			}
-			res, err = detector.DetectMasked(y, masked)
-			if err != nil {
-				return err
-			}
-			sliced, err = slicedDet.DetectMasked(y, masked)
-			if err != nil {
-				return err
-			}
-		} else {
-			y := f.CounterVector(counters)
-			// mgr caches the full engine per epoch; after a churn update
-			// the first clean window pays one refactorization here.
-			detector, err = mgr.Full()
-			if err != nil {
-				return err
-			}
-			res, err = detector.Detect(y)
-			if err != nil {
-				return err
-			}
-			sliced, err = slicedDet.Detect(y)
-			if err != nil {
-				return err
+		// One Observation describes the whole window: Run picks the
+		// clean, missing or reconciled path. The window's baseline epoch
+		// is the oldest epoch any switch window straddles (the current
+		// epoch when none do).
+		if len(missing) == 0 {
+			missing = nil // nil means "every switch reported" to Run
+		}
+		winEpoch := sys.Epoch()
+		for _, e := range poll.Straddled {
+			if e < winEpoch {
+				winEpoch = e
 			}
 		}
+		rep, err := sys.Run(foces.Observation{Counters: counters, Missing: missing, Epoch: winEpoch})
+		if err != nil {
+			return err
+		}
+		switch {
+		case rep.Partial != nil:
+			fmt.Fprintf(out, ">> period %d: %d switches missing, detecting on %d of %d rules\n",
+				p, len(missing), len(rep.Partial.PresentRows), f.NumRules())
+		case len(poll.Straddled) > 0:
+			// One or more switch windows span a rule update: their
+			// counters mix two rule generations. Run masked the rows
+			// changed since the oldest straddled baseline epoch instead
+			// of reading the mixture as a forwarding anomaly.
+			fmt.Fprintf(out, ">> period %d: %d switch windows straddle rule updates since epoch %d; masking %d rule rows\n",
+				p, len(poll.Straddled), winEpoch, len(rep.MaskedRows))
+		}
+		var res core.Result
+		if rep.Partial != nil {
+			res = rep.Partial.Result
+		} else {
+			res = *rep.Full
+		}
+		sliced := *rep.Sliced
 		verdict := "ok"
 		if res.Anomalous {
 			verdict = "ANOMALY"
@@ -356,7 +357,8 @@ func run(args []string, out io.Writer) error {
 				MissingSwitches:  len(missing),
 				StraddledWindows: len(poll.Straddled),
 				Collection:       collectionStatus(robust, poll),
-				Churn:            churnStatus(mgr.Stats()),
+				Churn:            churnStatus(sys.ChurnStats()),
+				Recent:           sys.RecentRuns(),
 			})
 		}
 		suspects := ""

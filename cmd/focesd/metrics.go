@@ -1,0 +1,54 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"foces/internal/telemetry"
+)
+
+// metricsServer serves the Prometheus exposition and the pprof
+// profiling surface on their own listener, separate from /status, so
+// the operational scrape endpoint can be firewalled independently of
+// the human-facing one.
+type metricsServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// startMetricsServer listens on addr ("127.0.0.1:0" picks a free port)
+// and serves GET /metrics plus the /debug/pprof handlers. The pprof
+// handlers are mounted explicitly rather than via the net/http/pprof
+// import side effect, so nothing leaks onto http.DefaultServeMux.
+func startMetricsServer(addr string, reg *telemetry.Registry) (*metricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &metricsServer{ln: ln, done: make(chan struct{})}
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		// Serve returns ErrServerClosed on Close; nothing to report.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr reports the bound address.
+func (s *metricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for the serve goroutine.
+func (s *metricsServer) Close() {
+	_ = s.srv.Close()
+	<-s.done
+}

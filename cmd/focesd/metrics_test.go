@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter lets the test read focesd's output while run() is still
+// writing it from another goroutine.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// extractAddr polls the daemon's output for a "<label>: http://ADDR/..."
+// line until the deadline.
+func extractAddr(t *testing.T, out *syncWriter, label string, done <-chan error) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s := out.String()
+		if i := strings.Index(s, label+": http://"); i >= 0 {
+			rest := s[i+len(label+": http://"):]
+			if j := strings.Index(rest, "/"); j >= 0 {
+				return rest[:j]
+			}
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited before announcing %s endpoint: %v\n%s", label, err, out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	t.Fatalf("no %s endpoint announced in:\n%s", label, out.String())
+	return ""
+}
+
+// TestMetricsEndpointUnderLoad scrapes /metrics concurrently while the
+// daemon runs through collection faults (-kill-at, -reset-at) and rule
+// churn (-churn-every) — the telemetry hot paths must tolerate being
+// read mid-detection (this test is the -race witness), and the
+// exposition must stay well-formed and cover every subsystem family.
+func TestMetricsEndpointUnderLoad(t *testing.T) {
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-topo", "fattree4",
+			"-periods", "24",
+			"-attack-at", "8",
+			"-repair-at", "16",
+			"-kill-at", "10",
+			"-reset-at", "14",
+			"-churn-every", "6",
+			"-loss", "0",
+			"-seed", "5",
+			"-interval", "10ms",
+			"-http", "127.0.0.1:0",
+			"-metrics-addr", "127.0.0.1:0",
+		}, out)
+	}()
+	metricsAddr := extractAddr(t, out, "metrics", done)
+	statusAddr := extractAddr(t, out, "status", done)
+
+	// Scrape from several goroutines for the whole run: the exposition
+	// walks every family while detections, faults and churn mutate them.
+	var (
+		bodyMu   sync.Mutex
+		lastBody string
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + metricsAddr + "/metrics")
+				if err != nil {
+					return // server closed: run() finished
+				}
+				if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+					t.Errorf("content type %q lacks exposition version", ct)
+				}
+				b, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					return
+				}
+				bodyMu.Lock()
+				lastBody = string(b)
+				bodyMu.Unlock()
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+
+	// Sample /status mid-run until the telemetry-event ring shows up.
+	var recent []json.RawMessage
+	for i := 0; i < 500 && len(recent) == 0; i++ {
+		resp, err := http.Get("http://" + statusAddr + "/status")
+		if err != nil {
+			break
+		}
+		var st struct {
+			Recent []json.RawMessage `json:"recent"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err == nil {
+			recent = st.Recent
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if len(recent) == 0 {
+		t.Error("/status never exposed a non-empty recent-verdict ring")
+	}
+	bodyMu.Lock()
+	body := lastBody
+	bodyMu.Unlock()
+	if body == "" {
+		t.Fatal("no successful /metrics scrape")
+	}
+	for _, name := range []string{
+		"foces_collector_poll_seconds",
+		"foces_collector_requests_total",
+		"foces_detector_detect_seconds",
+		"foces_detector_verdicts_total",
+		"foces_churn_apply_seconds",
+		"foces_churn_epoch",
+		"foces_system_runs_total",
+		"foces_system_run_seconds",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	// Well-formedness: every line is a comment or a foces_ sample, and
+	// histograms carry their implicit +Inf bucket.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !strings.HasPrefix(line, "# ") && !strings.HasPrefix(line, "foces_") {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+	if !strings.Contains(body, `le="+Inf"`) {
+		t.Error("no +Inf histogram bucket in exposition")
+	}
+}

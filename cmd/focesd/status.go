@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sync"
 
+	"foces"
 	"foces/internal/churn"
 	"foces/internal/collector"
 	"foces/internal/topo"
@@ -92,6 +93,9 @@ type status struct {
 	StraddledWindows int             `json:"straddledWindows"`
 	Collection       collection      `json:"collection"`
 	Churn            churnView       `json:"churn"`
+	// Recent is the verdict ring rebuilt from the system's telemetry
+	// events: the last N Run outcomes, oldest first.
+	Recent []foces.RunEvent `json:"recent"`
 }
 
 // statusServer exposes the daemon's latest detection state over HTTP —
@@ -148,9 +152,12 @@ func (s *statusServer) handle(w http.ResponseWriter, r *http.Request) {
 	st := s.cur
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	// Suspects may be nil; emit [] for stable JSON.
+	// Suspects/Recent may be nil; emit [] for stable JSON.
 	if st.Suspects == nil {
 		st.Suspects = []topo.SwitchID{}
+	}
+	if st.Recent == nil {
+		st.Recent = []foces.RunEvent{}
 	}
 	if err := json.NewEncoder(w).Encode(st); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

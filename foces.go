@@ -28,27 +28,40 @@
 //     detectability analysis;
 //   - an OpenFlow-like control channel and statistics collector.
 //
-// Most applications start with NewSystem:
+// Most applications start with NewSystem and drive detection through
+// System.Run — the single supported entry point: one Observation in,
+// one Report out.
 //
 //	top, _ := foces.FatTree(4)
 //	sys, _ := foces.NewSystem(top, foces.PairExact)
 //	y, _ := sys.ObserveCounters(rng, 1000) // or collect real counters
-//	res, _ := sys.Detect(y, foces.DetectOptions{})
-//	if res.Anomalous { ... }
+//	rep, _ := sys.Run(foces.Observation{Vector: y})
+//	if rep.Anomalous { ... }
+//
+// An Observation carries either a prepared counter vector (Vector) or
+// raw per-rule counters (Counters), plus optionally the switches that
+// failed to report (Missing) and the baseline epoch the window was
+// collected under (Epoch). Run validates the observation and picks the
+// dispatch path itself: degraded windows take the partial-detection
+// path, windows collected under an older epoch take the reconciled
+// (masked-row) path, everything else the clean path. The Report records
+// which path ran, both engines' verdicts, localization suspects, and
+// per-stage timings. The older methods Detect, DetectSliced,
+// DetectWithMissing, DetectSlicedWithMissing and DetectReconciled are
+// deprecated wrappers over Run and will keep working.
 //
 // # Steady-state monitoring
 //
 // The flow-counter matrix H only changes when the controller installs
 // rules, so the expensive part of detection — assembling and factoring
 // HᵀH — is done once, not every period. NewSystem prepares the
-// factorizations up front and System.Detect/System.DetectSliced reuse
-// them, so a production monitor is simply:
+// factorizations up front and System.Run reuses them, so a production
+// monitor is simply:
 //
 //	sys, _ := foces.NewSystem(top, foces.PairExact) // factors once
 //	for range ticker.C {                            // every period
-//		y := sys.CounterVector(collectedCounters)
-//		out, _ := sys.DetectSliced(y, foces.DetectOptions{})
-//		if out.Anomalous { alert(out.Suspects) }
+//		rep, err := sys.Run(foces.Observation{Counters: collected})
+//		if err == nil && rep.Anomalous { alert(rep.Suspects) }
 //	}
 //
 // Each period costs only triangular solves, a sparse mat-vec and order
@@ -57,6 +70,18 @@
 // baseline checks the wrong intent and will flag honest switches.
 // Standalone engines over a bare FCM are available via NewDetector and
 // NewSlicedDetector; both are safe for concurrent use.
+//
+// # Observability
+//
+// EnableTelemetry wires a System to a TelemetryRegistry (construct one
+// with NewTelemetryRegistry, or NewNopTelemetryRegistry to disable):
+// both detection engines, the churn manager and Run itself record
+// staged timings, anomaly-index distributions and verdict counts into
+// Prometheus-exposable families (see README.md for the catalogue), and
+// RecentRuns exposes a ring of the latest Run verdicts. The registry's
+// Handler serves text-exposition format 0.0.4. The hot path performs
+// only atomic updates — label children are resolved once at wiring
+// time — so instrumentation is effectively free.
 package foces
 
 import (

@@ -111,9 +111,18 @@ func TestSystemAccessors(t *testing.T) {
 
 func TestSystemCounterVector(t *testing.T) {
 	sys := newSystem(t, "fattree4", foces.PairExact)
-	y := sys.CounterVector(map[int]uint64{0: 9})
+	y, err := sys.CounterVector(map[int]uint64{0: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if y[0] != 9 || len(y) != sys.FCM().NumRules() {
 		t.Fatal("counter vector wrong")
+	}
+	if _, err := sys.CounterVector(map[int]uint64{sys.FCM().NumRules(): 1}); err == nil {
+		t.Fatal("out-of-range rule ID silently accepted")
+	}
+	if _, err := sys.CounterVector(map[int]uint64{-1: 1}); err == nil {
+		t.Fatal("negative rule ID silently accepted")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"foces/internal/flowtable"
 	"foces/internal/header"
 	"foces/internal/matrix"
+	"foces/internal/telemetry"
 	"foces/internal/topo"
 )
 
@@ -77,6 +78,12 @@ type Manager struct {
 	full      *core.Detector
 	fullEpoch uint64
 	fullOK    bool
+
+	// Telemetry wiring (nil unless SetTelemetry was called): det is
+	// re-applied to every engine generation rebuild creates; tel records
+	// the incremental-maintenance activity itself.
+	det *telemetry.DetectionMetrics
+	tel *telemetry.ChurnMetrics
 }
 
 // NewManager seeds a manager from a rule set (the cold baseline). space
@@ -234,6 +241,9 @@ func (m *Manager) rebuild(u *Update) error {
 	if err != nil {
 		return err
 	}
+	// Wire telemetry before the new generation is published so no
+	// detection ever observes a half-wired engine.
+	sliced.SetTelemetry(m.det)
 	m.fcmCur = f
 	m.slices = slices
 	m.sliced = sliced
@@ -493,6 +503,17 @@ func (m *Manager) Apply(events []controller.RuleChange) (Update, error) {
 	m.stats.SlicesRefactored += u.SlicesRefactored
 	m.stats.LastElapsed = u.Elapsed
 	m.stats.TotalElapsed += u.Elapsed
+	if tel := m.tel; tel != nil {
+		tel.ApplySeconds.Observe(u.Elapsed.Seconds())
+		tel.AffectedRows.Observe(float64(len(u.Affected)))
+		tel.RetracedSources.Observe(float64(u.Retraced))
+		tel.Updates.Inc()
+		tel.Events.Add(uint64(len(events)))
+		tel.Slices.With("reused").Add(uint64(u.SlicesReused))
+		tel.Slices.With("updated").Add(uint64(u.SlicesUpdated))
+		tel.Slices.With("refactored").Add(uint64(u.SlicesRefactored))
+		tel.Epoch.Set(float64(m.epoch))
+	}
 	return u, nil
 }
 
@@ -669,9 +690,19 @@ func (m *Manager) fullLocked() (*core.Detector, error) {
 	if m.fullOK && m.fullEpoch == m.epoch {
 		return m.full, nil
 	}
+	var t0 time.Time
+	if m.tel != nil {
+		t0 = time.Now()
+	}
 	d, err := core.NewDetector(m.fcmCur.H, m.opts)
 	if err != nil {
 		return nil, fmt.Errorf("churn: full engine: %w", err)
+	}
+	if m.tel != nil {
+		m.tel.FullRebuildSeconds.ObserveDuration(time.Since(t0).Nanoseconds())
+	}
+	if m.det != nil {
+		d.SetTelemetry(m.det, core.EngineFull)
 	}
 	m.full = d
 	m.fullEpoch = m.epoch

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"foces/internal/openflow"
+	"foces/internal/telemetry"
 	"foces/internal/topo"
 )
 
@@ -190,9 +191,20 @@ type RobustCollector struct {
 	state   map[topo.SwitchID]*switchState
 	deltas  *DeltaTracker
 	metrics RobustMetrics
+	tel     *telemetry.CollectorMetrics // nil unless SetTelemetry wired a metric set
 
 	sleep func(time.Duration) // test hook; nil = time.Sleep
 	now   func() time.Time    // test hook; nil = time.Now
+}
+
+// SetTelemetry mirrors the collector's operational counters into a
+// telemetry metric set (pass nil to detach). The snapshot-style
+// RobustMetrics API is unaffected; telemetry sees the same counts as
+// monotonic families plus poll-latency and health gauges.
+func (rc *RobustCollector) SetTelemetry(m *telemetry.CollectorMetrics) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.tel = m
 }
 
 // NewRobust builds a fault-tolerant collector over per-switch control
@@ -392,6 +404,7 @@ func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
 	// Merge phase: deterministic, in ascending switch order.
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
+	prev := rc.metrics // diffed into telemetry after the merge
 	res := PollResult{Deltas: make(map[int]uint64), Epoch: rc.deltas.Epoch()}
 	owner := make(map[int]topo.SwitchID)
 	dupSeen := make(map[int]bool)
@@ -487,6 +500,27 @@ func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
 	sort.Ints(res.DuplicateRules)
 	res.Elapsed = now().Sub(start)
 	rc.metrics.LastElapsed = res.Elapsed
+	if tel := rc.tel; tel != nil {
+		cur := rc.metrics
+		tel.PollSeconds.Observe(res.Elapsed.Seconds())
+		tel.Requests.Add(cur.Requests - prev.Requests)
+		tel.Retries.Add(cur.Retries - prev.Retries)
+		tel.Timeouts.Add(cur.Timeouts - prev.Timeouts)
+		tel.Failures.Add(cur.Failures - prev.Failures)
+		tel.Probes.Add(cur.Probes - prev.Probes)
+		tel.Quarantines.Add(cur.Quarantines - prev.Quarantines)
+		tel.Reinstatements.Add(cur.Reinstatements - prev.Reinstatements)
+		tel.Resets.Add(cur.Resets - prev.Resets)
+		tel.DuplicateRules.Add(cur.DuplicateRules - prev.DuplicateRules)
+		tel.MissingSwitches.Set(float64(len(res.Missing)))
+		quarantined := 0
+		for _, sw := range rc.order {
+			if rc.state[sw].health == Quarantined {
+				quarantined++
+			}
+		}
+		tel.QuarantinedSwitches.Set(float64(quarantined))
+	}
 	return res, nil
 }
 

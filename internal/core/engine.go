@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"foces/internal/matrix"
 	"foces/internal/stats"
@@ -27,6 +29,7 @@ type Detector struct {
 	opts Options
 	ls   *matrix.PreparedLS // nil when H is degenerate or the solver is not Cholesky
 	pool sync.Pool          // *detectScratch
+	tel  *detTelemetry      // nil unless SetTelemetry wired a metric set
 }
 
 // detectScratch is the per-call reusable workspace; pooled so
@@ -79,9 +82,16 @@ func (d *Detector) DetectWithOptions(y []float64, opts Options) (Result, error) 
 		return Result{}, fmt.Errorf("core: H is %dx%d but y has %d entries", h.Rows(), h.Cols(), len(y))
 	}
 	opts = opts.withDefaults(y)
+	tel := d.tel
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
 	if h.Rows() == 0 {
 		// Nothing to check: an empty system is trivially consistent.
-		return Result{Delta: make([]float64, len(y))}, nil
+		res := Result{Delta: make([]float64, len(y))}
+		tel.outcome(t0, res)
+		return res, nil
 	}
 	if h.Cols() == 0 {
 		// No flow is expected to touch these rules, so every counter's
@@ -97,6 +107,7 @@ func (d *Detector) DetectWithOptions(y []float64, opts Options) (Result, error) 
 		res.ErrMax, _ = stats.Max(delta)
 		res.Index = anomalyIndex(res.ErrMax, 0, opts.ZeroTol)
 		res.Anomalous = res.Index > opts.Threshold
+		tel.outcome(t0, res)
 		return res, nil
 	}
 	sc := d.pool.Get().(*detectScratch)
@@ -112,6 +123,11 @@ func (d *Detector) DetectWithOptions(y []float64, opts Options) (Result, error) 
 	if err != nil {
 		return Result{}, fmt.Errorf("core: volume estimate: %w", err)
 	}
+	var tResid time.Time
+	if tel != nil {
+		tResid = time.Now()
+		tel.solve.ObserveDuration(tResid.Sub(t0).Nanoseconds())
+	}
 	yHat := make([]float64, h.Rows())
 	if err := h.MulVecInto(yHat, xHat); err != nil {
 		return Result{}, err
@@ -125,6 +141,10 @@ func (d *Detector) DetectWithOptions(y []float64, opts Options) (Result, error) 
 	res.ErrMed = opts.denominatorInto(sc.med, delta)
 	res.Index = anomalyIndex(res.ErrMax, res.ErrMed, opts.ZeroTol)
 	res.Anomalous = res.Index > opts.Threshold
+	if tel != nil {
+		tel.residual.ObserveDuration(time.Since(tResid).Nanoseconds())
+	}
+	tel.outcome(t0, res)
 	return res, nil
 }
 
@@ -143,7 +163,8 @@ type SlicedDetector struct {
 	numRules int
 	opts     Options
 	workers  int
-	pool     sync.Pool // *slicedScratch
+	pool     sync.Pool        // *slicedScratch
+	tel      *slicedTelemetry // nil unless SetTelemetry wired a metric set
 }
 
 // slicedScratch holds one run's per-slice gather buffers. A run owns
@@ -223,6 +244,12 @@ func (sd *SlicedDetector) detect(y []float64, opts Options, workers int) (Sliced
 	if len(y) != sd.numRules {
 		return SlicedOutcome{}, fmt.Errorf("core: counter vector has %d entries, sliced detector expects %d", len(y), sd.numRules)
 	}
+	tel := sd.tel
+	var t0 time.Time
+	var gatherNS atomic.Int64
+	if tel != nil {
+		t0 = time.Now()
+	}
 	sc := sd.pool.Get().(*slicedScratch)
 	defer sd.pool.Put(sc)
 	results := make([]Result, len(sd.slices))
@@ -230,8 +257,16 @@ func (sd *SlicedDetector) detect(y []float64, opts Options, workers int) (Sliced
 	run := func(i int) {
 		sl := sd.slices[i]
 		sub := sc.subs[i]
-		for j, rid := range sl.RuleRows {
-			sub[j] = y[rid]
+		if tel != nil {
+			g0 := time.Now()
+			for j, rid := range sl.RuleRows {
+				sub[j] = y[rid]
+			}
+			gatherNS.Add(time.Since(g0).Nanoseconds())
+		} else {
+			for j, rid := range sl.RuleRows {
+				sub[j] = y[rid]
+			}
 		}
 		results[i], errs[i] = sd.engines[i].DetectWithOptions(sub, opts)
 	}
@@ -257,6 +292,10 @@ func (sd *SlicedDetector) detect(y []float64, opts Options, workers int) (Sliced
 		close(idx)
 		wg.Wait()
 	}
+	if tel != nil {
+		tel.gather.ObserveDuration(gatherNS.Load())
+		tel.fanout.Observe(float64(len(sd.slices)))
+	}
 	// Aggregate in slice order so parallel and sequential runs produce
 	// identical outcomes, including Suspects order under index ties.
 	var out SlicedOutcome
@@ -269,6 +308,7 @@ func (sd *SlicedDetector) detect(y []float64, opts Options, workers int) (Sliced
 		if errs[i] != nil {
 			return SlicedOutcome{}, fmt.Errorf("core: slice switch %d: %w", sl.Switch, errs[i])
 		}
+		tel.slice(results[i])
 		out.PerSwitch = append(out.PerSwitch, SliceResult{Switch: sl.Switch, Result: results[i]})
 		if results[i].Anomalous {
 			out.Anomalous = true
@@ -279,5 +319,6 @@ func (sd *SlicedDetector) detect(y []float64, opts Options, workers int) (Sliced
 	for _, s := range suspects {
 		out.Suspects = append(out.Suspects, s.sw)
 	}
+	tel.outcome(t0, out.Anomalous)
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"time"
 
 	"foces/internal/matrix"
 	"foces/internal/stats"
@@ -108,6 +109,11 @@ func (d *Detector) DetectMasked(y []float64, masked []int) (Result, error) {
 	if nMasked == 0 {
 		return d.Detect(y)
 	}
+	tel := d.tel
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
 	kept := make([]int, 0, h.Rows()-nMasked)
 	for i := 0; i < h.Rows(); i++ {
 		if !mask[i] {
@@ -121,7 +127,9 @@ func (d *Detector) DetectMasked(y []float64, masked []int) (Result, error) {
 	opts := d.opts.withDefaults(yKept)
 	if len(kept) == 0 || h.Rows() == 0 {
 		// Every observable row is masked: nothing to check this window.
-		return Result{Delta: make([]float64, len(y))}, nil
+		res := Result{Delta: make([]float64, len(y))}
+		tel.outcome(t0, res)
+		return res, nil
 	}
 	if h.Cols() == 0 {
 		delta := make([]float64, len(y))
@@ -134,6 +142,7 @@ func (d *Detector) DetectMasked(y []float64, masked []int) (Result, error) {
 		res.ErrMax, _ = stats.Max(compact)
 		res.Index = anomalyIndex(res.ErrMax, 0, opts.ZeroTol)
 		res.Anomalous = res.Index > opts.Threshold
+		tel.outcome(t0, res)
 		return res, nil
 	}
 	var xHat []float64
@@ -214,6 +223,7 @@ func (d *Detector) DetectMasked(y []float64, masked []int) (Result, error) {
 	res.ErrMed = opts.denominatorInto(make([]float64, len(compact)), compact)
 	res.Index = anomalyIndex(res.ErrMax, res.ErrMed, opts.ZeroTol)
 	res.Anomalous = res.Index > opts.Threshold
+	tel.outcome(t0, res)
 	return res, nil
 }
 
@@ -228,6 +238,12 @@ func (sd *SlicedDetector) DetectMasked(y []float64, masked []int) (SlicedOutcome
 	}
 	if len(y) != sd.numRules {
 		return SlicedOutcome{}, fmt.Errorf("core: counter vector has %d entries, sliced detector expects %d", len(y), sd.numRules)
+	}
+	tel := sd.tel
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+		tel.fanout.Observe(float64(len(sd.slices)))
 	}
 	maskSet := make(map[int]bool, len(masked))
 	for _, rid := range masked {
@@ -252,6 +268,7 @@ func (sd *SlicedDetector) DetectMasked(y []float64, masked []int) (SlicedOutcome
 		if err != nil {
 			return SlicedOutcome{}, fmt.Errorf("core: slice switch %d: %w", sl.Switch, err)
 		}
+		tel.slice(res)
 		out.PerSwitch = append(out.PerSwitch, SliceResult{Switch: sl.Switch, Result: res})
 		if res.Anomalous {
 			out.Anomalous = true
@@ -262,5 +279,6 @@ func (sd *SlicedDetector) DetectMasked(y []float64, masked []int) (SlicedOutcome
 	for _, s := range suspects {
 		out.Suspects = append(out.Suspects, s.sw)
 	}
+	tel.outcome(t0, out.Anomalous)
 	return out, nil
 }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"time"
+
+	"foces/internal/telemetry"
+)
+
+// Engine label values for telemetry families partitioned by "engine".
+// EngineFull is the Algorithm 1 detector over the whole FCM;
+// EngineSliced is the Algorithm 2 aggregate; EngineSlice tags the
+// per-switch sub-results recorded inside a sliced run.
+const (
+	EngineFull   = "full"
+	EngineSliced = "sliced"
+	EngineSlice  = "slice"
+)
+
+// Verdict label values.
+const (
+	VerdictAnomalous = "anomalous"
+	VerdictClean     = "clean"
+)
+
+// detTelemetry holds an engine's label-resolved telemetry children so
+// the hot path touches only atomics — no map lookups, no label joins.
+type detTelemetry struct {
+	solve     *telemetry.Histogram
+	residual  *telemetry.Histogram
+	total     *telemetry.Histogram
+	index     *telemetry.Histogram
+	anomalous *telemetry.Counter
+	clean     *telemetry.Counter
+}
+
+// SetTelemetry wires the detector to a metric set under the given
+// engine label ("full" for the Algorithm 1 baseline engine). Pass nil
+// to detach. Call before the detector is shared between goroutines:
+// the field is read without synchronization on the detection path.
+func (d *Detector) SetTelemetry(m *telemetry.DetectionMetrics, engine string) {
+	if m == nil {
+		d.tel = nil
+		return
+	}
+	d.tel = &detTelemetry{
+		solve:     m.SolveSeconds.With(engine),
+		residual:  m.ResidualSeconds.With(engine),
+		total:     m.DetectSeconds.With(engine),
+		index:     m.AnomalyIndex.With(engine),
+		anomalous: m.Verdicts.With(engine, VerdictAnomalous),
+		clean:     m.Verdicts.With(engine, VerdictClean),
+	}
+}
+
+// maxIndexSample caps anomaly-index observations: the AI can be +Inf
+// (zero median error with non-zero max), which would make the
+// histogram's running sum non-finite and break JSON snapshots. Every
+// histogram bound is far below the cap, so bucketing is unaffected.
+const maxIndexSample = 1e9
+
+func indexSample(v float64) float64 {
+	if v > maxIndexSample {
+		return maxIndexSample
+	}
+	return v
+}
+
+// outcome records the end-to-end time, anomaly-index sample and
+// verdict for one detection. Nil-safe so call sites need no guard.
+func (t *detTelemetry) outcome(start time.Time, res Result) {
+	if t == nil {
+		return
+	}
+	t.total.ObserveDuration(time.Since(start).Nanoseconds())
+	t.index.Observe(indexSample(res.Index))
+	if res.Anomalous {
+		t.anomalous.Inc()
+	} else {
+		t.clean.Inc()
+	}
+}
+
+// slicedTelemetry is the SlicedDetector counterpart: stage timings and
+// the aggregate verdict under engine="sliced", plus per-slice
+// anomaly-index / verdict samples under engine="slice" recorded during
+// the (serial) aggregation pass — the fan-out workers themselves stay
+// uninstrumented so a wide fan-out pays no per-slice timer calls
+// beyond the gather measurement.
+type slicedTelemetry struct {
+	gather         *telemetry.Histogram
+	fanout         *telemetry.Histogram
+	total          *telemetry.Histogram
+	sliceIndex     *telemetry.Histogram
+	anomalous      *telemetry.Counter
+	clean          *telemetry.Counter
+	sliceAnomalous *telemetry.Counter
+	sliceClean     *telemetry.Counter
+}
+
+// SetTelemetry wires the sliced detector to a metric set. Pass nil to
+// detach. Call before the detector is shared between goroutines. The
+// per-slice sub-engines are left untouched: slice-grained samples are
+// recorded by the aggregation pass under engine="slice".
+func (sd *SlicedDetector) SetTelemetry(m *telemetry.DetectionMetrics) {
+	if m == nil {
+		sd.tel = nil
+		return
+	}
+	sd.tel = &slicedTelemetry{
+		gather:         m.GatherSeconds,
+		fanout:         m.FanoutWidth,
+		total:          m.DetectSeconds.With(EngineSliced),
+		sliceIndex:     m.AnomalyIndex.With(EngineSlice),
+		anomalous:      m.Verdicts.With(EngineSliced, VerdictAnomalous),
+		clean:          m.Verdicts.With(EngineSliced, VerdictClean),
+		sliceAnomalous: m.Verdicts.With(EngineSlice, VerdictAnomalous),
+		sliceClean:     m.Verdicts.With(EngineSlice, VerdictClean),
+	}
+}
+
+// slice records one per-switch sub-result during aggregation.
+func (t *slicedTelemetry) slice(res Result) {
+	if t == nil {
+		return
+	}
+	t.sliceIndex.Observe(indexSample(res.Index))
+	if res.Anomalous {
+		t.sliceAnomalous.Inc()
+	} else {
+		t.sliceClean.Inc()
+	}
+}
+
+// outcome records the end-to-end time and aggregate verdict of one
+// sliced detection.
+func (t *slicedTelemetry) outcome(start time.Time, anomalous bool) {
+	if t == nil {
+		return
+	}
+	t.total.ObserveDuration(time.Since(start).Nanoseconds())
+	if anomalous {
+		t.anomalous.Inc()
+	} else {
+		t.clean.Inc()
+	}
+}

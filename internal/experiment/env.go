@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"foces"
 	"foces/internal/collector"
 	"foces/internal/controller"
 	"foces/internal/core"
@@ -74,6 +75,7 @@ func (c Config) withDefaults() Config {
 type Env struct {
 	Config   Config
 	Topo     *topo.Topology
+	Layout   *header.Layout
 	Net      *dataplane.Network
 	Control  *controller.Controller
 	FCM      *fcm.FCM
@@ -85,6 +87,22 @@ type Env struct {
 	traffic    dataplane.TrafficMatrix
 	ruleSwitch []topo.SwitchID
 	deltas     *collector.DeltaTracker
+	sys        *foces.System
+}
+
+// System wraps the environment's already-installed control and data
+// plane as a foces.System, built lazily on first use: experiments
+// exercising the unified Run API reuse the env's rules and traffic
+// without a second bootstrap.
+func (e *Env) System() (*foces.System, error) {
+	if e.sys == nil {
+		sys, err := foces.NewSystemFromParts(e.Topo, e.Layout, e.Control, e.Net, foces.DetectOptions{})
+		if err != nil {
+			return nil, err
+		}
+		e.sys = sys
+	}
+	return e.sys, nil
 }
 
 // NewEnv builds the environment for a configuration.
@@ -142,6 +160,7 @@ func NewEnvOn(cfg Config, t *topo.Topology, pairs [][2]topo.HostID) (*Env, error
 	env := &Env{
 		Config:   cfg,
 		Topo:     t,
+		Layout:   layout,
 		Net:      net,
 		Control:  ctrl,
 		FCM:      f,

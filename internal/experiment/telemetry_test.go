@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// A tiny run of the overhead experiment: both arms must execute, the
+// live arm must populate metric families, and the result must be
+// JSON-encodable (the +Inf bucket bound and a possibly-infinite anomaly
+// index are the two historical failure modes).
+func TestTelemetryOverheadSmoke(t *testing.T) {
+	res, err := TelemetryOverhead(TelemetryOverheadConfig{
+		Topology: "bcube14",
+		Runs:     3,
+		Repeats:  2,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("TelemetryOverhead: %v", err)
+	}
+	if res.Topology != "bcube14" || res.Runs != 3 {
+		t.Fatalf("config not echoed: %+v", res)
+	}
+	if res.NopNs <= 0 || res.EnabledNs <= 0 {
+		t.Fatalf("non-positive per-detect cost: nop=%v enabled=%v", res.NopNs, res.EnabledNs)
+	}
+	if len(res.Families) == 0 {
+		t.Fatal("live arm populated no metric families")
+	}
+	names := make([]string, 0, len(res.Families))
+	for _, f := range res.Families {
+		names = append(names, f.Name)
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"foces_system_run_seconds", "foces_detector_detect_seconds"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("family %s missing from snapshot (have: %s)", want, joined)
+		}
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("result not JSON-encodable: %v", err)
+	}
+	if !strings.Contains(string(out), `"le":"+Inf"`) {
+		t.Error("encoded result lacks the +Inf bucket bound")
+	}
+}

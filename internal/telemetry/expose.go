@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"bufio"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Snapshot types: a point-in-time, immutable view of the registry used
+// by the exposition writer and by focesbench to embed metrics in its
+// JSON results.
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE    float64 `json:"-"` // +Inf for the final bucket
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON encodes the bound as a string — exactly the exposition's
+// le label — because encoding/json rejects the +Inf float of the final
+// bucket.
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.LE, +1) {
+		le = formatFloat(b.LE)
+	}
+	return []byte(`{"le":"` + le + `","count":` + strconv.FormatUint(b.Count, 10) + `}`), nil
+}
+
+// SampleSnapshot is one sample (one label combination) of a family.
+type SampleSnapshot struct {
+	Labels []string `json:"labels,omitempty"` // values aligned with FamilySnapshot.LabelNames
+	Value  float64  `json:"value"`            // counter/gauge value; histogram sum for histograms
+	Count  uint64   `json:"count,omitempty"`  // histogram observation count
+	// Buckets holds cumulative counts; the final entry is the +Inf
+	// bucket and equals Count.
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// FamilySnapshot is one metric family with all of its samples.
+type FamilySnapshot struct {
+	Name       string           `json:"name"`
+	Type       string           `json:"type"`
+	Help       string           `json:"help,omitempty"`
+	LabelNames []string         `json:"labelNames,omitempty"`
+	Samples    []SampleSnapshot `json:"samples"`
+}
+
+// Gather returns a deterministic snapshot of every registered family:
+// families sorted by name, samples sorted by label values.
+func (r *Registry) Gather() []FamilySnapshot {
+	fams := r.families()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:       f.name,
+			Type:       f.typ.String(),
+			Help:       f.help,
+			LabelNames: f.labels,
+		}
+		if f.vec != nil {
+			for _, c := range f.vec.sorted() {
+				fs.Samples = append(fs.Samples, sampleOf(c.counter, c.gauge, c.hist, c.values))
+			}
+		} else {
+			fs.Samples = append(fs.Samples, sampleOf(f.counter, f.gauge, f.hist, nil))
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+func sampleOf(c *Counter, g *Gauge, h *Histogram, values []string) SampleSnapshot {
+	s := SampleSnapshot{Labels: values}
+	switch {
+	case c != nil:
+		s.Value = float64(c.Value())
+	case g != nil:
+		s.Value = g.Value()
+	case h != nil:
+		cum, sum, count := h.snapshot()
+		s.Value = sum
+		s.Count = count
+		s.Buckets = make([]BucketSnapshot, len(cum))
+		for i, n := range cum {
+			le := math.Inf(1)
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			s.Buckets[i] = BucketSnapshot{LE: le, Count: n}
+		}
+	}
+	return s
+}
+
+// WriteText renders the registry in Prometheus text exposition format
+// 0.0.4. Output is deterministic for a given registry state.
+func (r *Registry) WriteText(w *bufio.Writer) error {
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			w.WriteString("# HELP ")
+			w.WriteString(fam.Name)
+			w.WriteByte(' ')
+			w.WriteString(escapeHelp(fam.Help))
+			w.WriteByte('\n')
+		}
+		w.WriteString("# TYPE ")
+		w.WriteString(fam.Name)
+		w.WriteByte(' ')
+		w.WriteString(fam.Type)
+		w.WriteByte('\n')
+		for _, s := range fam.Samples {
+			if fam.Type == "histogram" {
+				writeHistogramSample(w, fam, s)
+				continue
+			}
+			w.WriteString(fam.Name)
+			writeLabels(w, fam.LabelNames, s.Labels, "")
+			w.WriteByte(' ')
+			w.WriteString(formatFloat(s.Value))
+			w.WriteByte('\n')
+		}
+	}
+	return w.Flush()
+}
+
+func writeHistogramSample(w *bufio.Writer, fam FamilySnapshot, s SampleSnapshot) {
+	for _, b := range s.Buckets {
+		w.WriteString(fam.Name)
+		w.WriteString("_bucket")
+		le := "+Inf"
+		if !math.IsInf(b.LE, +1) {
+			le = formatFloat(b.LE)
+		}
+		writeLabels(w, fam.LabelNames, s.Labels, le)
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatUint(b.Count, 10))
+		w.WriteByte('\n')
+	}
+	w.WriteString(fam.Name)
+	w.WriteString("_sum")
+	writeLabels(w, fam.LabelNames, s.Labels, "")
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(s.Value))
+	w.WriteByte('\n')
+	w.WriteString(fam.Name)
+	w.WriteString("_count")
+	writeLabels(w, fam.LabelNames, s.Labels, "")
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(s.Count, 10))
+	w.WriteByte('\n')
+}
+
+// writeLabels emits {k="v",...}; le, when non-empty, is appended as
+// the trailing bucket-bound label.
+func writeLabels(w *bufio.Writer, names, values []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(n)
+		w.WriteString("=\"")
+		w.WriteString(escapeLabelValue(values[i]))
+		w.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString("le=\"")
+		w.WriteString(le)
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format at any path it is mounted on.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		if err := r.WriteText(bw); err != nil {
+			// Headers are already out; nothing useful to do.
+			return
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"bufio"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestGoldenExposition pins the exact Prometheus text exposition
+// (format 0.0.4) byte-for-byte: family ordering, HELP/TYPE lines,
+// cumulative histogram buckets with the implicit +Inf, label escaping
+// and float formatting.
+func TestGoldenExposition(t *testing.T) {
+	r := New()
+	c := r.NewCounter("t_counter_total", "total things")
+	g := r.NewGauge("t_gauge", `backslash \ and
+newline`)
+	h := r.NewHistogram("t_hist", "a histogram", []float64{1, 2})
+	cv := r.NewCounterVec("t_requests_total", "labeled", "code")
+
+	c.Add(3)
+	g.Set(-2.5)
+	h.Observe(1)   // le="1"
+	h.Observe(1.5) // le="2"
+	h.Observe(3)   // +Inf
+	cv.With("500").Inc()
+	cv.With("2\"00\n").Add(2)
+
+	var sb strings.Builder
+	if err := r.WriteText(bufio.NewWriter(&sb)); err != nil {
+		t.Fatal(err)
+	}
+
+	want := `# HELP t_counter_total total things
+# TYPE t_counter_total counter
+t_counter_total 3
+# HELP t_gauge backslash \\ and\nnewline
+# TYPE t_gauge gauge
+t_gauge -2.5
+# HELP t_hist a histogram
+# TYPE t_hist histogram
+t_hist_bucket{le="1"} 1
+t_hist_bucket{le="2"} 2
+t_hist_bucket{le="+Inf"} 3
+t_hist_sum 5.5
+t_hist_count 3
+# HELP t_requests_total labeled
+# TYPE t_requests_total counter
+t_requests_total{code="2\"00\n"} 2
+t_requests_total{code="500"} 1
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := New()
+	r.NewCounter("t_served_total", "x").Add(7)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q, want text exposition 0.0.4", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := res.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "t_served_total 7") {
+		t.Fatalf("body missing sample:\n%s", body)
+	}
+}
+
+func TestGatherSnapshotShape(t *testing.T) {
+	r := New()
+	h := r.NewHistogram("t_snap", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	fams := r.Gather()
+	if len(fams) != 1 {
+		t.Fatalf("families = %d, want 1", len(fams))
+	}
+	s := fams[0].Samples[0]
+	if s.Count != 2 || s.Value != 2.5 {
+		t.Fatalf("count=%d sum=%v, want 2 / 2.5", s.Count, s.Value)
+	}
+	if len(s.Buckets) != 2 || !math.IsInf(s.Buckets[1].LE, +1) {
+		t.Fatalf("buckets = %+v, want trailing +Inf", s.Buckets)
+	}
+	if s.Buckets[1].Count != s.Count {
+		t.Fatal("+Inf bucket must equal count")
+	}
+}
+
+// TestMetricSetsRegisterCleanly wires every FOCES metric set onto one
+// registry — this is exactly what focesd does — and checks the
+// exposition covers all four subsystem prefixes without panicking on
+// duplicates.
+func TestMetricSetsRegisterCleanly(t *testing.T) {
+	r := New()
+	NewCollectorMetrics(r)
+	dm := NewDetectionMetrics(r)
+	NewChurnMetrics(r)
+	sm := NewSystemMetrics(r)
+
+	// Touch labeled children the way the instrumented code does.
+	dm.Verdicts.With("full", "anomalous").Inc()
+	dm.SolveSeconds.With("full").Observe(1e-4)
+	sm.Runs.With("clean", "clean").Inc()
+
+	var sb strings.Builder
+	if err := r.WriteText(bufio.NewWriter(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, prefix := range []string{"foces_collector_", "foces_detector_", "foces_churn_", "foces_system_"} {
+		if !strings.Contains(body, prefix) {
+			t.Errorf("exposition missing %s family", prefix)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets with inclusive
+// upper bounds (Prometheus `le` semantics): bucket i counts values
+// v <= bounds[i], and an implicit +Inf bucket catches the rest.
+//
+// Observe is O(log nbuckets), lock-free and allocation-free: bucket
+// counts and the running count are atomic.Uint64, the running sum is a
+// float64 bit pattern updated by CAS. Snapshots taken during
+// concurrent observation are internally consistent per field but may
+// observe a sum/count pair mid-update; for monitoring that skew is
+// acceptable and matches common client behaviour.
+//
+// Nil receivers are no-ops.
+type Histogram struct {
+	nop    bool
+	bounds []float64 // ascending, excludes +Inf
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Uint64
+}
+
+func newHistogram(nop bool, bounds []float64) *Histogram {
+	bs := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if math.IsInf(b, +1) {
+			continue // +Inf bucket is implicit
+		}
+		bs = append(bs, b)
+	}
+	if !sort.Float64sAreSorted(bs) {
+		panic("telemetry: histogram bounds must be in ascending order")
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i] == bs[i-1] {
+			panic("telemetry: duplicate histogram bound")
+		}
+	}
+	return &Histogram{
+		nop:    nop,
+		bounds: bs,
+		counts: make([]atomic.Uint64, len(bs)+1),
+	}
+}
+
+// NewHistogram registers and returns a histogram with the given
+// ascending bucket upper bounds. A trailing +Inf is implicit and may
+// be omitted (it is stripped if present).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(r.Nop(), bounds)
+	r.register(&family{name: name, help: help, typ: typeHistogram, hist: h})
+	return h
+}
+
+// Observe records a single value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.nop {
+		return
+	}
+	// First index with bounds[i] >= v, i.e. the smallest bucket whose
+	// inclusive upper bound admits v; len(bounds) selects +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds given nanoseconds, the
+// unit produced by time.Since. It exists so call sites avoid importing
+// time for a conversion.
+func (h *Histogram) ObserveDuration(ns int64) {
+	if h == nil || h.nop {
+		return
+	}
+	h.Observe(float64(ns) / 1e9)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot returns cumulative bucket counts aligned with bounds plus
+// the +Inf bucket as the final element.
+func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64) {
+	cum = make([]uint64, len(h.counts))
+	var running uint64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, h.Sum(), h.Count()
+}
+
+// ExponentialBuckets returns count upper bounds starting at start and
+// multiplying by factor: start, start*factor, ... Panics on
+// non-positive start, factor <= 1 or count < 1.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("telemetry: ExponentialBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns count upper bounds starting at start and
+// stepping by width. Panics on width <= 0 or count < 1.
+func LinearBuckets(start, width float64, count int) []float64 {
+	if width <= 0 || count < 1 {
+		panic("telemetry: LinearBuckets needs width > 0, count >= 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}

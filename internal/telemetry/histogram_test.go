@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the Prometheus `le` semantics: an
+// observation equal to a bound lands in that bound's bucket
+// (inclusive upper bound), one epsilon above lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := New()
+	h := r.NewHistogram("t_bounds", "", []float64{1, 2.5, 10})
+
+	cases := []struct {
+		v    float64
+		want int // raw (non-cumulative) bucket index; 3 = +Inf
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 0},    // exactly on the bound: inclusive
+		{1.01, 1}, // just above: next bucket
+		{2.5, 1},
+		{2.500001, 2},
+		{10, 2},
+		{10.5, 3},
+		{math.Inf(1), 3},
+	}
+	for _, tc := range cases {
+		before := rawCounts(h)
+		h.Observe(tc.v)
+		after := rawCounts(h)
+		got := -1
+		for i := range after {
+			if after[i] != before[i] {
+				got = i
+				break
+			}
+		}
+		if got != tc.want {
+			t.Errorf("Observe(%v): landed in bucket %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+func rawCounts(h *Histogram) []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+func TestHistogramSnapshotIsCumulative(t *testing.T) {
+	r := New()
+	h := r.NewHistogram("t_cum", "", []float64{1, 2})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 4} {
+		h.Observe(v)
+	}
+	cum, sum, count := h.snapshot()
+	wantCum := []uint64{2, 3, 5}
+	for i := range wantCum {
+		if cum[i] != wantCum[i] {
+			t.Fatalf("cum[%d] = %d, want %d (all %v)", i, cum[i], wantCum[i], cum)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if sum != 10 {
+		t.Fatalf("sum = %v, want 10", sum)
+	}
+	// The +Inf cumulative bucket must equal the total count.
+	if cum[len(cum)-1] != count {
+		t.Fatal("+Inf bucket != count")
+	}
+}
+
+func TestHistogramStripsExplicitInf(t *testing.T) {
+	r := New()
+	h := r.NewHistogram("t_inf", "", []float64{1, math.Inf(1)})
+	if len(h.bounds) != 1 {
+		t.Fatalf("explicit +Inf bound not stripped: %v", h.bounds)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := New()
+	h := r.NewHistogram("t_dur", "", []float64{0.001, 1})
+	h.ObserveDuration(2_500_000) // 2.5ms -> bucket le=1
+	cum, sum, _ := h.snapshot()
+	if cum[0] != 0 || cum[1] != 1 {
+		t.Fatalf("2.5ms landed wrong: %v", cum)
+	}
+	if math.Abs(sum-0.0025) > 1e-12 {
+		t.Fatalf("sum = %v, want 0.0025", sum)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1e-6, 4, 4)
+	want := []float64{1e-6, 4e-6, 1.6e-5, 6.4e-5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > want[i]*1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	mustPanic(t, func() { ExponentialBuckets(0, 2, 3) })
+	mustPanic(t, func() { ExponentialBuckets(1, 1, 3) })
+	mustPanic(t, func() { ExponentialBuckets(1, 2, 0) })
+}
+
+func TestLinearBuckets(t *testing.T) {
+	got := LinearBuckets(1, 2, 3)
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	mustPanic(t, func() { LinearBuckets(0, 0, 3) })
+	mustPanic(t, func() { LinearBuckets(0, 1, 0) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,66 @@
+package telemetry
+
+import "sync"
+
+// Ring is a fixed-capacity, concurrency-safe ring buffer that keeps
+// the most recent N pushed values. focesd uses Ring[RunEvent] to back
+// the "recent verdicts" view on /status; the type is generic so other
+// event streams can reuse it.
+type Ring[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	next int
+	full bool
+}
+
+// NewRing returns a ring keeping the last n values; n < 1 panics.
+func NewRing[T any](n int) *Ring[T] {
+	if n < 1 {
+		panic("telemetry: ring capacity must be >= 1")
+	}
+	return &Ring[T]{buf: make([]T, n)}
+}
+
+// Push appends v, evicting the oldest value once the ring is full.
+// Push on a nil ring is a no-op.
+func (r *Ring[T]) Push(v T) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained values oldest-first. A nil or empty
+// ring returns a non-nil empty slice so JSON encodes it as [].
+func (r *Ring[T]) Snapshot() []T {
+	out := []T{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}
+
+// Len returns the number of retained values.
+func (r *Ring[T]) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRing[int](3)
+	if got := r.Snapshot(); got == nil || len(got) != 0 {
+		t.Fatalf("empty ring snapshot = %v, want non-nil empty", got)
+	}
+	r.Push(1)
+	r.Push(2)
+	if got := r.Snapshot(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("snapshot = %v, want [1 2]", got)
+	}
+	r.Push(3)
+	r.Push(4) // evicts 1
+	r.Push(5) // evicts 2
+	got := r.Snapshot()
+	want := []int{3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot = %v, want %v (oldest first)", got, want)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring[string]
+	r.Push("x")
+	if got := r.Snapshot(); got == nil || len(got) != 0 {
+		t.Fatalf("nil ring snapshot = %v, want non-nil empty", got)
+	}
+	if r.Len() != 0 {
+		t.Fatal("nil ring len != 0")
+	}
+}
+
+func TestRingCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for capacity 0")
+		}
+	}()
+	NewRing[int](0)
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing[int](16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Push(base + i)
+				if i%50 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w * 1000)
+	}
+	wg.Wait()
+	if r.Len() != 16 {
+		t.Fatalf("len = %d, want 16", r.Len())
+	}
+}

@@ -1,0 +1,275 @@
+// Package telemetry is a stdlib-only, allocation-conscious metrics core
+// for the FOCES monitoring plane.
+//
+// The package provides atomic counters, gauges and fixed-bucket
+// histograms with exponential bounds, labeled families behind a sharded
+// registry, and a Prometheus text-exposition (format 0.0.4) HTTP
+// handler. It is deliberately dependency-free so the detection hot path
+// (solve, residual, slice fan-out) can be instrumented without pulling
+// a metrics client into the module.
+//
+// Design constraints, in order:
+//
+//   - O(1) per observation, no allocation on the hot path. Counters and
+//     histogram buckets are atomic.Uint64; gauges and histogram sums are
+//     float64 bit patterns updated by CAS loops.
+//   - Safe for concurrent use. Registration takes a per-shard lock;
+//     observations never lock.
+//   - A registry constructed with NewNop() hands out metrics whose
+//     mutating methods return after a single branch, so the cost of
+//     "telemetry disabled" is measurable and tiny. All metric methods
+//     are additionally nil-receiver safe.
+//
+// Metric names follow Prometheus conventions and must match
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Registering the same name twice panics:
+// every family in this module is created once at wiring time, so a
+// duplicate is a programming error, not a runtime condition.
+package telemetry
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType enumerates the exposition families the registry can hold.
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	case typeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+const numShards = 8
+
+// Registry holds metric families sharded by name so concurrent
+// registration (and Gather) from independent subsystems does not
+// serialise on a single lock. The zero value is not usable; construct
+// with New or NewNop.
+type Registry struct {
+	nop    bool
+	shards [numShards]shard
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// family is one named metric family: either a single unlabeled sample
+// or a set of labeled children managed by a *Vec.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	labels []string
+
+	// Exactly one of the following is set.
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	vec     *vec
+}
+
+// New returns an empty live registry.
+func New() *Registry { return &Registry{} }
+
+// NewNop returns a registry whose metrics accept observations but drop
+// them after a single branch. Use it to measure instrumentation
+// overhead or to disable telemetry without nil-guarding every call
+// site.
+func NewNop() *Registry { return &Registry{nop: true} }
+
+// Nop reports whether the registry drops all observations.
+func (r *Registry) Nop() bool { return r != nil && r.nop }
+
+func shardIndex(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % numShards)
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabel(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register installs a family, panicking on invalid or duplicate names.
+func (r *Registry) register(f *family) {
+	if r == nil {
+		return
+	}
+	if !validName(f.name) {
+		panic("telemetry: invalid metric name " + f.name)
+	}
+	for _, l := range f.labels {
+		if !validLabel(l) {
+			panic("telemetry: invalid label name " + l + " on metric " + f.name)
+		}
+	}
+	s := &r.shards[shardIndex(f.name)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fams == nil {
+		s.fams = make(map[string]*family)
+	}
+	if _, dup := s.fams[f.name]; dup {
+		panic("telemetry: duplicate metric registration for " + f.name)
+	}
+	s.fams[f.name] = f
+}
+
+// families returns every registered family sorted by name.
+func (r *Registry) families() []*family {
+	if r == nil {
+		return nil
+	}
+	var out []*family
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for _, f := range s.fams {
+			out = append(out, f)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Counter is a monotonically increasing value. The zero value is ready
+// to use (but invisible to any registry); nil receivers are no-ops.
+type Counter struct {
+	nop bool
+	v   atomic.Uint64
+}
+
+// NewCounter registers and returns a new counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{nop: r.Nop()}
+	r.register(&family{name: name, help: help, typ: typeCounter, counter: c})
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil || c.nop {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n. Negative deltas are a programming error for counters and
+// are dropped.
+func (c *Counter) Add(n uint64) {
+	if c == nil || c.nop {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down, stored as float64 bits.
+// Nil receivers are no-ops.
+type Gauge struct {
+	nop  bool
+	bits atomic.Uint64
+}
+
+// NewGauge registers and returns a new gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{nop: r.Nop()}
+	r.register(&family{name: name, help: help, typ: typeGauge, gauge: g})
+	return g
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.nop {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (which may be negative) via a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil || g.nop {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}

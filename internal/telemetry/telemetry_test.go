@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.NewCounter("t_counter_total", "c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.NewGauge("t_gauge", "g")
+	g.Set(2.5)
+	g.Add(-1)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	var hv *HistogramVec
+	var gv *GaugeVec
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(10)
+	cv.With("a").Inc()
+	hv.With("a").Observe(1)
+	gv.With("a").Set(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+}
+
+func TestNopRegistryDropsObservations(t *testing.T) {
+	r := NewNop()
+	if !r.Nop() {
+		t.Fatal("NewNop().Nop() = false")
+	}
+	c := r.NewCounter("t_counter_total", "c")
+	g := r.NewGauge("t_gauge", "g")
+	h := r.NewHistogram("t_hist", "h", []float64{1})
+	cv := r.NewCounterVec("t_vec_total", "v", "k")
+	c.Inc()
+	g.Set(9)
+	h.Observe(0.5)
+	cv.With("x").Add(7)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || cv.With("x").Value() != 0 {
+		t.Fatal("nop registry must drop observations")
+	}
+	// The families still expose (at zero) so scrapes stay schema-stable.
+	if got := len(r.Gather()); got != 4 {
+		t.Fatalf("nop registry gathered %d families, want 4", got)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := New()
+	r.NewCounter("t_dup_total", "")
+	mustPanic("duplicate", func() { r.NewGauge("t_dup_total", "") })
+	mustPanic("empty name", func() { r.NewCounter("", "") })
+	mustPanic("bad name", func() { r.NewCounter("has space", "") })
+	mustPanic("digit first", func() { r.NewCounter("1abc", "") })
+	mustPanic("bad label", func() { r.NewCounterVec("t_l_total", "", "bad-label") })
+	mustPanic("unsorted bounds", func() { r.NewHistogram("t_b", "", []float64{2, 1}) })
+	mustPanic("dup bounds", func() { r.NewHistogram("t_b2", "", []float64{1, 1}) })
+	cv := r.NewCounterVec("t_card_total", "", "a", "b")
+	mustPanic("cardinality", func() { cv.With("only-one") })
+}
+
+func TestVecChildrenAreStable(t *testing.T) {
+	r := New()
+	cv := r.NewCounterVec("t_req_total", "", "code")
+	a := cv.With("200")
+	b := cv.With("200")
+	if a != b {
+		t.Fatal("With must return a stable child pointer")
+	}
+	a.Inc()
+	if cv.With("200").Value() != 1 {
+		t.Fatal("child state not shared")
+	}
+	if cv.With("500").Value() != 0 {
+		t.Fatal("distinct label values must not share state")
+	}
+}
+
+// TestConcurrentObservation hammers every metric kind from many
+// goroutines; run under -race this is the concurrency-safety check,
+// and the final counts double as a lost-update check for the CAS
+// paths.
+func TestConcurrentObservation(t *testing.T) {
+	r := New()
+	c := r.NewCounter("t_conc_total", "")
+	g := r.NewGauge("t_conc_gauge", "")
+	h := r.NewHistogram("t_conc_hist", "", ExponentialBuckets(1, 2, 8))
+	cv := r.NewCounterVec("t_conc_vec_total", "", "who")
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			who := "even"
+			if id%2 == 1 {
+				who = "odd"
+			}
+			child := cv.With(who)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 300))
+				child.Inc()
+				if i%100 == 0 {
+					r.Gather() // scrape while observing
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := uint64(workers * perWorker)
+	if c.Value() != total {
+		t.Fatalf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != float64(total) {
+		t.Fatalf("gauge = %v, want %v", g.Value(), float64(total))
+	}
+	if h.Count() != total {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), total)
+	}
+	if got := cv.With("even").Value() + cv.With("odd").Value(); got != total {
+		t.Fatalf("vec total = %d, want %d", got, total)
+	}
+}

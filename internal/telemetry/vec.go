@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// vec is the shared child table behind the labeled metric families.
+// Children are created on first use under a write lock and then served
+// read-locked; hot paths are expected to resolve their children once
+// at wiring time (With returns a stable pointer), so the lock never
+// sits on a detection path.
+type vec struct {
+	labels []string
+	mu     sync.RWMutex
+	// key is the label values joined with 0xff, a byte the validator
+	// rejects in label names and that never appears in our values.
+	children map[string]*child
+}
+
+type child struct {
+	values  []string
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+const keySep = "\xff"
+
+func (v *vec) get(lvs []string, mk func() *child) *child {
+	if len(lvs) != len(v.labels) {
+		panic("telemetry: label cardinality mismatch: want " +
+			strings.Join(v.labels, ","))
+	}
+	key := strings.Join(lvs, keySep)
+	v.mu.RLock()
+	c := v.children[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[key]; c != nil {
+		return c
+	}
+	c = mk()
+	c.values = append([]string(nil), lvs...)
+	if v.children == nil {
+		v.children = make(map[string]*child)
+	}
+	v.children[key] = c
+	return c
+}
+
+// sorted returns the children ordered by their label values for
+// deterministic exposition.
+func (v *vec) sorted() []*child {
+	v.mu.RLock()
+	out := make([]*child, 0, len(v.children))
+	for _, c := range v.children {
+		out = append(out, c)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].values, out[j].values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct {
+	nop bool
+	v   *vec
+}
+
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	cv := &CounterVec{nop: r.Nop(), v: &vec{labels: labels}}
+	r.register(&family{name: name, help: help, typ: typeCounter, labels: labels, vec: cv.v})
+	return cv
+}
+
+// With returns the child counter for the given label values, creating
+// it on first use. The returned pointer is stable: resolve it once at
+// wiring time and keep it.
+func (cv *CounterVec) With(lvs ...string) *Counter {
+	if cv == nil {
+		return nil
+	}
+	return cv.v.get(lvs, func() *child {
+		return &child{counter: &Counter{nop: cv.nop}}
+	}).counter
+}
+
+// GaugeVec is a family of gauges partitioned by label values.
+type GaugeVec struct {
+	nop bool
+	v   *vec
+}
+
+// NewGaugeVec registers and returns a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	gv := &GaugeVec{nop: r.Nop(), v: &vec{labels: labels}}
+	r.register(&family{name: name, help: help, typ: typeGauge, labels: labels, vec: gv.v})
+	return gv
+}
+
+// With returns the child gauge for the given label values.
+func (gv *GaugeVec) With(lvs ...string) *Gauge {
+	if gv == nil {
+		return nil
+	}
+	return gv.v.get(lvs, func() *child {
+		return &child{gauge: &Gauge{nop: gv.nop}}
+	}).gauge
+}
+
+// HistogramVec is a family of histograms sharing one set of bucket
+// bounds, partitioned by label values.
+type HistogramVec struct {
+	nop    bool
+	bounds []float64
+	v      *vec
+}
+
+// NewHistogramVec registers and returns a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	hv := &HistogramVec{nop: r.Nop(), bounds: bounds, v: &vec{labels: labels}}
+	r.register(&family{name: name, help: help, typ: typeHistogram, labels: labels, vec: hv.v})
+	return hv
+}
+
+// With returns the child histogram for the given label values.
+func (hv *HistogramVec) With(lvs ...string) *Histogram {
+	if hv == nil {
+		return nil
+	}
+	return hv.v.get(lvs, func() *child {
+		return &child{hist: newHistogram(hv.nop, hv.bounds)}
+	}).hist
+}

@@ -1,0 +1,462 @@
+package foces
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"foces/internal/core"
+	"foces/internal/telemetry"
+)
+
+// This file is the unified detection entry point. Historically System
+// grew five Detect* methods (Detect, DetectSliced, DetectWithMissing,
+// DetectSlicedWithMissing, DetectReconciled) whose correct choice
+// depended on collection-plane state the caller had to inspect by
+// hand. System.Run collapses them: describe one observation window —
+// counters, which switches failed to report, which baseline epoch the
+// window was snapshotted under — and Run dispatches to the right
+// engine combination and returns a single Report. The legacy methods
+// survive as thin deprecated wrappers over Run.
+
+// Mode selects which detection engines a Run executes.
+type Mode int
+
+const (
+	// ModeAuto runs both the full-FCM engine (Algorithm 1) and the
+	// per-switch sliced engine (Algorithm 2) — the monitoring default:
+	// a network-wide verdict plus localization.
+	ModeAuto Mode = iota
+	// ModeFull runs only Algorithm 1.
+	ModeFull
+	// ModeSliced runs only Algorithm 2.
+	ModeSliced
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeFull:
+		return "full"
+	case ModeSliced:
+		return "sliced"
+	}
+	return "mode-" + fmt.Sprint(int(m))
+}
+
+// Report.Path values: the dispatch route a Run took.
+const (
+	// PathClean is the steady-state route: every switch reported and
+	// the window matches the current baseline epoch.
+	PathClean = "clean"
+	// PathMissing is the degraded route: one or more switches did not
+	// report, so their rule rows are dropped from the equation system.
+	PathMissing = "missing"
+	// PathReconciled is the churn route: the window straddles one or
+	// more rule updates, so rows changed since its baseline epoch are
+	// masked out.
+	PathReconciled = "reconciled"
+)
+
+// Observation describes one collection window for System.Run.
+//
+// Exactly one of Counters and Vector supplies the measurements:
+// Counters is a rule-ID keyed snapshot (collector output), Vector a
+// pre-built dense vector indexed by rule ID (simulation output). The
+// missing-switch path requires Counters, since dropped rows must be
+// re-gathered per sub-system.
+type Observation struct {
+	// Counters is the window's per-rule counter snapshot (deltas for a
+	// live collector), keyed by global rule ID.
+	Counters map[int]uint64
+	// Vector is the window's dense counter vector, an alternative to
+	// Counters for callers that already hold Y'.
+	Vector []float64
+	// Missing lists switches whose counters are unusable this window
+	// (unreachable, quarantined, reset). A non-nil slice — even an
+	// empty one — selects the degraded partial-detection path; nil
+	// means every switch reported.
+	Missing []SwitchID
+	// Epoch is the baseline epoch the window's counters were
+	// snapshotted under (PollResult straddle reporting). When it trails
+	// the system's current epoch, Run masks the rule rows changed in
+	// between instead of reading mixed-generation counters as an
+	// anomaly. Callers polling without churn awareness should set it to
+	// System.Epoch(). A non-nil Missing takes precedence: faults are
+	// reconciled before churn, matching the monitor's legacy dispatch.
+	Epoch uint64
+	// Mode selects the engines to run; the zero value (ModeAuto) runs
+	// both.
+	Mode Mode
+	// Options overrides the system's detection options for this window.
+	// The zero value inherits the options fixed at construction. On the
+	// reconciled path the engines' construction-time options always
+	// apply (masking reuses the prepared factors).
+	Options DetectOptions
+}
+
+// RunTimings carries a Run's per-stage wall times.
+type RunTimings struct {
+	// Full is the Algorithm 1 stage (zero when not run).
+	Full time.Duration
+	// Sliced is the Algorithm 2 stage (zero when not run).
+	Sliced time.Duration
+	// Total is the end-to-end Run wall time.
+	Total time.Duration
+}
+
+// Report is the single outcome of a System.Run.
+type Report struct {
+	// Mode echoes the observation's engine selection.
+	Mode Mode
+	// Path is the dispatch route taken: PathClean, PathMissing or
+	// PathReconciled.
+	Path string
+	// Epoch is the baseline epoch detection ran against.
+	Epoch uint64
+	// EpochLag is how many epochs the window trailed the baseline
+	// (non-zero only on the reconciled path).
+	EpochLag uint64
+
+	// Full is the Algorithm 1 result (nil when ModeSliced, or on the
+	// missing path where Partial holds the full-FCM outcome).
+	Full *Result
+	// Partial is the reachable-switch restricted result (missing path
+	// only).
+	Partial *PartialResult
+	// Sliced is the per-switch localization outcome (nil when
+	// ModeFull).
+	Sliced *SlicedOutcome
+	// MaskedRows lists the rule rows masked on the reconciled path.
+	MaskedRows []int
+	// Missing echoes the observation's missing switches.
+	Missing []SwitchID
+
+	// Anomalous is the combined verdict of every engine that ran.
+	Anomalous bool
+	// Index is the full-FCM anomaly index (from Full or Partial).
+	Index float64
+	// SlicedIndex is the maximum per-switch anomaly index.
+	SlicedIndex float64
+	// Suspects is the sliced localization, strongest suspect first.
+	Suspects []SwitchID
+	// Timings carries the per-stage wall times.
+	Timings RunTimings
+}
+
+// RunEvent is the compact verdict record System pushes into its recent
+// ring after every Run — the telemetry stream behind focesd's /status
+// "recent" view. Infinite anomaly indices are clamped to
+// math.MaxFloat64 so the event always JSON-encodes.
+type RunEvent struct {
+	Path        string     `json:"path"`
+	Epoch       uint64     `json:"epoch"`
+	Anomalous   bool       `json:"anomalous"`
+	Index       float64    `json:"anomalyIndex"`
+	SlicedIndex float64    `json:"slicedIndex"`
+	Suspects    []SwitchID `json:"suspects"`
+	ElapsedNS   int64      `json:"elapsedNs"`
+}
+
+// defaultRecentRuns is the capacity of the recent-verdict ring.
+const defaultRecentRuns = 64
+
+// Run executes one detection window. It validates the observation,
+// picks the dispatch path (clean / missing / reconciled — see
+// Observation), runs the engines obs.Mode selects, and aggregates
+// everything into one Report.
+//
+//	rep, err := sys.Run(foces.Observation{
+//		Counters: poll.Deltas,
+//		Missing:  poll.Missing,
+//		Epoch:    windowEpoch, // oldest straddled epoch, or sys.Epoch()
+//	})
+//
+// Run is the supported entry point; the Detect* methods are deprecated
+// wrappers over it.
+func (s *System) Run(obs Observation) (Report, error) {
+	start := time.Now()
+	rep := Report{Mode: obs.Mode, Epoch: s.Epoch()}
+	if obs.Epoch > rep.Epoch {
+		return Report{}, fmt.Errorf("foces: observation epoch %d is ahead of baseline epoch %d", obs.Epoch, rep.Epoch)
+	}
+	opts := obs.Options
+	if opts == (DetectOptions{}) {
+		opts = s.opts
+	}
+	runFull := obs.Mode == ModeAuto || obs.Mode == ModeFull
+	runSliced := obs.Mode == ModeAuto || obs.Mode == ModeSliced
+
+	switch {
+	case obs.Missing != nil:
+		rep.Path = PathMissing
+		rep.Missing = obs.Missing
+		if obs.Vector != nil {
+			return Report{}, fmt.Errorf("foces: the missing-switch path re-gathers rows per sub-system and needs Observation.Counters, not Vector")
+		}
+		if obs.Counters == nil {
+			return Report{}, fmt.Errorf("foces: observation carries no counters (set Counters)")
+		}
+		if runFull {
+			t0 := time.Now()
+			pr, err := core.DetectWithMissing(s.fcm, obs.Counters, obs.Missing, opts)
+			if err != nil {
+				return Report{}, err
+			}
+			rep.Timings.Full = time.Since(t0)
+			rep.Partial = &pr
+			rep.Index = pr.Result.Index
+			rep.Anomalous = rep.Anomalous || pr.Result.Anomalous
+		}
+		if runSliced {
+			t0 := time.Now()
+			so, err := core.DetectSlicedWithMissing(s.fcm, s.slices, obs.Counters, obs.Missing, opts)
+			if err != nil {
+				return Report{}, err
+			}
+			rep.Timings.Sliced = time.Since(t0)
+			rep.Sliced = &so
+		}
+
+	case obs.Epoch < rep.Epoch:
+		rep.Path = PathReconciled
+		rep.EpochLag = rep.Epoch - obs.Epoch
+		y, err := s.observationVector(obs)
+		if err != nil {
+			return Report{}, err
+		}
+		// A window snapshotted before rule additions is legitimately
+		// short: the new rows are masked anyway, so zero-pad rather
+		// than reject. (The clean path never pads — a short vector
+		// there means a stale caller and must error.)
+		if space := s.fcm.NumRules(); len(y) < space {
+			padded := make([]float64, space)
+			copy(padded, y)
+			y = padded
+		}
+		rep.MaskedRows = s.AffectedSince(obs.Epoch)
+		if runFull {
+			d, err := s.fullDetector()
+			if err != nil {
+				return Report{}, err
+			}
+			t0 := time.Now()
+			res, err := d.DetectMasked(y, rep.MaskedRows)
+			if err != nil {
+				return Report{}, err
+			}
+			rep.Timings.Full = time.Since(t0)
+			rep.Full = &res
+			rep.Index = res.Index
+			rep.Anomalous = rep.Anomalous || res.Anomalous
+		}
+		if runSliced {
+			t0 := time.Now()
+			so, err := s.sliced.DetectMasked(y, rep.MaskedRows)
+			if err != nil {
+				return Report{}, err
+			}
+			rep.Timings.Sliced = time.Since(t0)
+			rep.Sliced = &so
+		}
+
+	default:
+		rep.Path = PathClean
+		y, err := s.observationVector(obs)
+		if err != nil {
+			return Report{}, err
+		}
+		if runFull {
+			d, err := s.fullDetector()
+			if err != nil {
+				return Report{}, err
+			}
+			t0 := time.Now()
+			res, err := d.DetectWithOptions(y, opts)
+			if err != nil {
+				return Report{}, err
+			}
+			rep.Timings.Full = time.Since(t0)
+			rep.Full = &res
+			rep.Index = res.Index
+			rep.Anomalous = rep.Anomalous || res.Anomalous
+		}
+		if runSliced {
+			t0 := time.Now()
+			so, err := s.sliced.DetectWithOptions(y, opts)
+			if err != nil {
+				return Report{}, err
+			}
+			rep.Timings.Sliced = time.Since(t0)
+			rep.Sliced = &so
+		}
+	}
+
+	if rep.Sliced != nil {
+		rep.SlicedIndex = rep.Sliced.MaxIndex()
+		rep.Suspects = rep.Sliced.Suspects
+		rep.Anomalous = rep.Anomalous || rep.Sliced.Anomalous
+	}
+	rep.Timings.Total = time.Since(start)
+	s.recordRun(&rep)
+	return rep, nil
+}
+
+// observationVector resolves the dense counter vector from an
+// observation, erroring when neither or both sources are set.
+func (s *System) observationVector(obs Observation) ([]float64, error) {
+	switch {
+	case obs.Vector != nil && obs.Counters != nil:
+		return nil, fmt.Errorf("foces: observation sets both Vector and Counters; provide exactly one")
+	case obs.Vector != nil:
+		return obs.Vector, nil
+	case obs.Counters != nil:
+		return s.CounterVector(obs.Counters)
+	}
+	return nil, fmt.Errorf("foces: observation carries no counters (set Counters or Vector)")
+}
+
+// pathTel is one dispatch path's label-resolved system children.
+type pathTel struct {
+	seconds   *telemetry.Histogram
+	anomalous *telemetry.Counter
+	clean     *telemetry.Counter
+}
+
+// sysRecorder holds every system-level metric child resolved at
+// EnableTelemetry time, so recordRun touches only atomics — no label
+// joins or registry lookups on the per-Run path.
+type sysRecorder struct {
+	clean      pathTel
+	missing    pathTel
+	reconciled pathTel
+	epochLag   *telemetry.Histogram
+	maskedRows *telemetry.Histogram
+}
+
+func newSysRecorder(m *telemetry.SystemMetrics) *sysRecorder {
+	resolve := func(path string) pathTel {
+		return pathTel{
+			seconds:   m.RunSeconds.With(path),
+			anomalous: m.Runs.With(path, core.VerdictAnomalous),
+			clean:     m.Runs.With(path, core.VerdictClean),
+		}
+	}
+	return &sysRecorder{
+		clean:      resolve(PathClean),
+		missing:    resolve(PathMissing),
+		reconciled: resolve(PathReconciled),
+		epochLag:   m.EpochLag,
+		maskedRows: m.MaskedRows,
+	}
+}
+
+// recordRun mirrors a completed Run into the system telemetry families
+// and the recent-verdict ring.
+func (s *System) recordRun(rep *Report) {
+	if r := s.sysRec; r != nil {
+		pt := &r.clean
+		switch rep.Path {
+		case PathMissing:
+			pt = &r.missing
+		case PathReconciled:
+			pt = &r.reconciled
+		}
+		pt.seconds.Observe(rep.Timings.Total.Seconds())
+		if rep.Anomalous {
+			pt.anomalous.Inc()
+		} else {
+			pt.clean.Inc()
+		}
+		if rep.Path == PathReconciled {
+			r.epochLag.Observe(float64(rep.EpochLag))
+			r.maskedRows.Observe(float64(len(rep.MaskedRows)))
+		}
+	}
+	s.events.Push(RunEvent{
+		Path:        rep.Path,
+		Epoch:       rep.Epoch,
+		Anomalous:   rep.Anomalous,
+		Index:       finiteIndex(rep.Index),
+		SlicedIndex: finiteIndex(rep.SlicedIndex),
+		Suspects:    rep.Suspects,
+		ElapsedNS:   rep.Timings.Total.Nanoseconds(),
+	})
+}
+
+// finiteIndex clamps +Inf anomaly indices so RunEvent always
+// JSON-encodes.
+func finiteIndex(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return math.MaxFloat64
+	}
+	return v
+}
+
+// telWiring is one registry's set of metric families, cached so
+// EnableTelemetry can switch a System between registries (e.g. a no-op
+// and a live one in an overhead measurement) without re-registering.
+type telWiring struct {
+	det *telemetry.DetectionMetrics
+	ch  *telemetry.ChurnMetrics
+	sys *sysRecorder
+}
+
+// EnableTelemetry registers the detection, churn and system metric
+// families on reg and wires every engine the system owns (including
+// engines rebuilt by future churn epochs) to record into them. It also
+// arms the recent-verdict ring behind RecentRuns. Call before
+// detection traffic starts; calling again with a registry this system
+// has already seen reuses its families, so switching wirings is cheap
+// and panic-free.
+//
+// Collector metrics are wired separately
+// (telemetry.NewCollectorMetrics + RobustCollector.SetTelemetry): the
+// collection plane is owned by the embedding application, not by
+// System.
+func (s *System) EnableTelemetry(reg *telemetry.Registry) {
+	w := s.wirings[reg]
+	if w == nil {
+		w = &telWiring{
+			det: telemetry.NewDetectionMetrics(reg),
+			ch:  telemetry.NewChurnMetrics(reg),
+			sys: newSysRecorder(telemetry.NewSystemMetrics(reg)),
+		}
+		if s.wirings == nil {
+			s.wirings = make(map[*telemetry.Registry]*telWiring)
+		}
+		s.wirings[reg] = w
+	}
+	s.detTel, s.churnTel, s.sysRec = w.det, w.ch, w.sys
+	if s.events == nil {
+		s.events = telemetry.NewRing[RunEvent](defaultRecentRuns)
+	}
+	s.churnMgr.SetTelemetry(s.detTel, s.churnTel)
+}
+
+// RecentRuns returns the most recent Run verdicts, oldest first. Empty
+// until EnableTelemetry arms the ring.
+func (s *System) RecentRuns() []RunEvent { return s.events.Snapshot() }
+
+// TelemetryRegistry is the metric registry EnableTelemetry wires a
+// System to. Its Handler method serves Prometheus text-exposition
+// format 0.0.4, WriteText streams the same exposition to a
+// bufio.Writer, and Gather snapshots every family for programmatic
+// inspection. Re-exported here so applications outside this module can
+// construct one (the implementation lives in an internal package).
+type TelemetryRegistry = telemetry.Registry
+
+// MetricsSnapshot is one metric family as returned by
+// TelemetryRegistry.Gather.
+type MetricsSnapshot = telemetry.FamilySnapshot
+
+// NewTelemetryRegistry returns an empty live metric registry, ready
+// for System.EnableTelemetry and for mounting its Handler.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.New() }
+
+// NewNopTelemetryRegistry returns a no-op registry: wiring a System to
+// it keeps instrumentation structurally in place while every metric
+// update short-circuits. Useful for overhead measurements and for
+// disabling telemetry without branching application code.
+func NewNopTelemetryRegistry() *TelemetryRegistry { return telemetry.NewNop() }

@@ -13,6 +13,7 @@ import (
 	"foces/internal/dataplane"
 	"foces/internal/header"
 	"foces/internal/persist"
+	"foces/internal/telemetry"
 )
 
 // LoadBaseline restores a baseline written by System.SaveBaseline and
@@ -43,6 +44,20 @@ type System struct {
 	churnMgr  *churn.Manager
 	ruleHash  uint64
 	hashValid bool
+
+	// opts are the detection options fixed at construction — baked into
+	// the prepared engines and inherited by Run observations that leave
+	// Options zero.
+	opts DetectOptions
+
+	// Telemetry wiring (nil until EnableTelemetry): metric sets the
+	// engines record into, the label-resolved system-level recorder,
+	// and the recent-verdict ring behind RecentRuns.
+	detTel   *telemetry.DetectionMetrics
+	churnTel *telemetry.ChurnMetrics
+	sysRec   *sysRecorder
+	events   *telemetry.Ring[RunEvent]
+	wirings  map[*telemetry.Registry]*telWiring
 }
 
 // NewSystem computes and installs rules for the topology under the
@@ -56,6 +71,23 @@ func NewSystem(t *Topology, mode PolicyMode) (*System, error) {
 		return nil, fmt.Errorf("foces: bootstrap: %w", err)
 	}
 	s := &System{topology: t, layout: layout, control: ctrl, network: network}
+	if err := s.rebuildBaseline(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewSystemFromParts assembles a System around an already-bootstrapped
+// control and data plane — for applications (like the focesd monitor)
+// that build their topology, controller and network by hand — and bakes
+// opts into the prepared engines, so every Run inherits them without
+// per-call plumbing. The controller's rules must already be installed
+// on the network; no installation is performed here.
+func NewSystemFromParts(t *Topology, layout *HeaderLayout, ctrl *Controller, network *Network, opts DetectOptions) (*System, error) {
+	if t == nil || layout == nil || ctrl == nil || network == nil {
+		return nil, fmt.Errorf("foces: NewSystemFromParts: nil part")
+	}
+	s := &System{topology: t, layout: layout, control: ctrl, network: network, opts: opts}
 	if err := s.rebuildBaseline(); err != nil {
 		return nil, err
 	}
@@ -113,9 +145,12 @@ func ruleSetHash(rules []Rule, space int) uint64 {
 // current rule set: the churn manager (FCM, slices, prepared sliced
 // engine) and the full-matrix engine.
 func (s *System) rebuildBaseline() error {
-	mgr, err := churn.NewManager(s.topology, s.layout, s.control.Rules(), s.control.RuleSpace(), core.Options{}, churn.Config{})
+	mgr, err := churn.NewManager(s.topology, s.layout, s.control.Rules(), s.control.RuleSpace(), s.opts, churn.Config{})
 	if err != nil {
 		return fmt.Errorf("foces: baseline: %w", err)
+	}
+	if s.detTel != nil || s.churnTel != nil {
+		mgr.SetTelemetry(s.detTel, s.churnTel)
 	}
 	detector, err := mgr.Full()
 	if err != nil {
@@ -190,9 +225,20 @@ func (s *System) ObserveCounters(rng *rand.Rand, packetsPerFlow uint64) ([]float
 }
 
 // CounterVector converts a rule-ID keyed counter snapshot (e.g. from a
-// live collector) into the ordered vector Y'.
-func (s *System) CounterVector(counters map[int]uint64) []float64 {
-	return s.fcm.CounterVector(counters)
+// live collector) into the ordered vector Y'. A counter whose rule ID
+// falls outside the baseline's rule space is an error: it means the
+// snapshot and the baseline disagree about the installed rule set
+// (typically a stale baseline — rebuild or reconcile first), and
+// silently dropping the sample would hide exactly the inconsistency
+// FOCES exists to detect.
+func (s *System) CounterVector(counters map[int]uint64) ([]float64, error) {
+	space := s.fcm.NumRules()
+	for id := range counters {
+		if id < 0 || id >= space {
+			return nil, fmt.Errorf("foces: counter for rule %d outside the baseline's %d-rule space (snapshot from a different rule generation?)", id, space)
+		}
+	}
+	return s.fcm.CounterVector(counters), nil
 }
 
 // fullDetector returns the Algorithm 1 engine for the current epoch.
@@ -212,40 +258,65 @@ func (s *System) fullDetector() (*Detector, error) {
 }
 
 // Detect runs Algorithm 1 on the counter vector via the prepared
-// engine: the FCM factorization computed at NewSystem (or the last
-// RebuildBaseline) is reused, so a steady-state period costs only
-// triangular solves. opts applies per call without re-factoring.
+// engine.
+//
+// Deprecated: use Run with an Observation in ModeFull; Run dispatches
+// every detection path through one entry point and returns a unified
+// Report. Detect remains as a thin wrapper.
 func (s *System) Detect(y []float64, opts DetectOptions) (Result, error) {
-	d, err := s.fullDetector()
+	rep, err := s.Run(Observation{Vector: y, Epoch: s.Epoch(), Mode: ModeFull, Options: opts})
 	if err != nil {
 		return Result{}, err
 	}
-	return d.DetectWithOptions(y, opts)
+	return *rep.Full, nil
 }
 
 // DetectSliced runs Algorithm 2 with per-switch localization via the
-// prepared sliced engine, fanning slices out over a GOMAXPROCS-bounded
-// worker pool. The outcome is identical to a sequential run.
+// prepared sliced engine.
+//
+// Deprecated: use Run with an Observation in ModeSliced. DetectSliced
+// remains as a thin wrapper.
 func (s *System) DetectSliced(y []float64, opts DetectOptions) (SlicedOutcome, error) {
-	return s.sliced.DetectWithOptions(y, opts)
+	rep, err := s.Run(Observation{Vector: y, Epoch: s.Epoch(), Mode: ModeSliced, Options: opts})
+	if err != nil {
+		return SlicedOutcome{}, err
+	}
+	return *rep.Sliced, nil
 }
 
 // DetectWithMissing runs Algorithm 1 restricted to reachable switches:
-// the rule rows of missing (unreachable, quarantined or
-// counter-reset) switches are dropped and consistency is checked on
-// everything still observable. This is the degraded path behind a
-// fault-tolerant collector's PollResult.Missing; it re-factors per
-// call, so use Detect whenever the missing set is empty.
+// the rule rows of missing (unreachable, quarantined or counter-reset)
+// switches are dropped and consistency is checked on everything still
+// observable.
+//
+// Deprecated: use Run with Observation.Missing set (non-nil).
+// DetectWithMissing remains as a thin wrapper.
 func (s *System) DetectWithMissing(counters map[int]uint64, missing []SwitchID, opts DetectOptions) (PartialResult, error) {
-	return core.DetectWithMissing(s.fcm, counters, missing, opts)
+	if missing == nil {
+		missing = []SwitchID{} // non-nil selects Run's partial path
+	}
+	rep, err := s.Run(Observation{Counters: counters, Missing: missing, Epoch: s.Epoch(), Mode: ModeFull, Options: opts})
+	if err != nil {
+		return PartialResult{}, err
+	}
+	return *rep.Partial, nil
 }
 
 // DetectSlicedWithMissing runs Algorithm 2 restricted to reachable
 // switches: missing switches' slices are skipped and surviving slices
-// drop rows hosted on missing switches. Re-factors per call — the
-// degraded counterpart of DetectSliced.
+// drop rows hosted on missing switches.
+//
+// Deprecated: use Run with Observation.Missing set (non-nil) in
+// ModeSliced. DetectSlicedWithMissing remains as a thin wrapper.
 func (s *System) DetectSlicedWithMissing(counters map[int]uint64, missing []SwitchID, opts DetectOptions) (SlicedOutcome, error) {
-	return core.DetectSlicedWithMissing(s.fcm, s.slices, counters, missing, opts)
+	if missing == nil {
+		missing = []SwitchID{}
+	}
+	rep, err := s.Run(Observation{Counters: counters, Missing: missing, Epoch: s.Epoch(), Mode: ModeSliced, Options: opts})
+	if err != nil {
+		return SlicedOutcome{}, err
+	}
+	return *rep.Sliced, nil
 }
 
 // Detector returns the prepared baseline detection engine (rebuilt
@@ -292,6 +363,15 @@ func (s *System) ApplyUpdate(events []RuleChange) (ChurnUpdate, error) {
 			}
 		}
 	}
+	return s.ObserveUpdate(events)
+}
+
+// ObserveUpdate folds a batch of rule changes into the detection
+// baseline without touching the data plane — for monitors whose rule
+// changes reach the switches through their own control channel (e.g.
+// focesd's flow-mod clients) and only need the baseline to follow.
+// ApplyUpdate is ObserveUpdate plus the table patching.
+func (s *System) ObserveUpdate(events []RuleChange) (ChurnUpdate, error) {
 	u, err := s.churnMgr.Apply(events)
 	if err != nil {
 		return ChurnUpdate{}, err
@@ -360,8 +440,23 @@ func (s *System) AffectedSince(since uint64) []int { return s.churnMgr.AffectedS
 // updates the window straddles are masked out of the equation system,
 // so mid-window rule churn is reconciled instead of read as a
 // forwarding anomaly.
+//
+// Deprecated: use Run with Observation.Epoch set to the window's
+// snapshot epoch. DetectReconciled remains as a thin wrapper.
 func (s *System) DetectReconciled(y []float64, from uint64) (SlicedOutcome, error) {
-	return s.churnMgr.DetectReconciled(y, from)
+	// A pre-churn window is legitimately short of newly added rules;
+	// Run's clean path (from == current epoch) rejects short vectors, so
+	// pad here to preserve the legacy contract on both paths.
+	if space := s.fcm.NumRules(); len(y) < space {
+		padded := make([]float64, space)
+		copy(padded, y)
+		y = padded
+	}
+	rep, err := s.Run(Observation{Vector: y, Epoch: from, Mode: ModeSliced})
+	if err != nil {
+		return SlicedOutcome{}, err
+	}
+	return *rep.Sliced, nil
 }
 
 // InjectRandomAttack draws, applies and returns a random attack of the

@@ -1,0 +1,268 @@
+package foces_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"foces"
+	"foces/internal/telemetry"
+)
+
+// The Run parity suite pins the unified entry point to the legacy
+// Detect* methods: every deprecated wrapper delegates through Run, and
+// every path Run dispatches must reproduce the engine outcome the
+// corresponding legacy call produced.
+
+func sameResult(t *testing.T, name string, a, b foces.Result) {
+	t.Helper()
+	if a.Anomalous != b.Anomalous || a.Index != b.Index || a.ErrMax != b.ErrMax || a.ErrMed != b.ErrMed {
+		t.Fatalf("%s diverged: (%v, %v) vs (%v, %v)", name, a.Anomalous, a.Index, b.Anomalous, b.Index)
+	}
+	if !reflect.DeepEqual(a.Delta, b.Delta) {
+		t.Fatalf("%s delta diverged", name)
+	}
+}
+
+func sameSliced(t *testing.T, name string, a, b foces.SlicedOutcome) {
+	t.Helper()
+	if a.Anomalous != b.Anomalous || !reflect.DeepEqual(a.Suspects, b.Suspects) {
+		t.Fatalf("%s diverged: suspects %v vs %v", name, a.Suspects, b.Suspects)
+	}
+	if len(a.PerSwitch) != len(b.PerSwitch) {
+		t.Fatalf("%s per-switch count diverged: %d vs %d", name, len(a.PerSwitch), len(b.PerSwitch))
+	}
+	for i := range a.PerSwitch {
+		if a.PerSwitch[i].Switch != b.PerSwitch[i].Switch || a.PerSwitch[i].Result.Index != b.PerSwitch[i].Result.Index {
+			t.Fatalf("%s slice %d diverged", name, i)
+		}
+	}
+}
+
+func TestRunCleanParity(t *testing.T) {
+	sys := newSystem(t, "fattree4", foces.PairExact)
+	rng := rand.New(rand.NewSource(11))
+	y, err := sys.ObserveCounters(rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(foces.Observation{Vector: y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Path != foces.PathClean || rep.Full == nil || rep.Sliced == nil || rep.Partial != nil {
+		t.Fatalf("clean dispatch wrong: path=%q full=%v sliced=%v", rep.Path, rep.Full != nil, rep.Sliced != nil)
+	}
+	legacyFull, err := sys.Detect(y, foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacySliced, err := sys.DetectSliced(y, foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "clean full", *rep.Full, legacyFull)
+	sameSliced(t, "clean sliced", *rep.Sliced, legacySliced)
+	if rep.Index != legacyFull.Index {
+		t.Fatalf("Report.Index %v != full index %v", rep.Index, legacyFull.Index)
+	}
+	if rep.SlicedIndex != legacySliced.MaxIndex() {
+		t.Fatalf("Report.SlicedIndex %v != sliced max %v", rep.SlicedIndex, legacySliced.MaxIndex())
+	}
+	if rep.Timings.Total <= 0 || rep.Timings.Total < rep.Timings.Full || rep.Timings.Total < rep.Timings.Sliced {
+		t.Fatalf("implausible timings: %+v", rep.Timings)
+	}
+}
+
+func TestRunMissingParity(t *testing.T) {
+	sys := newSystem(t, "fattree4", foces.PairExact)
+	rng := rand.New(rand.NewSource(12))
+	if _, err := sys.ObserveCounters(rng, 1000); err != nil {
+		t.Fatal(err)
+	}
+	counters := sys.Network().CollectCounters()
+	missing := []foces.SwitchID{sys.Slices()[0].Switch}
+	rep, err := sys.Run(foces.Observation{Counters: counters, Missing: missing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Path != foces.PathMissing || rep.Partial == nil || rep.Sliced == nil || rep.Full != nil {
+		t.Fatalf("missing dispatch wrong: path=%q", rep.Path)
+	}
+	legacyPartial, err := sys.DetectWithMissing(counters, missing, foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacySliced, err := sys.DetectSlicedWithMissing(counters, missing, foces.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "missing full", rep.Partial.Result, legacyPartial.Result)
+	if !reflect.DeepEqual(rep.Partial.MissingRules, legacyPartial.MissingRules) {
+		t.Fatal("missing rule rows diverged")
+	}
+	sameSliced(t, "missing sliced", *rep.Sliced, legacySliced)
+	if rep.Index != legacyPartial.Result.Index {
+		t.Fatalf("Report.Index %v != partial index %v", rep.Index, legacyPartial.Result.Index)
+	}
+}
+
+func TestRunReconciledParity(t *testing.T) {
+	sys := newLinearSystem(t)
+	rng := rand.New(rand.NewSource(13))
+	yOld, err := sys.ObserveCounters(rng, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := sys.Epoch()
+	var victim foces.Rule
+	for _, fl := range sys.FCM().Flows {
+		if len(fl.RuleIDs) >= 3 {
+			victim = sys.FCM().Rules[fl.RuleIDs[0]]
+			break
+		}
+	}
+	if _, err := sys.RemoveRule(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.AddRule(victim.Switch, victim.Priority+1, victim.Match, foces.Action{Type: foces.ActionDrop}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(foces.Observation{Vector: yOld, Epoch: from})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Path != foces.PathReconciled || rep.Sliced == nil || rep.Full == nil {
+		t.Fatalf("reconciled dispatch wrong: path=%q", rep.Path)
+	}
+	if rep.EpochLag != sys.Epoch()-from {
+		t.Fatalf("EpochLag = %d, want %d", rep.EpochLag, sys.Epoch()-from)
+	}
+	if !reflect.DeepEqual(rep.MaskedRows, sys.AffectedSince(from)) {
+		t.Fatal("MaskedRows diverged from AffectedSince")
+	}
+	legacy, err := sys.DetectReconciled(yOld, from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSliced(t, "reconciled sliced", *rep.Sliced, legacy)
+	if rep.Anomalous {
+		t.Fatalf("reconciled window flagged: %v", rep.Suspects)
+	}
+}
+
+func TestRunModeSelection(t *testing.T) {
+	sys := newLinearSystem(t)
+	rng := rand.New(rand.NewSource(14))
+	y, err := sys.ObserveCounters(rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sys.Run(foces.Observation{Vector: y, Mode: foces.ModeFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Full == nil || full.Sliced != nil || full.Timings.Sliced != 0 {
+		t.Fatal("ModeFull ran the sliced engine")
+	}
+	sliced, err := sys.Run(foces.Observation{Vector: y, Mode: foces.ModeSliced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliced.Sliced == nil || sliced.Full != nil || sliced.Timings.Full != 0 {
+		t.Fatal("ModeSliced ran the full engine")
+	}
+	for m, want := range map[foces.Mode]string{foces.ModeAuto: "auto", foces.ModeFull: "full", foces.ModeSliced: "sliced"} {
+		if m.String() != want {
+			t.Fatalf("Mode(%d).String() = %q", int(m), m.String())
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sys := newLinearSystem(t)
+	rng := rand.New(rand.NewSource(15))
+	y, err := sys.ObserveCounters(rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		obs  foces.Observation
+		want string
+	}{
+		{"no counters", foces.Observation{}, "no counters"},
+		{"both sources", foces.Observation{Vector: y, Counters: map[int]uint64{}}, "both"},
+		{"future epoch", foces.Observation{Vector: y, Epoch: sys.Epoch() + 1}, "ahead"},
+		{"missing needs counters", foces.Observation{Vector: y, Missing: []foces.SwitchID{0}}, "Counters"},
+		{"stale vector", foces.Observation{Vector: y[:len(y)-1]}, "entries"},
+		{"out-of-space counter", foces.Observation{Counters: map[int]uint64{sys.FCM().NumRules(): 1}}, "rule space"},
+	}
+	for _, tc := range cases {
+		if _, err := sys.Run(tc.obs); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRunTelemetry checks that EnableTelemetry arms both the system
+// metric families and the recent-verdict ring, and that Run feeds them.
+func TestRunTelemetry(t *testing.T) {
+	sys := newLinearSystem(t)
+	reg := telemetry.New()
+	sys.EnableTelemetry(reg)
+	if got := sys.RecentRuns(); len(got) != 0 {
+		t.Fatalf("ring pre-populated: %d events", len(got))
+	}
+	rng := rand.New(rand.NewSource(16))
+	y, err := sys.ObserveCounters(rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Run(foces.Observation{Vector: y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := sys.RecentRuns()
+	if len(events) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(events))
+	}
+	for _, ev := range events {
+		if ev.Path != foces.PathClean || ev.ElapsedNS <= 0 {
+			t.Fatalf("bad event: %+v", ev)
+		}
+		if math.IsInf(ev.Index, 0) || math.IsInf(ev.SlicedIndex, 0) {
+			t.Fatalf("event carries non-encodable index: %+v", ev)
+		}
+	}
+	fams := reg.Gather()
+	seen := map[string]bool{}
+	for _, f := range fams {
+		seen[f.Name] = true
+	}
+	for _, want := range []string{
+		"foces_system_run_seconds",
+		"foces_system_runs_total",
+		"foces_detector_detect_seconds",
+		"foces_churn_epoch",
+	} {
+		if !seen[want] {
+			t.Fatalf("family %s not registered", want)
+		}
+	}
+	var runs uint64
+	for _, f := range fams {
+		if f.Name != "foces_system_runs_total" {
+			continue
+		}
+		for _, s := range f.Samples {
+			runs += uint64(s.Value)
+		}
+	}
+	if runs != 3 {
+		t.Fatalf("foces_system_runs_total = %d, want 3", runs)
+	}
+}
