@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet vet-metrics build test test-faults test-churn test-telemetry bench-smoke bench
+.PHONY: ci fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels bench-kernels bench-smoke bench
 
-ci: fmt vet vet-metrics build test test-faults test-churn test-telemetry bench-smoke
+ci: fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels bench-kernels bench-smoke
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -42,6 +42,20 @@ test-churn:
 # it twice under the race detector.
 test-telemetry:
 	$(GO) test -race -count=2 -timeout 120s ./internal/telemetry/ ./cmd/focesd/
+
+# The parallel kernel layer (blocked Cholesky, parallel Gram, the
+# persistent sliced-detect worker pool, batched solves) is exercised by
+# determinism-sensitive tests: run them twice under the race detector.
+test-kernels:
+	$(GO) test -race -count=2 -timeout 180s -run 'Kernel' ./internal/matrix/ ./internal/core/
+
+# Bench smoke for the kernel layer: run the kernels experiment on a
+# small fabric with -check (fails if the parallel kernels regress past
+# serial x1.25 or any equivalence check trips) and require the
+# kernels.json trajectory to land.
+bench-kernels:
+	$(GO) run ./cmd/focesbench -exp kernels -topo fattree4 -runs 3 -check
+	@test -f results/kernels.json || { echo "bench-kernels: results/kernels.json missing"; exit 1; }
 
 # Metric-hygiene lint: the telemetry hot path must not format strings
 # (fmt is banned from the package outright), and every metric name

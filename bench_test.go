@@ -319,6 +319,82 @@ func BenchmarkDetectSlicedColdVsPreparedParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkDetectBatchVsLoop measures the batched multi-RHS detection
+// path against the equivalent per-window loop on the same prepared
+// engine: a backlog of windows solved as columns of one triangular
+// solve versus one solve per window.
+func BenchmarkDetectBatchVsLoop(b *testing.B) {
+	env := getEnv(b, experiment.Config{Topology: "fattree4", Seed: 23})
+	const windows = 16
+	ys := make([][]float64, windows)
+	for i := range ys {
+		y, err := env.Observe(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ys[i] = y
+	}
+	d, err := core.NewDetector(env.FCM.H, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, y := range ys {
+				if _, err := d.Detect(y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.DetectBatch(ys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDetectPrepareSerialVsParallel measures baseline preparation
+// (full Gram + Cholesky plus all per-slice engines) under the serial
+// reference kernels and the parallel blocked kernels.
+func BenchmarkDetectPrepareSerialVsParallel(b *testing.B) {
+	top, err := topo.ByName("fattree8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs, err := experiment.PairSubset(top, 480)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := experiment.NewEnvOn(experiment.Config{Seed: 13, PacketsPerFlow: 100}, top, pairs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, arm := range []struct {
+		name string
+		opts matrix.KernelOptions
+	}{
+		{"serial", matrix.KernelOptions{Serial: true}},
+		{"parallel", matrix.KernelOptions{}},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			prev := matrix.SetKernelDefaults(arm.opts)
+			defer matrix.SetKernelDefaults(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewDetector(env.FCM.H, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.NewSlicedDetector(env.Slices, env.FCM.NumRules(), core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_Solver compares the least-squares backends on the
 // same system (DESIGN.md ablation: Cholesky normal equations vs
 // conjugate gradient vs Householder QR).

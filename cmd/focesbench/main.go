@@ -42,17 +42,21 @@ type options struct {
 	csvDir string
 	flows  []int
 	volume uint64
+	topo   string
+	check  bool
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("focesbench", flag.ContinueOnError)
 	opts := options{}
-	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12|loc|coverage|overhead|monitor|churn|telemetry")
+	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12|loc|coverage|overhead|monitor|churn|telemetry|kernels")
 	fs.IntVar(&opts.runs, "runs", 0, "observations per point (0 = experiment default)")
 	fs.Int64Var(&opts.seed, "seed", 1, "random seed")
 	fs.StringVar(&opts.csvDir, "csv", "", "directory for CSV output (optional)")
 	flowList := fs.String("flows", "", "comma-separated flow counts for fig12")
 	fs.Uint64Var(&opts.volume, "volume", 1000, "packets per flow per interval")
+	fs.StringVar(&opts.topo, "topo", "", "topology override for the kernels experiment (default fattree8)")
+	fs.BoolVar(&opts.check, "check", false, "kernels: exit non-zero if the parallel kernels regress past serial x1.25 or any equivalence check fails")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,9 +88,10 @@ func run(args []string, out io.Writer) error {
 		"monitor":   runMonitor,      // extension: debounced-alarm study
 		"churn":     runChurn,        // extension: incremental vs full-rebuild updates
 		"telemetry": runTelemetry,    // hot-path cost of the metrics instrumentation
+		"kernels":   runKernels,      // parallel blocked kernels vs serial reference
 	}
 	if opts.exp == "all" {
-		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig12", "loc", "coverage", "overhead", "monitor", "churn", "telemetry"} {
+		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig12", "loc", "coverage", "overhead", "monitor", "churn", "telemetry", "kernels"} {
 			if err := experiments[name](opts, out); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -490,6 +495,83 @@ func runTelemetry(opts options, out io.Writer) error {
 		return err
 	}
 	return writeCSV(opts, "telemetry", headers, cells)
+}
+
+// runKernels compares the parallel blocked linear-algebra kernels
+// against the serial reference path: baseline preparation (Gram,
+// Cholesky factor, slice build) under both kernel defaults, plus
+// batched multi-RHS detection vs a per-window loop. The trajectory is
+// always archived as results/kernels.json; with -check the run fails
+// if the parallel kernels regress past serial x1.25 (the slack keeps
+// GOMAXPROCS=1 runs, where both arms do the same work, from flapping)
+// or if any equivalence check fails.
+func runKernels(opts options, out io.Writer) error {
+	cfg := experiment.KernelsConfig{Topology: opts.topo, Seed: opts.seed}
+	if opts.runs > 0 {
+		cfg.Repeats = opts.runs
+	}
+	if len(opts.flows) > 0 {
+		cfg.Flows = opts.flows[0]
+	}
+	res, err := experiment.Kernels(cfg)
+	if err != nil {
+		return err
+	}
+	headers := []string{"arm", "gram_ms", "factor_ms", "slice_build_ms", "total_ms"}
+	row := func(name string, p experiment.KernelsPrepare) []string {
+		return []string{name,
+			fmt.Sprintf("%.3f", p.GramSecs*1000),
+			fmt.Sprintf("%.3f", p.FactorSecs*1000),
+			fmt.Sprintf("%.3f", p.SliceBuildSecs*1000),
+			fmt.Sprintf("%.3f", p.BestTotalSecs*1000),
+		}
+	}
+	cells := [][]string{row("serial", res.Serial), row("parallel", res.Parallel)}
+	fmt.Fprintf(out, "\n== kernels: baseline preparation, %s flows=%d rules=%d slices=%d GOMAXPROCS=%d ==\n",
+		res.Topology, res.Flows, res.Rules, res.Slices, res.GoMaxProcs)
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	fmt.Fprintf(out, "prepare speedup %.2fx; verdicts match: %v\n", res.PrepareSpeedup, res.VerdictsMatch)
+	fmt.Fprintf(out, "detect: loop %.0f ns/window, batch %.0f ns/window (%.2fx, %d windows, identical: %v)\n",
+		minOf(res.LoopNsPerWindow), minOf(res.BatchNsPerWindow), res.BatchSpeedup, res.BatchWindows, res.BatchMatchesLoop)
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join("results", "kernels.json"), append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := writeCSV(opts, "kernels", headers, cells); err != nil {
+		return err
+	}
+	if opts.check {
+		if !res.VerdictsMatch {
+			return fmt.Errorf("kernels check: serial and parallel engines disagree on probe verdicts")
+		}
+		if !res.BatchMatchesLoop {
+			return fmt.Errorf("kernels check: DetectBatch diverged from the per-window loop")
+		}
+		if res.Parallel.BestTotalSecs > res.Serial.BestTotalSecs*1.25 {
+			return fmt.Errorf("kernels check: parallel prepare %.3fms exceeds serial %.3fms x1.25",
+				res.Parallel.BestTotalSecs*1000, res.Serial.BestTotalSecs*1000)
+		}
+	}
+	return nil
+}
+
+func minOf(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
 }
 
 // sortCells orders rows lexicographically for deterministic output

@@ -82,6 +82,34 @@ func TestRunChurnWritesTrajectory(t *testing.T) {
 	}
 }
 
+func TestRunKernelsWritesTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	var out strings.Builder
+	if err := run([]string{"-exp", "kernels", "-topo", "fattree4", "-runs", "2", "-check"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kernels: baseline preparation") || !strings.Contains(out.String(), "prepare speedup") {
+		t.Errorf("missing section:\n%s", out.String())
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "results", "kernels.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"topology": "fattree4"`, `"serialPrepare"`, `"parallelPrepare"`, `"verdictsMatch": true`, `"batchMatchesLoop": true`} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("kernels.json missing %s:\n%s", want, blob)
+		}
+	}
+}
+
 func TestRunAllExperimentsSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment smoke is slow")

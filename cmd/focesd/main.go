@@ -27,7 +27,8 @@
 //	       [-consecutive 2] [-skip-verify] [-http 127.0.0.1:8080]
 //	       [-metrics-addr 127.0.0.1:9090] [-save-baseline baseline.json]
 //	       [-interval 0] [-kill-at 0] [-kill-switch -1] [-reset-at 0]
-//	       [-reset-switch -1] [-churn-every 0]
+//	       [-reset-switch -1] [-churn-every 0] [-kernel-workers 0]
+//	       [-kernel-block 0]
 package main
 
 import (
@@ -83,8 +84,13 @@ func run(args []string, out io.Writer) error {
 	resetSwitch := fs.Int("reset-switch", -1, "switch to reset at -reset-at (-1 = auto-pick)")
 	churnEvery := fs.Int("churn-every", 0, "apply a rule update (remove one rule, add one) every N periods, mid-window (0 = never)")
 	interval := fs.Duration("interval", 0, "sleep between detection periods, like a real collection interval (0 = run flat out)")
+	kernelWorkers := fs.Int("kernel-workers", 0, "worker count for the parallel baseline-preparation kernels (0 = GOMAXPROCS)")
+	kernelBlock := fs.Int("kernel-block", 0, "block size for the blocked Cholesky factorization (0 = built-in default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *kernelWorkers != 0 || *kernelBlock != 0 {
+		foces.SetKernelDefaults(foces.KernelOptions{Workers: *kernelWorkers, BlockSize: *kernelBlock})
 	}
 
 	t, err := topo.ByName(*topoName)

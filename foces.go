@@ -30,7 +30,11 @@
 //
 // Most applications start with NewSystem and drive detection through
 // System.Run — the single supported entry point: one Observation in,
-// one Report out.
+// one Report out. Backlogs of windows (catch-up after an outage,
+// offline replay) can go through System.RunBatch, which amortizes the
+// triangular solves across the batch via a multi-RHS kernel while
+// returning exactly the Reports the equivalent Run loop would; Run
+// remains the right call for live period-at-a-time monitoring.
 //
 //	top, _ := foces.FatTree(4)
 //	sys, _ := foces.NewSystem(top, foces.PairExact)
@@ -93,6 +97,7 @@ import (
 	"foces/internal/fcm"
 	"foces/internal/flowtable"
 	"foces/internal/header"
+	"foces/internal/matrix"
 	"foces/internal/stats"
 	"foces/internal/topo"
 	"foces/internal/verify"
@@ -172,6 +177,9 @@ type (
 	Detectability = core.Detectability
 	// Solver selects the least-squares backend.
 	Solver = core.Solver
+	// KernelOptions tunes the parallel blocked linear-algebra kernels
+	// (Gram assembly, blocked Cholesky, slice-build fan-out).
+	KernelOptions = matrix.KernelOptions
 
 	// RuleChange is one controller rule mutation event.
 	RuleChange = controller.RuleChange
@@ -236,6 +244,21 @@ const (
 // DefaultThreshold is the paper's default anomaly-index threshold
 // T = 4.5 (§IV-A).
 const DefaultThreshold = stats.DefaultThreshold
+
+// SetKernelDefaults installs process-wide defaults for the parallel
+// blocked linear-algebra kernels used during baseline preparation
+// (Gram assembly, Cholesky factorization, slice builds) and returns
+// the previous defaults. The zero KernelOptions selects automatic
+// sizing (GOMAXPROCS workers, the built-in block size); Serial forces
+// the reference single-threaded kernels. Parallel and serial kernels
+// produce bitwise-identical Gram matrices and, for the blocked factor,
+// results equal up to floating-point roundoff with identical
+// positive-definiteness verdicts. Safe for concurrent use; takes
+// effect for engines prepared after the call.
+func SetKernelDefaults(o KernelOptions) KernelOptions { return matrix.SetKernelDefaults(o) }
+
+// KernelDefaults reports the current process-wide kernel defaults.
+func KernelDefaults() KernelOptions { return matrix.KernelDefaults() }
 
 // Topology generators.
 

@@ -212,22 +212,41 @@ func (m *Manager) rebuild(u *Update) error {
 	for j, c := range m.order {
 		colUID[j] = c.uid
 	}
-	engines := make([]*core.Detector, len(slices))
-	meta := make(map[topo.SwitchID]*sliceMeta, len(slices))
+	// Per-slice engine builds are independent (each reads only the old
+	// generation's meta and clones any factor it repairs), so fan them
+	// across the kernel workers; dispositions and errors are aggregated
+	// in slice order afterwards so reporting stays deterministic.
+	sliceUIDs := make([][]uint64, len(slices))
+	olds := make([]*sliceMeta, len(slices))
 	for i, sl := range slices {
 		uids := make([]uint64, len(sl.FlowCols))
 		for k, col := range sl.FlowCols {
 			uids[k] = colUID[col]
 		}
-		old := m.sliceMeta[sl.Switch]
-		eng, disposition, err := m.buildSliceEngine(sl, uids, old)
-		if err != nil {
-			return err
+		sliceUIDs[i] = uids
+		olds[i] = m.sliceMeta[sl.Switch]
+	}
+	var buildStart time.Time
+	if m.tel != nil {
+		buildStart = time.Now()
+	}
+	engines := make([]*core.Detector, len(slices))
+	dispositions := make([]sliceDisposition, len(slices))
+	buildErrs := make([]error, len(slices))
+	matrix.FanOut(len(slices), matrix.KernelWorkers(), func(i int) {
+		engines[i], dispositions[i], buildErrs[i] = m.buildSliceEngine(slices[i], sliceUIDs[i], olds[i])
+	})
+	if m.tel != nil {
+		m.tel.PrepareSeconds.With("slice_build").ObserveDuration(time.Since(buildStart).Nanoseconds())
+	}
+	meta := make(map[topo.SwitchID]*sliceMeta, len(slices))
+	for i, sl := range slices {
+		if buildErrs[i] != nil {
+			return buildErrs[i]
 		}
-		engines[i] = eng
-		meta[sl.Switch] = &sliceMeta{rows: sl.RuleRows, colUIDs: uids, engine: eng}
+		meta[sl.Switch] = &sliceMeta{rows: sl.RuleRows, colUIDs: sliceUIDs[i], engine: engines[i]}
 		if u != nil {
-			switch disposition {
+			switch dispositions[i] {
 			case sliceReused:
 				u.SlicesReused++
 			case sliceUpdated:
@@ -700,6 +719,9 @@ func (m *Manager) fullLocked() (*core.Detector, error) {
 	}
 	if m.tel != nil {
 		m.tel.FullRebuildSeconds.ObserveDuration(time.Since(t0).Nanoseconds())
+		stats := d.PrepareStats()
+		m.tel.PrepareSeconds.With("gram").Observe(stats.Gram.Seconds())
+		m.tel.PrepareSeconds.With("factor").Observe(stats.Factor.Seconds())
 	}
 	if m.det != nil {
 		d.SetTelemetry(m.det, core.EngineFull)

@@ -150,11 +150,13 @@ func (d *Detector) DetectWithOptions(y []float64, opts Options) (Result, error) 
 
 // SlicedDetector is the prepared form of Algorithm 2: one Detector per
 // per-switch slice (each slice's sub-FCM factored once), the row-gather
-// indices validated at build time, and the per-slice counter gathers
-// drawn from a pooled workspace so steady-state periods allocate only
-// their results. Detect fans the slices out over a bounded worker pool
-// sized by GOMAXPROCS; the outcome (including Suspects order) is
-// identical to a sequential run.
+// indices validated at build time, and the per-slice counter gathers,
+// result and error buffers drawn from a pooled workspace so
+// steady-state periods are allocation-flat apart from the returned
+// outcome. Detect fans the slices out over a persistent worker pool
+// sized by GOMAXPROCS (goroutines start on the first parallel run and
+// idle on a buffered job channel between periods); the outcome
+// (including Suspects order) is identical to a sequential run.
 //
 // A SlicedDetector is safe for concurrent Detect calls.
 type SlicedDetector struct {
@@ -165,32 +167,138 @@ type SlicedDetector struct {
 	workers  int
 	pool     sync.Pool        // *slicedScratch
 	tel      *slicedTelemetry // nil unless SetTelemetry wired a metric set
+
+	poolOnce sync.Once       // starts the persistent workers
+	jobs     chan *slicedJob // buffered dispatch to the persistent workers
+	stop     chan struct{}   // closed by the finalizer when sd is collected
 }
 
-// slicedScratch holds one run's per-slice gather buffers. A run owns
-// the whole set; each slice index is touched by exactly one worker.
+// slicedScratch holds one run's per-slice gather buffers plus the
+// result/error slots and the dispatch job itself. A run owns the whole
+// set; each slice index is touched by exactly one worker, and every
+// slot is overwritten each run so nothing needs clearing on reuse.
 type slicedScratch struct {
-	subs [][]float64
+	subs    [][]float64
+	results []Result
+	errs    []error
+	job     slicedJob
 }
 
-// NewSlicedDetector prepares one engine per slice. numRules is the
+// slicedJob is one Detect call's unit of dispatch: workers pull it from
+// the job channel and claim chunks of the slice range with an atomic
+// cursor until the range is exhausted. Gather time is accumulated per
+// chunk (two timer reads per chunk, not per slice).
+type slicedJob struct {
+	sd       *SlicedDetector
+	y        []float64
+	opts     Options
+	sc       *slicedScratch
+	chunk    int
+	timed    bool
+	next     atomic.Int64
+	gatherNS atomic.Int64
+	wg       sync.WaitGroup
+}
+
+func (j *slicedJob) work() {
+	n := len(j.sd.slices)
+	for {
+		lo := int(j.next.Add(int64(j.chunk))) - j.chunk
+		if lo >= n {
+			return
+		}
+		hi := lo + j.chunk
+		if hi > n {
+			hi = n
+		}
+		j.runChunk(lo, hi)
+	}
+}
+
+func (j *slicedJob) runChunk(lo, hi int) {
+	sd, y, sc := j.sd, j.y, j.sc
+	if j.timed {
+		g0 := time.Now()
+		for i := lo; i < hi; i++ {
+			sub := sc.subs[i]
+			for k, rid := range sd.slices[i].RuleRows {
+				sub[k] = y[rid]
+			}
+		}
+		j.gatherNS.Add(time.Since(g0).Nanoseconds())
+	} else {
+		for i := lo; i < hi; i++ {
+			sub := sc.subs[i]
+			for k, rid := range sd.slices[i].RuleRows {
+				sub[k] = y[rid]
+			}
+		}
+	}
+	for i := lo; i < hi; i++ {
+		sc.results[i], sc.errs[i] = sd.engines[i].DetectWithOptions(sc.subs[i], j.opts)
+	}
+}
+
+// slicedPoolWorker is a persistent pool goroutine. It captures only the
+// two channels — never the detector — so an abandoned SlicedDetector
+// remains collectible; its finalizer closes stop to end the pool.
+func slicedPoolWorker(jobs <-chan *slicedJob, stop <-chan struct{}) {
+	for {
+		select {
+		case j := <-jobs:
+			j.work()
+			j.wg.Done()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// startWorkers lazily launches the persistent pool on the first
+// parallel Detect, so detectors built only to be probed sequentially
+// (e.g. thousands of churn-epoch rebuilds) never spawn goroutines.
+func (sd *SlicedDetector) startWorkers() {
+	sd.poolOnce.Do(func() {
+		sd.jobs = make(chan *slicedJob, sd.workers)
+		sd.stop = make(chan struct{})
+		for w := 1; w < sd.workers; w++ {
+			go slicedPoolWorker(sd.jobs, sd.stop)
+		}
+		runtime.SetFinalizer(sd, func(s *SlicedDetector) { close(s.stop) })
+	})
+}
+
+// NewSlicedDetector prepares one engine per slice, fanning the
+// per-slice factorizations across matrix.KernelWorkers() goroutines
+// (each slice's PrepareLS is independent; errors are reported for the
+// lowest failing slice regardless of completion order). numRules is the
 // length of the full counter vector (FCM.NumRules()); every slice's
 // RuleRows are bounds-checked against it here, once, instead of every
 // detection period.
 func NewSlicedDetector(slices []Slice, numRules int, opts Options) (*SlicedDetector, error) {
-	engines := make([]*Detector, len(slices))
-	for i, sl := range slices {
+	for _, sl := range slices {
 		for _, rid := range sl.RuleRows {
 			if rid < 0 || rid >= numRules {
 				return nil, fmt.Errorf("core: slice rule %d outside counter vector (%d)", rid, numRules)
 			}
 		}
-		d, err := NewDetector(sl.H, opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: slice switch %d: %w", sl.Switch, err)
-		}
-		engines[i] = d
 	}
+	engines := make([]*Detector, len(slices))
+	buildErrs := make([]error, len(slices))
+	matrix.FanOut(len(slices), matrix.KernelWorkers(), func(i int) {
+		engines[i], buildErrs[i] = NewDetector(slices[i].H, opts)
+	})
+	for i, err := range buildErrs {
+		if err != nil {
+			return nil, fmt.Errorf("core: slice switch %d: %w", slices[i].Switch, err)
+		}
+	}
+	return newSlicedDetector(slices, engines, numRules, opts), nil
+}
+
+// newSlicedDetector wires the shared detector state (worker bound,
+// pooled scratch) around validated slices and engines.
+func newSlicedDetector(slices []Slice, engines []*Detector, numRules int, opts Options) *SlicedDetector {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(slices) {
 		workers = len(slices)
@@ -206,13 +314,18 @@ func NewSlicedDetector(slices []Slice, numRules int, opts Options) (*SlicedDetec
 		workers:  workers,
 	}
 	sd.pool.New = func() any {
-		sc := &slicedScratch{subs: make([][]float64, len(slices))}
+		sc := &slicedScratch{
+			subs:    make([][]float64, len(slices)),
+			results: make([]Result, len(slices)),
+			errs:    make([]error, len(slices)),
+		}
 		for i, sl := range slices {
 			sc.subs[i] = make([]float64, len(sl.RuleRows))
 		}
+		sc.job.sd = sd
 		return sc
 	}
-	return sd, nil
+	return sd
 }
 
 // NumSlices reports the number of prepared slices.
@@ -246,54 +359,43 @@ func (sd *SlicedDetector) detect(y []float64, opts Options, workers int) (Sliced
 	}
 	tel := sd.tel
 	var t0 time.Time
-	var gatherNS atomic.Int64
 	if tel != nil {
 		t0 = time.Now()
 	}
 	sc := sd.pool.Get().(*slicedScratch)
 	defer sd.pool.Put(sc)
-	results := make([]Result, len(sd.slices))
-	errs := make([]error, len(sd.slices))
-	run := func(i int) {
-		sl := sd.slices[i]
-		sub := sc.subs[i]
-		if tel != nil {
-			g0 := time.Now()
-			for j, rid := range sl.RuleRows {
-				sub[j] = y[rid]
-			}
-			gatherNS.Add(time.Since(g0).Nanoseconds())
-		} else {
-			for j, rid := range sl.RuleRows {
-				sub[j] = y[rid]
-			}
-		}
-		results[i], errs[i] = sd.engines[i].DetectWithOptions(sub, opts)
+	results := sc.results
+	errs := sc.errs
+	j := &sc.job
+	j.y, j.opts, j.sc = y, opts, sc
+	j.timed = tel != nil
+	j.gatherNS.Store(0)
+	j.next.Store(0)
+	j.chunk = len(sd.slices) / (sd.workers * 4)
+	if j.chunk < 1 {
+		j.chunk = 1
 	}
-	if workers <= 1 || len(sd.slices) <= 1 {
-		for i := range sd.slices {
-			run(i)
+	if workers > 1 && len(sd.slices) > 1 {
+		// Hand the job to idle pool workers; the caller participates
+		// below. A full job buffer means the pool is saturated by
+		// concurrent runs — the caller then just claims more chunks
+		// itself instead of blocking.
+		sd.startWorkers()
+		for w := 1; w < workers; w++ {
+			j.wg.Add(1)
+			select {
+			case sd.jobs <- j:
+			default:
+				j.wg.Done()
+				w = workers
+			}
 		}
-	} else {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					run(i)
-				}
-			}()
-		}
-		for i := range sd.slices {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
 	}
+	j.work()
+	j.wg.Wait()
+	j.y = nil
 	if tel != nil {
-		tel.gather.ObserveDuration(gatherNS.Load())
+		tel.gather.ObserveDuration(j.gatherNS.Load())
 		tel.fanout.Observe(float64(len(sd.slices)))
 	}
 	// Aggregate in slice order so parallel and sequential runs produce

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"time"
 
@@ -59,28 +58,7 @@ func NewSlicedDetectorWithEngines(slices []Slice, engines []*Detector, numRules 
 				sl.Switch, engines[i].h.Rows(), len(sl.RuleRows))
 		}
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(slices) {
-		workers = len(slices)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	sd := &SlicedDetector{
-		slices:   slices,
-		engines:  engines,
-		numRules: numRules,
-		opts:     opts,
-		workers:  workers,
-	}
-	sd.pool.New = func() any {
-		sc := &slicedScratch{subs: make([][]float64, len(slices))}
-		for i, sl := range slices {
-			sc.subs[i] = make([]float64, len(sl.RuleRows))
-		}
-		return sc
-	}
-	return sd, nil
+	return newSlicedDetector(slices, engines, numRules, opts), nil
 }
 
 // DetectMasked runs Algorithm 1 with the given rows (indices into y /

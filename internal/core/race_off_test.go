@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this test
+// binary (allocation-count assertions are skipped under it: the
+// detector's shadow-memory bookkeeping allocates).
+const raceEnabled = false

@@ -21,10 +21,16 @@ type Cholesky struct {
 }
 
 // NewCholesky factors the symmetric positive-definite matrix a.
+// Matrices of at least twice the kernel block size take the blocked
+// right-looking path (see kernels.go); dispatch depends only on the
+// matrix size and block size — never on worker count — so the factor is
+// reproducible across machines and GOMAXPROCS settings.
 func NewCholesky(a *Dense) (*Cholesky, error) {
-	if a.Rows() != a.Cols() {
-		return nil, fmt.Errorf("matrix: cholesky needs square matrix, got %dx%d", a.Rows(), a.Cols())
-	}
+	return NewCholeskyOpts(a, KernelOptions{})
+}
+
+// newCholeskyUnblocked is the serial reference column sweep.
+func newCholeskyUnblocked(a *Dense) (*Cholesky, error) {
 	n := a.Rows()
 	l := NewDense(n, n)
 	for j := 0; j < n; j++ {

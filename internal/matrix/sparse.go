@@ -147,22 +147,12 @@ func (m *CSR) TMulVecInto(dst, x []float64) error {
 	return nil
 }
 
-// Gram computes mᵀ * m as a dense symmetric matrix by accumulating the
-// outer product of every sparse row. Cost is Σᵢ nnz(rowᵢ)², which is
-// small for FCMs because a rule matches a bounded number of flows.
+// Gram computes mᵀ * m as a dense symmetric matrix. Large matrices are
+// assembled by the parallel row-partitioned kernel under the package
+// kernel defaults (see kernels.go); the result is bitwise identical to
+// GramSerial for every worker count.
 func (m *CSR) Gram() *Dense {
-	g := NewDense(m.cols, m.cols)
-	for i := 0; i < m.rows; i++ {
-		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
-		for a := lo; a < hi; a++ {
-			ca, va := m.colIdx[a], m.val[a]
-			grow := g.Row(ca)
-			for b := lo; b < hi; b++ {
-				grow[m.colIdx[b]] += va * m.val[b]
-			}
-		}
-	}
-	return g
+	return m.GramOpts(KernelOptions{})
 }
 
 // ToDense expands the matrix to dense form (for tests and small

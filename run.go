@@ -303,6 +303,123 @@ func (s *System) Run(obs Observation) (Report, error) {
 	return rep, nil
 }
 
+// RunBatch executes a batch of observation windows against the same
+// baseline in one call — the multi-tenant / replayed-window entry
+// point. Windows on the clean path that run the full engine (ModeAuto
+// or ModeFull, no missing switches, current epoch) share one batched
+// Algorithm-1 multi-RHS solve per distinct option set
+// (Detector.DetectBatch), which amortizes the triangular-factor memory
+// traffic across the batch; every other window simply dispatches
+// through Run. Reports come back in input order and each matches what
+// a standalone Run of that window would produce — batching never
+// changes a verdict, an index or a report field other than Timings
+// (batched windows report their amortized share of the shared full
+// stage). Any window error fails the whole batch, identifying the
+// window. Migration from a Run loop is mechanical: collect the windows
+// and switch the call; there is nothing to deprecate and no behavior
+// to re-tune.
+func (s *System) RunBatch(obs []Observation) ([]Report, error) {
+	if len(obs) == 0 {
+		return nil, nil
+	}
+	epoch := s.Epoch()
+	// Pass 1: gather the batchable clean-path windows, grouped by their
+	// resolved options (ZeroTol defaults are per-window, applied inside
+	// DetectBatchWithOptions exactly as DetectWithOptions would).
+	type group struct {
+		idxs []int
+		ys   [][]float64
+	}
+	groups := make(map[DetectOptions]*group)
+	batchable := make([]bool, len(obs))
+	vectors := make([][]float64, len(obs))
+	for i, o := range obs {
+		if o.Missing != nil || o.Epoch != epoch || (o.Mode != ModeAuto && o.Mode != ModeFull) {
+			continue
+		}
+		y, err := s.observationVector(o)
+		if err != nil {
+			return nil, fmt.Errorf("foces: batch window %d: %w", i, err)
+		}
+		opts := o.Options
+		if opts == (DetectOptions{}) {
+			opts = s.opts
+		}
+		g := groups[opts]
+		if g == nil {
+			g = &group{}
+			groups[opts] = g
+		}
+		g.idxs = append(g.idxs, i)
+		g.ys = append(g.ys, y)
+		batchable[i] = true
+		vectors[i] = y
+	}
+	// Shared full-engine stage: one multi-RHS solve per option group.
+	fullRes := make([]Result, len(obs))
+	fullDur := make([]time.Duration, len(obs))
+	if len(groups) > 0 {
+		d, err := s.fullDetector()
+		if err != nil {
+			return nil, err
+		}
+		for opts, g := range groups {
+			t0 := time.Now()
+			results, err := d.DetectBatchWithOptions(g.ys, opts)
+			if err != nil {
+				return nil, fmt.Errorf("foces: batch window %d: %w", g.idxs[0], err)
+			}
+			share := time.Since(t0) / time.Duration(len(g.idxs))
+			for k, i := range g.idxs {
+				fullRes[i] = results[k]
+				fullDur[i] = share
+			}
+		}
+	}
+	// Pass 2, in input order (so the recent-verdict ring and telemetry
+	// see the windows in the order the caller supplied them): assemble
+	// batched reports, run the sliced stage per window, and dispatch
+	// everything else through Run.
+	reports := make([]Report, len(obs))
+	for i, o := range obs {
+		if !batchable[i] {
+			rep, err := s.Run(o)
+			if err != nil {
+				return nil, fmt.Errorf("foces: batch window %d: %w", i, err)
+			}
+			reports[i] = rep
+			continue
+		}
+		start := time.Now()
+		rep := Report{Mode: o.Mode, Epoch: epoch, Path: PathClean}
+		res := fullRes[i]
+		rep.Timings.Full = fullDur[i]
+		rep.Full = &res
+		rep.Index = res.Index
+		rep.Anomalous = res.Anomalous
+		if o.Mode == ModeAuto {
+			opts := o.Options
+			if opts == (DetectOptions{}) {
+				opts = s.opts
+			}
+			t0 := time.Now()
+			so, err := s.sliced.DetectWithOptions(vectors[i], opts)
+			if err != nil {
+				return nil, fmt.Errorf("foces: batch window %d: %w", i, err)
+			}
+			rep.Timings.Sliced = time.Since(t0)
+			rep.Sliced = &so
+			rep.SlicedIndex = so.MaxIndex()
+			rep.Suspects = so.Suspects
+			rep.Anomalous = rep.Anomalous || so.Anomalous
+		}
+		rep.Timings.Total = fullDur[i] + time.Since(start)
+		s.recordRun(&rep)
+		reports[i] = rep
+	}
+	return reports, nil
+}
+
 // observationVector resolves the dense counter vector from an
 // observation, erroring when neither or both sources are set.
 func (s *System) observationVector(obs Observation) ([]float64, error) {

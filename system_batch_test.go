@@ -1,0 +1,117 @@
+package foces_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"foces"
+)
+
+// TestRunBatchMatchesRun pins RunBatch to per-window Run: every report
+// field except Timings must be identical, in input order.
+func TestRunBatchMatchesRun(t *testing.T) {
+	sys := newSystem(t, "fattree4", foces.PairExact)
+	rng := rand.New(rand.NewSource(29))
+	var obs []foces.Observation
+	var want []foces.Report
+	for w := 0; w < 4; w++ {
+		y, err := sys.ObserveCounters(rng, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode := foces.ModeAuto
+		if w == 2 {
+			mode = foces.ModeFull
+		}
+		o := foces.Observation{Vector: y, Mode: mode}
+		obs = append(obs, o)
+		rep, err := sys.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rep)
+	}
+	got, err := sys.RunBatch(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(obs) {
+		t.Fatalf("RunBatch returned %d reports for %d windows", len(got), len(obs))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		g.Timings, w.Timings = foces.RunTimings{}, foces.RunTimings{}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("window %d: batch report diverged from Run:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+}
+
+// TestRunBatchMixedPaths feeds RunBatch windows that cannot take the
+// batched solve (sliced-only mode, missing switches) alongside
+// batchable ones: everything must come back in order and match Run.
+func TestRunBatchMixedPaths(t *testing.T) {
+	sys := newSystem(t, "fattree4", foces.PairExact)
+	rng := rand.New(rand.NewSource(31))
+	y1, err := sys.ObserveCounters(rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := sys.ObserveCounters(rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []foces.Observation{
+		{Vector: y1},
+		{Vector: y2, Mode: foces.ModeSliced},
+		{Vector: y1, Mode: foces.ModeFull},
+	}
+	got, err := sys.RunBatch(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range obs {
+		w, err := sys.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := got[i]
+		g.Timings, w.Timings = foces.RunTimings{}, foces.RunTimings{}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("window %d: mixed batch report diverged", i)
+		}
+	}
+	if _, err := sys.RunBatch([]foces.Observation{{}}); err == nil {
+		t.Fatal("observation without counters accepted")
+	}
+	if reps, err := sys.RunBatch(nil); err != nil || reps != nil {
+		t.Fatalf("empty batch: %v, %v", reps, err)
+	}
+}
+
+// TestRunBatchRecordsRuns checks batched windows land in the
+// recent-verdict ring in input order.
+func TestRunBatchRecordsRuns(t *testing.T) {
+	sys := newSystem(t, "fattree4", foces.PairExact)
+	reg := foces.NewTelemetryRegistry()
+	sys.EnableTelemetry(reg)
+	rng := rand.New(rand.NewSource(37))
+	y, err := sys.ObserveCounters(rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(sys.RecentRuns())
+	if _, err := sys.RunBatch([]foces.Observation{{Vector: y}, {Vector: y}, {Vector: y}}); err != nil {
+		t.Fatal(err)
+	}
+	events := sys.RecentRuns()
+	if len(events) != before+3 {
+		t.Fatalf("recent ring grew by %d, want 3", len(events)-before)
+	}
+	for _, ev := range events[before:] {
+		if ev.Path != foces.PathClean {
+			t.Fatalf("batched run recorded path %q", ev.Path)
+		}
+	}
+}
