@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels bench-kernels bench-smoke bench
+.PHONY: ci fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream bench-kernels bench-stream bench-smoke bench
 
-ci: fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels bench-kernels bench-smoke
+ci: fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream bench-kernels bench-stream bench-smoke
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -48,6 +48,21 @@ test-telemetry:
 # determinism-sensitive tests: run them twice under the race detector.
 test-kernels:
 	$(GO) test -race -count=2 -timeout 180s -run 'Kernel' ./internal/matrix/ ./internal/core/
+
+# The streaming ingestion pipeline (window assembler, adaptive sampler,
+# System.Serve, the focesd pump) is push-driven and channel-heavy: run
+# its tests twice under the race detector, including the
+# polled-vs-streamed equivalence gates.
+test-stream:
+	$(GO) test -race -count=2 -timeout 180s -run 'Assembler|Sampler|Serve|Stream|PollSnapshots|PollCancelled' ./internal/collector/ ./cmd/focesd/ .
+
+# Bench gate for streaming ingestion: the stream experiment must keep
+# the streamed verdicts byte-identical to the polled path, sustain the
+# ingest-rate floor with bounded queues, and stay within 3x of the
+# archived p99 ingest-to-verdict latency (results/stream.json).
+bench-stream:
+	$(GO) run ./cmd/focesbench -exp stream -check
+	@test -f results/stream.json || { echo "bench-stream: results/stream.json missing"; exit 1; }
 
 # Bench smoke for the kernel layer: run the kernels experiment on a
 # small fabric with -check (fails if the parallel kernels regress past

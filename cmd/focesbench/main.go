@@ -49,14 +49,14 @@ type options struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("focesbench", flag.ContinueOnError)
 	opts := options{}
-	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12|loc|coverage|overhead|monitor|churn|telemetry|kernels")
+	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12|loc|coverage|overhead|monitor|churn|telemetry|kernels|stream")
 	fs.IntVar(&opts.runs, "runs", 0, "observations per point (0 = experiment default)")
 	fs.Int64Var(&opts.seed, "seed", 1, "random seed")
 	fs.StringVar(&opts.csvDir, "csv", "", "directory for CSV output (optional)")
 	flowList := fs.String("flows", "", "comma-separated flow counts for fig12")
 	fs.Uint64Var(&opts.volume, "volume", 1000, "packets per flow per interval")
 	fs.StringVar(&opts.topo, "topo", "", "topology override for the kernels experiment (default fattree8)")
-	fs.BoolVar(&opts.check, "check", false, "kernels: exit non-zero if the parallel kernels regress past serial x1.25 or any equivalence check fails")
+	fs.BoolVar(&opts.check, "check", false, "kernels/stream: exit non-zero on equivalence failure or performance regression")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +89,7 @@ func run(args []string, out io.Writer) error {
 		"churn":     runChurn,        // extension: incremental vs full-rebuild updates
 		"telemetry": runTelemetry,    // hot-path cost of the metrics instrumentation
 		"kernels":   runKernels,      // parallel blocked kernels vs serial reference
+		"stream":    runStreamBench,  // streaming ingestion: equivalence, latency tail, load
 	}
 	if opts.exp == "all" {
 		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig12", "loc", "coverage", "overhead", "monitor", "churn", "telemetry", "kernels"} {
@@ -556,6 +557,76 @@ func runKernels(opts options, out io.Writer) error {
 		if res.Parallel.BestTotalSecs > res.Serial.BestTotalSecs*1.25 {
 			return fmt.Errorf("kernels check: parallel prepare %.3fms exceeds serial %.3fms x1.25",
 				res.Parallel.BestTotalSecs*1000, res.Serial.BestTotalSecs*1000)
+		}
+	}
+	return nil
+}
+
+// runStreamBench exercises the streaming ingestion layer: verdict
+// equivalence against the pull-based Run path on an identical snapshot
+// sequence (clean, attacked, silent switch, counter reset), the
+// ingest-to-verdict latency tail over real traffic windows, and a
+// saturating synthetic load phase through the bounded-queue assembler.
+// The result is always archived as results/stream.json; with -check the
+// run fails on verdict divergence, on sustained ingestion below 1M
+// updates/sec, on unbounded queue growth, or on a p99 latency
+// regression past 3x the previously archived run.
+func runStreamBench(opts options, out io.Writer) error {
+	cfg := experiment.StreamBenchConfig{Topology: opts.topo, Seed: opts.seed}
+	if opts.runs > 0 {
+		cfg.LatencyWindows = opts.runs
+	}
+	if len(opts.flows) > 0 {
+		cfg.Flows = opts.flows[0]
+	}
+	resultPath := filepath.Join("results", "stream.json")
+	var prev experiment.StreamBenchResult
+	havePrev := false
+	if blob, err := os.ReadFile(resultPath); err == nil {
+		if json.Unmarshal(blob, &prev) == nil && prev.P99LatencyMs > 0 {
+			havePrev = true
+		}
+	}
+	res, err := experiment.StreamBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n== stream: push-driven ingestion, %s switches=%d flows=%d rules=%d GOMAXPROCS=%d ==\n",
+		res.Topology, res.Switches, res.Flows, res.Rules, res.GoMaxProcs)
+	fmt.Fprintf(out, "equivalence: %d windows replayed, %d verdicts compared, match: %v\n",
+		res.CheckWindows, res.CheckedReports, res.VerdictsMatch)
+	if res.Mismatch != "" {
+		fmt.Fprintf(out, "  mismatch: %s\n", res.Mismatch)
+	}
+	fmt.Fprintf(out, "latency: %d windows, ingest-to-verdict p50 %.3fms p99 %.3fms max %.3fms\n",
+		res.DetectWindows, res.P50LatencyMs, res.P99LatencyMs, res.MaxLatencyMs)
+	fmt.Fprintf(out, "load: %.2fM updates/sec over %.2fs (%d pushes, %d windows, %d coalesced, %d dropped windows)\n",
+		res.UpdatesPerSec/1e6, res.LoadSecs, res.LoadPushes, res.LoadWindows, res.CoalescedSnapshots, res.DroppedWindows)
+	fmt.Fprintf(out, "queues: max depth %d of bound %d (bounded: %v)\n",
+		res.MaxQueueDepth, res.QueueBound, res.QueueBounded)
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(resultPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	if opts.check {
+		if !res.VerdictsMatch {
+			return fmt.Errorf("stream check: verdicts diverged from the polled path: %s", res.Mismatch)
+		}
+		if !res.QueueBounded {
+			return fmt.Errorf("stream check: queue depth %d exceeded bound %d", res.MaxQueueDepth, res.QueueBound)
+		}
+		if res.UpdatesPerSec < 1e6 {
+			return fmt.Errorf("stream check: sustained %.0f updates/sec, below the 1M floor", res.UpdatesPerSec)
+		}
+		if havePrev && res.P99LatencyMs > prev.P99LatencyMs*3 {
+			return fmt.Errorf("stream check: p99 ingest-to-verdict latency %.3fms regressed past previous %.3fms x3",
+				res.P99LatencyMs, prev.P99LatencyMs)
 		}
 	}
 	return nil

@@ -22,13 +22,23 @@
 //
 // Usage:
 //
+// The -stream flag switches from the caller-driven pull-poll loop to
+// the continuous streaming mode: a pump fetches raw cumulative
+// snapshots and pushes them into a collector.WindowAssembler, whose
+// completed windows flow through foces.System.Serve; -sample adds the
+// adaptive per-switch sampler (stable switches are polled less often,
+// suspects are tightened back immediately). SIGINT/SIGTERM triggers a
+// graceful drain of the streaming queue before exit.
+//
+// Usage:
+//
 //	focesd [-topo bcube14] [-periods 36] [-attack-at 12] [-repair-at 24]
 //	       [-loss 0.05] [-threshold 4.5] [-volume 1000] [-seed 1]
 //	       [-consecutive 2] [-skip-verify] [-http 127.0.0.1:8080]
 //	       [-metrics-addr 127.0.0.1:9090] [-save-baseline baseline.json]
 //	       [-interval 0] [-kill-at 0] [-kill-switch -1] [-reset-at 0]
 //	       [-reset-switch -1] [-churn-every 0] [-kernel-workers 0]
-//	       [-kernel-block 0]
+//	       [-kernel-block 0] [-stream] [-sample]
 package main
 
 import (
@@ -86,6 +96,8 @@ func run(args []string, out io.Writer) error {
 	interval := fs.Duration("interval", 0, "sleep between detection periods, like a real collection interval (0 = run flat out)")
 	kernelWorkers := fs.Int("kernel-workers", 0, "worker count for the parallel baseline-preparation kernels (0 = GOMAXPROCS)")
 	kernelBlock := fs.Int("kernel-block", 0, "block size for the blocked Cholesky factorization (0 = built-in default)")
+	stream := fs.Bool("stream", false, "run the continuous streaming mode (push-driven windows through System.Serve) instead of the pull-poll loop")
+	sample := fs.Bool("sample", false, "with -stream: enable the adaptive per-switch sampler (back off stable switches, tighten suspects)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -204,8 +216,9 @@ func run(args []string, out io.Writer) error {
 	reg := telemetry.New()
 	sys.EnableTelemetry(reg)
 	robust.SetTelemetry(telemetry.NewCollectorMetrics(reg))
+	var metricsSrv *metricsServer
 	if *metricsAddr != "" {
-		metricsSrv, err := startMetricsServer(*metricsAddr, reg)
+		metricsSrv, err = startMetricsServer(*metricsAddr, reg)
 		if err != nil {
 			return err
 		}
@@ -218,9 +231,23 @@ func run(args []string, out io.Writer) error {
 
 	rng := rand.New(rand.NewSource(*seed))
 	tm := dataplane.UniformTraffic(t, *volume)
+	monitor := core.NewMonitor(core.MonitorConfig{Threshold: *threshold, Consecutive: *consecutive})
+
+	if *stream {
+		return runStream(streamEnv{
+			out: out, t: t, layout: layout, ctrl: ctrl, network: network,
+			harness: harness, robust: robust, sys: sys, reg: reg,
+			statusSrv: statusSrv, metricsSrv: metricsSrv,
+			rng: rng, tm: tm, monitor: monitor,
+			periods: *periods, attackAt: *attackAt, repairAt: *repairAt,
+			killAt: *killAt, killTarget: killTarget,
+			resetAt: *resetAt, resetTarget: resetTarget,
+			churnEvery: *churnEvery, interval: *interval, sample: *sample,
+		})
+	}
+
 	var active *dataplane.Attack
 	var quarantines uint64
-	monitor := core.NewMonitor(core.MonitorConfig{Threshold: *threshold, Consecutive: *consecutive})
 
 	headers := []string{"period", "attack", "AI(baseline)", "verdict", "alarm", "AI(sliced)", "suspects"}
 	var rows [][]string

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"foces/internal/telemetry"
 )
@@ -50,5 +52,17 @@ func (s *metricsServer) Addr() string { return s.ln.Addr().String() }
 // Close stops the server and waits for the serve goroutine.
 func (s *metricsServer) Close() {
 	_ = s.srv.Close()
+	<-s.done
+}
+
+// Shutdown stops the server gracefully, letting in-flight scrapes
+// finish for up to d before dropping lingering connections. Safe to
+// follow with Close (which becomes a no-op).
+func (s *metricsServer) Shutdown(d time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		_ = s.srv.Close()
+	}
 	<-s.done
 }

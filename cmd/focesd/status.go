@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"foces"
 	"foces/internal/churn"
@@ -80,6 +81,45 @@ func churnStatus(st churn.Stats) churnView {
 	}
 }
 
+// streamView is the /status view of the streaming ingestion plane:
+// bounded-queue state, window/drop accounting, sampler state and the
+// end-to-end ingest-to-verdict latency tail.
+type streamView struct {
+	Windows        uint64  `json:"windows"`
+	Pushes         uint64  `json:"pushes"`
+	Updates        uint64  `json:"updates"`
+	QueueDepth     int     `json:"queueDepth"`
+	Coalesced      uint64  `json:"coalesced"`
+	DroppedUpdates uint64  `json:"droppedUpdates"`
+	DroppedWindows uint64  `json:"droppedWindows"`
+	LastWindow     uint64  `json:"lastWindow"`
+	LastLagMs      float64 `json:"lastLagMs"`
+	P99LatencyMs   float64 `json:"p99LatencyMs"`
+	// Sampler is the adaptive sampler's state (zero-valued when the
+	// sampler is disabled).
+	Sampler collector.SamplerStats `json:"sampler"`
+}
+
+// streamStatus snapshots the streaming plane for /status.
+func streamStatus(st collector.StreamStats, sampler *collector.AdaptiveSampler, lastWindow uint64, lastLag time.Duration, p99 time.Duration) streamView {
+	v := streamView{
+		Windows:        st.Windows,
+		Pushes:         st.Pushes,
+		Updates:        st.Updates,
+		QueueDepth:     st.QueueDepth,
+		Coalesced:      st.Coalesced,
+		DroppedUpdates: st.DroppedUpdates,
+		DroppedWindows: st.DroppedWindows,
+		LastWindow:     lastWindow,
+		LastLagMs:      float64(lastLag.Microseconds()) / 1000,
+		P99LatencyMs:   float64(p99.Microseconds()) / 1000,
+	}
+	if sampler != nil {
+		v.Sampler = sampler.Stats()
+	}
+	return v
+}
+
 // status is the JSON document served at /status.
 type status struct {
 	Period           int             `json:"period"`
@@ -93,6 +133,9 @@ type status struct {
 	StraddledWindows int             `json:"straddledWindows"`
 	Collection       collection      `json:"collection"`
 	Churn            churnView       `json:"churn"`
+	// Stream is the streaming ingestion plane's state; nil outside
+	// -stream mode.
+	Stream *streamView `json:"stream,omitempty"`
 	// Recent is the verdict ring rebuilt from the system's telemetry
 	// events: the last N Run outcomes, oldest first.
 	Recent []foces.RunEvent `json:"recent"`

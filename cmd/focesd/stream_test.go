@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// verdictTable extracts the per-period verdict table (header row
+// included) from a focesd run's output, stopping at the trailing
+// collection summary.
+func verdictTable(t *testing.T, s string) []string {
+	t.Helper()
+	var rows []string
+	in := false
+	for _, ln := range strings.Split(s, "\n") {
+		if strings.Contains(ln, "period") && strings.Contains(ln, "verdict") {
+			in = true
+		}
+		if strings.HasPrefix(ln, "collection:") {
+			break
+		}
+		if in {
+			rows = append(rows, ln)
+		}
+	}
+	if len(rows) < 2 {
+		t.Fatalf("no verdict table found in:\n%s", s)
+	}
+	return rows
+}
+
+// TestRunStreamMatchesPolledTable is the daemon-level equivalence gate:
+// the same topology, seed and fault/churn schedule must print the same
+// per-period verdict table whether windows are pulled (legacy loop) or
+// pushed through the streaming pipeline.
+func TestRunStreamMatchesPolledTable(t *testing.T) {
+	args := []string{
+		"-topo", "fattree4",
+		"-periods", "8",
+		"-attack-at", "3",
+		"-repair-at", "6",
+		"-churn-every", "4",
+		"-loss", "0",
+		"-seed", "7",
+	}
+	var polled strings.Builder
+	if err := run(args, &polled); err != nil {
+		t.Fatal(err)
+	}
+	var streamed strings.Builder
+	if err := run(append([]string{"-stream"}, args...), &streamed); err != nil {
+		t.Fatal(err)
+	}
+	want := verdictTable(t, polled.String())
+	got := verdictTable(t, streamed.String())
+	if len(got) != len(want) {
+		t.Fatalf("table rows: streamed %d, polled %d\nstreamed:\n%s\npolled:\n%s",
+			len(got), len(want), streamed.String(), polled.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("table row %d diverged:\nstreamed: %q\npolled:   %q", i, got[i], want[i])
+		}
+	}
+	if !strings.Contains(streamed.String(), "stream: windows=") {
+		t.Errorf("stream summary missing from:\n%s", streamed.String())
+	}
+}
+
+// TestRunStreamWithSampler smoke-tests the full streaming mode with the
+// adaptive sampler enabled: clean traffic must stay quiet and some
+// switches must leave every-window sampling.
+func TestRunStreamWithSampler(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-stream", "-sample",
+		"-topo", "fattree4",
+		"-periods", "10",
+		"-attack-at", "0",
+		"-loss", "0",
+		"-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Contains(s, "ANOMALY") {
+		t.Errorf("false alarm in sampled streaming mode:\n%s", s)
+	}
+	if !strings.Contains(s, "sampler: switches=") {
+		t.Fatalf("sampler summary missing from:\n%s", s)
+	}
+	for _, ln := range strings.Split(s, "\n") {
+		if strings.HasPrefix(ln, "sampler:") && strings.Contains(ln, "backedOff=0") {
+			t.Errorf("no switch backed off over a clean run: %s", ln)
+		}
+	}
+}
+
+// TestRunStreamGracefulShutdown sends SIGINT mid-run: the pump must
+// stop, queued windows must drain, and run must return nil after a
+// clean teardown (including the metrics server, under its deadline).
+func TestRunStreamGracefulShutdown(t *testing.T) {
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-stream",
+			"-topo", "fattree4",
+			"-periods", "100000",
+			"-interval", "10ms",
+			"-attack-at", "0",
+			"-loss", "0",
+			"-metrics-addr", "127.0.0.1:0",
+		}, &out)
+	}()
+	// Let the daemon bootstrap and stream a few windows first.
+	time.Sleep(500 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("interrupted run returned %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("streaming daemon did not shut down after SIGINT")
+	}
+	s := out.String()
+	if !strings.Contains(s, "interrupted: drained") || !strings.Contains(s, "shut down cleanly") {
+		t.Fatalf("graceful-shutdown notice missing from:\n%s", s)
+	}
+}

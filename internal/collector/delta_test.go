@@ -121,3 +121,79 @@ func TestDeltaTrackerEpochStraddling(t *testing.T) {
 		t.Fatalf("after forget: primed=%v straddles=%v", primed, straddles)
 	}
 }
+
+func TestDeltaTrackerResetDuringStraddle(t *testing.T) {
+	tr := NewDeltaTracker()
+	const sw = topo.SwitchID(5)
+	tr.SetEpoch(1)
+	tr.AdvanceEpoch(sw, map[int]uint64{1: 100}) // prime under epoch 1
+	tr.SetEpoch(2)
+	// The switch reboots inside a window that also straddles a rule
+	// update: reset wins — there is no usable delta to reconcile, so
+	// straddles must NOT be reported alongside it.
+	delta, reset, primed, from, straddles := tr.AdvanceEpoch(sw, map[int]uint64{1: 7})
+	if !reset || straddles || delta != nil {
+		t.Fatalf("reset-during-straddle: delta=%v reset=%v from=%d straddles=%v", delta, reset, from, straddles)
+	}
+	if !primed {
+		t.Fatalf("reset window must still report primed=true (a baseline existed)")
+	}
+	// The reset snapshot re-baselined under epoch 2: the next window is
+	// clean with no residual straddle.
+	delta, reset, primed, from, straddles = tr.AdvanceEpoch(sw, map[int]uint64{1: 12})
+	if reset || !primed || straddles || from != 2 || delta[1] != 5 {
+		t.Fatalf("post-reset window: delta=%v reset=%v from=%d straddles=%v", delta, reset, from, straddles)
+	}
+}
+
+func TestDeltaTrackerForgetThenSameEpochReprime(t *testing.T) {
+	tr := NewDeltaTracker()
+	const sw = topo.SwitchID(6)
+	tr.SetEpoch(3)
+	tr.AdvanceEpoch(sw, map[int]uint64{1: 10})
+	if !tr.Primed(sw) {
+		t.Fatal("not primed after first observation")
+	}
+	tr.Forget(sw)
+	if tr.Primed(sw) {
+		t.Fatal("still primed after Forget")
+	}
+	// Re-prime within the same epoch: the first advance establishes a
+	// baseline only; the second must difference against the re-primed
+	// snapshot (not the pre-Forget one) and must not straddle.
+	if delta, _, primed, _, _ := tr.AdvanceEpoch(sw, map[int]uint64{1: 50}); primed || delta != nil {
+		t.Fatalf("re-prime produced a delta: %v primed=%v", delta, primed)
+	}
+	delta, reset, primed, from, straddles := tr.AdvanceEpoch(sw, map[int]uint64{1: 60})
+	if !primed || reset || straddles || from != 3 || delta[1] != 10 {
+		t.Fatalf("post-reprime window: delta=%v reset=%v from=%d straddles=%v", delta, reset, from, straddles)
+	}
+}
+
+func TestDeltaTrackerDuplicateAndNonMonotonicPushes(t *testing.T) {
+	tr := NewDeltaTracker()
+	const sw = topo.SwitchID(7)
+	tr.Advance(sw, map[int]uint64{1: 100, 2: 5})
+	// A duplicate push (identical cumulative snapshot) is NOT a reset —
+	// no counter went backwards — and yields an all-zero delta.
+	delta, reset, primed := tr.Advance(sw, map[int]uint64{1: 100, 2: 5})
+	if reset || !primed || delta[1] != 0 || delta[2] != 0 {
+		t.Fatalf("duplicate push: delta=%v reset=%v", delta, reset)
+	}
+	// One counter advancing while another goes backwards is a reset:
+	// mixed-direction movement means the snapshot generations straddle a
+	// reboot and nothing in the window is trustworthy.
+	delta, reset, primed = tr.Advance(sw, map[int]uint64{1: 130, 2: 2})
+	if !reset || !primed || delta != nil {
+		t.Fatalf("non-monotonic push: delta=%v reset=%v primed=%v", delta, reset, primed)
+	}
+	// The non-monotonic snapshot re-baselined; monotonic growth from it
+	// flows normally, and a rule absent from the new snapshot drops out.
+	delta, reset, primed = tr.Advance(sw, map[int]uint64{1: 140})
+	if reset || !primed || delta[1] != 10 {
+		t.Fatalf("post-reset push: delta=%v reset=%v", delta, reset)
+	}
+	if _, dropped := delta[2]; dropped {
+		t.Fatalf("deleted rule kept a delta row: %v", delta)
+	}
+}

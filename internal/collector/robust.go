@@ -301,54 +301,65 @@ type pollOutcome struct {
 	probeOK  bool
 }
 
-// Poll runs one collection period: probes, polls, retries, state
-// transitions and delta computation. It errors only when the context is
-// cancelled or the collector has no switches; per-switch failures are
-// reported through PollResult.Missing.
-func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
-	rc.mu.Lock()
-	if len(rc.clients) == 0 {
-		rc.mu.Unlock()
-		return PollResult{}, errors.New("collector: no switches to poll")
-	}
-	rc.metrics.Periods++
-	period := rc.metrics.Periods
-	type plan struct {
-		sw     topo.SwitchID
-		client StatsClient
-		probe  bool // quarantined: echo first, poll only if it succeeds
-	}
-	var plans []plan
+// pollPlan is one switch's assignment for the concurrent fetch phase.
+type pollPlan struct {
+	sw     topo.SwitchID
+	client StatsClient
+	probe  bool // quarantined: echo first, poll only if it succeeds
+}
+
+// planLocked selects the switches to contact this period, advancing
+// quarantine probe cadence. due restricts the plan to a subset (nil =
+// every switch); switches outside due are untouched — no health
+// transition, no probe-cadence tick. Caller holds rc.mu.
+func (rc *RobustCollector) planLocked(due map[topo.SwitchID]bool) []pollPlan {
+	var plans []pollPlan
 	for _, sw := range rc.order {
+		if due != nil && !due[sw] {
+			continue
+		}
 		st := rc.state[sw]
 		if st.health == Quarantined {
 			st.sinceProbe++
 			if st.sinceProbe >= rc.cfg.ProbeEvery {
 				st.sinceProbe = 0
-				plans = append(plans, plan{sw: sw, client: rc.clients[sw], probe: true})
+				plans = append(plans, pollPlan{sw: sw, client: rc.clients[sw], probe: true})
 			}
 			continue
 		}
-		plans = append(plans, plan{sw: sw, client: rc.clients[sw]})
+		plans = append(plans, pollPlan{sw: sw, client: rc.clients[sw]})
 	}
-	cfg := rc.cfg
-	sleep := rc.sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
-	now := rc.now
-	if now == nil {
-		now = time.Now
-	}
-	rc.mu.Unlock()
+	return plans
+}
 
-	start := now()
+// ctxSleep waits d before a retry, returning early (false) when ctx is
+// cancelled — a Serve shutdown must not be delayed by an in-flight
+// backoff wait. hook substitutes the wait in tests.
+func ctxSleep(ctx context.Context, d time.Duration, hook func(time.Duration)) bool {
+	if hook != nil {
+		hook(d)
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// fetchOutcomes runs the concurrent phase: every planned switch is
+// probed/polled under per-request deadlines with bounded retries.
+// Backoff waits between retries abort promptly on ctx cancellation.
+func fetchOutcomes(ctx context.Context, cfg RobustConfig, plans []pollPlan, period uint64, sleep func(time.Duration)) map[topo.SwitchID]*pollOutcome {
 	outcomes := make(map[topo.SwitchID]*pollOutcome, len(plans))
 	var outMu sync.Mutex
 	var wg sync.WaitGroup
 	for _, p := range plans {
 		wg.Add(1)
-		go func(p plan) {
+		go func(p pollPlan) {
 			defer wg.Done()
 			o := &pollOutcome{probed: p.probe}
 			// Per-goroutine jitter source: deterministic under the seed,
@@ -372,8 +383,11 @@ func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
 			}
 			for attempt := 0; attempt < cfg.Attempts; attempt++ {
 				if attempt > 0 {
+					if !ctxSleep(ctx, backoff(cfg, attempt-1, rng), sleep) {
+						o.err = ctx.Err()
+						break // cancelled mid-backoff; stop retrying
+					}
 					o.retries++
-					sleep(backoff(cfg, attempt-1, rng))
 				}
 				reqCtx, cancel := context.WithTimeout(ctx, cfg.Deadline)
 				reply, err := p.client.FlowStatsContext(reqCtx)
@@ -397,23 +411,47 @@ func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
 		}(p)
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return PollResult{}, fmt.Errorf("collector: poll cancelled: %w", err)
-	}
+	return outcomes
+}
 
-	// Merge phase: deterministic, in ascending switch order.
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	prev := rc.metrics // diffed into telemetry after the merge
-	res := PollResult{Deltas: make(map[int]uint64), Epoch: rc.deltas.Epoch()}
-	owner := make(map[int]topo.SwitchID)
-	dupSeen := make(map[int]bool)
+// switchDisposition classifies one switch's round outcome after health
+// bookkeeping.
+type switchDisposition int
+
+const (
+	// dispSkipped: quarantined and not due for a probe — no contact was
+	// attempted, so there is no new baseline gap.
+	dispSkipped switchDisposition = iota
+	// dispFailed: the probe or poll failed; the delta baseline was
+	// forgotten (a delta across the gap would span several periods).
+	dispFailed
+	// dispOK: a usable cumulative counter snapshot arrived.
+	dispOK
+)
+
+// absorbed is one switch's post-bookkeeping round outcome.
+type absorbed struct {
+	sw         topo.SwitchID
+	disp       switchDisposition
+	reinstated bool
+	counters   map[int]uint64 // cumulative snapshot, dispOK only
+}
+
+// absorbLocked folds fetch outcomes into the health state machine and
+// operational metrics, in ascending switch order, and returns each
+// considered switch's disposition plus its raw cumulative snapshot.
+// due restricts the walk (nil = every switch). Caller holds rc.mu.
+func (rc *RobustCollector) absorbLocked(outcomes map[topo.SwitchID]*pollOutcome, due map[topo.SwitchID]bool) []absorbed {
+	var out []absorbed
 	for _, sw := range rc.order {
+		if due != nil && !due[sw] {
+			continue
+		}
 		st := rc.state[sw]
 		o, polled := outcomes[sw]
 		if !polled {
 			// Quarantined and not due for a probe this period.
-			res.Missing = append(res.Missing, sw)
+			out = append(out, absorbed{sw: sw, disp: dispSkipped})
 			continue
 		}
 		rc.metrics.Requests += o.requests
@@ -423,7 +461,7 @@ func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
 			rc.metrics.Probes++
 			if !o.probeOK {
 				// Probe failed; stay quarantined, wait out another window.
-				res.Missing = append(res.Missing, sw)
+				out = append(out, absorbed{sw: sw, disp: dispFailed})
 				continue
 			}
 		}
@@ -438,7 +476,7 @@ func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
 			st.fails++
 			if st.health == Quarantined {
 				// Probe passed but the poll failed: not reinstated.
-				res.Missing = append(res.Missing, sw)
+				out = append(out, absorbed{sw: sw, disp: dispFailed})
 				continue
 			}
 			if st.fails >= rc.cfg.QuarantineAfter {
@@ -448,38 +486,97 @@ func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
 			} else {
 				st.health = Degraded
 			}
-			res.Missing = append(res.Missing, sw)
+			out = append(out, absorbed{sw: sw, disp: dispFailed})
 			continue
 		}
+		a := absorbed{sw: sw, disp: dispOK}
 		if st.health == Quarantined {
 			st.health = Degraded
 			rc.metrics.Reinstatements++
-			res.Reinstated = append(res.Reinstated, sw)
+			a.reinstated = true
 		} else {
 			st.health = Healthy
 		}
 		st.fails = 0
-		cur := make(map[int]uint64, len(o.reply.Stats))
+		a.counters = make(map[int]uint64, len(o.reply.Stats))
 		for _, s := range o.reply.Stats {
-			cur[s.RuleID] = s.Packets
+			a.counters[s.RuleID] = s.Packets
 		}
-		delta, reset, primed, fromEpoch, straddles := rc.deltas.AdvanceEpoch(sw, cur)
+		out = append(out, a)
+	}
+	return out
+}
+
+// quarantinedLocked counts quarantined switches. Caller holds rc.mu.
+func (rc *RobustCollector) quarantinedLocked() int {
+	n := 0
+	for _, sw := range rc.order {
+		if rc.state[sw].health == Quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// Poll runs one collection period: probes, polls, retries, state
+// transitions and delta computation. It errors only when the context is
+// cancelled or the collector has no switches; per-switch failures are
+// reported through PollResult.Missing.
+func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
+	rc.mu.Lock()
+	if len(rc.clients) == 0 {
+		rc.mu.Unlock()
+		return PollResult{}, errors.New("collector: no switches to poll")
+	}
+	rc.metrics.Periods++
+	period := rc.metrics.Periods
+	plans := rc.planLocked(nil)
+	cfg := rc.cfg
+	sleep := rc.sleep
+	now := rc.now
+	if now == nil {
+		now = time.Now
+	}
+	rc.mu.Unlock()
+
+	start := now()
+	outcomes := fetchOutcomes(ctx, cfg, plans, period, sleep)
+	if err := ctx.Err(); err != nil {
+		return PollResult{}, fmt.Errorf("collector: poll cancelled: %w", err)
+	}
+
+	// Merge phase: deterministic, in ascending switch order.
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	prev := rc.metrics // diffed into telemetry after the merge
+	res := PollResult{Deltas: make(map[int]uint64), Epoch: rc.deltas.Epoch()}
+	owner := make(map[int]topo.SwitchID)
+	dupSeen := make(map[int]bool)
+	for _, a := range rc.absorbLocked(outcomes, nil) {
+		if a.disp != dispOK {
+			res.Missing = append(res.Missing, a.sw)
+			continue
+		}
+		if a.reinstated {
+			res.Reinstated = append(res.Reinstated, a.sw)
+		}
+		delta, reset, primed, fromEpoch, straddles := rc.deltas.AdvanceEpoch(a.sw, a.counters)
 		if straddles {
 			if res.Straddled == nil {
 				res.Straddled = make(map[topo.SwitchID]uint64)
 			}
-			res.Straddled[sw] = fromEpoch
+			res.Straddled[a.sw] = fromEpoch
 		}
 		if reset {
 			rc.metrics.Resets++
-			res.Resets = append(res.Resets, sw)
-			res.Missing = append(res.Missing, sw)
+			res.Resets = append(res.Resets, a.sw)
+			res.Missing = append(res.Missing, a.sw)
 			continue
 		}
 		if !primed {
 			// First observation (startup or post-quarantine): baseline
 			// only; usable deltas start next period.
-			res.Missing = append(res.Missing, sw)
+			res.Missing = append(res.Missing, a.sw)
 			continue
 		}
 		for rid, v := range delta {
@@ -493,7 +590,7 @@ func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
 				}
 				continue
 			}
-			owner[rid] = sw
+			owner[rid] = a.sw
 			res.Deltas[rid] = v
 		}
 	}
@@ -513,13 +610,102 @@ func (rc *RobustCollector) Poll(ctx context.Context) (PollResult, error) {
 		tel.Resets.Add(cur.Resets - prev.Resets)
 		tel.DuplicateRules.Add(cur.DuplicateRules - prev.DuplicateRules)
 		tel.MissingSwitches.Set(float64(len(res.Missing)))
-		quarantined := 0
-		for _, sw := range rc.order {
-			if rc.state[sw].health == Quarantined {
-				quarantined++
+		tel.QuarantinedSwitches.Set(float64(rc.quarantinedLocked()))
+	}
+	return res, nil
+}
+
+// SnapshotResult is one streaming fetch round's raw outcome: cumulative
+// counter snapshots for the switches that answered, with the delta /
+// epoch layer left to the WindowAssembler that consumes them.
+type SnapshotResult struct {
+	// Snapshots holds each answering switch's cumulative rule counters.
+	Snapshots map[topo.SwitchID]map[int]uint64
+	// Failed lists (sorted) switches whose probe or poll failed this
+	// round: their delta baseline now has a gap, so the assembler must
+	// Forget them before their next push.
+	Failed []topo.SwitchID
+	// Skipped lists (sorted) quarantined switches that were not due for
+	// a probe: no contact was attempted and no new gap opened.
+	Skipped []topo.SwitchID
+	// Reinstated lists switches brought back from quarantine this round.
+	Reinstated []topo.SwitchID
+	// Elapsed is the wall-clock duration of the round.
+	Elapsed time.Duration
+}
+
+// PollSnapshots runs one fault-tolerant fetch round restricted to the
+// due switches (nil = all) and returns raw cumulative snapshots instead
+// of windowed deltas — the pump half of the streaming ingestion path.
+// The full health machinery applies exactly as in Poll (deadlines,
+// retries with context-aware backoff, quarantine and reinstatement
+// probes); only the delta/epoch layer is skipped, because a streaming
+// WindowAssembler owns its own DeltaTracker. Switches outside due are
+// left untouched: no health transition and no probe-cadence tick, so an
+// adaptive sampler backing off a switch does not distort its health.
+func (rc *RobustCollector) PollSnapshots(ctx context.Context, due []topo.SwitchID) (SnapshotResult, error) {
+	rc.mu.Lock()
+	if len(rc.clients) == 0 {
+		rc.mu.Unlock()
+		return SnapshotResult{}, errors.New("collector: no switches to poll")
+	}
+	var dueSet map[topo.SwitchID]bool
+	if due != nil {
+		dueSet = make(map[topo.SwitchID]bool, len(due))
+		for _, sw := range due {
+			if _, ok := rc.clients[sw]; ok {
+				dueSet[sw] = true
 			}
 		}
-		tel.QuarantinedSwitches.Set(float64(quarantined))
+	}
+	rc.metrics.Periods++
+	period := rc.metrics.Periods
+	plans := rc.planLocked(dueSet)
+	cfg := rc.cfg
+	sleep := rc.sleep
+	now := rc.now
+	if now == nil {
+		now = time.Now
+	}
+	rc.mu.Unlock()
+
+	start := now()
+	outcomes := fetchOutcomes(ctx, cfg, plans, period, sleep)
+	if err := ctx.Err(); err != nil {
+		return SnapshotResult{}, fmt.Errorf("collector: poll cancelled: %w", err)
+	}
+
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	prev := rc.metrics
+	res := SnapshotResult{Snapshots: make(map[topo.SwitchID]map[int]uint64)}
+	for _, a := range rc.absorbLocked(outcomes, dueSet) {
+		switch a.disp {
+		case dispSkipped:
+			res.Skipped = append(res.Skipped, a.sw)
+		case dispFailed:
+			res.Failed = append(res.Failed, a.sw)
+		case dispOK:
+			if a.reinstated {
+				res.Reinstated = append(res.Reinstated, a.sw)
+			}
+			res.Snapshots[a.sw] = a.counters
+		}
+	}
+	res.Elapsed = now().Sub(start)
+	rc.metrics.LastElapsed = res.Elapsed
+	if tel := rc.tel; tel != nil {
+		cur := rc.metrics
+		tel.PollSeconds.Observe(res.Elapsed.Seconds())
+		tel.Requests.Add(cur.Requests - prev.Requests)
+		tel.Retries.Add(cur.Retries - prev.Retries)
+		tel.Timeouts.Add(cur.Timeouts - prev.Timeouts)
+		tel.Failures.Add(cur.Failures - prev.Failures)
+		tel.Probes.Add(cur.Probes - prev.Probes)
+		tel.Quarantines.Add(cur.Quarantines - prev.Quarantines)
+		tel.Reinstatements.Add(cur.Reinstatements - prev.Reinstatements)
+		tel.MissingSwitches.Set(float64(len(res.Failed) + len(res.Skipped)))
+		tel.QuarantinedSwitches.Set(float64(rc.quarantinedLocked()))
 	}
 	return res, nil
 }

@@ -1,0 +1,264 @@
+package collector
+
+import (
+	"sort"
+	"sync"
+
+	"foces/internal/topo"
+)
+
+// SamplerConfig tunes the adaptive per-switch sampler. The zero value
+// selects conservative defaults.
+type SamplerConfig struct {
+	// StableAfter is how many consecutive clean contributing windows a
+	// switch needs before its sampling interval doubles; zero selects 4.
+	StableAfter int
+	// MaxInterval caps a switch's sampling interval in windows (1 =
+	// every window); zero selects 8.
+	MaxInterval int
+	// MaxBackedOffFrac caps the fraction of switches backed off at once.
+	// A backed-off switch's rows are masked out of detection between its
+	// samples, so without a cap a quiet network would degrade detection
+	// to an empty equation system. Zero selects 0.5.
+	MaxBackedOffFrac float64
+	// DriftFactor tightens a backed-off switch whose probed per-window
+	// counter rate deviates from its last clean rate by more than this
+	// factor (in either direction); zero selects 2.0.
+	DriftFactor float64
+}
+
+func (c SamplerConfig) withDefaults() SamplerConfig {
+	if c.StableAfter <= 0 {
+		c.StableAfter = 4
+	}
+	if c.MaxInterval <= 0 {
+		c.MaxInterval = 8
+	}
+	if c.MaxBackedOffFrac <= 0 {
+		c.MaxBackedOffFrac = 0.5
+	}
+	if c.DriftFactor <= 0 {
+		c.DriftFactor = 2.0
+	}
+	return c
+}
+
+// samplerState is one switch's slot in the sampler.
+type samplerState struct {
+	interval    int     // windows between samples; 1 = every window
+	clean       int     // consecutive clean contributing windows
+	sinceSample int     // windows since the switch was last due
+	rate        float64 // last accepted per-window total counter delta
+	hasRate     bool
+}
+
+// SamplerStats is a snapshot of the sampler for /status.
+type SamplerStats struct {
+	// Switches is the number of switches under adaptive sampling.
+	Switches int `json:"switches"`
+	// BackedOff is how many switches currently sample less often than
+	// every window.
+	BackedOff int `json:"backedOff"`
+	// MaxInterval is the largest per-switch interval in effect.
+	MaxInterval int `json:"maxInterval"`
+	// Tightened counts suspect-driven interval resets so far.
+	Tightened uint64 `json:"tightened"`
+	// Drifts counts probe-rate drifts that forced a switch back to
+	// every-window sampling.
+	Drifts uint64 `json:"drifts"`
+}
+
+// AdaptiveSampler tunes per-switch sampling rates from detection
+// feedback: switches whose windows stay clean back off exponentially
+// (their counters are probed every interval-th window and their rows
+// masked in between), while suspects flagged by a Report — or probes
+// whose counter rate drifts — tighten back to every-window sampling
+// immediately. This closes the feedback edge from detection back into
+// collection: collection effort concentrates where the residuals say
+// the anomalies are.
+//
+// Safe for concurrent use.
+type AdaptiveSampler struct {
+	mu    sync.Mutex
+	cfg   SamplerConfig
+	order []topo.SwitchID
+	state map[topo.SwitchID]*samplerState
+	stats SamplerStats
+}
+
+// NewAdaptiveSampler builds a sampler over the given switch set; every
+// switch starts at every-window sampling.
+func NewAdaptiveSampler(switches []topo.SwitchID, cfg SamplerConfig) *AdaptiveSampler {
+	s := &AdaptiveSampler{
+		cfg:   cfg.withDefaults(),
+		state: make(map[topo.SwitchID]*samplerState, len(switches)),
+	}
+	for _, sw := range switches {
+		if _, dup := s.state[sw]; dup {
+			continue
+		}
+		s.state[sw] = &samplerState{interval: 1}
+		s.order = append(s.order, sw)
+	}
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	return s
+}
+
+// Plan advances every switch's sampling clock by one window and returns
+// the (sorted) switches due to contribute to it. A switch at interval 1
+// is always due; a backed-off switch is due every interval-th window.
+func (s *AdaptiveSampler) Plan() []topo.SwitchID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var due []topo.SwitchID
+	for _, sw := range s.order {
+		st := s.state[sw]
+		st.sinceSample++
+		if st.sinceSample >= st.interval {
+			st.sinceSample = 0
+			due = append(due, sw)
+		}
+	}
+	return due
+}
+
+// Observe feeds one completed window's outcome back into the sampler:
+// per-switch clean contribution totals, multi-window probe samples, and
+// the detection verdict. Suspects tighten to every-window sampling;
+// stable switches earn longer intervals (subject to the backed-off
+// cap); drifting probes tighten.
+func (s *AdaptiveSampler) Observe(contributed map[topo.SwitchID]uint64, probes map[topo.SwitchID]ProbeSample, anomalous bool, suspects []topo.SwitchID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if anomalous {
+		// An anomalous window invalidates every stability streak: the
+		// residual blame may be misattributed while rows are masked.
+		for _, st := range s.state {
+			st.clean = 0
+		}
+		for _, sw := range suspects {
+			if st, ok := s.state[sw]; ok && st.interval > 1 {
+				s.stats.Tightened++
+				s.tightenLocked(st)
+			} else if ok {
+				st.clean = 0
+			}
+		}
+	}
+	for sw, total := range contributed {
+		st, ok := s.state[sw]
+		if !ok {
+			continue
+		}
+		st.rate, st.hasRate = float64(total), true
+		if anomalous || st.interval > 1 {
+			continue
+		}
+		st.clean++
+		if st.clean >= s.cfg.StableAfter && s.backoffAllowedLocked(st) {
+			st.interval = minInt(st.interval*2, s.cfg.MaxInterval)
+			st.clean = 0
+		}
+	}
+	for sw, p := range probes {
+		st, ok := s.state[sw]
+		if !ok || p.Span == 0 {
+			continue
+		}
+		perWin := float64(p.Total) / float64(p.Span)
+		if st.hasRate && s.drifted(st.rate, perWin) {
+			s.stats.Drifts++
+			s.tightenLocked(st)
+			continue
+		}
+		st.rate, st.hasRate = perWin, true
+		if !anomalous {
+			st.interval = minInt(st.interval*2, s.cfg.MaxInterval)
+		}
+	}
+}
+
+// Tighten forces the given switches back to every-window sampling, e.g.
+// when a consumer has out-of-band evidence against them.
+func (s *AdaptiveSampler) Tighten(switches ...topo.SwitchID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sw := range switches {
+		if st, ok := s.state[sw]; ok && st.interval > 1 {
+			s.stats.Tightened++
+			s.tightenLocked(st)
+		}
+	}
+}
+
+// tightenLocked resets one switch to every-window sampling. The delta
+// baseline stays continuous across a tighten — the switch's very next
+// single-window delta is immediately usable, no re-prime needed.
+func (s *AdaptiveSampler) tightenLocked(st *samplerState) {
+	st.interval = 1
+	st.clean = 0
+	st.sinceSample = 0
+}
+
+// backoffAllowedLocked checks the masked-fraction cap before promoting
+// one more switch out of every-window sampling.
+func (s *AdaptiveSampler) backoffAllowedLocked(st *samplerState) bool {
+	if st.interval > 1 {
+		return true // already backed off; doubling changes no count
+	}
+	backedOff := 0
+	for _, other := range s.state {
+		if other.interval > 1 {
+			backedOff++
+		}
+	}
+	return float64(backedOff+1) <= s.cfg.MaxBackedOffFrac*float64(len(s.state))
+}
+
+// drifted reports whether a probed per-window rate deviates from the
+// last accepted rate by more than DriftFactor in either direction.
+func (s *AdaptiveSampler) drifted(rate, probed float64) bool {
+	if rate == 0 {
+		return probed > 0
+	}
+	ratio := probed / rate
+	return ratio > s.cfg.DriftFactor || ratio*s.cfg.DriftFactor < 1
+}
+
+// Interval reports a switch's current sampling interval (0 if unknown).
+func (s *AdaptiveSampler) Interval(sw topo.SwitchID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.state[sw]; ok {
+		return st.interval
+	}
+	return 0
+}
+
+// Stats returns a snapshot of the sampler's state.
+func (s *AdaptiveSampler) Stats() SamplerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.Switches = len(s.state)
+	out.MaxInterval = 1
+	for _, st := range s.state {
+		if st.interval > 1 {
+			out.BackedOff++
+		}
+		if st.interval > out.MaxInterval {
+			out.MaxInterval = st.interval
+		}
+	}
+	if len(s.state) == 0 {
+		out.MaxInterval = 0
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,210 @@
+package collector
+
+import (
+	"reflect"
+	"testing"
+
+	"foces/internal/topo"
+)
+
+func observeClean(s *AdaptiveSampler, totals map[topo.SwitchID]uint64) {
+	s.Observe(totals, nil, false, nil)
+}
+
+func TestSamplerBackoffAndPlanCadence(t *testing.T) {
+	s := NewAdaptiveSampler([]topo.SwitchID{1}, SamplerConfig{StableAfter: 2, MaxInterval: 4, MaxBackedOffFrac: 1})
+	for i := 0; i < 2; i++ {
+		if got := s.Plan(); !reflect.DeepEqual(got, []topo.SwitchID{1}) {
+			t.Fatalf("plan %d = %v, want [1]", i, got)
+		}
+		observeClean(s, map[topo.SwitchID]uint64{1: 100})
+	}
+	if iv := s.Interval(1); iv != 2 {
+		t.Fatalf("interval after %d clean windows = %d, want 2", 2, iv)
+	}
+	// At interval 2 the switch is due every other plan.
+	if got := s.Plan(); got != nil {
+		t.Fatalf("backed-off switch due too early: %v", got)
+	}
+	if got := s.Plan(); !reflect.DeepEqual(got, []topo.SwitchID{1}) {
+		t.Fatalf("backed-off switch not due on its interval: %v", got)
+	}
+	st := s.Stats()
+	if st.Switches != 1 || st.BackedOff != 1 || st.MaxInterval != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSamplerCapLimitsBackedOffFraction(t *testing.T) {
+	s := NewAdaptiveSampler([]topo.SwitchID{1, 2, 3, 4}, SamplerConfig{StableAfter: 1, MaxBackedOffFrac: 0.5})
+	s.Plan()
+	// Every switch is simultaneously eligible; the cap lets only half
+	// leave every-window sampling.
+	observeClean(s, map[topo.SwitchID]uint64{1: 10, 2: 10, 3: 10, 4: 10})
+	if st := s.Stats(); st.BackedOff != 2 {
+		t.Fatalf("backed off = %d, want the cap 2 of 4", st.BackedOff)
+	}
+	// Further clean windows cannot push past the cap.
+	s.Plan()
+	observeClean(s, map[topo.SwitchID]uint64{1: 10, 2: 10, 3: 10, 4: 10})
+	if st := s.Stats(); st.BackedOff != 2 {
+		t.Fatalf("cap breached: backed off = %d", st.BackedOff)
+	}
+}
+
+func TestSamplerSuspectTightens(t *testing.T) {
+	s := NewAdaptiveSampler([]topo.SwitchID{1, 2}, SamplerConfig{StableAfter: 1, MaxBackedOffFrac: 0.5})
+	s.Plan()
+	observeClean(s, map[topo.SwitchID]uint64{1: 10, 2: 10})
+	var backedOff topo.SwitchID
+	for _, sw := range []topo.SwitchID{1, 2} {
+		if s.Interval(sw) > 1 {
+			backedOff = sw
+		}
+	}
+	if backedOff == 0 {
+		t.Fatal("no switch backed off")
+	}
+	// An anomalous verdict naming the backed-off switch snaps it back to
+	// every-window sampling.
+	s.Observe(nil, nil, true, []topo.SwitchID{backedOff})
+	if iv := s.Interval(backedOff); iv != 1 {
+		t.Fatalf("suspect interval = %d, want 1", iv)
+	}
+	if st := s.Stats(); st.Tightened != 1 || st.BackedOff != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSamplerAnomalyResetsCleanStreaks(t *testing.T) {
+	s := NewAdaptiveSampler([]topo.SwitchID{1}, SamplerConfig{StableAfter: 2, MaxBackedOffFrac: 1})
+	s.Plan()
+	observeClean(s, map[topo.SwitchID]uint64{1: 10})
+	// One window short of promotion; an anomalous window (suspect or
+	// not) restarts the streak.
+	s.Plan()
+	s.Observe(map[topo.SwitchID]uint64{1: 10}, nil, true, nil)
+	s.Plan()
+	observeClean(s, map[topo.SwitchID]uint64{1: 10})
+	if iv := s.Interval(1); iv != 1 {
+		t.Fatalf("interval = %d, want 1 (streak must restart after anomaly)", iv)
+	}
+	s.Plan()
+	observeClean(s, map[topo.SwitchID]uint64{1: 10})
+	if iv := s.Interval(1); iv != 2 {
+		t.Fatalf("interval = %d, want 2 after a fresh clean streak", iv)
+	}
+}
+
+func TestSamplerProbeDriftTightens(t *testing.T) {
+	s := NewAdaptiveSampler([]topo.SwitchID{1}, SamplerConfig{StableAfter: 1, MaxBackedOffFrac: 1, DriftFactor: 2})
+	s.Plan()
+	observeClean(s, map[topo.SwitchID]uint64{1: 100}) // rate 100, interval 2
+	if iv := s.Interval(1); iv != 2 {
+		t.Fatalf("interval = %d, want 2", iv)
+	}
+	// Probe rate 300/window vs accepted 100: past the 2x drift factor.
+	s.Observe(nil, map[topo.SwitchID]ProbeSample{1: {Total: 600, Span: 2}}, false, nil)
+	if iv := s.Interval(1); iv != 1 {
+		t.Fatalf("drifted probe did not tighten: interval = %d", iv)
+	}
+	if st := s.Stats(); st.Drifts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSamplerSteadyProbeDoublesInterval(t *testing.T) {
+	s := NewAdaptiveSampler([]topo.SwitchID{1}, SamplerConfig{StableAfter: 1, MaxInterval: 8, MaxBackedOffFrac: 1, DriftFactor: 2})
+	s.Plan()
+	observeClean(s, map[topo.SwitchID]uint64{1: 100}) // interval 2
+	// A probe within the drift envelope confirms stability: interval
+	// doubles again, up to the cap.
+	s.Observe(nil, map[topo.SwitchID]ProbeSample{1: {Total: 220, Span: 2}}, false, nil)
+	if iv := s.Interval(1); iv != 4 {
+		t.Fatalf("interval = %d, want 4", iv)
+	}
+	s.Observe(nil, map[topo.SwitchID]ProbeSample{1: {Total: 440, Span: 4}}, false, nil)
+	if iv := s.Interval(1); iv != 8 {
+		t.Fatalf("interval = %d, want 8", iv)
+	}
+	s.Observe(nil, map[topo.SwitchID]ProbeSample{1: {Total: 880, Span: 8}}, false, nil)
+	if iv := s.Interval(1); iv != 8 {
+		t.Fatalf("interval = %d, want the MaxInterval cap 8", iv)
+	}
+}
+
+func TestSamplerTightenAPI(t *testing.T) {
+	s := NewAdaptiveSampler([]topo.SwitchID{1}, SamplerConfig{StableAfter: 1, MaxBackedOffFrac: 1})
+	s.Plan()
+	observeClean(s, map[topo.SwitchID]uint64{1: 10})
+	if iv := s.Interval(1); iv != 2 {
+		t.Fatalf("interval = %d, want 2", iv)
+	}
+	s.Tighten(1)
+	if iv := s.Interval(1); iv != 1 {
+		t.Fatalf("interval after Tighten = %d, want 1", iv)
+	}
+	// The very next plan samples it again.
+	if got := s.Plan(); !reflect.DeepEqual(got, []topo.SwitchID{1}) {
+		t.Fatalf("plan after Tighten = %v", got)
+	}
+}
+
+// TestSamplerAssemblerIntegration wires a sampler into an assembler and
+// checks the full loop: a backed-off switch leaves the due set, its
+// rows go missing, and its eventual multi-window delta surfaces as a
+// probe that feeds back into the sampler.
+func TestSamplerAssemblerIntegration(t *testing.T) {
+	s := NewAdaptiveSampler([]topo.SwitchID{1, 2}, SamplerConfig{StableAfter: 1, MaxInterval: 2, MaxBackedOffFrac: 0.5})
+	a := NewWindowAssembler([]topo.SwitchID{1, 2}, StreamConfig{Sampler: s})
+
+	cum := map[topo.SwitchID]uint64{1: 0, 2: 0}
+	pushDue := func() Window {
+		t.Helper()
+		// Counters accumulate on every switch each window whether or not
+		// it is sampled; only due switches are polled and pushed.
+		for sw := range cum {
+			cum[sw] += 100
+		}
+		for _, sw := range a.Due() {
+			push(t, a, sw, map[int]uint64{int(sw): cum[sw]})
+		}
+		w := nextWindow(t, a)
+		s.Observe(w.Contributed, w.Probes, false, nil)
+		return w
+	}
+
+	pushDue() // window 1: prime
+	pushDue() // window 2: first clean contribution → one switch backs off
+	if st := s.Stats(); st.BackedOff != 1 {
+		t.Fatalf("backed off = %d, want 1", st.BackedOff)
+	}
+	var idle topo.SwitchID
+	for _, sw := range []topo.SwitchID{1, 2} {
+		if s.Interval(sw) > 1 {
+			idle = sw
+		}
+	}
+	// Window 3 was planned when window 2 completed — before the backoff
+	// feedback — so both switches are still due. Window 4 excludes the
+	// backed-off switch; its rows are masked.
+	pushDue()
+	due := a.Due()
+	if len(due) != 1 || due[0] == idle {
+		t.Fatalf("window 4 due = %v, want just the active switch", due)
+	}
+	w := pushDue()
+	if !reflect.DeepEqual(w.Missing, []topo.SwitchID{idle}) {
+		t.Fatalf("window 4 missing = %v, want [%d]", w.Missing, idle)
+	}
+	// Window 5: the backed-off switch is due again; its two-window
+	// delta arrives as a probe, still masked from the equation system.
+	w = pushDue()
+	p, ok := w.Probes[idle]
+	if !ok || p.Span != 2 || p.Total != 200 {
+		t.Fatalf("window 5 probes = %+v", w.Probes)
+	}
+	if _, leaked := w.Deltas[int(idle)]; leaked {
+		t.Fatalf("probe delta leaked into window 5 rows: %v", w.Deltas)
+	}
+}

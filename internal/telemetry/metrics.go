@@ -114,6 +114,39 @@ func NewChurnMetrics(r *Registry) *ChurnMetrics {
 	}
 }
 
+// StreamMetrics instruments the streaming ingestion path: the
+// collector.WindowAssembler's bounded queues and window assembly, the
+// adaptive sampler's masking, and the Serve loop's end-to-end
+// ingest-to-verdict latency.
+type StreamMetrics struct {
+	Pushes               *Counter
+	Updates              *Counter
+	Coalesced            *Counter
+	DroppedUpdates       *Counter
+	DroppedWindows       *Counter
+	Windows              *Counter
+	QueueDepth           *Gauge
+	BackedOffSwitches    *Gauge
+	WindowLagSeconds     *Histogram
+	DetectLatencySeconds *Histogram
+}
+
+// NewStreamMetrics registers the streaming family set.
+func NewStreamMetrics(r *Registry) *StreamMetrics {
+	return &StreamMetrics{
+		Pushes:               r.NewCounter("foces_stream_pushes_total", "Counter snapshots pushed into the window assembler."),
+		Updates:              r.NewCounter("foces_stream_updates_total", "Individual counter entries ingested across pushes."),
+		Coalesced:            r.NewCounter("foces_stream_coalesced_total", "Snapshots coalesced into a newer one at queue capacity."),
+		DroppedUpdates:       r.NewCounter("foces_stream_dropped_updates_total", "Queued snapshots discarded after a collection gap (Forget)."),
+		DroppedWindows:       r.NewCounter("foces_stream_dropped_windows_total", "Completed windows evicted because the consumer fell behind."),
+		Windows:              r.NewCounter("foces_stream_windows_total", "Detection windows completed by the assembler."),
+		QueueDepth:           r.NewGauge("foces_stream_queue_depth", "Counter snapshots currently queued across all switches."),
+		BackedOffSwitches:    r.NewGauge("foces_stream_backed_off_switches", "Switches the adaptive sampler currently samples less than every window."),
+		WindowLagSeconds:     r.NewHistogram("foces_stream_window_lag_seconds", "First-push-to-completion lag per assembled window.", SecondsBuckets),
+		DetectLatencySeconds: r.NewHistogram("foces_stream_detect_latency_seconds", "End-to-end ingest-to-verdict latency per streamed window.", SecondsBuckets),
+	}
+}
+
 // SystemMetrics instruments System.Run.
 type SystemMetrics struct {
 	RunSeconds *HistogramVec // path: clean | missing | reconciled

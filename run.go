@@ -176,6 +176,13 @@ const defaultRecentRuns = 64
 // Run is the supported entry point; the Detect* methods are deprecated
 // wrappers over it.
 func (s *System) Run(obs Observation) (Report, error) {
+	s.baselineMu.RLock()
+	defer s.baselineMu.RUnlock()
+	return s.runLocked(obs)
+}
+
+// runLocked is Run's body; the caller holds baselineMu's read side.
+func (s *System) runLocked(obs Observation) (Report, error) {
 	start := time.Now()
 	rep := Report{Mode: obs.Mode, Epoch: s.Epoch()}
 	if obs.Epoch > rep.Epoch {
@@ -322,6 +329,8 @@ func (s *System) RunBatch(obs []Observation) ([]Report, error) {
 	if len(obs) == 0 {
 		return nil, nil
 	}
+	s.baselineMu.RLock()
+	defer s.baselineMu.RUnlock()
 	epoch := s.Epoch()
 	// Pass 1: gather the batchable clean-path windows, grouped by their
 	// resolved options (ZeroTol defaults are per-window, applied inside
@@ -383,7 +392,7 @@ func (s *System) RunBatch(obs []Observation) ([]Report, error) {
 	reports := make([]Report, len(obs))
 	for i, o := range obs {
 		if !batchable[i] {
-			rep, err := s.Run(o)
+			rep, err := s.runLocked(o) // already under the read lock
 			if err != nil {
 				return nil, fmt.Errorf("foces: batch window %d: %w", i, err)
 			}

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"io"
 	"math/rand"
+	"sync"
 
 	"foces/internal/churn"
 	"foces/internal/controller"
@@ -44,6 +45,13 @@ type System struct {
 	churnMgr  *churn.Manager
 	ruleHash  uint64
 	hashValid bool
+
+	// baselineMu serializes baseline swaps (ObserveUpdate /
+	// RebuildBaseline) against in-flight detections: Serve consumes
+	// windows on its own goroutine, so a churn feed can land while
+	// Run/RunBatch are mid-window. Detections share a read lock —
+	// concurrent Runs against one baseline stay parallel.
+	baselineMu sync.RWMutex
 
 	// opts are the detection options fixed at construction — baked into
 	// the prepared engines and inherited by Run observations that leave
@@ -178,6 +186,8 @@ func (s *System) rebuildBaseline() error {
 // ApplyUpdate for incremental changes: it re-traces only affected
 // sources instead of rebuilding from scratch.
 func (s *System) RebuildBaseline() error {
+	s.baselineMu.Lock()
+	defer s.baselineMu.Unlock()
 	if s.hashValid && s.fcm != nil &&
 		ruleSetHash(s.control.Rules(), s.control.RuleSpace()) == s.ruleHash {
 		return nil
@@ -244,17 +254,14 @@ func (s *System) CounterVector(counters map[int]uint64) ([]float64, error) {
 // fullDetector returns the Algorithm 1 engine for the current epoch.
 // After ApplyUpdate the engine is stale and rebuilt lazily here (the
 // churn manager caches it per epoch), keeping the update path itself
-// free of the O(n³) global factorization.
+// free of the O(n³) global factorization. The manager's cache is the
+// only store — writing a System field here would race with the
+// concurrent detections sharing baselineMu's read side.
 func (s *System) fullDetector() (*Detector, error) {
 	if s.churnMgr == nil {
 		return s.detector, nil
 	}
-	d, err := s.churnMgr.Full()
-	if err != nil {
-		return nil, err
-	}
-	s.detector = d
-	return d, nil
+	return s.churnMgr.Full()
 }
 
 // Detect runs Algorithm 1 on the counter vector via the prepared
@@ -372,6 +379,8 @@ func (s *System) ApplyUpdate(events []RuleChange) (ChurnUpdate, error) {
 // focesd's flow-mod clients) and only need the baseline to follow.
 // ApplyUpdate is ObserveUpdate plus the table patching.
 func (s *System) ObserveUpdate(events []RuleChange) (ChurnUpdate, error) {
+	s.baselineMu.Lock()
+	defer s.baselineMu.Unlock()
 	u, err := s.churnMgr.Apply(events)
 	if err != nil {
 		return ChurnUpdate{}, err
