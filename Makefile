@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream bench-kernels bench-stream bench-smoke bench
+.PHONY: ci fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse bench-kernels bench-stream bench-sparse bench-smoke bench
 
-ci: fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream bench-kernels bench-stream bench-smoke
+ci: fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse bench-kernels bench-stream bench-sparse bench-smoke
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -55,6 +55,23 @@ test-kernels:
 # polled-vs-streamed equivalence gates.
 test-stream:
 	$(GO) test -race -count=2 -timeout 180s -run 'Assembler|Sampler|Serve|Stream|PollSnapshots|PollCancelled' ./internal/collector/ ./cmd/focesd/ .
+
+# The sparse direct solver (AMD ordering, symbolic analysis, supernodal
+# factorization, sparse rank-one update/downdate) and the hardened
+# dense factor-maintenance path share poison/fallback semantics with
+# the churn manager: run their regression, property and fuzz-seed tests
+# twice under the race detector.
+test-sparse:
+	$(GO) test -race -count=2 -timeout 180s -run 'Sparse|Update|Downdate|Column|AMD|SymGram|Symbolic|PreparedLS|RankOneRepair' ./internal/matrix/ ./internal/churn/ ./internal/experiment/
+
+# Bench gate for the sparse solver: the sparse experiment must show the
+# dense Gram exceeding the memory budget while the sparse path stays
+# within it, keep sparse and dense verdicts identical with residual
+# deltas <= 1e-12 on every evaluation topology, and not regress the
+# sparse prepare past 1.25x the archived run (results/sparse.json).
+bench-sparse:
+	$(GO) run ./cmd/focesbench -exp sparse -check
+	@test -f results/sparse.json || { echo "bench-sparse: results/sparse.json missing"; exit 1; }
 
 # Bench gate for streaming ingestion: the stream experiment must keep
 # the streamed verdicts byte-identical to the polled path, sustain the

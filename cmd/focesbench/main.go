@@ -49,14 +49,14 @@ type options struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("focesbench", flag.ContinueOnError)
 	opts := options{}
-	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12|loc|coverage|overhead|monitor|churn|telemetry|kernels|stream")
+	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12|loc|coverage|overhead|monitor|churn|telemetry|kernels|stream|sparse")
 	fs.IntVar(&opts.runs, "runs", 0, "observations per point (0 = experiment default)")
 	fs.Int64Var(&opts.seed, "seed", 1, "random seed")
 	fs.StringVar(&opts.csvDir, "csv", "", "directory for CSV output (optional)")
 	flowList := fs.String("flows", "", "comma-separated flow counts for fig12")
 	fs.Uint64Var(&opts.volume, "volume", 1000, "packets per flow per interval")
-	fs.StringVar(&opts.topo, "topo", "", "topology override for the kernels experiment (default fattree8)")
-	fs.BoolVar(&opts.check, "check", false, "kernels/stream: exit non-zero on equivalence failure or performance regression")
+	fs.StringVar(&opts.topo, "topo", "", "topology override for the kernels/sparse experiments")
+	fs.BoolVar(&opts.check, "check", false, "kernels/stream/sparse: exit non-zero on equivalence failure or performance regression")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +90,7 @@ func run(args []string, out io.Writer) error {
 		"telemetry": runTelemetry,    // hot-path cost of the metrics instrumentation
 		"kernels":   runKernels,      // parallel blocked kernels vs serial reference
 		"stream":    runStreamBench,  // streaming ingestion: equivalence, latency tail, load
+		"sparse":    runSparse,       // sparse Cholesky vs dense: memory wall, equivalence
 	}
 	if opts.exp == "all" {
 		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig12", "loc", "coverage", "overhead", "monitor", "churn", "telemetry", "kernels"} {
@@ -627,6 +628,85 @@ func runStreamBench(opts options, out io.Writer) error {
 		if havePrev && res.P99LatencyMs > prev.P99LatencyMs*3 {
 			return fmt.Errorf("stream check: p99 ingest-to-verdict latency %.3fms regressed past previous %.3fms x3",
 				res.P99LatencyMs, prev.P99LatencyMs)
+		}
+	}
+	return nil
+}
+
+// runSparse exercises the sparse Cholesky solver: a scale arm on a
+// topology whose dense Gram exceeds the memory budget (prepared
+// sparse-only, with peak heap sampled) and an equivalence arm that
+// prepares every evaluation topology through both paths and compares
+// verdicts and residual norms window by window. The result is always
+// archived as results/sparse.json; with -check the run fails unless
+// the dense Gram really exceeds the budget, the sparse peak stays
+// within it, verdicts match with residual deltas <= 1e-12, and the
+// sparse prepare has not regressed past 1.25x the previously archived
+// run.
+func runSparse(opts options, out io.Writer) error {
+	cfg := experiment.SparseConfig{Topology: opts.topo, Seed: opts.seed}
+	if opts.runs > 0 {
+		cfg.Windows = opts.runs
+	}
+	if len(opts.flows) > 0 {
+		cfg.GroupSize = opts.flows[0]
+	}
+	resultPath := filepath.Join("results", "sparse.json")
+	var prev experiment.SparseResult
+	havePrev := false
+	if blob, err := os.ReadFile(resultPath); err == nil {
+		if json.Unmarshal(blob, &prev) == nil && prev.PrepareSecs > 0 && prev.Topology == cfg.Topology {
+			havePrev = true
+		}
+	}
+	res, err := experiment.Sparse(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n== sparse: direct solver on %s, hosts=%d group=%d H=%dx%d GOMAXPROCS=%d ==\n",
+		res.Topology, res.Hosts, res.GroupSize, res.Rows, res.Cols, res.GoMaxProcs)
+	fmt.Fprintf(out, "gram: %d nnz (density %.4f), factor %d nnz (fill %.2fx)\n",
+		res.GramNNZ, res.GramDensity, res.FactorNNZ, res.FillRatio)
+	fmt.Fprintf(out, "memory: dense Gram would need %.0f MiB (budget %.0f MiB, exceeds: %v); sparse peak heap %.0f MiB (within: %v)\n",
+		float64(res.DenseGramBytes)/(1<<20), float64(res.BudgetBytes)/(1<<20), res.DenseExceedsBudget,
+		float64(res.PeakHeapBytes)/(1<<20), res.SparseWithinBudget)
+	fmt.Fprintf(out, "prepare: %.3fs total (gram %.3fs, ordering %.3fs, symbolic %.3fs, numeric %.3fs)\n",
+		res.PrepareSecs, res.GramSecs, res.OrderingSecs, res.SymbolicSecs, res.NumericSecs)
+	fmt.Fprintf(out, "detect: %.2fms/window over %d windows; clean anomalous: %v, tampered anomalous: %v\n",
+		res.SolveNsPerWindow/1e6, res.Windows, res.CleanAnomalous, res.TamperedAnomalous)
+	for _, eq := range res.Equiv {
+		fmt.Fprintf(out, "equivalence %-10s H=%dx%d density %.4f: sparse-backed %v, verdicts match %v, max residual delta %.2e\n",
+			eq.Topology, eq.Rows, eq.Cols, eq.GramDensity, eq.SparseBacked, eq.VerdictsMatch, eq.MaxResidualDelta)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(resultPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	if opts.check {
+		if !res.DenseExceedsBudget {
+			return fmt.Errorf("sparse check: dense Gram %d bytes does not exceed the %d-byte budget — scale the topology up",
+				res.DenseGramBytes, res.BudgetBytes)
+		}
+		if !res.SparseWithinBudget {
+			return fmt.Errorf("sparse check: peak heap %d bytes exceeded the %d-byte budget", res.PeakHeapBytes, res.BudgetBytes)
+		}
+		if !res.VerdictsMatch {
+			return fmt.Errorf("sparse check: sparse and dense verdicts diverged")
+		}
+		if res.MaxResidualDelta > 1e-12 {
+			return fmt.Errorf("sparse check: residual delta %.3e exceeds 1e-12", res.MaxResidualDelta)
+		}
+		if res.CleanAnomalous || !res.TamperedAnomalous {
+			return fmt.Errorf("sparse check: scale-arm verdicts wrong (clean=%v tampered=%v)", res.CleanAnomalous, res.TamperedAnomalous)
+		}
+		if havePrev && res.PrepareSecs > prev.PrepareSecs*1.25 {
+			return fmt.Errorf("sparse check: prepare %.3fs regressed past previous %.3fs x1.25", res.PrepareSecs, prev.PrepareSecs)
 		}
 	}
 	return nil

@@ -96,13 +96,25 @@ func run(args []string, out io.Writer) error {
 	interval := fs.Duration("interval", 0, "sleep between detection periods, like a real collection interval (0 = run flat out)")
 	kernelWorkers := fs.Int("kernel-workers", 0, "worker count for the parallel baseline-preparation kernels (0 = GOMAXPROCS)")
 	kernelBlock := fs.Int("kernel-block", 0, "block size for the blocked Cholesky factorization (0 = built-in default)")
+	solver := fs.String("solver", "auto", "normal-equations backend: auto (density-based), sparse (force sparse Cholesky), dense (force dense)")
 	stream := fs.Bool("stream", false, "run the continuous streaming mode (push-driven windows through System.Serve) instead of the pull-poll loop")
 	sample := fs.Bool("sample", false, "with -stream: enable the adaptive per-switch sampler (back off stable switches, tighten suspects)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *kernelWorkers != 0 || *kernelBlock != 0 {
-		foces.SetKernelDefaults(foces.KernelOptions{Workers: *kernelWorkers, BlockSize: *kernelBlock})
+	var sparseMode foces.SparseMode
+	switch *solver {
+	case "auto":
+		sparseMode = foces.SparseAuto
+	case "sparse":
+		sparseMode = foces.SparseAlways
+	case "dense":
+		sparseMode = foces.SparseNever
+	default:
+		return fmt.Errorf("bad -solver %q: want auto, sparse or dense", *solver)
+	}
+	if *kernelWorkers != 0 || *kernelBlock != 0 || sparseMode != foces.SparseAuto {
+		foces.SetKernelDefaults(foces.KernelOptions{Workers: *kernelWorkers, BlockSize: *kernelBlock, Sparse: sparseMode})
 	}
 
 	t, err := topo.ByName(*topoName)

@@ -178,8 +178,12 @@ type (
 	// Solver selects the least-squares backend.
 	Solver = core.Solver
 	// KernelOptions tunes the parallel blocked linear-algebra kernels
-	// (Gram assembly, blocked Cholesky, slice-build fan-out).
+	// (Gram assembly, blocked Cholesky, slice-build fan-out) and the
+	// sparse-vs-dense solver selection.
 	KernelOptions = matrix.KernelOptions
+	// SparseMode selects the normal-equations backend: automatic
+	// density-based selection, forced sparse, or forced dense.
+	SparseMode = matrix.SparseMode
 
 	// RuleChange is one controller rule mutation event.
 	RuleChange = controller.RuleChange
@@ -204,6 +208,16 @@ const (
 	RuleRemoved = controller.RuleRemoved
 	// RuleModified is an in-place rewrite (same switch, same ID).
 	RuleModified = controller.RuleModified
+)
+
+// Sparse solver modes for KernelOptions.Sparse.
+const (
+	// SparseAuto picks sparse or dense from the Gram's size and density.
+	SparseAuto = matrix.SparseAuto
+	// SparseAlways forces the sparse Cholesky path.
+	SparseAlways = matrix.SparseAlways
+	// SparseNever forces the dense path.
+	SparseNever = matrix.SparseNever
 )
 
 // Policy modes.

@@ -10,6 +10,7 @@ import (
 	"foces/internal/fcm"
 	"foces/internal/flowtable"
 	"foces/internal/header"
+	"foces/internal/matrix"
 	"foces/internal/topo"
 )
 
@@ -521,5 +522,56 @@ func TestFullEngineLazy(t *testing.T) {
 	}
 	if got := mgr.Stats().FullRebuilds; got != 2 {
 		t.Fatalf("FullRebuilds = %d after post-update Full(), want 2", got)
+	}
+}
+
+// TestRankOneRepairFailureFallsBackToRefactor pins the hardened repair
+// contract: when downdating the removed rows drives the slice Gram
+// singular, rankOneRepair reports "refactor me" (ok=false, no error)
+// instead of failing the rebuild, and the serving engine's factor is
+// untouched — the failed pass poisoned only the throwaway clone.
+func TestRankOneRepairFailureFallsBackToRefactor(t *testing.T) {
+	hOld, err := matrix.NewCSR(3, 2, []matrix.Triplet{
+		{Row: 0, Col: 0, Val: 1},
+		{Row: 1, Col: 1, Val: 1},
+		{Row: 2, Col: 0, Val: 1}, {Row: 2, Col: 1, Val: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewDetector(hOld, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := &sliceMeta{rows: []int{10, 11, 12}, engine: eng}
+	// Removing rows 10 and 11 leaves only the [1,1] row: the Gram of the
+	// remaining slice is exactly singular, so the second downdate must
+	// fail not-positive-definite.
+	hNew, err := matrix.NewCSR(1, 2, []matrix.Triplet{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := core.Slice{RuleRows: []int{12}, H: hNew}
+	m := &Manager{opts: core.Options{}, cfg: Config{UpdateThreshold: 8}}
+	got, ok, err := m.rankOneRepair(sl, old, []int{10, 11}, nil)
+	if err != nil {
+		t.Fatalf("repair failure must fall back, not error: %v", err)
+	}
+	if ok || got != nil {
+		t.Fatal("singular repair reported success")
+	}
+	// The serving engine still solves: the failed pass never touched it.
+	prep := old.engine.Prepared()
+	if prep == nil {
+		t.Fatal("old engine lost its prepared state")
+	}
+	f := prep.CloneFactor()
+	if f == nil || !f.Valid() {
+		t.Fatal("serving factor poisoned by a clone's failed repair")
+	}
+	if _, err := prep.Solve([]float64{1, 1, 2}); err != nil {
+		t.Fatalf("serving engine no longer solves: %v", err)
 	}
 }

@@ -297,24 +297,39 @@ func (m *Manager) buildSliceEngine(sl core.Slice, uids []uint64, old *sliceMeta)
 			}
 		}
 	}
-	eng, err := core.NewDetector(sl.H, m.opts)
+	// Refactor path. Reusing the previous engine's prepared state lets a
+	// sparse-backed slice whose Gram pattern is unchanged skip ordering
+	// and symbolic analysis.
+	var prev *matrix.PreparedLS
+	if old != nil {
+		prev = old.engine.Prepared()
+	}
+	eng, err := core.NewDetectorReusing(sl.H, m.opts, prev)
 	if err != nil {
 		return nil, sliceRefactored, fmt.Errorf("churn: slice switch %d: %w", sl.Switch, err)
 	}
 	return eng, sliceRefactored, nil
 }
 
-// rankOneRepair advances old's Gram factor to the new slice's by
-// downdating removed rows and updating added ones — O(k·n²) against the
-// O(n³) refactor. Returns ok=false (caller refactors) when the old
-// engine has no usable factor or a downdate leaves the Gram
-// insufficiently positive definite.
+// rankOneRepair advances old's Gram factor (dense or sparse) to the
+// new slice's by downdating removed rows and updating added ones —
+// O(k·n²) dense, O(k·affected-columns) sparse — against the full
+// refactor. Returns ok=false (caller refactors) when the old engine has
+// no usable factor, an update/downdate leaves the Gram insufficiently
+// positive definite, or a sparse update would need fill outside the
+// cached factor pattern. The repair works on a clone, so a failed pass
+// poisons only the throwaway copy — the serving engine is untouched,
+// and NewPreparedLSFromUpdatable additionally refuses to promote any
+// poisoned factor.
 func (m *Manager) rankOneRepair(sl core.Slice, old *sliceMeta, removed, added []int) (*core.Detector, bool, error) {
 	prep := old.engine.Prepared()
 	if prep == nil || sl.H.Cols() == 0 {
 		return nil, false, nil
 	}
-	chol := prep.Factor().Clone()
+	chol := prep.CloneFactor()
+	if chol == nil {
+		return nil, false, nil
+	}
 	row := make([]float64, sl.H.Cols())
 	scatter := func(h *matrix.CSR, i int) int {
 		for j := range row {
@@ -336,12 +351,17 @@ func (m *Manager) rankOneRepair(sl core.Slice, old *sliceMeta, removed, added []
 	for i, rid := range sl.RuleRows {
 		newPos[rid] = i
 	}
+	// Degenerate or fill-inducing deltas are expected churn outcomes that
+	// the refactor path absorbs; only unexpected errors propagate.
+	refactorable := func(err error) bool {
+		return errors.Is(err, matrix.ErrNotPositiveDefinite) || errors.Is(err, matrix.ErrSparseUpdateFill)
+	}
 	for _, rid := range removed {
 		if scatter(oldH, oldPos[rid]) == 0 {
 			continue
 		}
 		if err := chol.Downdate(row); err != nil {
-			if errors.Is(err, matrix.ErrNotPositiveDefinite) {
+			if refactorable(err) {
 				return nil, false, nil
 			}
 			return nil, false, err
@@ -352,10 +372,13 @@ func (m *Manager) rankOneRepair(sl core.Slice, old *sliceMeta, removed, added []
 			continue
 		}
 		if err := chol.Update(row); err != nil {
+			if refactorable(err) {
+				return nil, false, nil
+			}
 			return nil, false, err
 		}
 	}
-	ls, err := matrix.NewPreparedLSFromFactor(sl.H, chol, prep.Ridge())
+	ls, err := matrix.NewPreparedLSFromUpdatable(sl.H, chol, prep.Ridge())
 	if err != nil {
 		return nil, false, err
 	}
@@ -713,7 +736,11 @@ func (m *Manager) fullLocked() (*core.Detector, error) {
 	if m.tel != nil {
 		t0 = time.Now()
 	}
-	d, err := core.NewDetector(m.fcmCur.H, m.opts)
+	var prev *matrix.PreparedLS
+	if m.full != nil {
+		prev = m.full.Prepared() // reuse a matching sparse symbolic analysis
+	}
+	d, err := core.NewDetectorReusing(m.fcmCur.H, m.opts, prev)
 	if err != nil {
 		return nil, fmt.Errorf("churn: full engine: %w", err)
 	}
@@ -722,6 +749,11 @@ func (m *Manager) fullLocked() (*core.Detector, error) {
 		stats := d.PrepareStats()
 		m.tel.PrepareSeconds.With("gram").Observe(stats.Gram.Seconds())
 		m.tel.PrepareSeconds.With("factor").Observe(stats.Factor.Seconds())
+		if stats.Sparse {
+			m.tel.PrepareSeconds.With("ordering").Observe(stats.Ordering.Seconds())
+			m.tel.PrepareSeconds.With("symbolic").Observe(stats.Symbolic.Seconds())
+			m.tel.PrepareSeconds.With("numeric").Observe(stats.Numeric.Seconds())
+		}
 	}
 	if m.det != nil {
 		d.SetTelemetry(m.det, core.EngineFull)

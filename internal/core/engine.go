@@ -44,13 +44,22 @@ type detectScratch struct {
 // call without re-factoring (only the Cholesky factorization is baked
 // in — thresholds and denominators are applied at query time).
 func NewDetector(h *matrix.CSR, opts Options) (*Detector, error) {
+	return NewDetectorReusing(h, opts, nil)
+}
+
+// NewDetectorReusing prepares like NewDetector but hands PrepareLS the
+// previous generation's prepared engine, so a sparse-backed baseline
+// whose Gram pattern is unchanged (value-only churn) skips the
+// fill-reducing ordering and symbolic analysis and reruns only the
+// numeric factorization.
+func NewDetectorReusing(h *matrix.CSR, opts Options, prev *matrix.PreparedLS) (*Detector, error) {
 	d := &Detector{h: h, opts: opts}
 	solver := opts.Solver
 	if solver == 0 {
 		solver = SolverCholesky
 	}
 	if solver == SolverCholesky && h.Rows() > 0 && h.Cols() > 0 {
-		ls, err := matrix.PrepareLS(h, matrix.LeastSquaresOptions{})
+		ls, err := matrix.PrepareLSReusing(h, matrix.LeastSquaresOptions{}, matrix.KernelOptions{}, prev)
 		if err != nil {
 			return nil, fmt.Errorf("core: prepare detector: %w", err)
 		}

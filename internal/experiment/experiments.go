@@ -7,6 +7,7 @@ import (
 
 	"foces/internal/core"
 	"foces/internal/dataplane"
+	"foces/internal/matrix"
 	"foces/internal/stats"
 	"foces/internal/topo"
 )
@@ -450,6 +451,12 @@ func Scaling(cfg ScalingConfig) ([]ScalingPoint, error) {
 		}
 		point := ScalingPoint{Flows: env.FCM.NumFlows(), Rules: env.FCM.NumRules()}
 		point.BaselineSecs = medianSeconds(cfg.Repeats, func() error {
+			// Fig. 12's baseline is the paper's dense O(N³) algorithm;
+			// pin the dense path so the figure keeps measuring it now
+			// that PrepareLS would auto-select the sparse solver at
+			// these sizes (see the sparse experiment for that story).
+			prev := matrix.SetKernelDefaults(matrix.KernelOptions{Sparse: matrix.SparseNever})
+			defer matrix.SetKernelDefaults(prev)
 			_, err := core.Detect(env.FCM.H, y, core.Options{})
 			return err
 		})

@@ -1,0 +1,450 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"foces/internal/controller"
+	"foces/internal/core"
+	"foces/internal/matrix"
+	"foces/internal/topo"
+)
+
+// SparseConfig drives the sparse-solver experiment. It has two arms:
+//
+//   - Scale: a destination-aggregate rule set on a fat-tree large
+//     enough that the dense Gram alone would blow the memory budget,
+//     prepared through the sparse Cholesky path only, with peak heap
+//     sampled throughout.
+//   - Equivalence: every evaluation topology prepared twice — forced
+//     dense and forced sparse — and driven with identical clean and
+//     attacked windows, gating on verdict equality and on the relative
+//     residual-norm delta.
+type SparseConfig struct {
+	// Topology is the scale-arm topology (topo.ByName); zero selects
+	// "fattree16", whose dense Gram at the default group size does not
+	// fit the default budget.
+	Topology string
+	// GroupSize is the service-group width of the scale-arm traffic:
+	// hosts are partitioned into consecutive groups of this size and
+	// every host exchanges traffic with every other member of its
+	// group, under destination-aggregate rules. Bounding the group
+	// bounds how many flows share any one rule, which is what keeps
+	// the Gram (and its factor) sparse while the column count grows as
+	// hosts x (GroupSize-1). Zero selects 32.
+	GroupSize int
+	// Windows is the number of clean observation windows timed through
+	// the sparse engine; zero selects 8.
+	Windows int
+	// BudgetBytes is the memory wall the scale arm is judged against;
+	// zero selects 512 MiB.
+	BudgetBytes int64
+	// EquivTopologies lists the equivalence-arm topologies; nil selects
+	// topo.EvaluationTopologies().
+	EquivTopologies []string
+	// Seed drives traffic randomness.
+	Seed int64
+}
+
+func (c SparseConfig) withDefaults() SparseConfig {
+	if c.Topology == "" {
+		c.Topology = "fattree16"
+	}
+	if c.GroupSize == 0 {
+		c.GroupSize = 32
+	}
+	if c.Windows == 0 {
+		c.Windows = 8
+	}
+	if c.BudgetBytes == 0 {
+		c.BudgetBytes = 512 << 20
+	}
+	if c.EquivTopologies == nil {
+		c.EquivTopologies = topo.EvaluationTopologies()
+	}
+	return c
+}
+
+// SparseEquiv is one equivalence-arm row: the same H and the same
+// windows solved through the forced-dense and forced-sparse paths.
+type SparseEquiv struct {
+	Topology string `json:"topology"`
+	Rows     int    `json:"rows"`
+	Cols     int    `json:"cols"`
+	// GramDensity is (2·nnz(G)−n)/n² of the sparse Gram.
+	GramDensity float64 `json:"gramDensity"`
+	// SparseBacked confirms the forced-sparse arm really took the
+	// sparse path (and the forced-dense arm the dense one).
+	SparseBacked bool `json:"sparseBacked"`
+	// MaxResidualDelta is max over windows of
+	// |‖y−Hx̂_sparse‖ − ‖y−Hx̂_dense‖| / max(1, ‖y‖).
+	MaxResidualDelta float64 `json:"maxResidualDelta"`
+	// VerdictsMatch reports whether both arms agreed on every window's
+	// anomaly verdict (clean and attacked).
+	VerdictsMatch bool `json:"verdictsMatch"`
+}
+
+// SparseResult is the archived output of the sparse experiment
+// (results/sparse.json).
+type SparseResult struct {
+	Topology   string `json:"topology"`
+	Switches   int    `json:"switches"`
+	Hosts      int    `json:"hosts"`
+	GroupSize  int    `json:"groupSize"`
+	Rows       int    `json:"rows"`
+	Cols       int    `json:"cols"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	// GramNNZ and FactorNNZ count stored lower-triangle entries;
+	// FillRatio = FactorNNZ/GramNNZ measures ordering quality.
+	GramNNZ     int     `json:"gramNNZ"`
+	FactorNNZ   int     `json:"factorNNZ"`
+	FillRatio   float64 `json:"fillRatio"`
+	GramDensity float64 `json:"gramDensity"`
+
+	// DenseGramBytes is what the dense path would allocate for the Gram
+	// alone (8n² bytes); the wall the sparse path exists to avoid.
+	DenseGramBytes     int64  `json:"denseGramBytes"`
+	BudgetBytes        int64  `json:"budgetBytes"`
+	DenseExceedsBudget bool   `json:"denseExceedsBudget"`
+	PeakHeapBytes      uint64 `json:"peakHeapBytes"`
+	SparseWithinBudget bool   `json:"sparseWithinBudget"`
+
+	// Prepare-stage decomposition of the sparse path (seconds).
+	GramSecs     float64 `json:"gramSecs"`
+	OrderingSecs float64 `json:"orderingSecs"`
+	SymbolicSecs float64 `json:"symbolicSecs"`
+	NumericSecs  float64 `json:"numericSecs"`
+	PrepareSecs  float64 `json:"prepareSecs"`
+
+	Windows          int     `json:"windows"`
+	SolveNsPerWindow float64 `json:"solveNsPerWindow"`
+	// CleanAnomalous / TamperedAnomalous sanity-check the scale-arm
+	// engine: exact counters must read clean, a skimmed counter must
+	// trip the index.
+	CleanAnomalous    bool `json:"cleanAnomalous"`
+	TamperedAnomalous bool `json:"tamperedAnomalous"`
+
+	Equiv            []SparseEquiv `json:"equiv"`
+	MaxResidualDelta float64       `json:"maxResidualDelta"`
+	VerdictsMatch    bool          `json:"verdictsMatch"`
+}
+
+// groupTrafficH builds a destination-aggregate flow-counter matrix for
+// service-group traffic on t: hosts are partitioned into consecutive
+// groups of size group, and every host sends to every other member of
+// its group. Rules are one row per (switch on some src→dst shortest
+// path, dst host) plus one ingress row per source host. Columns are
+// the intra-group ordered pairs, so cols grows as hosts×(group−1)
+// (past any dense-Gram budget on a big fat-tree) while any single
+// rule is shared by at most group−1 flows — which is exactly what
+// keeps the Gram block-diagonal by group and cheap to factor.
+func groupTrafficH(t *topo.Topology, group int) (*matrix.CSR, error) {
+	hosts := t.Hosts()
+	if group > len(hosts) {
+		group = len(hosts)
+	}
+	type ruleKey struct {
+		sw  topo.SwitchID
+		dst int // destination host index, or -1-srcIdx for ingress rules
+	}
+	rowOf := make(map[ruleKey]int)
+	row := func(k ruleKey) int {
+		if r, ok := rowOf[k]; ok {
+			return r
+		}
+		r := len(rowOf)
+		rowOf[k] = r
+		return r
+	}
+	paths := make(map[[2]topo.SwitchID][]topo.SwitchID)
+	var trips []matrix.Triplet
+	col := 0
+	for base := 0; base < len(hosts); base += group {
+		end := base + group
+		if end > len(hosts) {
+			end = len(hosts)
+		}
+		for si := base; si < end; si++ {
+			src := hosts[si]
+			ingress := row(ruleKey{sw: src.Attach, dst: -1 - si})
+			for di := base; di < end; di++ {
+				if di == si {
+					continue
+				}
+				dst := hosts[di]
+				pk := [2]topo.SwitchID{src.Attach, dst.Attach}
+				path, ok := paths[pk]
+				if !ok {
+					var err error
+					path, err = t.ShortestPath(src.Attach, dst.Attach)
+					if err != nil {
+						return nil, err
+					}
+					paths[pk] = path
+				}
+				trips = append(trips, matrix.Triplet{Row: ingress, Col: col, Val: 1})
+				for _, sw := range path {
+					trips = append(trips, matrix.Triplet{Row: row(ruleKey{sw: sw, dst: di}), Col: col, Val: 1})
+				}
+				col++
+			}
+		}
+	}
+	return matrix.NewCSR(len(rowOf), col, trips)
+}
+
+// peakHeapDuring runs fn while a background sampler tracks the maximum
+// live heap (runtime.MemStats.HeapAlloc). ReadMemStats stops the
+// world, so the cadence is a coarse 2ms — enough to catch the
+// factorization's steady allocations, deliberately not every spike.
+func peakHeapDuring(fn func() error) (uint64, error) {
+	runtime.GC()
+	var peak atomic.Uint64
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			cur := peak.Load()
+			if ms.HeapAlloc <= cur || peak.CompareAndSwap(cur, ms.HeapAlloc) {
+				return
+			}
+		}
+	}
+	sample()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+	err := fn()
+	close(done)
+	wg.Wait()
+	sample()
+	return peak.Load(), err
+}
+
+// residualNorm computes ‖y − H·x̂‖₂.
+func residualNorm(h *matrix.CSR, x, y []float64) (float64, error) {
+	yhat, err := h.MulVec(x)
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i, v := range yhat {
+		d := y[i] - v
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// Sparse runs both arms of the sparse-solver experiment.
+func Sparse(cfg SparseConfig) (SparseResult, error) {
+	cfg = cfg.withDefaults()
+	t, err := topo.ByName(cfg.Topology)
+	if err != nil {
+		return SparseResult{}, err
+	}
+	res := SparseResult{
+		Topology:    cfg.Topology,
+		Switches:    t.NumSwitches(),
+		Hosts:       t.NumHosts(),
+		GroupSize:   cfg.GroupSize,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		BudgetBytes: cfg.BudgetBytes,
+	}
+
+	// ---- Scale arm ----
+	h, err := groupTrafficH(t, cfg.GroupSize)
+	if err != nil {
+		return SparseResult{}, err
+	}
+	res.Rows, res.Cols = h.Rows(), h.Cols()
+	n := int64(h.Cols())
+	res.DenseGramBytes = 8 * n * n
+	res.DenseExceedsBudget = res.DenseGramBytes > cfg.BudgetBytes
+
+	var ls *matrix.PreparedLS
+	peak, err := peakHeapDuring(func() error {
+		var err error
+		ls, err = matrix.PrepareLSOpts(h, matrix.LeastSquaresOptions{}, matrix.KernelOptions{Sparse: matrix.SparseAlways})
+		return err
+	})
+	if err != nil {
+		return SparseResult{}, fmt.Errorf("sparse prepare on %s: %w", cfg.Topology, err)
+	}
+	res.PeakHeapBytes = peak
+	res.SparseWithinBudget = int64(peak) <= cfg.BudgetBytes
+	st := ls.Stats()
+	if !st.Sparse {
+		return SparseResult{}, fmt.Errorf("scale arm did not take the sparse path")
+	}
+	res.GramNNZ = st.GramNNZ
+	res.FactorNNZ = st.FactorNNZ
+	if st.GramNNZ > 0 {
+		res.FillRatio = float64(st.FactorNNZ) / float64(st.GramNNZ)
+	}
+	res.GramDensity = float64(2*int64(st.GramNNZ)-n) / float64(n*n)
+	res.GramSecs = st.Gram.Seconds()
+	res.OrderingSecs = st.Ordering.Seconds()
+	res.SymbolicSecs = st.Symbolic.Seconds()
+	res.NumericSecs = st.Numeric.Seconds()
+	res.PrepareSecs = (st.Gram + st.Factor).Seconds()
+
+	d := core.NewDetectorFromPrepared(ls, core.Options{})
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res.Windows = cfg.Windows
+	best := math.Inf(1)
+	res.CleanAnomalous = false
+	var lastY []float64
+	for w := 0; w < cfg.Windows; w++ {
+		x := make([]float64, h.Cols())
+		for i := range x {
+			x[i] = float64(500 + rng.Intn(1000))
+		}
+		y, err := h.MulVec(x)
+		if err != nil {
+			return SparseResult{}, err
+		}
+		s0 := time.Now()
+		r, err := d.Detect(y)
+		if err != nil {
+			return SparseResult{}, err
+		}
+		if ns := float64(time.Since(s0).Nanoseconds()); ns < best {
+			best = ns
+		}
+		if r.Anomalous {
+			res.CleanAnomalous = true
+		}
+		lastY = y
+	}
+	res.SolveNsPerWindow = best
+	// Skim half the traffic off one heavily shared counter: the engine
+	// must flag it.
+	hot := 0
+	for i := 1; i < h.Rows(); i++ {
+		if h.RowNNZ(i) > h.RowNNZ(hot) {
+			hot = i
+		}
+	}
+	lastY[hot] *= 0.5
+	r, err := d.Detect(lastY)
+	if err != nil {
+		return SparseResult{}, err
+	}
+	res.TamperedAnomalous = r.Anomalous
+
+	// ---- Equivalence arm ----
+	res.VerdictsMatch = true
+	for _, name := range cfg.EquivTopologies {
+		eq, err := sparseEquivOn(name, cfg.Seed)
+		if err != nil {
+			return SparseResult{}, fmt.Errorf("equivalence on %s: %w", name, err)
+		}
+		res.Equiv = append(res.Equiv, eq)
+		if eq.MaxResidualDelta > res.MaxResidualDelta {
+			res.MaxResidualDelta = eq.MaxResidualDelta
+		}
+		if !eq.VerdictsMatch {
+			res.VerdictsMatch = false
+		}
+	}
+	return res, nil
+}
+
+// sparseEquivOn prepares one evaluation topology through both solver
+// paths and compares them on identical clean and attacked windows.
+func sparseEquivOn(name string, seed int64) (SparseEquiv, error) {
+	// DestAggregate (not PairExact) so the Gram is genuinely coupled:
+	// exact per-pair rules each match a single flow, which makes HᵀH
+	// diagonal and both solver paths trivially identical.
+	env, err := NewEnv(Config{Topology: name, Seed: seed, Mode: controller.DestAggregate})
+	if err != nil {
+		return SparseEquiv{}, err
+	}
+	h := env.FCM.H
+	eq := SparseEquiv{Topology: name, Rows: h.Rows(), Cols: h.Cols(), VerdictsMatch: true}
+	eq.GramDensity = h.SymGram().Density()
+	dense, err := matrix.PrepareLSOpts(h, matrix.LeastSquaresOptions{}, matrix.KernelOptions{Sparse: matrix.SparseNever})
+	if err != nil {
+		return SparseEquiv{}, err
+	}
+	sparse, err := matrix.PrepareLSOpts(h, matrix.LeastSquaresOptions{}, matrix.KernelOptions{Sparse: matrix.SparseAlways})
+	if err != nil {
+		return SparseEquiv{}, err
+	}
+	eq.SparseBacked = sparse.SparseBacked() && !dense.SparseBacked()
+	dd := core.NewDetectorFromPrepared(dense, core.Options{})
+	ds := core.NewDetectorFromPrepared(sparse, core.Options{})
+	probe := func(y []float64) error {
+		rd, err := dd.Detect(y)
+		if err != nil {
+			return err
+		}
+		rs, err := ds.Detect(y)
+		if err != nil {
+			return err
+		}
+		if rd.Anomalous != rs.Anomalous {
+			eq.VerdictsMatch = false
+		}
+		nd, err := residualNorm(h, rd.XHat, y)
+		if err != nil {
+			return err
+		}
+		ns, err := residualNorm(h, rs.XHat, y)
+		if err != nil {
+			return err
+		}
+		scale := 1.0
+		for _, v := range y {
+			scale += v * v
+		}
+		delta := math.Abs(ns-nd) / math.Max(1, math.Sqrt(scale-1))
+		if delta > eq.MaxResidualDelta {
+			eq.MaxResidualDelta = delta
+		}
+		return nil
+	}
+	for w := 0; w < 4; w++ {
+		y, err := env.Observe(0)
+		if err != nil {
+			return SparseEquiv{}, err
+		}
+		if err := probe(y); err != nil {
+			return SparseEquiv{}, err
+		}
+	}
+	attacks, err := env.ApplyRandomAttacks(1)
+	if err != nil {
+		return SparseEquiv{}, err
+	}
+	y, err := env.Observe(0)
+	if err != nil {
+		return SparseEquiv{}, err
+	}
+	if err := probe(y); err != nil {
+		return SparseEquiv{}, err
+	}
+	if err := env.RevertAttacks(attacks); err != nil {
+		return SparseEquiv{}, err
+	}
+	return eq, nil
+}

@@ -1,0 +1,68 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestColumnIndexMatchesColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		rows := 1 + rng.Intn(60)
+		cols := 1 + rng.Intn(40)
+		h := randomSparseH(rng, rows, cols, 0.15)
+		ix := NewColumnIndex(h)
+		for j := 0; j < cols; j++ {
+			want := h.Column(j)
+			got := ix.Column(j, nil)
+			if len(got) != len(want) {
+				t.Fatalf("col %d: %v vs %v", j, got, want)
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("col %d: %v vs %v", j, got, want)
+				}
+			}
+			if ix.ColNNZ(j) != len(want) {
+				t.Fatalf("col %d: nnz %d vs %d", j, ix.ColNNZ(j), len(want))
+			}
+			k := 0
+			ix.ColumnEntries(j, func(row int, v float64) {
+				if row != want[k] || v != h.At(row, j) {
+					t.Fatalf("col %d entry %d: (%d,%g)", j, k, row, v)
+				}
+				k++
+			})
+		}
+	}
+}
+
+// BenchmarkColumnSweep compares a full every-column sweep done with
+// repeated CSR.Column (binary search per row) against one ColumnIndex
+// build + indexed sweeps — the access pattern of the symbolic-analysis
+// and sparse-Gram passes.
+func BenchmarkColumnSweep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	h := randomSparseH(rng, 4000, 2000, 0.002)
+	b.Run("at-based", func(b *testing.B) {
+		var sink int
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < h.Cols(); j++ {
+				sink += len(h.Column(j))
+			}
+		}
+		_ = sink
+	})
+	b.Run("indexed", func(b *testing.B) {
+		var sink int
+		buf := make([]int, 0, 64)
+		for i := 0; i < b.N; i++ {
+			ix := NewColumnIndex(h)
+			for j := 0; j < h.Cols(); j++ {
+				buf = ix.Column(j, buf[:0])
+				sink += len(buf)
+			}
+		}
+		_ = sink
+	})
+}

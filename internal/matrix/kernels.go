@@ -44,9 +44,52 @@ type KernelOptions struct {
 	// Serial forces the serial reference kernels regardless of Workers,
 	// for benchmarking and equivalence testing.
 	Serial bool
+	// Sparse selects the normal-equations factorization backend used by
+	// PrepareLS: SparseAuto (density-gated), SparseAlways, or
+	// SparseNever. The zero value (SparseAuto) inherits the package
+	// default.
+	Sparse SparseMode
+	// SparseDensity is the Gram-density threshold at or below which
+	// SparseAuto picks the sparse path. 0 inherits the package default
+	// (0.125).
+	SparseDensity float64
+	// SparseMinCols is the minimum system width before SparseAuto even
+	// considers the sparse path; below it the dense kernels win outright.
+	// 0 inherits the package default (512).
+	SparseMinCols int
 }
 
-const defaultBlockSize = 64
+// SparseMode selects the PrepareLS factorization backend.
+type SparseMode int
+
+const (
+	// SparseAuto assembles the sparse Gram for wide systems and picks the
+	// sparse factorization when its density is at or below the
+	// SparseDensity threshold; otherwise the Gram is scattered to dense
+	// and the dense kernels run exactly as before.
+	SparseAuto SparseMode = iota
+	// SparseAlways forces the sparse direct path.
+	SparseAlways
+	// SparseNever forces the dense path.
+	SparseNever
+)
+
+func (m SparseMode) String() string {
+	switch m {
+	case SparseAlways:
+		return "sparse"
+	case SparseNever:
+		return "dense"
+	default:
+		return "auto"
+	}
+}
+
+const (
+	defaultBlockSize     = 64
+	defaultSparseDensity = 0.125
+	defaultSparseMinCols = 512
+)
 
 // kernelDefaults holds the package-wide KernelOptions. Access is atomic
 // so tests and daemons may flip defaults without racing hot paths.
@@ -93,6 +136,31 @@ func resolveKernel(o KernelOptions) (workers, blockSize int, serial bool) {
 		blockSize = defaultBlockSize
 	}
 	return workers, blockSize, serial
+}
+
+// resolveSparse fills the sparse-selection fields of o from the package
+// defaults and then from the hard-coded fallbacks.
+func resolveSparse(o KernelOptions) (mode SparseMode, minCols int, density float64) {
+	d := KernelDefaults()
+	mode = o.Sparse
+	if mode == SparseAuto {
+		mode = d.Sparse
+	}
+	minCols = o.SparseMinCols
+	if minCols == 0 {
+		minCols = d.SparseMinCols
+	}
+	if minCols <= 0 {
+		minCols = defaultSparseMinCols
+	}
+	density = o.SparseDensity
+	if density == 0 {
+		density = d.SparseDensity
+	}
+	if density <= 0 {
+		density = defaultSparseDensity
+	}
+	return mode, minCols, density
 }
 
 // KernelWorkers reports the worker count the default kernel options
@@ -196,7 +264,7 @@ func (m *CSR) GramSerial() *Dense {
 }
 
 // gramParallel partitions the Gram rows (= H columns) across workers.
-// A transient CSC index maps each output row ca to the CSR entry
+// A transient ColumnIndex maps each output row ca to the CSR entry
 // positions holding column ca, so the worker owning ca can replay, in
 // ascending input-row order, exactly the accumulations the serial loop
 // performs into g.Row(ca) — restricted to the upper triangle cb ≥ ca,
@@ -207,40 +275,16 @@ func (m *CSR) GramSerial() *Dense {
 // bitwise identical for any worker count.
 func (m *CSR) gramParallel(workers int) *Dense {
 	g := NewDense(m.cols, m.cols)
-	nnz := len(m.val)
-	// CSC position index: for each column c, posOf lists the indices k
-	// into colIdx/val where colIdx[k] == c, in ascending row order, and
-	// endOf lists the owning row's end offset rowPtr[i+1].
-	colPtr := make([]int, m.cols+1)
-	for _, c := range m.colIdx {
-		colPtr[c+1]++
-	}
-	for c := 0; c < m.cols; c++ {
-		colPtr[c+1] += colPtr[c]
-	}
-	posOf := make([]int32, nnz)
-	endOf := make([]int32, nnz)
-	fill := make([]int, m.cols)
-	copy(fill, colPtr[:m.cols])
-	for i := 0; i < m.rows; i++ {
-		end := int32(m.rowPtr[i+1])
-		for k := m.rowPtr[i]; int32(k) < end; k++ {
-			c := m.colIdx[k]
-			p := fill[c]
-			posOf[p] = int32(k)
-			endOf[p] = end
-			fill[c]++
-		}
-	}
+	ix := NewColumnIndex(m)
 	grain := gramGrain(m.cols, workers)
 	// Pass 1: upper triangle, each worker owns a range of output rows.
 	parallelRanges(m.cols, workers, grain, func(lo, hi int) {
 		for ca := lo; ca < hi; ca++ {
 			grow := g.Row(ca)
-			for p := colPtr[ca]; p < colPtr[ca+1]; p++ {
-				k := int(posOf[p])
+			for p := ix.colPtr[ca]; p < ix.colPtr[ca+1]; p++ {
+				k := int(ix.pos[p])
 				va := m.val[k]
-				end := int(endOf[p])
+				end := int(ix.end[p])
 				for q := k; q < end; q++ {
 					grow[m.colIdx[q]] += va * m.val[q]
 				}
@@ -377,6 +421,9 @@ func (c *Cholesky) SolveManyInto(dst, b, scratch *Dense) error {
 	}
 	if dst.Cols() != k || scratch.Cols() != k {
 		return fmt.Errorf("matrix: cholesky solve-many cols %d/%d vs %d", dst.Cols(), scratch.Cols(), k)
+	}
+	if c.poisoned {
+		return ErrFactorPoisoned
 	}
 	// Forward substitution: L Y = B, streaming rows of L.
 	for i := 0; i < c.n; i++ {

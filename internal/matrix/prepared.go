@@ -14,34 +14,116 @@ import (
 // O(n³) work and, via SolveInto, no allocation. H only changes when the
 // controller installs rules, so continuous monitors prepare once per
 // rule generation and solve every detection period.
+//
+// The factorization backend is selected per KernelOptions.Sparse: the
+// default SparseAuto assembles the Gram sparsely for wide systems and
+// keeps it sparse when its density is at or below the threshold,
+// breaking the O(n²) dense-Gram memory wall; narrow or dense systems
+// scatter to the dense kernels and behave exactly as before.
 type PreparedLS struct {
 	h     *CSR
-	chol  *Cholesky
+	chol  *Cholesky       // dense backend (nil when sparse)
+	sp    *SparseCholesky // sparse backend (nil when dense)
 	ridge float64
 	stats PrepareStats
 }
 
 // PrepareStats records where prepare time went, for the prepare-stage
-// telemetry histograms. Both durations are zero for engines wrapped
+// telemetry histograms. All durations are zero for engines wrapped
 // with NewPreparedLSFromFactor (no Gram or factorization ran).
 type PrepareStats struct {
-	// Gram is the HᵀH assembly time.
+	// Gram is the HᵀH assembly time (sparse or dense form).
 	Gram time.Duration
-	// Factor is the Cholesky factorization time, including the ridge
-	// retry when the plain factorization failed.
+	// Factor is the total factorization time, including the ridge retry
+	// when the plain factorization failed. On the sparse path it equals
+	// Ordering + Symbolic + Numeric.
 	Factor time.Duration
+	// Sparse-path stage split (zero on the dense path): fill-reducing
+	// ordering, symbolic analysis, and numeric factorization.
+	Ordering time.Duration
+	Symbolic time.Duration
+	Numeric  time.Duration
+	// Sparse reports which backend was selected.
+	Sparse bool
+	// GramNNZ and FactorNNZ record the stored lower-triangle entry
+	// counts of the sparse Gram and its factor (zero on the dense path);
+	// their ratio is the fill-in.
+	GramNNZ, FactorNNZ int
 }
 
-// PrepareLS assembles and factors the normal equations of h. When HᵀH
-// is singular it applies the same ridge regularization as
-// SolveNormalEquations (opts.Ridge, or a trace-scaled default) before
-// refactoring, so prepared and one-shot solves agree exactly.
+// UpdatableFactor is the rank-one-maintainable factor interface shared
+// by the dense *Cholesky and the *SparseCholesky backends. The churn
+// manager clones a prepared engine's factor through it and repairs the
+// clone in place, without caring which backend prepared the engine.
+type UpdatableFactor interface {
+	N() int
+	Valid() bool
+	Update(x []float64) error
+	Downdate(x []float64) error
+	SolveInto(dst, b, scratch []float64) error
+}
+
+// PrepareLS assembles and factors the normal equations of h under the
+// package kernel defaults. When HᵀH is singular it applies the same
+// ridge regularization as SolveNormalEquations (opts.Ridge, or a
+// trace-scaled default) before refactoring, so prepared and one-shot
+// solves agree exactly.
 func PrepareLS(h *CSR, opts LeastSquaresOptions) (*PreparedLS, error) {
+	return PrepareLSOpts(h, opts, KernelOptions{})
+}
+
+// PrepareLSOpts prepares like PrepareLS with explicit kernel options.
+func PrepareLSOpts(h *CSR, opts LeastSquaresOptions, ko KernelOptions) (*PreparedLS, error) {
+	return prepareLS(h, opts, ko, nil)
+}
+
+// PrepareLSReusing prepares like PrepareLSOpts but, when prev is a
+// sparse-backed engine whose Gram pattern exactly matches h's, reuses
+// prev's cached ordering and symbolic analysis and runs only the
+// numeric factorization. The churn manager uses it so value-only rule
+// churn (and ridge retries) never repeat the pattern work.
+func PrepareLSReusing(h *CSR, opts LeastSquaresOptions, ko KernelOptions, prev *PreparedLS) (*PreparedLS, error) {
+	var sym *SparseSymbolic
+	if prev != nil && prev.sp != nil {
+		sym = prev.sp.sym
+	}
+	return prepareLS(h, opts, ko, sym)
+}
+
+func prepareLS(h *CSR, opts LeastSquaresOptions, ko KernelOptions, prevSym *SparseSymbolic) (*PreparedLS, error) {
+	mode, minCols, density := resolveSparse(ko)
+	n := h.Cols()
+	if mode == SparseNever || (mode == SparseAuto && n < minCols) {
+		return prepareDense(h, opts, ko, nil, 0)
+	}
 	t0 := time.Now()
-	gram := h.Gram()
+	g := h.SymGram()
 	tGram := time.Since(t0)
+	if mode != SparseAlways && g.Density() > density {
+		// Too dense for the sparse factor to pay off: scatter the already
+		// assembled Gram (entry-for-entry equal to the serial dense
+		// assembly) and run the dense path.
+		return prepareDense(h, opts, ko, g, tGram)
+	}
+	return prepareSparse(h, opts, ko, g, tGram, prevSym)
+}
+
+// prepareDense is the dense backend: Gram (reusing a sparse assembly
+// when one was already built for the density probe), blocked Cholesky,
+// ridge retry.
+func prepareDense(h *CSR, opts LeastSquaresOptions, ko KernelOptions, g *SymSparse, tGram time.Duration) (*PreparedLS, error) {
+	var gram *Dense
+	if g != nil {
+		t0 := time.Now()
+		gram = g.ToDense()
+		tGram += time.Since(t0)
+	} else {
+		t0 := time.Now()
+		gram = h.GramOpts(ko)
+		tGram = time.Since(t0)
+	}
 	t1 := time.Now()
-	chol, err := NewCholesky(gram)
+	chol, err := NewCholeskyOpts(gram, ko)
 	if err == nil {
 		return &PreparedLS{h: h, chol: chol, stats: PrepareStats{Gram: tGram, Factor: time.Since(t1)}}, nil
 	}
@@ -59,29 +141,119 @@ func PrepareLS(h *CSR, opts LeastSquaresOptions) (*PreparedLS, error) {
 	for i := 0; i < gram.Rows(); i++ {
 		gram.Add(i, i, ridge)
 	}
-	chol, err = NewCholesky(gram)
+	chol, err = NewCholeskyOpts(gram, ko)
 	if err != nil {
 		return nil, fmt.Errorf("matrix: ridge-regularized normal equations: %w", err)
 	}
 	return &PreparedLS{h: h, chol: chol, ridge: ridge, stats: PrepareStats{Gram: tGram, Factor: time.Since(t1)}}, nil
 }
 
-// NewPreparedLSFromFactor wraps an externally maintained Cholesky
-// factor of hᵀh (for example one produced by rank-one Update/Downdate
-// from a previous generation's factor) as a prepared engine. The caller
-// is responsible for chol actually factoring hᵀh (+ ridge·I); no check
-// is performed beyond the dimension match.
-func NewPreparedLSFromFactor(h *CSR, chol *Cholesky, ridge float64) (*PreparedLS, error) {
-	if chol.N() != h.Cols() {
-		return nil, fmt.Errorf("matrix: factor dim %d vs %d columns", chol.N(), h.Cols())
+// prepareSparse is the sparse backend: AMD ordering + symbolic analysis
+// (reused from prevSym when its Gram pattern matches), supernodal
+// numeric factorization, ridge retry on the same analysis.
+func prepareSparse(h *CSR, opts LeastSquaresOptions, ko KernelOptions, g *SymSparse, tGram time.Duration, prevSym *SparseSymbolic) (*PreparedLS, error) {
+	var tOrd, tSym time.Duration
+	sym := prevSym
+	if sym == nil || !sym.Matches(g) {
+		t0 := time.Now()
+		perm := amdOrder(g.n, g.adjPtr, g.adj)
+		tOrd = time.Since(t0)
+		t1 := time.Now()
+		sym = symbolicFromPerm(g, perm)
+		tSym = time.Since(t1)
 	}
-	return &PreparedLS{h: h, chol: chol, ridge: ridge}, nil
+	t2 := time.Now()
+	sp, err := newSparseCholeskyWith(g, sym, ko)
+	ridge := 0.0
+	if err != nil {
+		if !errors.Is(err, ErrNotPositiveDefinite) {
+			return nil, err
+		}
+		ridge = opts.Ridge
+		if ridge == 0 {
+			ridge = 1e-9 * (g.Trace()/float64(g.n) + 1)
+		}
+		// The pattern always stores diagonal slots, so the ridge retry
+		// reuses the same symbolic analysis.
+		g.AddRidge(ridge)
+		sp, err = newSparseCholeskyWith(g, sym, ko)
+		if err != nil {
+			return nil, fmt.Errorf("matrix: ridge-regularized normal equations: %w", err)
+		}
+	}
+	tNum := time.Since(t2)
+	return &PreparedLS{h: h, sp: sp, ridge: ridge, stats: PrepareStats{
+		Gram:      tGram,
+		Factor:    tOrd + tSym + tNum,
+		Ordering:  tOrd,
+		Symbolic:  tSym,
+		Numeric:   tNum,
+		Sparse:    true,
+		GramNNZ:   g.NNZLower(),
+		FactorNNZ: sp.FactorNNZ(),
+	}}, nil
 }
 
-// Factor exposes the underlying Cholesky factorization of HᵀH. Callers
-// that need a modified engine must Clone it first; mutating the
-// returned factor corrupts the prepared engine.
+// NewPreparedLSFromFactor wraps an externally maintained dense Cholesky
+// factor of hᵀh (for example one produced by rank-one Update/Downdate
+// from a previous generation's factor) as a prepared engine. The caller
+// is responsible for chol actually factoring hᵀh (+ ridge·I); beyond
+// the dimension match the only check is that the factor has not been
+// poisoned by a failed rank-one pass.
+func NewPreparedLSFromFactor(h *CSR, chol *Cholesky, ridge float64) (*PreparedLS, error) {
+	return NewPreparedLSFromUpdatable(h, chol, ridge)
+}
+
+// NewPreparedLSFromUpdatable wraps a rank-one-maintained factor of
+// either backend as a prepared engine. Poisoned factors (a failed
+// Update/Downdate) are rejected with ErrFactorPoisoned so a broken
+// factor can never be promoted into a serving engine.
+func NewPreparedLSFromUpdatable(h *CSR, f UpdatableFactor, ridge float64) (*PreparedLS, error) {
+	if f == nil {
+		return nil, fmt.Errorf("matrix: nil factor")
+	}
+	if f.N() != h.Cols() {
+		return nil, fmt.Errorf("matrix: factor dim %d vs %d columns", f.N(), h.Cols())
+	}
+	if !f.Valid() {
+		return nil, ErrFactorPoisoned
+	}
+	p := &PreparedLS{h: h, ridge: ridge}
+	switch t := f.(type) {
+	case *Cholesky:
+		p.chol = t
+	case *SparseCholesky:
+		p.sp = t
+	default:
+		return nil, fmt.Errorf("matrix: unknown factor type %T", f)
+	}
+	return p, nil
+}
+
+// Factor exposes the underlying dense Cholesky factorization of HᵀH,
+// or nil when the engine is sparse-backed; prefer CloneFactor for
+// backend-agnostic rank-one maintenance. Callers that need a modified
+// engine must Clone it first; mutating the returned factor corrupts the
+// prepared engine.
 func (p *PreparedLS) Factor() *Cholesky { return p.chol }
+
+// SparseBacked reports whether the sparse direct backend prepared this
+// engine.
+func (p *PreparedLS) SparseBacked() bool { return p.sp != nil }
+
+// CloneFactor returns an independently updatable copy of the prepared
+// factor (dense or sparse), or nil for engines without one. The clone
+// shares no mutable state with the serving engine.
+func (p *PreparedLS) CloneFactor() UpdatableFactor {
+	switch {
+	case p.sp != nil:
+		return p.sp.Clone()
+	case p.chol != nil:
+		return p.chol.Clone()
+	default:
+		return nil
+	}
+}
 
 // H exposes the prepared coefficient matrix.
 func (p *PreparedLS) H() *CSR { return p.h }
@@ -119,17 +291,39 @@ func (p *PreparedLS) SolveInto(dst, y, workspace []float64) error {
 	if err := p.h.TMulVecInto(dst, y); err != nil {
 		return err
 	}
+	if p.sp != nil {
+		return p.sp.SolveInto(dst, dst, workspace)
+	}
 	return p.chol.SolveInto(dst, dst, workspace)
 }
 
 // SolveBatch computes x̂ for k observation vectors in one multi-RHS
 // triangular sweep, returning the solutions as the columns of a
 // Cols()×k matrix. Column r is bitwise identical to Solve(ys[r]) — the
-// batch amortizes factor and L/Lᵀ memory traffic across the windows
-// without changing any result (see Cholesky.SolveManyInto).
+// dense batch amortizes factor memory traffic across the windows
+// without changing any result (see Cholesky.SolveManyInto); the sparse
+// backend loops per-window SolveInto, which is already the same
+// arithmetic.
 func (p *PreparedLS) SolveBatch(ys [][]float64) (*Dense, error) {
 	n := p.Cols()
 	k := len(ys)
+	if p.sp != nil {
+		x := NewDense(n, k)
+		tmp := make([]float64, n)
+		scratch := make([]float64, n)
+		for r, y := range ys {
+			if err := p.h.TMulVecInto(tmp, y); err != nil {
+				return nil, err
+			}
+			if err := p.sp.SolveInto(tmp, tmp, scratch); err != nil {
+				return nil, err
+			}
+			for i, v := range tmp {
+				x.Set(i, r, v)
+			}
+		}
+		return x, nil
+	}
 	b := NewDense(n, k)
 	tmp := make([]float64, n)
 	for r, y := range ys {

@@ -11,6 +11,14 @@ import (
 // dependent.
 var ErrNotPositiveDefinite = errors.New("matrix: not positive definite")
 
+// ErrFactorPoisoned is returned by solves and further rank-one
+// maintenance on a factor that a failed Update/Downdate left in an
+// inconsistent state. A failed rank-one pass may have rotated a prefix
+// of the columns before hitting the bad pivot, so the factor no longer
+// represents any matrix; poisoning makes every later use fail loudly
+// instead of solving against the half-rotated triangle.
+var ErrFactorPoisoned = errors.New("matrix: factor poisoned by failed rank-one maintenance")
+
 // Cholesky holds the lower-triangular factor L of an SPD matrix
 // A = LLᵀ, plus Lᵀ so that both substitution passes stream contiguous
 // rows of a row-major Dense instead of striding down a column.
@@ -18,6 +26,10 @@ type Cholesky struct {
 	n  int
 	l  *Dense
 	lt *Dense
+	// poisoned marks a factor left inconsistent by a failed rank-one
+	// Update/Downdate; the zero value (valid) keeps plain
+	// &Cholesky{n, l, lt} construction correct.
+	poisoned bool
 }
 
 // NewCholesky factors the symmetric positive-definite matrix a.
@@ -60,6 +72,10 @@ func newCholeskyUnblocked(a *Dense) (*Cholesky, error) {
 // N reports the factored dimension.
 func (c *Cholesky) N() int { return c.n }
 
+// Valid reports whether the factor is usable: false once a failed
+// Update/Downdate has poisoned it.
+func (c *Cholesky) Valid() bool { return !c.poisoned }
+
 // Solve solves A x = b given the factorization.
 func (c *Cholesky) Solve(b []float64) ([]float64, error) {
 	x := make([]float64, c.n)
@@ -78,6 +94,9 @@ func (c *Cholesky) SolveInto(dst, b, scratch []float64) error {
 	}
 	if len(dst) != c.n || len(scratch) != c.n {
 		return fmt.Errorf("matrix: cholesky solve buffers %d/%d vs %d", len(dst), len(scratch), c.n)
+	}
+	if c.poisoned {
+		return ErrFactorPoisoned
 	}
 	// Forward substitution: L y = b, streaming rows of L.
 	y := scratch

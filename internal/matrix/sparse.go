@@ -209,7 +209,10 @@ func (m *CSR) AppendColumn(rowsWithOne []int) (*CSR, error) {
 }
 
 // Column returns the row indices of non-zero entries in column j, in
-// ascending order.
+// ascending order. Each call walks every row with a binary search
+// (O(rows·log nnz)); passes that visit many columns — sparse Gram
+// assembly, symbolic analysis — must build a ColumnIndex once and sweep
+// it instead.
 func (m *CSR) Column(j int) []int {
 	var out []int
 	for i := 0; i < m.rows; i++ {
@@ -218,4 +221,72 @@ func (m *CSR) Column(j int) []int {
 		}
 	}
 	return out
+}
+
+// ColumnIndex is a transient column-major view of a CSR matrix: for
+// every column it records the positions of that column's entries in the
+// CSR storage, in ascending row order, plus the owning row's end
+// offset. Building it is one O(nnz) counting pass; afterwards each
+// column sweep costs O(nnz(column)) instead of the O(rows·log nnz)
+// binary-search walk that repeated CSR.Column calls perform. The index
+// is a snapshot — it must be rebuilt if the matrix changes (CSR values
+// are immutable in practice, so in this codebase it never is).
+type ColumnIndex struct {
+	m      *CSR
+	colPtr []int   // column c's entries sit at pos[colPtr[c]:colPtr[c+1]]
+	pos    []int32 // positions into m.colIdx/m.val, ascending row order
+	end    []int32 // owning row's end offset m.rowPtr[row+1], per position
+	row    []int32 // owning row, per position
+}
+
+// NewColumnIndex builds the column index of m in O(nnz).
+func NewColumnIndex(m *CSR) *ColumnIndex {
+	nnz := len(m.val)
+	ix := &ColumnIndex{
+		m:      m,
+		colPtr: make([]int, m.cols+1),
+		pos:    make([]int32, nnz),
+		end:    make([]int32, nnz),
+		row:    make([]int32, nnz),
+	}
+	for _, c := range m.colIdx {
+		ix.colPtr[c+1]++
+	}
+	for c := 0; c < m.cols; c++ {
+		ix.colPtr[c+1] += ix.colPtr[c]
+	}
+	fill := make([]int, m.cols)
+	copy(fill, ix.colPtr[:m.cols])
+	for i := 0; i < m.rows; i++ {
+		end := int32(m.rowPtr[i+1])
+		for k := m.rowPtr[i]; int32(k) < end; k++ {
+			c := m.colIdx[k]
+			p := fill[c]
+			ix.pos[p] = int32(k)
+			ix.end[p] = end
+			ix.row[p] = int32(i)
+			fill[c]++
+		}
+	}
+	return ix
+}
+
+// ColNNZ reports the number of stored entries in column j.
+func (ix *ColumnIndex) ColNNZ(j int) int { return ix.colPtr[j+1] - ix.colPtr[j] }
+
+// Column appends the row indices of column j's entries (ascending) to
+// dst and returns the extended slice.
+func (ix *ColumnIndex) Column(j int, dst []int) []int {
+	for p := ix.colPtr[j]; p < ix.colPtr[j+1]; p++ {
+		dst = append(dst, int(ix.row[p]))
+	}
+	return dst
+}
+
+// ColumnEntries invokes fn for every entry of column j in ascending row
+// order.
+func (ix *ColumnIndex) ColumnEntries(j int, fn func(row int, v float64)) {
+	for p := ix.colPtr[j]; p < ix.colPtr[j+1]; p++ {
+		fn(int(ix.row[p]), ix.m.val[ix.pos[p]])
+	}
 }

@@ -12,24 +12,44 @@ import (
 // O(n³) refactorization. The churn subsystem uses Update/Downdate for
 // small per-slice rule deltas and for masking epoch-straddling rows out
 // of a prepared engine without rebuilding it.
+//
+// Failure model: both passes rotate columns left to right, so a bad
+// pivot discovered at column k leaves columns 0..k−1 already rewritten.
+// Rather than attempting a rollback, a failed pass marks the factor
+// poisoned; SolveInto and any further Update/Downdate then return
+// ErrFactorPoisoned. Callers (the churn manager) clone before updating
+// and throw the clone away on failure, so poisoning costs nothing on
+// the happy path while making accidental reuse impossible.
 
 // Clone returns an independent copy of the factorization, so callers
 // can derive an updated factor while the original keeps serving solves.
+// A poisoned factor clones poisoned.
 func (c *Cholesky) Clone() *Cholesky {
-	return &Cholesky{n: c.n, l: c.l.Clone(), lt: c.lt.Clone()}
+	return &Cholesky{n: c.n, l: c.l.Clone(), lt: c.lt.Clone(), poisoned: c.poisoned}
 }
 
 // Update rewrites the factorization of A into the factorization of
-// A + xxᵀ in O(n²) using Givens rotations. x is not modified.
+// A + xxᵀ in O(n²) using Givens rotations. x is not modified. A
+// degenerate pivot (zero, negative, or NaN — e.g. from an all-masked
+// column after straddle reconciliation) returns
+// ErrNotPositiveDefinite and poisons the factor instead of silently
+// writing ±Inf/NaN into L.
 func (c *Cholesky) Update(x []float64) error {
 	if len(x) != c.n {
 		return fmt.Errorf("matrix: cholesky update dim %d vs %d", len(x), c.n)
+	}
+	if c.poisoned {
+		return ErrFactorPoisoned
 	}
 	work := make([]float64, c.n)
 	copy(work, x)
 	for k := 0; k < c.n; k++ {
 		lkk := c.l.At(k, k)
 		r := math.Hypot(lkk, work[k])
+		if lkk <= 0 || r == 0 || math.IsNaN(r) {
+			c.poisoned = true
+			return fmt.Errorf("%w: update pivot %d = %g", ErrNotPositiveDefinite, k, lkk)
+		}
 		cos := r / lkk
 		sin := work[k] / lkk
 		c.l.Set(k, k, r)
@@ -47,11 +67,15 @@ func (c *Cholesky) Update(x []float64) error {
 // A − xxᵀ in O(n²) using hyperbolic rotations. It fails with
 // ErrNotPositiveDefinite when the result would not be positive
 // definite (x carries more weight than A holds in some direction); the
-// factor is left unusable in that case and callers must fall back to a
-// fresh factorization. x is not modified.
+// factor is poisoned in that case — later solves return
+// ErrFactorPoisoned — and callers must fall back to a fresh
+// factorization. x is not modified.
 func (c *Cholesky) Downdate(x []float64) error {
 	if len(x) != c.n {
 		return fmt.Errorf("matrix: cholesky downdate dim %d vs %d", len(x), c.n)
+	}
+	if c.poisoned {
+		return ErrFactorPoisoned
 	}
 	work := make([]float64, c.n)
 	copy(work, x)
@@ -59,6 +83,7 @@ func (c *Cholesky) Downdate(x []float64) error {
 		lkk := c.l.At(k, k)
 		d := (lkk - work[k]) * (lkk + work[k])
 		if d <= 0 || math.IsNaN(d) {
+			c.poisoned = true
 			return fmt.Errorf("%w: downdate pivot %d = %g", ErrNotPositiveDefinite, k, d)
 		}
 		r := math.Sqrt(d)

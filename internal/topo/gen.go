@@ -3,6 +3,8 @@ package topo
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"foces/internal/header"
 )
@@ -333,6 +335,13 @@ func ByName(name string) (*Topology, error) {
 	case "dcell14":
 		return DCell(4)
 	default:
+		if rest, ok := strings.CutPrefix(name, "fattree"); ok {
+			k, err := strconv.Atoi(rest)
+			if err == nil && k >= 2 && k%2 == 0 {
+				return FatTree(k)
+			}
+			return nil, fmt.Errorf("topo: fattree parameter %q must be an even integer >= 2", rest)
+		}
 		return nil, fmt.Errorf("topo: unknown topology %q", name)
 	}
 }
