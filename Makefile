@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse bench-kernels bench-stream bench-sparse bench-smoke bench
+.PHONY: ci fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse test-cluster bench-kernels bench-stream bench-sparse bench-cluster bench-smoke bench
 
-ci: fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse bench-kernels bench-stream bench-sparse bench-smoke
+ci: fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse test-cluster bench-kernels bench-stream bench-sparse bench-cluster bench-smoke
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -63,6 +63,25 @@ test-stream:
 # twice under the race detector.
 test-sparse:
 	$(GO) test -race -count=2 -timeout 180s -run 'Sparse|Update|Downdate|Column|AMD|SymGram|Symbolic|PreparedLS|RankOneRepair' ./internal/matrix/ ./internal/churn/ ./internal/experiment/
+
+# The sharded multi-node detection cluster is membership-churn-heavy
+# (node join mid-epoch, node death mid-window with shard requeue,
+# coordinator restart, total-capacity fallback): run its package, the
+# shared framing layer and the replica-replay machinery twice under the
+# race detector.
+test-cluster:
+	$(GO) test -race -count=2 -timeout 180s ./internal/cluster/ ./internal/wire/ ./internal/churn/
+
+# Bench gate for the detection cluster: the cluster experiment must keep
+# every distributed report byte-identical to the single-process path
+# (including across a node killed mid-window), ship at least one
+# incremental delta and one post-refactor snapshot, finish every
+# distributed window within the collection interval, and — on hosts with
+# GOMAXPROCS >= 4 — beat one node by >= 2x throughput
+# (results/cluster.json).
+bench-cluster:
+	$(GO) run ./cmd/focesbench -exp cluster -check
+	@test -f results/cluster.json || { echo "bench-cluster: results/cluster.json missing"; exit 1; }
 
 # Bench gate for the sparse solver: the sparse experiment must show the
 # dense Gram exceeding the memory budget while the sparse path stays

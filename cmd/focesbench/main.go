@@ -49,14 +49,14 @@ type options struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("focesbench", flag.ContinueOnError)
 	opts := options{}
-	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12|loc|coverage|overhead|monitor|churn|telemetry|kernels|stream|sparse")
+	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12|loc|coverage|overhead|monitor|churn|telemetry|kernels|stream|sparse|cluster")
 	fs.IntVar(&opts.runs, "runs", 0, "observations per point (0 = experiment default)")
 	fs.Int64Var(&opts.seed, "seed", 1, "random seed")
 	fs.StringVar(&opts.csvDir, "csv", "", "directory for CSV output (optional)")
 	flowList := fs.String("flows", "", "comma-separated flow counts for fig12")
 	fs.Uint64Var(&opts.volume, "volume", 1000, "packets per flow per interval")
 	fs.StringVar(&opts.topo, "topo", "", "topology override for the kernels/sparse experiments")
-	fs.BoolVar(&opts.check, "check", false, "kernels/stream/sparse: exit non-zero on equivalence failure or performance regression")
+	fs.BoolVar(&opts.check, "check", false, "gated experiments only: exit non-zero on equivalence failure or performance regression")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +91,24 @@ func run(args []string, out io.Writer) error {
 		"kernels":   runKernels,      // parallel blocked kernels vs serial reference
 		"stream":    runStreamBench,  // streaming ingestion: equivalence, latency tail, load
 		"sparse":    runSparse,       // sparse Cholesky vs dense: memory wall, equivalence
+		"cluster":   runCluster,      // sharded multi-node detection: equivalence, failover, throughput
+	}
+	// -check is a pass/fail regression gate; only the experiments that
+	// define gate criteria honour it. Accepting it elsewhere would let a
+	// CI pipeline "gate" on an experiment that can never fail.
+	if opts.check {
+		gated := []string{"cluster", "kernels", "sparse", "stream"}
+		ok := false
+		for _, g := range gated {
+			if opts.exp == g {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("-check is only supported for the gated experiments (%s); %q has no pass/fail gate",
+				strings.Join(gated, ", "), opts.exp)
+		}
 	}
 	if opts.exp == "all" {
 		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig12", "loc", "coverage", "overhead", "monitor", "churn", "telemetry", "kernels"} {
@@ -707,6 +725,89 @@ func runSparse(opts options, out io.Writer) error {
 		}
 		if havePrev && res.PrepareSecs > prev.PrepareSecs*1.25 {
 			return fmt.Errorf("sparse check: prepare %.3fs regressed past previous %.3fs x1.25", res.PrepareSecs, prev.PrepareSecs)
+		}
+	}
+	return nil
+}
+
+// runCluster exercises the sharded multi-node detection cluster:
+// byte-for-byte report equivalence between the distributed and
+// single-process paths (clean, attacked, churn-reconciled windows),
+// verdict survival of a detector node killed mid-window, and detect
+// throughput of an N-node cluster against a single node. The result is
+// always archived as results/cluster.json; with -check the run fails
+// on any report divergence (including across the node kill), on a
+// distributed window exceeding the collection interval, or — on hosts
+// with GOMAXPROCS >= 4, where the in-process nodes can actually run in
+// parallel — on a multi-node/one-node throughput ratio below 2x.
+func runCluster(opts options, out io.Writer) error {
+	cfg := experiment.ClusterConfig{Topology: opts.topo, Seed: opts.seed}
+	if opts.runs > 0 {
+		cfg.ThroughputWindows = opts.runs
+	}
+	if len(opts.flows) > 0 {
+		cfg.Flows = opts.flows[0]
+	}
+	res, err := experiment.Cluster(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n== cluster: sharded detection, %s switches=%d flows=%d rules=%d shards=%d nodes=%d GOMAXPROCS=%d ==\n",
+		res.Topology, res.Switches, res.Flows, res.Rules, res.Shards, res.Nodes, res.GoMaxProcs)
+	headers := []string{"window", "path", "anomalous", "match"}
+	var cells [][]string
+	for _, w := range res.Windows {
+		cells = append(cells, []string{fmt.Sprint(w.Window), w.Path, fmt.Sprint(w.Anomalous), fmt.Sprint(w.Match)})
+	}
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	fmt.Fprintf(out, "equivalence: %d windows, all match: %v; baseline syncs: %d snapshots, %d deltas\n",
+		res.EquivWindows, res.VerdictsMatch, res.SnapshotSyncs, res.DeltaSyncs)
+	if res.Mismatch != "" {
+		fmt.Fprintf(out, "  mismatch: %s\n", res.Mismatch)
+	}
+	fmt.Fprintf(out, "node kill: verdict identical across death: %v (evictions %d, requeued shards %d, degraded: %v)\n",
+		res.KillMatch, res.Evictions, res.RequeuedShards, res.DegradedAfterKill)
+	fmt.Fprintf(out, "throughput: %d windows, 1 node %.3fs vs %d nodes %.3fs (%.2fx); first window %.3fs, max warm window %.3fs (interval %.0fs, within: %v)\n",
+		res.ThroughputWindows, res.OneNodeSecs, res.Nodes, res.MultiNodeSecs, res.ThroughputRatio,
+		res.FirstWindowSecs, res.MaxWindowSecs, res.IntervalSecs, res.WithinInterval)
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join("results", "cluster.json"), append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := writeCSV(opts, "cluster", headers, cells); err != nil {
+		return err
+	}
+	if opts.check {
+		if !res.VerdictsMatch {
+			return fmt.Errorf("cluster check: distributed reports diverged from single-process: %s", res.Mismatch)
+		}
+		if !res.KillMatch {
+			return fmt.Errorf("cluster check: verdict changed across a node death (evictions %d, requeued %d)",
+				res.Evictions, res.RequeuedShards)
+		}
+		if res.DeltaSyncs == 0 {
+			return fmt.Errorf("cluster check: no incremental deltas shipped — baseline replication fell back to snapshots only")
+		}
+		if res.SnapshotSyncs <= int64(res.Shards) {
+			return fmt.Errorf("cluster check: %d snapshots for %d shards — the refactoring epoch never re-shipped a baseline",
+				res.SnapshotSyncs, res.Shards)
+		}
+		if !res.WithinInterval {
+			return fmt.Errorf("cluster check: a distributed window took %.3fs (first %.3fs), exceeding the %.0fs collection interval",
+				res.MaxWindowSecs, res.FirstWindowSecs, res.IntervalSecs)
+		}
+		if res.ThroughputGated && res.ThroughputRatio < 2.0 {
+			return fmt.Errorf("cluster check: %d-node throughput only %.2fx one node (>= 2x required at GOMAXPROCS %d)",
+				res.Nodes, res.ThroughputRatio, res.GoMaxProcs)
+		}
+		if !res.ThroughputGated {
+			fmt.Fprintf(out, "note: throughput ratio gate waived (GOMAXPROCS %d < 4 — nodes cannot run in parallel)\n", res.GoMaxProcs)
 		}
 	}
 	return nil

@@ -49,9 +49,13 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"foces"
+	"foces/internal/cluster"
 	"foces/internal/collector"
 	"foces/internal/controller"
 	"foces/internal/core"
@@ -99,8 +103,22 @@ func run(args []string, out io.Writer) error {
 	solver := fs.String("solver", "auto", "normal-equations backend: auto (density-based), sparse (force sparse Cholesky), dense (force dense)")
 	stream := fs.Bool("stream", false, "run the continuous streaming mode (push-driven windows through System.Serve) instead of the pull-poll loop")
 	sample := fs.Bool("sample", false, "with -stream: enable the adaptive per-switch sampler (back off stable switches, tighten suspects)")
+	role := fs.String("role", "standalone", "process role: standalone (detect in-process), coordinator (shard Algorithm 2 across -peers), detector (serve slice shards on -listen)")
+	peers := fs.String("peers", "", "coordinator role: comma-separated detector addresses (host:port,host:port,...)")
+	listen := fs.String("listen", "127.0.0.1:0", "detector role: TCP address to serve shards on")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *role {
+	case "standalone", "coordinator", "detector":
+	default:
+		return fmt.Errorf("bad -role %q: want standalone, coordinator or detector", *role)
+	}
+	if *role == "coordinator" && *peers == "" {
+		return fmt.Errorf("-role coordinator needs -peers")
+	}
+	if *role != "standalone" && *stream {
+		return fmt.Errorf("-stream supports -role standalone only")
 	}
 	var sparseMode foces.SparseMode
 	switch *solver {
@@ -115,6 +133,13 @@ func run(args []string, out io.Writer) error {
 	}
 	if *kernelWorkers != 0 || *kernelBlock != 0 || sparseMode != foces.SparseAuto {
 		foces.SetKernelDefaults(foces.KernelOptions{Workers: *kernelWorkers, BlockSize: *kernelBlock, Sparse: sparseMode})
+	}
+
+	if *role == "detector" {
+		// A detector node carries no topology or baseline of its own:
+		// everything it detects with arrives over the wire from its
+		// coordinator (snapshot or rank-one deltas, then windows).
+		return runDetector(*listen, out)
 	}
 
 	t, err := topo.ByName(*topoName)
@@ -238,6 +263,31 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "metrics: http://%s/metrics\n", metricsSrv.Addr())
 	}
 
+	// In the coordinator role Algorithm 2 is sharded across remote
+	// detector nodes: every period's sliced stage goes through the
+	// cluster coordinator (with local fallback when no node is live),
+	// while window assembly, the full-FCM stage and churn absorption
+	// stay in this process.
+	runObs := sys.Run
+	var coord *cluster.Coordinator
+	if *role == "coordinator" {
+		var addrs []string
+		for _, a := range strings.Split(*peers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		coord, err = cluster.New(sys.ChurnManager(), core.Options{Threshold: *threshold},
+			cluster.Config{Peers: addrs}, telemetry.NewClusterMetrics(reg))
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		runObs = func(obs foces.Observation) (foces.Report, error) { return sys.RunWith(obs, coord) }
+		cs := coord.Status()
+		fmt.Fprintf(out, "cluster: coordinating %d detector nodes, %d shards\n", cs.Live, cs.Shards)
+	}
+
 	fmt.Fprintf(out, "focesd: %s, %d flows, %d rules, %d slices (%d workers), loss=%s, T=%.1f\n",
 		t.Name(), f.NumFlows(), f.NumRules(), len(sys.Slices()), sys.SlicedDetector().Workers(), experiment.FormatPct(*loss), *threshold)
 
@@ -358,7 +408,7 @@ func run(args []string, out io.Writer) error {
 				winEpoch = e
 			}
 		}
-		rep, err := sys.Run(foces.Observation{Counters: counters, Missing: missing, Epoch: winEpoch})
+		rep, err := runObs(foces.Observation{Counters: counters, Missing: missing, Epoch: winEpoch})
 		if err != nil {
 			return err
 		}
@@ -391,9 +441,15 @@ func run(args []string, out io.Writer) error {
 			alarm = "ALARM"
 		}
 		if statusSrv != nil {
+			var cv *cluster.Status
+			if coord != nil {
+				cs := coord.Status()
+				cv = &cs
+			}
 			statusSrv.Update(status{
 				Period:           p,
 				AttackActive:     active != nil,
+				Cluster:          cv,
 				Index:            clampIndex(res.Index),
 				Anomalous:        res.Anomalous,
 				Alarm:            mv.Alert,
@@ -434,6 +490,26 @@ func run(args []string, out io.Writer) error {
 	m := robust.Metrics()
 	fmt.Fprintf(out, "collection: periods=%d requests=%d retries=%d timeouts=%d failures=%d quarantines=%d reinstatements=%d resets=%d\n",
 		m.Periods, m.Requests, m.Retries, m.Timeouts, m.Failures, m.Quarantines, m.Reinstatements, m.Resets)
+	return nil
+}
+
+// runDetector serves slice shards for a remote coordinator until
+// SIGINT/SIGTERM: baselines arrive as CSR snapshots or rank-one deltas,
+// windows as framed sub-vectors, verdicts go back per shard.
+func runDetector(listen string, out io.Writer) error {
+	node, err := cluster.NewNode(listen, cluster.NodeConfig{})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Fprintf(out, "detector: serving shards on %s (ctrl-c to stop)\n", node.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	windows := node.WindowsProcessed()
+	snaps, deltas := node.SyncCounts()
+	fmt.Fprintf(out, "detector: shutting down after %d windows (%d snapshot syncs, %d delta syncs)\n",
+		windows, snaps, deltas)
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"foces"
 	"foces/internal/churn"
+	"foces/internal/cluster"
 	"foces/internal/collector"
 	"foces/internal/topo"
 )
@@ -136,6 +137,10 @@ type status struct {
 	// Stream is the streaming ingestion plane's state; nil outside
 	// -stream mode.
 	Stream *streamView `json:"stream,omitempty"`
+	// Cluster is the sharded-detection coordinator's state — live and
+	// configured node counts, the degraded flag, per-peer shard
+	// ownership, eviction/requeue totals; nil outside -role coordinator.
+	Cluster *cluster.Status `json:"cluster,omitempty"`
 	// Recent is the verdict ring rebuilt from the system's telemetry
 	// events: the last N Run outcomes, oldest first.
 	Recent []foces.RunEvent `json:"recent"`

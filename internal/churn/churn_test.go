@@ -527,7 +527,7 @@ func TestFullEngineLazy(t *testing.T) {
 
 // TestRankOneRepairFailureFallsBackToRefactor pins the hardened repair
 // contract: when downdating the removed rows drives the slice Gram
-// singular, rankOneRepair reports "refactor me" (ok=false, no error)
+// singular, rankOneRepair reports "refactor me" (nil engine, no error)
 // instead of failing the rebuild, and the serving engine's factor is
 // untouched — the failed pass poisoned only the throwaway clone.
 func TestRankOneRepairFailureFallsBackToRefactor(t *testing.T) {
@@ -555,11 +555,11 @@ func TestRankOneRepairFailureFallsBackToRefactor(t *testing.T) {
 	}
 	sl := core.Slice{RuleRows: []int{12}, H: hNew}
 	m := &Manager{opts: core.Options{}, cfg: Config{UpdateThreshold: 8}}
-	got, ok, err := m.rankOneRepair(sl, old, []int{10, 11}, nil)
+	got, ch, err := m.rankOneRepair(sl, old, []int{10, 11}, nil)
 	if err != nil {
 		t.Fatalf("repair failure must fall back, not error: %v", err)
 	}
-	if ok || got != nil {
+	if got != nil || ch != nil {
 		t.Fatal("singular repair reported success")
 	}
 	// The serving engine still solves: the failed pass never touched it.

@@ -1,0 +1,322 @@
+package churn
+
+import (
+	"math/rand"
+	"testing"
+
+	"foces/internal/controller"
+	"foces/internal/core"
+	"foces/internal/flowtable"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+// replicaNode mimics a cluster detector node's per-slice tracking: a
+// full rebuild when the base generation changed, incremental
+// ReplayChange application when only new deltas were appended.
+type replicaNode struct {
+	baseEpoch uint64
+	nChanges  int
+	rows      []int
+	engine    *core.Detector
+}
+
+func (n *replicaNode) sync(t *testing.T, rs *ReplicaState, opts core.Options) (snapshots, deltas int) {
+	t.Helper()
+	if n.engine == nil || n.baseEpoch != rs.BaseEpoch || n.nChanges > len(rs.Changes) {
+		eng, rows, err := ReplayReplica(rs, opts)
+		if err != nil {
+			t.Fatalf("switch %d: full replay: %v", rs.Switch, err)
+		}
+		n.engine, n.rows = eng, rows
+		n.baseEpoch, n.nChanges = rs.BaseEpoch, len(rs.Changes)
+		return 1, 0
+	}
+	for _, ch := range rs.Changes[n.nChanges:] {
+		eng, rows, err := ReplayChange(n.engine, n.rows, ch, opts)
+		if err != nil {
+			t.Fatalf("switch %d: incremental replay at epoch %d: %v", rs.Switch, ch.Epoch, err)
+		}
+		n.engine, n.rows = eng, rows
+		n.nChanges++
+		deltas++
+	}
+	return 0, deltas
+}
+
+func bitwiseEqualResults(t *testing.T, label string, sw topo.SwitchID, got, want core.Result) {
+	t.Helper()
+	if got.Anomalous != want.Anomalous || got.Index != want.Index ||
+		got.ErrMax != want.ErrMax || got.ErrMed != want.ErrMed {
+		t.Fatalf("%s: switch %d scalar drift: got {anom=%v idx=%v max=%v med=%v} want {anom=%v idx=%v max=%v med=%v}",
+			label, sw, got.Anomalous, got.Index, got.ErrMax, got.ErrMed,
+			want.Anomalous, want.Index, want.ErrMax, want.ErrMed)
+	}
+	vecs := [][2][]float64{{got.Delta, want.Delta}, {got.XHat, want.XHat}, {got.YHat, want.YHat}}
+	for vi, pair := range vecs {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s: switch %d vector %d length %d vs %d", label, sw, vi, len(pair[0]), len(pair[1]))
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s: switch %d vector %d entry %d: %v != %v (not bitwise identical)",
+					label, sw, vi, i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+}
+
+// TestReplicaReplayBitwiseIdentical drives randomized churn through a
+// manager while a simulated replica tracks every slice through the
+// exported delta encoding — full ReplayReplica after a base reset,
+// incremental ReplayChange otherwise — and asserts the replica's
+// detection results are bitwise identical (every float, not merely
+// close) to the manager's serving engines after every epoch. This is
+// the exact invariant the cluster's baseline replication rests on.
+func TestReplicaReplayBitwiseIdentical(t *testing.T) {
+	topol, err := topo.Linear(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := seedController(t, topol)
+	mgr := seedManager(t, topol, ctrl, Config{})
+	var batch []controller.RuleChange
+	ctrl.SetChangeObserver(func(ch []controller.RuleChange) { batch = append(batch, ch...) })
+
+	rng := rand.New(rand.NewSource(7))
+	switches := topol.Switches()
+	hosts := topol.Hosts()
+	vol := allPairVolumes(topol)
+
+	// An exact-match source IP no host owns: rules matching it capture
+	// no traffic, so adding one changes a slice's row set but no flow
+	// class — forcing the rank-one (delta) disposition deterministically.
+	phantomIP := uint64(0)
+	for _, h := range hosts {
+		if h.IP >= phantomIP {
+			phantomIP = h.IP + 1
+		}
+	}
+
+	nodes := make(map[topo.SwitchID]*replicaNode)
+	syncAll := func(label string) (snapshots, deltas int) {
+		rep := mgr.ReplicaStates()
+		slices := mgr.Slices()
+		if len(rep) != len(slices) {
+			t.Fatalf("%s: %d replica states for %d slices", label, len(rep), len(slices))
+		}
+		live := make(map[topo.SwitchID]bool, len(slices))
+		for _, sl := range slices {
+			live[sl.Switch] = true
+			rs := rep[sl.Switch]
+			if rs == nil {
+				t.Fatalf("%s: no replica state for switch %d", label, sl.Switch)
+			}
+			n := nodes[sl.Switch]
+			if n == nil {
+				n = &replicaNode{}
+				nodes[sl.Switch] = n
+			}
+			s, d := n.sync(t, rs, core.Options{})
+			snapshots += s
+			deltas += d
+			if len(n.rows) != len(sl.RuleRows) {
+				t.Fatalf("%s: switch %d replayed %d rows, slice has %d", label, sl.Switch, len(n.rows), len(sl.RuleRows))
+			}
+			for i, rid := range sl.RuleRows {
+				if n.rows[i] != rid {
+					t.Fatalf("%s: switch %d row %d: replayed rule %d, slice has %d", label, sl.Switch, i, n.rows[i], rid)
+				}
+			}
+		}
+		for sw := range nodes {
+			if !live[sw] {
+				delete(nodes, sw)
+			}
+		}
+		return snapshots, deltas
+	}
+
+	check := func(label string, y []float64) {
+		out, err := mgr.DetectSliced(y)
+		if err != nil {
+			t.Fatalf("%s: manager detect: %v", label, err)
+		}
+		slices := mgr.Slices()
+		for i, sl := range slices {
+			sub := make([]float64, len(sl.RuleRows))
+			for j, rid := range sl.RuleRows {
+				sub[j] = y[rid]
+			}
+			res, err := nodes[sl.Switch].engine.Detect(sub)
+			if err != nil {
+				t.Fatalf("%s: switch %d replica detect: %v", label, sl.Switch, err)
+			}
+			bitwiseEqualResults(t, label, sl.Switch, res, out.PerSwitch[i].Result)
+		}
+	}
+
+	syncAll("cold")
+	y, err := mgr.FCM().ExpectedCounters(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("cold", y)
+
+	totalDeltas := 0
+	const rounds = 10
+	for round := 0; round < rounds; round++ {
+		batch = batch[:0]
+		switch round % 3 {
+		case 0:
+			// Phantom rule: row-only slice change → rank-one delta.
+			sw := switches[rng.Intn(len(switches))].ID
+			match, err := layout.MatchExact(layout.Wildcard(), header.FieldSrcIP, phantomIP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ctrl.AddRule(sw, 1, match, flowtable.Action{Type: flowtable.ActionDrop}); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			// Source-pinned drop: reroutes a host's traffic → refactors.
+			sw := switches[rng.Intn(len(switches))].ID
+			h := hosts[rng.Intn(len(hosts))]
+			match, err := layout.MatchExact(layout.Wildcard(), header.FieldSrcIP, h.IP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ctrl.AddRule(sw, 500+round, match, flowtable.Action{Type: flowtable.ActionDrop}); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			live := ctrl.Rules()
+			victim := live[rng.Intn(len(live))]
+			if _, err := ctrl.RemoveRule(victim.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		u, err := mgr.Apply(append([]controller.RuleChange(nil), batch...))
+		if err != nil {
+			t.Fatalf("round %d: Apply: %v", round, err)
+		}
+		snaps, deltas := syncAll("round")
+		totalDeltas += deltas
+		if u.SlicesRefactored == 0 && snaps != 0 {
+			t.Fatalf("round %d: %d snapshot resyncs without any refactored slice", round, snaps)
+		}
+
+		y, err := mgr.FCM().ExpectedCounters(vol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("clean", y)
+		bad := append([]float64(nil), y...)
+		for i := range bad {
+			if bad[i] > 0 && !mgr.FCM().IsPlaceholder(i) {
+				bad[i] *= 3
+				break
+			}
+		}
+		check("anomalous", bad)
+	}
+
+	st := mgr.Stats()
+	if st.SlicesUpdated == 0 || st.SlicesRefactored == 0 || st.SlicesReused == 0 {
+		t.Fatalf("churn workload missed a disposition: %+v", st)
+	}
+	if totalDeltas == 0 {
+		t.Fatal("replica never applied an incremental delta — every sync fell back to a snapshot")
+	}
+}
+
+// TestReplicaStateResetOnRefactor pins the full-snapshot fallback
+// contract: a rank-one-repaired slice accumulates Changes on a stable
+// base, and a refactored slice resets BaseEpoch to the refactoring
+// epoch with an empty change list.
+func TestReplicaStateResetOnRefactor(t *testing.T) {
+	topol, err := topo.Linear(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := seedController(t, topol)
+	mgr := seedManager(t, topol, ctrl, Config{})
+	var batch []controller.RuleChange
+	ctrl.SetChangeObserver(func(ch []controller.RuleChange) { batch = append(batch, ch...) })
+
+	for _, rs := range mgr.ReplicaStates() {
+		if rs.BaseEpoch != 0 || len(rs.Changes) != 0 {
+			t.Fatalf("cold replica state not at base: %+v", rs)
+		}
+	}
+
+	hosts := topol.Hosts()
+	phantomIP := uint64(0)
+	for _, h := range hosts {
+		if h.IP >= phantomIP {
+			phantomIP = h.IP + 1
+		}
+	}
+	sw := topol.Switches()[0].ID
+	match, err := layout.MatchExact(layout.Wildcard(), header.FieldSrcIP, phantomIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.AddRule(sw, 1, match, flowtable.Action{Type: flowtable.ActionDrop}); err != nil {
+		t.Fatal(err)
+	}
+	u, err := mgr.Apply(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.SlicesUpdated == 0 {
+		t.Fatalf("phantom rule did not exercise the rank-one path: %+v", u)
+	}
+	var updated *ReplicaState
+	for _, rs := range mgr.ReplicaStates() {
+		if len(rs.Changes) > 0 {
+			updated = rs
+		}
+	}
+	if updated == nil {
+		t.Fatal("no replica state accumulated a change")
+	}
+	if updated.BaseEpoch != 0 {
+		t.Fatalf("rank-one repair moved the base epoch: %+v", updated)
+	}
+	ch := updated.Changes[len(updated.Changes)-1]
+	if ch.Epoch != u.Epoch || len(ch.Added) == 0 {
+		t.Fatalf("recorded change %+v does not describe epoch %d's added row", ch, u.Epoch)
+	}
+
+	// A source-pinned drop reroutes traffic and refactors its slices:
+	// their replica bases must reset to the new epoch.
+	batch = batch[:0]
+	h := hosts[0]
+	match, err = layout.MatchExact(layout.Wildcard(), header.FieldSrcIP, h.IP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.AddRule(sw, 900, match, flowtable.Action{Type: flowtable.ActionDrop}); err != nil {
+		t.Fatal(err)
+	}
+	u2, err := mgr.Apply(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.SlicesRefactored == 0 {
+		t.Fatalf("rerouting drop did not refactor any slice: %+v", u2)
+	}
+	reset := 0
+	for _, rs := range mgr.ReplicaStates() {
+		if rs.BaseEpoch == u2.Epoch {
+			if len(rs.Changes) != 0 {
+				t.Fatalf("refactored slice kept stale changes: %+v", rs)
+			}
+			reset++
+		}
+	}
+	if reset == 0 {
+		t.Fatal("no replica base reset to the refactoring epoch")
+	}
+}

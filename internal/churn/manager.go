@@ -74,6 +74,7 @@ type Manager struct {
 	slices    []core.Slice
 	sliced    *core.SlicedDetector
 	sliceMeta map[topo.SwitchID]*sliceMeta
+	replica   map[topo.SwitchID]*ReplicaState
 
 	full      *core.Detector
 	fullEpoch uint64
@@ -104,6 +105,7 @@ func NewManager(t *topo.Topology, layout *header.Layout, rules []flowtable.Rule,
 		classes:    make(map[string]*class),
 		srcClasses: make(map[topo.HostID]map[*class]bool),
 		sliceMeta:  make(map[topo.SwitchID]*sliceMeta),
+		replica:    make(map[topo.SwitchID]*ReplicaState),
 	}
 	for _, r := range rules {
 		if r.ID < 0 || r.ID >= space {
@@ -232,26 +234,58 @@ func (m *Manager) rebuild(u *Update) error {
 	}
 	engines := make([]*core.Detector, len(slices))
 	dispositions := make([]sliceDisposition, len(slices))
+	changes := make([]*SliceChange, len(slices))
 	buildErrs := make([]error, len(slices))
 	matrix.FanOut(len(slices), matrix.KernelWorkers(), func(i int) {
-		engines[i], dispositions[i], buildErrs[i] = m.buildSliceEngine(slices[i], sliceUIDs[i], olds[i])
+		engines[i], dispositions[i], changes[i], buildErrs[i] = m.buildSliceEngine(slices[i], sliceUIDs[i], olds[i])
 	})
 	if m.tel != nil {
 		m.tel.PrepareSeconds.With("slice_build").ObserveDuration(time.Since(buildStart).Nanoseconds())
 	}
+	epoch := uint64(0)
+	if u != nil {
+		epoch = u.Epoch
+	}
 	meta := make(map[topo.SwitchID]*sliceMeta, len(slices))
+	replica := make(map[topo.SwitchID]*ReplicaState, len(slices))
 	for i, sl := range slices {
 		if buildErrs[i] != nil {
 			return buildErrs[i]
 		}
 		meta[sl.Switch] = &sliceMeta{rows: sl.RuleRows, colUIDs: sliceUIDs[i], engine: engines[i]}
-		if u != nil {
-			switch dispositions[i] {
-			case sliceReused:
+		// Replica-log maintenance mirrors the engine disposition exactly:
+		// a refactor resets the slice's replication base (the snapshot a
+		// joining or fill-rejected replica is served), a rank-one repair
+		// appends the rows it applied, and a reused engine carries its
+		// state forward untouched. Dropped switches fall out of the map.
+		switch dispositions[i] {
+		case sliceReused:
+			replica[sl.Switch] = m.replica[sl.Switch]
+			if u != nil {
 				u.SlicesReused++
-			case sliceUpdated:
+			}
+		case sliceUpdated:
+			prev := m.replica[sl.Switch]
+			ch := *changes[i]
+			ch.Epoch = epoch
+			replica[sl.Switch] = &ReplicaState{
+				Switch:    sl.Switch,
+				BaseEpoch: prev.BaseEpoch,
+				BaseRows:  prev.BaseRows,
+				BaseH:     prev.BaseH,
+				Changes:   append(append([]SliceChange(nil), prev.Changes...), ch),
+			}
+			if u != nil {
 				u.SlicesUpdated++
-			default:
+			}
+		default:
+			replica[sl.Switch] = &ReplicaState{
+				Switch:    sl.Switch,
+				BaseEpoch: epoch,
+				BaseRows:  sl.RuleRows,
+				BaseH:     sl.H,
+			}
+			if u != nil {
 				u.SlicesRefactored++
 			}
 		}
@@ -267,6 +301,7 @@ func (m *Manager) rebuild(u *Update) error {
 	m.slices = slices
 	m.sliced = sliced
 	m.sliceMeta = meta
+	m.replica = replica
 	m.fullOK = false // Algorithm 1 engine is rebuilt lazily on demand
 	return nil
 }
@@ -283,17 +318,17 @@ const (
 // whether the previous engine can be reused (identical rows and column
 // classes), repaired by rank-one update/downdate (identical column
 // classes, row delta within threshold), or must be refactored.
-func (m *Manager) buildSliceEngine(sl core.Slice, uids []uint64, old *sliceMeta) (*core.Detector, sliceDisposition, error) {
+func (m *Manager) buildSliceEngine(sl core.Slice, uids []uint64, old *sliceMeta) (*core.Detector, sliceDisposition, *SliceChange, error) {
 	if old != nil && equalUIDs(old.colUIDs, uids) {
 		removed, added := rowDelta(old.rows, sl.RuleRows)
 		if len(removed) == 0 && len(added) == 0 {
-			return old.engine, sliceReused, nil
+			return old.engine, sliceReused, nil, nil
 		}
 		if m.cfg.UpdateThreshold > 0 && len(removed)+len(added) <= m.cfg.UpdateThreshold {
-			if eng, ok, err := m.rankOneRepair(sl, old, removed, added); err != nil {
-				return nil, sliceRefactored, err
-			} else if ok {
-				return eng, sliceUpdated, nil
+			if eng, ch, err := m.rankOneRepair(sl, old, removed, added); err != nil {
+				return nil, sliceRefactored, nil, err
+			} else if eng != nil {
+				return eng, sliceUpdated, ch, nil
 			}
 		}
 	}
@@ -306,41 +341,30 @@ func (m *Manager) buildSliceEngine(sl core.Slice, uids []uint64, old *sliceMeta)
 	}
 	eng, err := core.NewDetectorReusing(sl.H, m.opts, prev)
 	if err != nil {
-		return nil, sliceRefactored, fmt.Errorf("churn: slice switch %d: %w", sl.Switch, err)
+		return nil, sliceRefactored, nil, fmt.Errorf("churn: slice switch %d: %w", sl.Switch, err)
 	}
-	return eng, sliceRefactored, nil
+	return eng, sliceRefactored, nil, nil
 }
 
 // rankOneRepair advances old's Gram factor (dense or sparse) to the
 // new slice's by downdating removed rows and updating added ones —
 // O(k·n²) dense, O(k·affected-columns) sparse — against the full
-// refactor. Returns ok=false (caller refactors) when the old engine has
-// no usable factor, an update/downdate leaves the Gram insufficiently
-// positive definite, or a sparse update would need fill outside the
-// cached factor pattern. The repair works on a clone, so a failed pass
-// poisons only the throwaway copy — the serving engine is untouched,
-// and NewPreparedLSFromUpdatable additionally refuses to promote any
-// poisoned factor.
-func (m *Manager) rankOneRepair(sl core.Slice, old *sliceMeta, removed, added []int) (*core.Detector, bool, error) {
+// refactor. Returns a nil engine (caller refactors) when the old
+// engine has no usable factor, an update/downdate leaves the Gram
+// insufficiently positive definite, or a sparse update would need fill
+// outside the cached factor pattern. The repair works on a clone, so a
+// failed pass poisons only the throwaway copy — the serving engine is
+// untouched, and NewPreparedLSFromUpdatable additionally refuses to
+// promote any poisoned factor. On success the applied rows come back
+// as a SliceChange so a replica can replay the identical operations.
+func (m *Manager) rankOneRepair(sl core.Slice, old *sliceMeta, removed, added []int) (*core.Detector, *SliceChange, error) {
 	prep := old.engine.Prepared()
 	if prep == nil || sl.H.Cols() == 0 {
-		return nil, false, nil
+		return nil, nil, nil
 	}
 	chol := prep.CloneFactor()
 	if chol == nil {
-		return nil, false, nil
-	}
-	row := make([]float64, sl.H.Cols())
-	scatter := func(h *matrix.CSR, i int) int {
-		for j := range row {
-			row[j] = 0
-		}
-		nnz := 0
-		h.RowEntries(i, func(col int, v float64) {
-			row[col] = v
-			nnz++
-		})
-		return nnz
+		return nil, nil, nil
 	}
 	oldH := old.engine.H()
 	oldPos := make(map[int]int, len(old.rows))
@@ -351,38 +375,26 @@ func (m *Manager) rankOneRepair(sl core.Slice, old *sliceMeta, removed, added []
 	for i, rid := range sl.RuleRows {
 		newPos[rid] = i
 	}
-	// Degenerate or fill-inducing deltas are expected churn outcomes that
-	// the refactor path absorbs; only unexpected errors propagate.
-	refactorable := func(err error) bool {
-		return errors.Is(err, matrix.ErrNotPositiveDefinite) || errors.Is(err, matrix.ErrSparseUpdateFill)
-	}
+	ch := &SliceChange{}
 	for _, rid := range removed {
-		if scatter(oldH, oldPos[rid]) == 0 {
-			continue
-		}
-		if err := chol.Downdate(row); err != nil {
-			if refactorable(err) {
-				return nil, false, nil
-			}
-			return nil, false, err
-		}
+		ch.Removed = append(ch.Removed, extractRowVec(oldH, oldPos[rid], rid))
 	}
 	for _, rid := range added {
-		if scatter(sl.H, newPos[rid]) == 0 {
-			continue
+		ch.Added = append(ch.Added, extractRowVec(sl.H, newPos[rid], rid))
+	}
+	if err := applyRowVecs(chol, sl.H.Cols(), ch.Removed, ch.Added); err != nil {
+		// Degenerate or fill-inducing deltas are expected churn outcomes
+		// that the refactor path absorbs; only unexpected errors propagate.
+		if errors.Is(err, matrix.ErrNotPositiveDefinite) || errors.Is(err, matrix.ErrSparseUpdateFill) {
+			return nil, nil, nil
 		}
-		if err := chol.Update(row); err != nil {
-			if refactorable(err) {
-				return nil, false, nil
-			}
-			return nil, false, err
-		}
+		return nil, nil, err
 	}
 	ls, err := matrix.NewPreparedLSFromUpdatable(sl.H, chol, prep.Ridge())
 	if err != nil {
-		return nil, false, err
+		return nil, nil, err
 	}
-	return core.NewDetectorFromPrepared(ls, m.opts), true, nil
+	return core.NewDetectorFromPrepared(ls, m.opts), ch, nil
 }
 
 func equalUIDs(a, b []uint64) bool {

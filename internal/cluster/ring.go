@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"foces/internal/topo"
+)
+
+// defaultVNodes is the virtual-node count per member. 64 vnodes keeps
+// the shard imbalance between nodes within a few percent for the
+// hundreds of per-switch shards a FatTree-scale FCM produces, while
+// membership changes stay cheap (the ring is rebuilt from scratch on
+// change — member sets are tiny).
+const defaultVNodes = 64
+
+// ring is a consistent-hash assignment of per-switch shards to member
+// names. Deterministic: the same member set always produces the same
+// assignment, and removing a member moves only the shards that hashed
+// to its virtual nodes — every other shard keeps its owner, which is
+// what bounds the baseline re-shipment a node failure triggers.
+type ring struct {
+	vnodes  int
+	hashes  []uint64          // sorted vnode positions
+	owners  map[uint64]string // vnode position -> member
+	members map[string]bool
+}
+
+func newRing(vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	return &ring{vnodes: vnodes, owners: make(map[uint64]string), members: make(map[string]bool)}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is a splitmix64-style finalizer. Raw FNV-1a of short,
+// near-sequential keys ("switch/17", "addr#3") clusters badly enough
+// to leave one member owning half the ring; the finalizer's avalanche
+// restores an even spread.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shardKey positions a switch's shard on the ring.
+func shardKey(sw topo.SwitchID) uint64 {
+	return hash64(fmt.Sprintf("switch/%d", sw))
+}
+
+func (r *ring) rebuild() {
+	r.hashes = r.hashes[:0]
+	for h := range r.owners {
+		delete(r.owners, h)
+	}
+	for m := range r.members {
+		for i := 0; i < r.vnodes; i++ {
+			h := hash64(fmt.Sprintf("%s#%d", m, i))
+			// A full 64-bit collision across members would make ownership
+			// map-iteration-order dependent; perturb deterministically.
+			for {
+				if _, taken := r.owners[h]; !taken {
+					break
+				}
+				h++
+			}
+			r.owners[h] = m
+			r.hashes = append(r.hashes, h)
+		}
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+}
+
+func (r *ring) Add(member string) {
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	r.rebuild()
+}
+
+func (r *ring) Remove(member string) {
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	r.rebuild()
+}
+
+func (r *ring) Size() int { return len(r.members) }
+
+// Owner returns the member owning a shard ("" when the ring is empty):
+// the first virtual node at or clockwise after the shard's position.
+func (r *ring) Owner(sw topo.SwitchID) string {
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	key := shardKey(sw)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= key })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owners[r.hashes[i]]
+}

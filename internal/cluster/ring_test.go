@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"foces/internal/topo"
+)
+
+// TestRingDeterministic pins that shard assignment is a pure function
+// of the member set: two rings built over the same members (in any
+// insertion order) agree on every shard's owner.
+func TestRingDeterministic(t *testing.T) {
+	members := []string{"node-a:1", "node-b:2", "node-c:3"}
+	r1 := newRing(0)
+	for _, m := range members {
+		r1.Add(m)
+	}
+	r2 := newRing(0)
+	for i := len(members) - 1; i >= 0; i-- {
+		r2.Add(members[i])
+	}
+	for sw := topo.SwitchID(0); sw < 500; sw++ {
+		if o1, o2 := r1.Owner(sw), r2.Owner(sw); o1 != o2 {
+			t.Fatalf("switch %d: insertion order changed owner %q vs %q", sw, o1, o2)
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyDeadShards pins the rebalance bound that
+// makes eviction cheap: removing one member reassigns exactly the
+// shards it owned, never a survivor's.
+func TestRingRemovalMovesOnlyDeadShards(t *testing.T) {
+	r := newRing(0)
+	members := []string{"node-a:1", "node-b:2", "node-c:3", "node-d:4"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	before := make(map[topo.SwitchID]string)
+	for sw := topo.SwitchID(0); sw < 500; sw++ {
+		before[sw] = r.Owner(sw)
+	}
+	dead := "node-b:2"
+	r.Remove(dead)
+	moved := 0
+	for sw, owner := range before {
+		after := r.Owner(sw)
+		if owner == dead {
+			if after == dead || after == "" {
+				t.Fatalf("switch %d still owned by removed member %q", sw, after)
+			}
+			moved++
+			continue
+		}
+		if after != owner {
+			t.Fatalf("switch %d moved %q -> %q though its owner survived", sw, owner, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no shards — test is vacuous, raise the shard count")
+	}
+}
+
+// TestRingBalance sanity-checks that virtual nodes spread shards
+// across members rather than clumping them on one.
+func TestRingBalance(t *testing.T) {
+	r := newRing(0)
+	n := 4
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	counts := make(map[string]int)
+	const shards = 1000
+	for sw := topo.SwitchID(0); sw < shards; sw++ {
+		counts[r.Owner(sw)]++
+	}
+	for m, c := range counts {
+		if c == 0 || c > shards/2 {
+			t.Fatalf("member %s owns %d of %d shards — vnode spread is broken", m, c, shards)
+		}
+	}
+	if len(counts) != n {
+		t.Fatalf("only %d of %d members own shards", len(counts), n)
+	}
+}
+
+// TestRingEmpty pins the empty-ring sentinel the coordinator's
+// local-fallback path keys on.
+func TestRingEmpty(t *testing.T) {
+	r := newRing(0)
+	if got := r.Owner(7); got != "" {
+		t.Fatalf("empty ring returned owner %q", got)
+	}
+	r.Add("a")
+	r.Remove("a")
+	if got := r.Owner(7); got != "" {
+		t.Fatalf("drained ring returned owner %q", got)
+	}
+}

@@ -4,14 +4,12 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"foces/internal/matrix"
 	"foces/internal/stats"
-	"foces/internal/topo"
 )
 
 // Detector is the prepared form of Algorithm 1 over a fixed flow-counter
@@ -409,27 +407,13 @@ func (sd *SlicedDetector) detect(y []float64, opts Options, workers int) (Sliced
 	}
 	// Aggregate in slice order so parallel and sequential runs produce
 	// identical outcomes, including Suspects order under index ties.
-	var out SlicedOutcome
-	type suspect struct {
-		sw    topo.SwitchID
-		index float64
-	}
-	var suspects []suspect
 	for i, sl := range sd.slices {
 		if errs[i] != nil {
 			return SlicedOutcome{}, fmt.Errorf("core: slice switch %d: %w", sl.Switch, errs[i])
 		}
 		tel.slice(results[i])
-		out.PerSwitch = append(out.PerSwitch, SliceResult{Switch: sl.Switch, Result: results[i]})
-		if results[i].Anomalous {
-			out.Anomalous = true
-			suspects = append(suspects, suspect{sw: sl.Switch, index: results[i].Index})
-		}
 	}
-	sort.SliceStable(suspects, func(i, j int) bool { return suspects[i].index > suspects[j].index })
-	for _, s := range suspects {
-		out.Suspects = append(out.Suspects, s.sw)
-	}
+	out := MergeSliceResults(sd.slices, results)
 	tel.outcome(t0, out.Anomalous)
 	return out, nil
 }

@@ -4,12 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"foces/internal/matrix"
 	"foces/internal/stats"
-	"foces/internal/topo"
 )
 
 // This file supports the churn subsystem: engines rebuilt from
@@ -125,8 +123,9 @@ func (d *Detector) DetectMasked(y []float64, masked []int) (Result, error) {
 	}
 	var xHat []float64
 	solved := false
-	if opts.Solver == SolverCholesky && d.ls != nil {
-		chol := d.ls.Factor().Clone()
+	// CloneFactor works for dense- and sparse-backed engines alike; a
+	// nil clone (degenerate engine) falls through to the one-shot solve.
+	if chol := d.cloneFactorForMask(opts); chol != nil {
 		row := make([]float64, h.Cols())
 		ok := true
 		for i := range mask {
@@ -205,6 +204,16 @@ func (d *Detector) DetectMasked(y []float64, masked []int) (Result, error) {
 	return res, nil
 }
 
+// cloneFactorForMask returns an independently downdatable copy of the
+// engine's Gram factor for the masked path, or nil when the engine has
+// no factor to downdate (non-Cholesky solver, degenerate H).
+func (d *Detector) cloneFactorForMask(opts Options) matrix.UpdatableFactor {
+	if opts.Solver != SolverCholesky || d.ls == nil {
+		return nil
+	}
+	return d.ls.CloneFactor()
+}
+
 // DetectMasked runs Algorithm 2 with the given global rule rows masked
 // out of every slice they appear in — the sliced form of the
 // epoch-straddling-window reconciliation. It runs sequentially; the
@@ -227,12 +236,7 @@ func (sd *SlicedDetector) DetectMasked(y []float64, masked []int) (SlicedOutcome
 	for _, rid := range masked {
 		maskSet[rid] = true
 	}
-	var out SlicedOutcome
-	type suspect struct {
-		sw    topo.SwitchID
-		index float64
-	}
-	var suspects []suspect
+	results := make([]Result, len(sd.slices))
 	for i, sl := range sd.slices {
 		sub := make([]float64, len(sl.RuleRows))
 		var local []int
@@ -247,16 +251,9 @@ func (sd *SlicedDetector) DetectMasked(y []float64, masked []int) (SlicedOutcome
 			return SlicedOutcome{}, fmt.Errorf("core: slice switch %d: %w", sl.Switch, err)
 		}
 		tel.slice(res)
-		out.PerSwitch = append(out.PerSwitch, SliceResult{Switch: sl.Switch, Result: res})
-		if res.Anomalous {
-			out.Anomalous = true
-			suspects = append(suspects, suspect{sw: sl.Switch, index: res.Index})
-		}
+		results[i] = res
 	}
-	sort.SliceStable(suspects, func(i, j int) bool { return suspects[i].index > suspects[j].index })
-	for _, s := range suspects {
-		out.Suspects = append(out.Suspects, s.sw)
-	}
+	out := MergeSliceResults(sd.slices, results)
 	tel.outcome(t0, out.Anomalous)
 	return out, nil
 }

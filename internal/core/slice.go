@@ -133,6 +133,34 @@ type SlicedOutcome struct {
 	Suspects []topo.SwitchID
 }
 
+// MergeSliceResults aggregates per-slice results — one per slice, in
+// slice order (ascending switch, the order BuildSlices emits) — into a
+// SlicedOutcome. This is THE merge: SlicedDetector's parallel and
+// sequential paths, its masked path, and the cluster coordinator's
+// partial-verdict assembly all funnel through it, so a distributed run
+// reproduces a local run's outcome (including Suspects order under
+// index ties, which the stable sort preserves in slice order) exactly.
+func MergeSliceResults(slices []Slice, results []Result) SlicedOutcome {
+	var out SlicedOutcome
+	type suspect struct {
+		sw    topo.SwitchID
+		index float64
+	}
+	var suspects []suspect
+	for i, sl := range slices {
+		out.PerSwitch = append(out.PerSwitch, SliceResult{Switch: sl.Switch, Result: results[i]})
+		if results[i].Anomalous {
+			out.Anomalous = true
+			suspects = append(suspects, suspect{sw: sl.Switch, index: results[i].Index})
+		}
+	}
+	sort.SliceStable(suspects, func(i, j int) bool { return suspects[i].index > suspects[j].index })
+	for _, s := range suspects {
+		out.Suspects = append(out.Suspects, s.sw)
+	}
+	return out
+}
+
 // MaxIndex returns the largest finite-or-infinite anomaly index across
 // slices (0 when there are none).
 func (o SlicedOutcome) MaxIndex() float64 {

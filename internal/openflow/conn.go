@@ -1,35 +1,33 @@
 package openflow
 
 import (
-	"encoding/binary"
-	"fmt"
-	"io"
 	"net"
-	"sync"
+
+	"foces/internal/wire"
 )
 
 // maxMessageSize bounds a frame so a corrupt length prefix cannot make
-// the reader allocate unbounded memory.
+// the reader allocate unbounded memory. Violations surface as a typed
+// *wire.SizeError from both Read and Write.
 const maxMessageSize = 16 << 20
 
-// headerSize is version(1) + type(1) + length(4) + xid(4).
-const headerSize = 10
-
-// Conn frames Messages over a net.Conn. Writes are serialized; a
-// single reader is expected.
+// Conn frames Messages over a net.Conn using the shared length-prefix
+// layer (internal/wire). Writes are serialized; a single reader is
+// expected.
 type Conn struct {
-	raw net.Conn
-
-	writeMu sync.Mutex
+	w *wire.Conn
 }
 
 // NewConn wraps a transport connection.
-func NewConn(raw net.Conn) *Conn { return &Conn{raw: raw} }
+func NewConn(raw net.Conn) *Conn {
+	return &Conn{w: wire.NewConn(raw, "openflow", Version, maxMessageSize)}
+}
 
 // Close closes the underlying transport.
-func (c *Conn) Close() error { return c.raw.Close() }
+func (c *Conn) Close() error { return c.w.Close() }
 
-// Write sends one message.
+// Write sends one message. A body that would exceed the frame cap is
+// refused with a *wire.SizeError.
 func (c *Conn) Write(m Message) error {
 	var body []byte
 	if m.Payload != nil {
@@ -39,40 +37,17 @@ func (c *Conn) Write(m Message) error {
 			return err
 		}
 	}
-	if len(body) > maxMessageSize-headerSize {
-		return fmt.Errorf("openflow: message body %d bytes exceeds limit", len(body))
-	}
-	frame := make([]byte, headerSize+len(body))
-	frame[0] = Version
-	frame[1] = byte(m.Type)
-	binary.BigEndian.PutUint32(frame[2:], uint32(headerSize+len(body)))
-	binary.BigEndian.PutUint32(frame[6:], m.XID)
-	copy(frame[headerSize:], body)
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	_, err := c.raw.Write(frame)
-	return err
+	return c.w.WriteFrame(byte(m.Type), m.XID, body)
 }
 
 // Read receives the next message, blocking until one arrives or the
 // transport fails.
 func (c *Conn) Read() (Message, error) {
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(c.raw, hdr[:]); err != nil {
+	t, xid, body, err := c.w.ReadFrame()
+	if err != nil {
 		return Message{}, err
 	}
-	if hdr[0] != Version {
-		return Message{}, fmt.Errorf("openflow: bad version %d", hdr[0])
-	}
-	total := binary.BigEndian.Uint32(hdr[2:])
-	if total < headerSize || total > maxMessageSize {
-		return Message{}, fmt.Errorf("openflow: bad frame length %d", total)
-	}
-	body := make([]byte, total-headerSize)
-	if _, err := io.ReadFull(c.raw, body); err != nil {
-		return Message{}, fmt.Errorf("openflow: short body: %w", err)
-	}
-	m := Message{Type: MsgType(hdr[1]), XID: binary.BigEndian.Uint32(hdr[6:])}
+	m := Message{Type: MsgType(t), XID: xid}
 	payload, err := decodePayload(m.Type, body)
 	if err != nil {
 		return Message{}, err

@@ -164,3 +164,28 @@ func NewSystemMetrics(r *Registry) *SystemMetrics {
 		MaskedRows: r.NewHistogram("foces_system_masked_rows", "Rule rows masked per reconciled detection.", WidthBuckets),
 	}
 }
+
+// ClusterMetrics instruments the coordinator of a sharded multi-node
+// detection cluster (internal/cluster).
+type ClusterMetrics struct {
+	Nodes          *Gauge
+	Shards         *Gauge
+	Degraded       *Gauge
+	WindowSeconds  *Histogram
+	BaselineSyncs  *CounterVec // kind: snapshot | delta
+	RequeuedShards *Counter
+	Evictions      *Counter
+}
+
+// NewClusterMetrics registers the cluster family set.
+func NewClusterMetrics(r *Registry) *ClusterMetrics {
+	return &ClusterMetrics{
+		Nodes:          r.NewGauge("foces_cluster_nodes", "Live detector nodes connected to the coordinator."),
+		Shards:         r.NewGauge("foces_cluster_shards", "Per-switch slice shards assigned across live nodes."),
+		Degraded:       r.NewGauge("foces_cluster_degraded", "1 while live detector capacity is below the configured peer set."),
+		WindowSeconds:  r.NewHistogram("foces_cluster_window_seconds", "Distributed sliced-detection wall time per window.", SecondsBuckets),
+		BaselineSyncs:  r.NewCounterVec("foces_cluster_baseline_syncs_total", "Baseline shipments to detector nodes: full snapshots vs incremental rank-one deltas.", "kind"),
+		RequeuedShards: r.NewCounter("foces_cluster_requeued_shards_total", "In-flight shards re-dispatched to surviving nodes after an eviction."),
+		Evictions:      r.NewCounter("foces_cluster_evictions_total", "Detector nodes evicted on heartbeat timeout or transport failure."),
+	}
+}

@@ -1,0 +1,107 @@
+// Package wire provides the length-prefixed frame layer shared by the
+// control-channel protocols in this repository (internal/openflow's
+// switch channel and internal/cluster's coordinator/detector channel).
+// A frame is a fixed 10-byte header — version(1) + type(1) +
+// total-length(4, big-endian, header included) + xid(4, big-endian) —
+// followed by the body. The reader refuses frames whose advertised
+// length exceeds a per-connection cap, so a corrupt or hostile length
+// prefix can never make the receiver allocate unbounded memory; both
+// directions report the violation as a typed *SizeError.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// HeaderSize is version(1) + type(1) + length(4) + xid(4).
+const HeaderSize = 10
+
+// SizeError reports a frame that exceeds the connection's frame cap —
+// on write, a body too large to frame; on read, a length prefix
+// advertising more than the cap (or less than a bare header).
+type SizeError struct {
+	// Proto is the owning protocol's name ("openflow", "cluster"),
+	// used as the error prefix.
+	Proto string
+	// Size is the offending total frame size in bytes (header
+	// included).
+	Size int
+	// Limit is the connection's maximum frame size.
+	Limit int
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("%s: frame of %d bytes outside [%d, %d]", e.Proto, e.Size, HeaderSize, e.Limit)
+}
+
+// Conn frames (type, xid, body) tuples over a transport connection.
+// Writes are serialized by an internal mutex; a single reader is
+// expected. The version byte and frame cap are fixed per connection.
+type Conn struct {
+	raw      net.Conn
+	proto    string
+	version  byte
+	maxFrame int
+
+	writeMu sync.Mutex
+}
+
+// NewConn wraps a transport connection. proto names the owning
+// protocol for error messages, version is the value written into (and
+// required of) every frame's first byte, and maxFrame caps the total
+// frame size in both directions.
+func NewConn(raw net.Conn, proto string, version byte, maxFrame int) *Conn {
+	return &Conn{raw: raw, proto: proto, version: version, maxFrame: maxFrame}
+}
+
+// Raw returns the underlying transport connection (for deadlines).
+func (c *Conn) Raw() net.Conn { return c.raw }
+
+// Close closes the underlying transport.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// WriteFrame sends one frame. A body that would push the total frame
+// past the cap is refused with a *SizeError before anything is
+// written.
+func (c *Conn) WriteFrame(msgType byte, xid uint32, body []byte) error {
+	total := HeaderSize + len(body)
+	if total > c.maxFrame {
+		return &SizeError{Proto: c.proto, Size: total, Limit: c.maxFrame}
+	}
+	frame := make([]byte, total)
+	frame[0] = c.version
+	frame[1] = msgType
+	binary.BigEndian.PutUint32(frame[2:], uint32(total))
+	binary.BigEndian.PutUint32(frame[6:], xid)
+	copy(frame[HeaderSize:], body)
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, err := c.raw.Write(frame)
+	return err
+}
+
+// ReadFrame receives the next frame, blocking until one arrives or the
+// transport fails. A length prefix outside [HeaderSize, cap] is
+// refused with a *SizeError without reading (or allocating) the body.
+func (c *Conn) ReadFrame() (msgType byte, xid uint32, body []byte, err error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(c.raw, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	if hdr[0] != c.version {
+		return 0, 0, nil, fmt.Errorf("%s: bad version %d", c.proto, hdr[0])
+	}
+	total := binary.BigEndian.Uint32(hdr[2:])
+	if total < HeaderSize || int64(total) > int64(c.maxFrame) {
+		return 0, 0, nil, &SizeError{Proto: c.proto, Size: int(total), Limit: c.maxFrame}
+	}
+	body = make([]byte, total-HeaderSize)
+	if _, err := io.ReadFull(c.raw, body); err != nil {
+		return 0, 0, nil, fmt.Errorf("%s: short body: %w", c.proto, err)
+	}
+	return hdr[1], binary.BigEndian.Uint32(hdr[6:]), body, nil
+}

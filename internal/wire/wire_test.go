@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+)
+
+func pipePair(t *testing.T, maxFrame int) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	ca := NewConn(a, "test", 7, maxFrame)
+	cb := NewConn(b, "test", 7, maxFrame)
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	return ca, cb
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	ca, cb := pipePair(t, 1<<20)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := ca.WriteFrame(3, 42, []byte("hello")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := ca.WriteFrame(9, 43, nil); err != nil {
+			t.Errorf("write empty: %v", err)
+		}
+	}()
+	mt, xid, body, err := cb.ReadFrame()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if mt != 3 || xid != 42 || string(body) != "hello" {
+		t.Fatalf("got type=%d xid=%d body=%q", mt, xid, body)
+	}
+	mt, xid, body, err = cb.ReadFrame()
+	if err != nil {
+		t.Fatalf("read empty: %v", err)
+	}
+	if mt != 9 || xid != 43 || len(body) != 0 {
+		t.Fatalf("got type=%d xid=%d body=%q", mt, xid, body)
+	}
+	wg.Wait()
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	ca, _ := pipePair(t, 64)
+	err := ca.WriteFrame(1, 0, make([]byte, 64))
+	var se *SizeError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected *SizeError, got %v", err)
+	}
+	if se.Size != HeaderSize+64 || se.Limit != 64 || se.Proto != "test" {
+		t.Fatalf("unexpected SizeError fields: %+v", se)
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	// Hand-craft a header whose length prefix exceeds the reader's cap.
+	cb := NewConn(b, "test", 7, 64)
+	go func() {
+		hdr := []byte{7, 1, 0, 0, 1, 0, 0, 0, 0, 0} // total = 256 > 64
+		a.Write(hdr)
+	}()
+	_, _, _, err := cb.ReadFrame()
+	var se *SizeError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected *SizeError, got %v", err)
+	}
+	if se.Size != 256 || se.Limit != 64 {
+		t.Fatalf("unexpected SizeError fields: %+v", se)
+	}
+}
+
+func TestReadFrameShortLength(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	cb := NewConn(b, "test", 7, 64)
+	go func() {
+		hdr := []byte{7, 1, 0, 0, 0, 4, 0, 0, 0, 0} // total = 4 < header
+		a.Write(hdr)
+	}()
+	_, _, _, err := cb.ReadFrame()
+	var se *SizeError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected *SizeError, got %v", err)
+	}
+}
+
+func TestReadFrameBadVersion(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	cb := NewConn(b, "test", 7, 64)
+	go func() {
+		hdr := []byte{8, 1, 0, 0, 0, 10, 0, 0, 0, 0}
+		a.Write(hdr)
+	}()
+	if _, _, _, err := cb.ReadFrame(); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestConcurrentWritersInterleaveWholeFrames(t *testing.T) {
+	ca, cb := pipePair(t, 1<<20)
+	const n = 50
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body := make([]byte, 100+w)
+			for i := 0; i < n; i++ {
+				if err := ca.WriteFrame(byte(w+1), uint32(i), body); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 4*n; i++ {
+		mt, _, body, err := cb.ReadFrame()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if len(body) != 100+int(mt)-1 {
+			t.Fatalf("frame %d: writer %d body %d bytes", i, mt, len(body))
+		}
+	}
+	wg.Wait()
+}

@@ -178,11 +178,35 @@ const defaultRecentRuns = 64
 func (s *System) Run(obs Observation) (Report, error) {
 	s.baselineMu.RLock()
 	defer s.baselineMu.RUnlock()
-	return s.runLocked(obs)
+	return s.runLocked(obs, nil)
 }
 
-// runLocked is Run's body; the caller holds baselineMu's read side.
-func (s *System) runLocked(obs Observation) (Report, error) {
+// SlicedRunner is the Algorithm 2 execution surface a Run needs: clean
+// and masked sliced detection over a full counter vector. It is
+// satisfied by *core.SlicedDetector (the local engine) and by the
+// cluster coordinator, which fans the per-slice work across detector
+// nodes and merges partial verdicts through the same
+// core.MergeSliceResults the local engine uses.
+type SlicedRunner interface {
+	DetectWithOptions(y []float64, opts DetectOptions) (SlicedOutcome, error)
+	DetectMasked(y []float64, masked []int) (SlicedOutcome, error)
+}
+
+// RunWith executes one detection window like Run but delegates the
+// sliced (Algorithm 2) stage to the given runner — the cluster entry
+// point. The full (Algorithm 1) stage and the missing-switch path
+// always run locally: the full engine lives with the baseline, and the
+// missing path re-gathers rows against collector state only this
+// process holds. A nil runner is exactly Run.
+func (s *System) RunWith(obs Observation, sliced SlicedRunner) (Report, error) {
+	s.baselineMu.RLock()
+	defer s.baselineMu.RUnlock()
+	return s.runLocked(obs, sliced)
+}
+
+// runLocked is Run's body; the caller holds baselineMu's read side. A
+// nil runner selects the local sliced engine.
+func (s *System) runLocked(obs Observation, runner SlicedRunner) (Report, error) {
 	start := time.Now()
 	rep := Report{Mode: obs.Mode, Epoch: s.Epoch()}
 	if obs.Epoch > rep.Epoch {
@@ -194,6 +218,9 @@ func (s *System) runLocked(obs Observation) (Report, error) {
 	}
 	runFull := obs.Mode == ModeAuto || obs.Mode == ModeFull
 	runSliced := obs.Mode == ModeAuto || obs.Mode == ModeSliced
+	if runner == nil {
+		runner = s.sliced
+	}
 
 	switch {
 	case obs.Missing != nil:
@@ -260,7 +287,7 @@ func (s *System) runLocked(obs Observation) (Report, error) {
 		}
 		if runSliced {
 			t0 := time.Now()
-			so, err := s.sliced.DetectMasked(y, rep.MaskedRows)
+			so, err := runner.DetectMasked(y, rep.MaskedRows)
 			if err != nil {
 				return Report{}, err
 			}
@@ -291,7 +318,7 @@ func (s *System) runLocked(obs Observation) (Report, error) {
 		}
 		if runSliced {
 			t0 := time.Now()
-			so, err := s.sliced.DetectWithOptions(y, opts)
+			so, err := runner.DetectWithOptions(y, opts)
 			if err != nil {
 				return Report{}, err
 			}
@@ -392,7 +419,7 @@ func (s *System) RunBatch(obs []Observation) ([]Report, error) {
 	reports := make([]Report, len(obs))
 	for i, o := range obs {
 		if !batchable[i] {
-			rep, err := s.runLocked(o) // already under the read lock
+			rep, err := s.runLocked(o, nil) // already under the read lock
 			if err != nil {
 				return nil, fmt.Errorf("foces: batch window %d: %w", i, err)
 			}

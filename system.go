@@ -439,6 +439,11 @@ func (s *System) ChurnStats() ChurnStats { return s.churnMgr.Stats() }
 // ChurnLog returns the epoch log, oldest first.
 func (s *System) ChurnLog() []ChurnUpdate { return s.churnMgr.Updates() }
 
+// ChurnManager exposes the epoch-versioned baseline owner, which
+// carries the per-slice replication state (churn.ReplicaStates) a
+// cluster coordinator ships to detector nodes.
+func (s *System) ChurnManager() *churn.Manager { return s.churnMgr }
+
 // AffectedSince returns the rule rows changed by updates applied after
 // epoch `since` — the rows a counter window with a baseline snapshot
 // from that epoch must mask.
