@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse test-cluster bench-kernels bench-stream bench-sparse bench-cluster bench-smoke bench
+.PHONY: ci fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse test-cluster test-probe bench-kernels bench-stream bench-sparse bench-cluster bench-localize bench-smoke bench
 
-ci: fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse test-cluster bench-kernels bench-stream bench-sparse bench-cluster bench-smoke
+ci: fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse test-cluster test-probe bench-kernels bench-stream bench-sparse bench-cluster bench-localize bench-smoke
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -71,6 +71,23 @@ test-sparse:
 # race detector.
 test-cluster:
 	$(GO) test -race -count=2 -timeout 180s ./internal/cluster/ ./internal/wire/ ./internal/churn/
+
+# The active-probe localization subsystem shares the baseline read lock
+# with concurrent detection and the wrapper surface must stay
+# byte-equivalent to Run: run the probe package, the localization glue,
+# the report serialization golden tests and the wrapper equivalence
+# suite twice under the race detector.
+test-probe:
+	$(GO) test -race -count=2 -timeout 180s ./internal/probe/
+	$(GO) test -race -count=2 -timeout 180s -run 'Localiz|ReportMarshal|RunEvent|StreamReportShares|ByteEqual|DrawAttack' . ./internal/experiment/
+
+# Bench gate for active-probe localization: every (topology, policy,
+# anomaly class) arm must stay within the probe budget
+# ceil(log2(|suspect rules|)) + 2 and name the attacked rule in the
+# top-3 culprits for >= 90% of detected runs (results/localize.json).
+bench-localize:
+	$(GO) run ./cmd/focesbench -exp localize -check
+	@test -f results/localize.json || { echo "bench-localize: results/localize.json missing"; exit 1; }
 
 # Bench gate for the detection cluster: the cluster experiment must keep
 # every distributed report byte-identical to the single-process path

@@ -49,7 +49,7 @@ type options struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("focesbench", flag.ContinueOnError)
 	opts := options{}
-	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12|loc|coverage|overhead|monitor|churn|telemetry|kernels|stream|sparse|cluster")
+	fs.StringVar(&opts.exp, "exp", "all", "experiment: all|table1|fig7|fig8|fig9|fig10|fig11|fig12|loc|coverage|overhead|monitor|churn|telemetry|kernels|stream|sparse|cluster|localize")
 	fs.IntVar(&opts.runs, "runs", 0, "observations per point (0 = experiment default)")
 	fs.Int64Var(&opts.seed, "seed", 1, "random seed")
 	fs.StringVar(&opts.csvDir, "csv", "", "directory for CSV output (optional)")
@@ -92,12 +92,13 @@ func run(args []string, out io.Writer) error {
 		"stream":    runStreamBench,  // streaming ingestion: equivalence, latency tail, load
 		"sparse":    runSparse,       // sparse Cholesky vs dense: memory wall, equivalence
 		"cluster":   runCluster,      // sharded multi-node detection: equivalence, failover, throughput
+		"localize":  runLocalize,     // active-probe localization: culprit hit rate, probe budget
 	}
 	// -check is a pass/fail regression gate; only the experiments that
 	// define gate criteria honour it. Accepting it elsewhere would let a
 	// CI pipeline "gate" on an experiment that can never fail.
 	if opts.check {
-		gated := []string{"cluster", "kernels", "sparse", "stream"}
+		gated := []string{"cluster", "kernels", "localize", "sparse", "stream"}
 		ok := false
 		for _, g := range gated {
 			if opts.exp == g {
@@ -808,6 +809,73 @@ func runCluster(opts options, out io.Writer) error {
 		}
 		if !res.ThroughputGated {
 			fmt.Fprintf(out, "note: throughput ratio gate waived (GOMAXPROCS %d < 4 — nodes cannot run in parallel)\n", res.GoMaxProcs)
+		}
+	}
+	return nil
+}
+
+// runLocalize exercises the active-probe localization subsystem
+// end-to-end: for every (topology, policy, anomaly class) arm it
+// injects a single anomaly per run, detects it through System.Run with
+// a LocalizeConfig attached, and scores whether the ranked culprit
+// report named the attacked rule in the top 3 within the probe budget
+// (ceil(log2(|suspect rules|)) + 2). The result is always archived as
+// results/localize.json; with -check the run fails if nothing was
+// detected, if any run breached its probe budget, or if the top-3 hit
+// rate over detected runs drops below 0.9. Pair-exact arms localize
+// deterministically; the dest-aggregate arms are what keep the rate
+// below 1.0 — a rejoining anomaly over shared per-destination rules
+// can be absorbed by the least-squares fit, leaving no residual signal
+// to steer probes by.
+func runLocalize(opts options, out io.Writer) error {
+	cfg := experiment.LocalizeConfig{Config: baseConfig(opts)}
+	if opts.runs > 0 {
+		cfg.Runs = opts.runs
+	}
+	res, err := experiment.Localize(cfg)
+	if err != nil {
+		return err
+	}
+	headers := []string{"topology", "policy", "class", "runs", "detected", "top1", "top3",
+		"mean_probes", "max_probes", "mean_budget", "breaches", "mean_suspect_rules"}
+	var cells [][]string
+	for _, p := range res.Points {
+		cells = append(cells, []string{
+			p.Topology, p.Mode, string(p.Class),
+			fmt.Sprint(p.Runs), fmt.Sprint(p.Detected),
+			fmt.Sprint(p.HitTop1), fmt.Sprint(p.HitTop3),
+			fmt.Sprintf("%.2f", p.MeanProbes), fmt.Sprint(p.MaxProbes),
+			fmt.Sprintf("%.2f", p.MeanBudget), fmt.Sprint(p.BudgetBreaches),
+			fmt.Sprintf("%.1f", p.MeanSuspectRules),
+		})
+	}
+	fmt.Fprintln(out, "\n== localize: active-probe culprit localization per anomaly class ==")
+	fmt.Fprint(out, experiment.FormatTable(headers, cells))
+	fmt.Fprintf(out, "totals: %d runs, %d detected, %d localized, top-3 hit rate %.3f (%d/%d), mean probes %.2f, budget breaches %d\n",
+		res.Runs, res.Detected, res.Localized, res.HitTop3Rate, res.HitTop3, res.Detected, res.MeanProbes, res.BudgetBreaches)
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join("results", "localize.json"), append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := writeCSV(opts, "localize", headers, cells); err != nil {
+		return err
+	}
+	if opts.check {
+		if res.Detected == 0 {
+			return fmt.Errorf("localize check: no run detected its injected anomaly")
+		}
+		if res.BudgetBreaches != 0 {
+			return fmt.Errorf("localize check: %d runs exceeded the probe budget ceil(log2(n))+2", res.BudgetBreaches)
+		}
+		if res.HitTop3Rate < 0.9 {
+			return fmt.Errorf("localize check: top-3 hit rate %.3f (%d/%d) below the 0.9 floor",
+				res.HitTop3Rate, res.HitTop3, res.Detected)
 		}
 	}
 	return nil

@@ -103,6 +103,7 @@ func run(args []string, out io.Writer) error {
 	solver := fs.String("solver", "auto", "normal-equations backend: auto (density-based), sparse (force sparse Cholesky), dense (force dense)")
 	stream := fs.Bool("stream", false, "run the continuous streaming mode (push-driven windows through System.Serve) instead of the pull-poll loop")
 	sample := fs.Bool("sample", false, "with -stream: enable the adaptive per-switch sampler (back off stable switches, tighten suspects)")
+	localize := fs.Bool("localize", false, "on anomalous windows, run active-probe localization and report the accused rule (/status localization block, foces_probe_* metrics)")
 	role := fs.String("role", "standalone", "process role: standalone (detect in-process), coordinator (shard Algorithm 2 across -peers), detector (serve slice shards on -listen)")
 	peers := fs.String("peers", "", "coordinator role: comma-separated detector addresses (host:port,host:port,...)")
 	listen := fs.String("listen", "127.0.0.1:0", "detector role: TCP address to serve shards on")
@@ -295,6 +296,14 @@ func run(args []string, out io.Writer) error {
 	tm := dataplane.UniformTraffic(t, *volume)
 	monitor := core.NewMonitor(core.MonitorConfig{Threshold: *threshold, Consecutive: *consecutive})
 
+	// -localize opts every window into active-probe diagnosis: clean
+	// verdicts cost nothing, anomalous ones spend a probe budget to name
+	// the compromised rule.
+	var locCfg *foces.LocalizeConfig
+	if *localize {
+		locCfg = &foces.LocalizeConfig{Seed: *seed}
+	}
+
 	if *stream {
 		return runStream(streamEnv{
 			out: out, t: t, layout: layout, ctrl: ctrl, network: network,
@@ -305,6 +314,7 @@ func run(args []string, out io.Writer) error {
 			killAt: *killAt, killTarget: killTarget,
 			resetAt: *resetAt, resetTarget: resetTarget,
 			churnEvery: *churnEvery, interval: *interval, sample: *sample,
+			localize: locCfg,
 		})
 	}
 
@@ -408,9 +418,17 @@ func run(args []string, out io.Writer) error {
 				winEpoch = e
 			}
 		}
-		rep, err := runObs(foces.Observation{Counters: counters, Missing: missing, Epoch: winEpoch})
+		rep, err := runObs(foces.Observation{Counters: counters, RunOptions: foces.RunOptions{Missing: missing, Epoch: winEpoch, Localize: locCfg}})
 		if err != nil {
 			return err
+		}
+		if loc := rep.Localization; loc != nil {
+			if top, ok := loc.TopCulprit(); ok {
+				fmt.Fprintf(out, ">> period %d: localization accused rule %d on switch %d (confidence %.2f, %d/%d probes)\n",
+					p, top.RuleID, top.Switch, top.Confidence, loc.ProbesUsed, loc.ProbeBudget)
+			} else if loc.Error != "" {
+				fmt.Fprintf(out, ">> period %d: localization failed: %s\n", p, loc.Error)
+			}
 		}
 		switch {
 		case rep.Partial != nil:
@@ -455,6 +473,7 @@ func run(args []string, out io.Writer) error {
 				Alarm:            mv.Alert,
 				SlicedIndex:      clampIndex(sliced.MaxIndex()),
 				Suspects:         sliced.Suspects,
+				Localization:     rep.Localization,
 				MissingSwitches:  len(missing),
 				StraddledWindows: len(poll.Straddled),
 				Collection:       collectionStatus(robust, poll),

@@ -123,17 +123,21 @@ func streamStatus(st collector.StreamStats, sampler *collector.AdaptiveSampler, 
 
 // status is the JSON document served at /status.
 type status struct {
-	Period           int             `json:"period"`
-	AttackActive     bool            `json:"attackActive"`
-	Index            float64         `json:"anomalyIndex"`
-	Anomalous        bool            `json:"anomalous"`
-	Alarm            bool            `json:"alarm"`
-	SlicedIndex      float64         `json:"slicedIndex"`
-	Suspects         []topo.SwitchID `json:"suspects"`
-	MissingSwitches  int             `json:"missingSwitches"`
-	StraddledWindows int             `json:"straddledWindows"`
-	Collection       collection      `json:"collection"`
-	Churn            churnView       `json:"churn"`
+	Period       int             `json:"period"`
+	AttackActive bool            `json:"attackActive"`
+	Index        float64         `json:"anomalyIndex"`
+	Anomalous    bool            `json:"anomalous"`
+	Alarm        bool            `json:"alarm"`
+	SlicedIndex  float64         `json:"slicedIndex"`
+	Suspects     []topo.SwitchID `json:"suspects"`
+	// Localization is the latest anomalous window's active-probe
+	// culprit report; nil without -localize or while the network is
+	// clean.
+	Localization     *foces.Localization `json:"localization,omitempty"`
+	MissingSwitches  int                 `json:"missingSwitches"`
+	StraddledWindows int                 `json:"straddledWindows"`
+	Collection       collection          `json:"collection"`
+	Churn            churnView           `json:"churn"`
 	// Stream is the streaming ingestion plane's state; nil outside
 	// -stream mode.
 	Stream *streamView `json:"stream,omitempty"`

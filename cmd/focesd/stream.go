@@ -52,6 +52,7 @@ type streamEnv struct {
 	churnEvery  int
 	interval    time.Duration
 	sample      bool
+	localize    *foces.LocalizeConfig
 }
 
 // shutdownDeadline bounds the graceful teardown of the metrics server.
@@ -89,6 +90,7 @@ func runStream(env streamEnv) error {
 	defer cancelServe()
 	reports, err := env.sys.Serve(serveCtx, foces.StreamConfig{
 		Windows:   asm.Windows(),
+		Localize:  env.localize,
 		Sampler:   sampler,
 		Telemetry: streamTel,
 	})
@@ -151,6 +153,7 @@ func runStream(env streamEnv) error {
 					Alarm:            mv.Alert,
 					SlicedIndex:      clampIndex(slicedIdx),
 					Suspects:         suspects,
+					Localization:     rep.Localization,
 					MissingSwitches:  len(rep.Missing),
 					StraddledWindows: 0,
 					Collection:       collectionStatus(env.robust, collector.PollResult{}),

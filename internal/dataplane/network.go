@@ -312,6 +312,35 @@ func (n *Network) injectFlow(rng *rand.Rand, k FlowKey, volume uint64) (FlowOutc
 	if err != nil {
 		return out, err
 	}
+	return n.walkPacket(rng, src, k.Dst, pkt, volume)
+}
+
+// InjectPacket walks volume copies of an arbitrary packet from the
+// given source host through the data plane — the active-probe
+// injection primitive. The walk is identical to normal traffic
+// injection: rule counters increment before the (possibly tampered)
+// action runs, per-link loss thins the copies, and delivery is judged
+// against want (the host the packet is expected to reach; -1 expects
+// no delivery, e.g. probing an intent drop rule). Counters accumulate
+// exactly as under Run, so callers that need the probe's own per-rule
+// deltas should snapshot CollectCounters around the call.
+func (n *Network) InjectPacket(rng *rand.Rand, src topo.HostID, want topo.HostID, pkt header.Packet, volume uint64) (FlowOutcome, error) {
+	out := FlowOutcome{Offered: volume}
+	if volume == 0 {
+		return out, nil
+	}
+	h, err := n.topology.Host(src)
+	if err != nil {
+		return out, err
+	}
+	return n.walkPacket(rng, h, want, pkt, volume)
+}
+
+// walkPacket pushes volume copies of pkt from host src toward dst,
+// following flow-table actions hop by hop. Shared by injectFlow
+// (synthesized pair packets) and InjectPacket (caller-built probes).
+func (n *Network) walkPacket(rng *rand.Rand, src *topo.Host, dst topo.HostID, pkt header.Packet, volume uint64) (FlowOutcome, error) {
+	out := FlowOutcome{Offered: volume}
 	// Access link host -> first switch.
 	alive := Binomial(rng, volume, 1-n.lossAt(src.Attach, src.Port))
 	out.Lost += volume - alive
@@ -348,7 +377,7 @@ func (n *Network) injectFlow(rng *rand.Rand, k FlowKey, volume uint64) (FlowOutc
 			n.portTx[cur][act.Port] += alive
 			survived := Binomial(rng, alive, 1-n.lossAt(cur, act.Port))
 			out.Lost += alive - survived
-			if peer.Host == k.Dst {
+			if peer.Host == dst {
 				out.Delivered += survived
 			} else {
 				// Delivered to the wrong host: anomalous blackhole from
@@ -374,7 +403,7 @@ func (n *Network) injectFlow(rng *rand.Rand, k FlowKey, volume uint64) (FlowOutc
 				n.portTx[cur][act.Port] += alive
 				survived := Binomial(rng, alive, 1-n.lossAt(cur, act.Port))
 				out.Lost += alive - survived
-				if peer.Host == k.Dst {
+				if peer.Host == dst {
 					out.Delivered += survived
 				} else {
 					out.Blackhole += survived

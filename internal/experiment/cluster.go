@@ -297,7 +297,7 @@ func clusterEquivalence(cfg ClusterConfig, env *Env, sys *foces.System, fleet *c
 		if err != nil {
 			return err
 		}
-		obs := foces.Observation{Counters: counters, Epoch: sys.Epoch()}
+		obs := foces.Observation{Counters: counters, RunOptions: foces.RunOptions{Epoch: sys.Epoch()}}
 		if w >= phantomAt {
 			// Tag post-churn windows with the pre-churn epoch: the
 			// reconciled path masks the changed rows — distributed via
@@ -359,7 +359,7 @@ func clusterKill(env *Env, sys *foces.System, fleet *clusterFleet, res *ClusterR
 	if err != nil {
 		return err
 	}
-	obs := foces.Observation{Counters: counters, Epoch: sys.Epoch(), Mode: foces.ModeSliced}
+	obs := foces.Observation{Counters: counters, RunOptions: foces.RunOptions{Epoch: sys.Epoch(), Mode: foces.ModeSliced}}
 	local, err := sys.Run(obs)
 	if err != nil {
 		return err
@@ -407,7 +407,7 @@ func clusterThroughput(cfg ClusterConfig, env *Env, sys *foces.System, res *Clus
 		if err != nil {
 			return err
 		}
-		windows[i] = foces.Observation{Counters: counters, Epoch: sys.Epoch(), Mode: foces.ModeSliced}
+		windows[i] = foces.Observation{Counters: counters, RunOptions: foces.RunOptions{Epoch: sys.Epoch(), Mode: foces.ModeSliced}}
 	}
 	arm := func(nodes int) (wall, first, maxWarm float64, err error) {
 		fleet, err := startFleet(sys, nodes)

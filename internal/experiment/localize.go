@@ -1,0 +1,451 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"foces"
+	"foces/internal/controller"
+	"foces/internal/dataplane"
+	"foces/internal/fcm"
+	"foces/internal/flowtable"
+	"foces/internal/topo"
+)
+
+// This file is the active-probe localization experiment: end-to-end
+// Run-with-LocalizeConfig quality across the paper's four anomaly
+// classes (path deviation, switch bypass, path detour, early drop)
+// plus churn-straddling reconciled windows. It complements the passive
+// study in localization.go (which ranks *switches* from per-slice
+// indices); here the probe subsystem must name the compromised *rule*
+// within the ceil(log2(|suspect rules|))+2 budget.
+
+// AnomalyClass names one paper forwarding-anomaly class (§II-B), as
+// realized by a rule-level attack and classified by the override-aware
+// tracer on an affected flow.
+type AnomalyClass string
+
+// Anomaly classes.
+const (
+	// ClassDeviation is a port swap whose deviated traffic never reaches
+	// the intended host (hijacked to a blackhole, rule miss or loop).
+	ClassDeviation AnomalyClass = "deviation"
+	// ClassBypass is a port swap whose traffic still reaches the
+	// intended host over a path no longer than intended — the intended
+	// next hop is bypassed. Requires aggregate rules on the alternate
+	// switches, so it only exists under DestAggregate policies.
+	ClassBypass AnomalyClass = "bypass"
+	// ClassDetour is a port swap whose traffic reaches the intended host
+	// over a strictly longer path (leaves and rejoins). DestAggregate
+	// only, like bypass.
+	ClassDetour AnomalyClass = "detour"
+	// ClassDrop is an early-drop rule tamper.
+	ClassDrop AnomalyClass = "drop"
+	// ClassChurn is an early drop whose observation window straddles a
+	// rule removal: the vector is captured, then the baseline churns,
+	// and Run must reconcile the pre-churn window (PathReconciled)
+	// before localizing. Mutates the arm's system — classes listed
+	// after it see the churned baseline.
+	ClassChurn AnomalyClass = "churn"
+)
+
+// LocalizeArm is one experiment arm: a topology + rule policy and the
+// anomaly classes exercised on it. Deviation/drop/churn work under any
+// policy; bypass/detour need DestAggregate (PairExact installs rules
+// only along intended paths, so deviated traffic cannot re-match).
+type LocalizeArm struct {
+	Topology string
+	Mode     controller.PolicyMode
+	// Pairs restricts PairExact rule installation to a random flow
+	// subset of this size (0 = all ordered pairs). Keeps the FatTree(8)
+	// and FatTree(16) arms tractable.
+	Pairs   int
+	Classes []AnomalyClass
+}
+
+// DefaultLocalizeArms is the standard arm set: FatTree(8) and
+// FatTree(16) pair-exact subsets for deviation/drop/churn, FatTree(4)
+// dest-aggregate for the rejoining classes.
+func DefaultLocalizeArms() []LocalizeArm {
+	return []LocalizeArm{
+		{Topology: "fattree8", Mode: controller.PairExact, Pairs: 96,
+			Classes: []AnomalyClass{ClassDeviation, ClassDrop, ClassChurn}},
+		{Topology: "fattree16", Mode: controller.PairExact, Pairs: 48,
+			Classes: []AnomalyClass{ClassDeviation, ClassDrop}},
+		{Topology: "fattree4", Mode: controller.DestAggregate,
+			Classes: []AnomalyClass{ClassBypass, ClassDetour}},
+	}
+}
+
+// LocalizeConfig drives the active-probe localization experiment.
+type LocalizeConfig struct {
+	Config
+	// Arms default to DefaultLocalizeArms.
+	Arms []LocalizeArm
+	// Runs per (arm, class); default 4.
+	Runs int
+	// Loss is the per-link loss rate during the observation window;
+	// default 1% (probe analysis must tolerate it). Negative disables.
+	Loss float64
+}
+
+func (c LocalizeConfig) withDefaults() LocalizeConfig {
+	if len(c.Arms) == 0 {
+		c.Arms = DefaultLocalizeArms()
+	}
+	if c.Runs == 0 {
+		c.Runs = 4
+	}
+	if c.Loss == 0 {
+		c.Loss = 0.01
+	}
+	return c
+}
+
+// LocalizePoint is one (arm, class) row.
+type LocalizePoint struct {
+	Topology string `json:"topology"`
+	Mode     string `json:"mode"`
+	Class    string `json:"class"`
+	Runs     int    `json:"runs"`
+	// Detected counts runs whose window tripped the anomaly index at
+	// all (an undetectable deviation cannot be localized; FatTree(4)
+	// dest-aggregate has a known blind spot, see the coverage study).
+	Detected int `json:"detected"`
+	// Localized counts detected runs whose probe outcome reached the
+	// confidence bar.
+	Localized int `json:"localized"`
+	// HitTop1 / HitTop3 count detected runs whose ranked culprit list
+	// names the attacked rule first / in the top three.
+	HitTop1 int `json:"hitTop1"`
+	HitTop3 int `json:"hitTop3"`
+	// MeanProbes / MaxProbes / MeanBudget summarize probe spend on
+	// detected runs; BudgetBreaches counts runs that exceeded their
+	// ceil(log2(|suspect rules|))+2 budget (must be zero).
+	MeanProbes     float64 `json:"meanProbes"`
+	MaxProbes      int     `json:"maxProbes"`
+	MeanBudget     float64 `json:"meanBudget"`
+	BudgetBreaches int     `json:"budgetBreaches"`
+	// MeanSuspectRules is the suspect-set size probing started from,
+	// the denominator of the probes-vs-suspects tradeoff.
+	MeanSuspectRules float64 `json:"meanSuspectRules"`
+}
+
+// LocalizeResult aggregates the experiment.
+type LocalizeResult struct {
+	Points []LocalizePoint `json:"points"`
+	// Totals across every point.
+	Runs           int `json:"runs"`
+	Detected       int `json:"detected"`
+	Localized      int `json:"localized"`
+	HitTop1        int `json:"hitTop1"`
+	HitTop3        int `json:"hitTop3"`
+	BudgetBreaches int `json:"budgetBreaches"`
+	// HitTop3Rate is HitTop3 over detected runs — the CI gate.
+	HitTop3Rate float64 `json:"hitTop3Rate"`
+	// MeanProbes / MeanSuspectRules over all detected runs.
+	MeanProbes       float64 `json:"meanProbes"`
+	MeanSuspectRules float64 `json:"meanSuspectRules"`
+}
+
+// Localize measures active-probe localization end to end: per (arm,
+// class) it injects a single anomaly of that class, observes a window,
+// runs System.Run with localization enabled, and scores the ranked
+// culprit report against the injected ground truth.
+func Localize(cfg LocalizeConfig) (LocalizeResult, error) {
+	cfg = cfg.withDefaults()
+	res := LocalizeResult{}
+	probeSum, suspectSum := 0.0, 0.0
+	for ai, arm := range cfg.Arms {
+		c := cfg.Config
+		c.Topology = arm.Topology
+		c.Mode = arm.Mode
+		c.Seed = cfg.Seed + int64(ai)*7919
+		env, err := newArmEnv(c, arm)
+		if err != nil {
+			return res, fmt.Errorf("arm %s/%v: %w", arm.Topology, arm.Mode, err)
+		}
+		sys, err := env.System()
+		if err != nil {
+			return res, err
+		}
+		tr, err := fcm.NewTracer(env.Topo, env.FCM.Rules)
+		if err != nil {
+			return res, err
+		}
+		cls := newClassifier(env.FCM, tr)
+		for _, class := range arm.Classes {
+			point, probes, suspects, err := runLocalizeClass(cfg, env, sys, cls, arm, class)
+			if err != nil {
+				return res, fmt.Errorf("arm %s/%v class %s: %w", arm.Topology, arm.Mode, class, err)
+			}
+			res.Points = append(res.Points, point)
+			res.Runs += point.Runs
+			res.Detected += point.Detected
+			res.Localized += point.Localized
+			res.HitTop1 += point.HitTop1
+			res.HitTop3 += point.HitTop3
+			res.BudgetBreaches += point.BudgetBreaches
+			probeSum += probes
+			suspectSum += suspects
+		}
+	}
+	if res.Detected > 0 {
+		res.HitTop3Rate = float64(res.HitTop3) / float64(res.Detected)
+		res.MeanProbes = probeSum / float64(res.Detected)
+		res.MeanSuspectRules = suspectSum / float64(res.Detected)
+	}
+	return res, nil
+}
+
+// newArmEnv builds the arm's environment, sampling a PairExact flow
+// subset when the arm bounds it.
+func newArmEnv(c Config, arm LocalizeArm) (*Env, error) {
+	c = c.withDefaults()
+	t, err := topo.ByName(c.Topology)
+	if err != nil {
+		return nil, err
+	}
+	var pairs [][2]topo.HostID
+	if arm.Pairs > 0 && c.Mode == controller.PairExact {
+		pairs = samplePairs(t, arm.Pairs, c.Seed)
+	}
+	return NewEnvOn(c, t, pairs)
+}
+
+// samplePairs draws n distinct ordered host pairs with deterministic
+// seed-driven shuffling.
+func samplePairs(t *topo.Topology, n int, seed int64) [][2]topo.HostID {
+	hosts := t.Hosts()
+	rng := rand.New(rand.NewSource(seed))
+	var all [][2]topo.HostID
+	for _, s := range hosts {
+		for _, d := range hosts {
+			if s.ID != d.ID {
+				all = append(all, [2]topo.HostID{s.ID, d.ID})
+			}
+		}
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// runLocalizeClass runs one (arm, class) cell and returns its point
+// plus the probe/suspect sums for the global means.
+func runLocalizeClass(cfg LocalizeConfig, env *Env, sys *foces.System, cls *attackClassifier, arm LocalizeArm, class AnomalyClass) (LocalizePoint, float64, float64, error) {
+	point := LocalizePoint{
+		Topology: arm.Topology,
+		Mode:     policyName(arm.Mode),
+		Class:    string(class),
+		Runs:     cfg.Runs,
+	}
+	budgetSum, probeSum, suspectSum := 0.0, 0.0, 0.0
+	for run := 0; run < cfg.Runs; run++ {
+		atk, err := drawAttack(env, cls, class)
+		if err != nil {
+			return point, 0, 0, err
+		}
+		if err := atk.Apply(env.Net); err != nil {
+			return point, 0, 0, err
+		}
+		rep, err := observeAndRun(cfg, env, sys, class, run)
+		revertErr := atk.Revert(env.Net)
+		if err != nil {
+			return point, 0, 0, err
+		}
+		if revertErr != nil {
+			return point, 0, 0, revertErr
+		}
+		if !rep.Anomalous {
+			continue
+		}
+		point.Detected++
+		loc := rep.Localization
+		if loc == nil {
+			return point, 0, 0, fmt.Errorf("anomalous run returned no localization block")
+		}
+		if loc.Error != "" {
+			return point, 0, 0, fmt.Errorf("localization failed: %s", loc.Error)
+		}
+		if loc.Localized {
+			point.Localized++
+		}
+		for rank, culprit := range loc.Culprits {
+			if rank >= 3 {
+				break
+			}
+			if culprit.RuleID == atk.RuleID {
+				point.HitTop3++
+				if rank == 0 {
+					point.HitTop1++
+				}
+				break
+			}
+		}
+		if loc.ProbesUsed > loc.ProbeBudget {
+			point.BudgetBreaches++
+		}
+		if loc.ProbesUsed > point.MaxProbes {
+			point.MaxProbes = loc.ProbesUsed
+		}
+		probeSum += float64(loc.ProbesUsed)
+		budgetSum += float64(loc.ProbeBudget)
+		suspectSum += float64(loc.SuspectRules)
+	}
+	if point.Detected > 0 {
+		point.MeanProbes = probeSum / float64(point.Detected)
+		point.MeanBudget = budgetSum / float64(point.Detected)
+		point.MeanSuspectRules = suspectSum / float64(point.Detected)
+	}
+	return point, probeSum, suspectSum, nil
+}
+
+// observeAndRun captures one window under the active attack and runs
+// detection + localization through the unified Run surface. For the
+// churn class the baseline is mutated *after* the window is captured,
+// so Run must take the reconciled path before probing.
+func observeAndRun(cfg LocalizeConfig, env *Env, sys *foces.System, class AnomalyClass, run int) (foces.Report, error) {
+	loss := cfg.Loss
+	if loss < 0 {
+		loss = 0
+	}
+	y, err := env.Observe(loss)
+	if err != nil {
+		return foces.Report{}, err
+	}
+	// A wider-than-default suspect set costs almost nothing in probe
+	// budget (it grows with log2 of the suspect-rule count) but is what
+	// keeps the compromised switch in play under DestAggregate, where
+	// the least-squares fit spreads a rejoining anomaly's error mass
+	// thin across many switches.
+	locCfg := &foces.LocalizeConfig{Seed: cfg.Seed + int64(run), MaxSuspects: 8}
+	opts := foces.RunOptions{Localize: locCfg}
+	if class == ClassChurn {
+		opts.Epoch = sys.Epoch()
+		opts.Mode = foces.ModeSliced
+		victim, ok := churnVictim(sys)
+		if !ok {
+			return foces.Report{}, fmt.Errorf("no removable rule left for churn run")
+		}
+		if _, err := sys.RemoveRule(victim); err != nil {
+			return foces.Report{}, err
+		}
+		if space := sys.FCM().NumRules(); len(y) < space {
+			padded := make([]float64, space)
+			copy(padded, y)
+			y = padded
+		}
+	}
+	return sys.Run(foces.Observation{Vector: y, RunOptions: opts})
+}
+
+// churnVictim picks a live rule to remove mid-window: the first hop of
+// the lowest-ID flow that still has a multi-hop path. Attacks override
+// table actions rather than removing rules, so any live rule is safe.
+func churnVictim(sys *foces.System) (int, bool) {
+	for _, fl := range sys.FCM().Flows {
+		if len(fl.RuleIDs) >= 3 {
+			return fl.RuleIDs[0], true
+		}
+	}
+	return 0, false
+}
+
+// drawAttack produces a single attack realizing the class: drops are
+// drawn directly; port swaps are rejection-sampled until the tracer
+// classifies one as the requested deviation/bypass/detour.
+func drawAttack(env *Env, cls *attackClassifier, class AnomalyClass) (dataplane.Attack, error) {
+	switch class {
+	case ClassDrop, ClassChurn:
+		return dataplane.RandomAttack(env.Rng, env.Net, dataplane.AttackDrop)
+	}
+	const maxTries = 400
+	for try := 0; try < maxTries; try++ {
+		atk, err := dataplane.RandomAttack(env.Rng, env.Net, dataplane.AttackPortSwap)
+		if err != nil {
+			return dataplane.Attack{}, err
+		}
+		if cls.classify(atk) == class {
+			return atk, nil
+		}
+	}
+	return dataplane.Attack{}, fmt.Errorf("no %s port swap found in %d draws", class, maxTries)
+}
+
+// attackClassifier assigns a port-swap attack its anomaly class by
+// tracing an affected flow's packet under the tampered action.
+type attackClassifier struct {
+	f           *fcm.FCM
+	tr          *fcm.Tracer
+	flowsByRule map[int][]*fcm.Flow
+}
+
+func newClassifier(f *fcm.FCM, tr *fcm.Tracer) *attackClassifier {
+	byRule := make(map[int][]*fcm.Flow)
+	for _, fl := range f.Flows {
+		for _, rid := range fl.RuleIDs {
+			byRule[rid] = append(byRule[rid], fl)
+		}
+	}
+	return &attackClassifier{f: f, tr: tr, flowsByRule: byRule}
+}
+
+// classify traces the first affected flow whose tampered history
+// differs from its intended one. Rules are destination-derived in both
+// installation policies, so a delivered trace always delivered to the
+// packet's own destination: delivery plus a longer path is a detour,
+// delivery over an equal-or-shorter path bypassed the intended next
+// hop, and anything undelivered is a deviation.
+func (c *attackClassifier) classify(atk dataplane.Attack) AnomalyClass {
+	overrides := map[int]flowtable.Action{atk.RuleID: atk.NewAction}
+	for _, fl := range c.flowsByRule[atk.RuleID] {
+		if len(fl.Pairs) == 0 {
+			continue
+		}
+		src, err := c.f.Topology().Host(fl.Pairs[0].Src)
+		if err != nil {
+			continue
+		}
+		pkt := fl.Space.AnyPacket()
+		intended, outcome, err := c.tr.Trace(pkt, src.Attach)
+		if err != nil || outcome != fcm.TraceDelivered {
+			continue
+		}
+		tampered, tamperedOutcome, err := c.tr.TraceOverride(pkt, src.Attach, overrides)
+		if err != nil || sameHistory(intended, tampered) {
+			continue
+		}
+		if tamperedOutcome != fcm.TraceDelivered {
+			return ClassDeviation
+		}
+		if len(tampered) > len(intended) {
+			return ClassDetour
+		}
+		return ClassBypass
+	}
+	return ""
+}
+
+func sameHistory(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func policyName(m controller.PolicyMode) string {
+	switch m {
+	case controller.DestAggregate:
+		return "dest"
+	default:
+		return "pair"
+	}
+}

@@ -266,7 +266,7 @@ func streamCheck(cfg StreamBenchConfig, env *Env, switches []topo.SwitchID, res 
 		if len(missing) == 0 {
 			missing = nil
 		}
-		rep, err := sys.Run(foces.Observation{Counters: deltas, Missing: missing, Epoch: sys.Epoch()})
+		rep, err := sys.Run(foces.Observation{Counters: deltas, RunOptions: foces.RunOptions{Missing: missing, Epoch: sys.Epoch()}})
 		if err != nil {
 			return err
 		}

@@ -69,7 +69,7 @@ func TelemetryOverhead(cfg TelemetryOverheadConfig) (TelemetryOverheadResult, er
 	if err != nil {
 		return TelemetryOverheadResult{}, err
 	}
-	obs := foces.Observation{Vector: y, Epoch: sys.Epoch()}
+	obs := foces.Observation{Vector: y, RunOptions: foces.RunOptions{Epoch: sys.Epoch()}}
 
 	nop := telemetry.NewNop()
 	live := telemetry.New()

@@ -1,0 +1,448 @@
+// Package probe implements active-probe localization: the diagnosis
+// stage that turns a detection verdict ("forwarding is anomalous, the
+// error mass sits around these switches") into a ranked culprit report
+// ("this rule on this switch, with this confidence"), in the style of
+// Kozat et al.'s static-rule forwarding-plane diagnosis.
+//
+// The localizer starts from the rank-based suspect set detection
+// already produces (sliced-outcome suspects, or core.AttributeDelta's
+// error-mass ranking) and converts it to a suspect *rule* set: every
+// rule hosted on a suspect switch that carries at least one logical
+// flow. It then synthesizes test probes from the FCM's symbolic flow
+// classes — each class's header space is the intersection of the
+// source-pinned wildcard with every rule match along its path, so
+// Space.AnyPacket() is a concrete packet guaranteed to trace the
+// class's expected rule history — and injects them through an Injector
+// with a per-probe deadline and an overall probe budget.
+//
+// Probe analysis exploits OpenFlow counter semantics: a rule's counter
+// counts matches before the (possibly tampered) action runs. Walking a
+// probe's expected history in path order, the first rule whose counter
+// delta starves (collects less than half of what the previous hop
+// counted) marks the break, and the rule immediately before it — the
+// last one that counted the traffic and then misdirected or discarded
+// it — is the culprit. One failing probe therefore pinpoints a rule
+// exactly; clean probes exonerate every rule along their path. Probe
+// selection is greedy group-testing over the remaining un-exonerated
+// suspect rules, weighted by each rule's share of the detection error
+// vector, so the probes bisect the suspect set: each clean probe
+// removes the covered portion, and the expected probe count to a
+// confirmed culprit stays within ceil(log2(suspect rules)) + 2.
+package probe
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"foces/internal/fcm"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+// Default configuration values.
+const (
+	// DefaultVolume is the per-probe packet count. Large enough that
+	// per-link loss cannot mimic a starved counter (a hop would need to
+	// lose half the probe), small enough to be negligible next to
+	// monitored traffic.
+	DefaultVolume = 256
+	// DefaultDeadline bounds one probe's inject-and-read round trip.
+	DefaultDeadline = 2 * time.Second
+	// DefaultMinConfidence is the vanished-mass fraction at which a
+	// culprit accusation is considered confirmed and probing stops.
+	DefaultMinConfidence = 0.5
+)
+
+// Config tunes a Localizer.
+type Config struct {
+	// MaxProbes caps the probes spent per localization. Zero selects
+	// Budget(len(suspect rules)): ceil(log2(n)) + 2.
+	MaxProbes int
+	// Volume is the packet count per probe (zero selects DefaultVolume).
+	Volume uint64
+	// Deadline bounds each probe's inject-and-read round trip (zero
+	// selects DefaultDeadline).
+	Deadline time.Duration
+	// MinConfidence stops probing once a culprit's confidence (the
+	// fraction of probe volume that vanished at its hop) reaches this
+	// value. Zero selects DefaultMinConfidence.
+	MinConfidence float64
+}
+
+func (c Config) withDefaults(suspectRules int) Config {
+	if c.MaxProbes <= 0 {
+		c.MaxProbes = Budget(suspectRules)
+	}
+	if c.Volume == 0 {
+		c.Volume = DefaultVolume
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = DefaultDeadline
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = DefaultMinConfidence
+	}
+	return c
+}
+
+// Budget is the probe budget for a suspect rule set of size n:
+// ceil(log2(n)) + 2 — enough clean probes to bisect the set to one
+// rule, plus the failing probe that names it, plus one spare.
+func Budget(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n)))) + 2
+}
+
+// Spec is one synthesized test probe: a concrete packet, where to
+// inject it, and the rule history it is expected to trace.
+type Spec struct {
+	// Flow is the FCM column the probe exercises.
+	Flow int
+	// Src is the host the probe enters the network from.
+	Src topo.HostID
+	// Dst is the host the probe should reach; -1 when the flow's
+	// intended fate is no delivery (an intent drop class).
+	Dst topo.HostID
+	// Packet is the concrete probe header, drawn from the flow class's
+	// header space.
+	Packet header.Packet
+	// Expected is the rule history the packet should match, in path
+	// order.
+	Expected []int
+	// Volume is the number of probe copies to inject.
+	Volume uint64
+}
+
+// Observation is what an Injector measured for one probe.
+type Observation struct {
+	// Deltas is the per-rule counter movement attributable to the probe,
+	// keyed by global rule ID. Rules outside the expected history that
+	// moved (detour evidence) are included.
+	Deltas map[int]uint64
+	// Delivered is how many probe copies reached Spec.Dst.
+	Delivered uint64
+	// Offered echoes the injected volume.
+	Offered uint64
+}
+
+// Injector injects one probe into the data plane and reads back the
+// counter movement it caused. Implementations must honour ctx's
+// deadline (the per-probe deadline from Config). The dataplane-backed
+// implementation lives in this package (NetworkInjector); an
+// OpenFlow-channel implementation would inject via PacketOut and read
+// deltas via paired flow-stats requests.
+type Injector interface {
+	Probe(ctx context.Context, spec Spec) (Observation, error)
+}
+
+// Culprit is one accused rule in the ranked localization report.
+type Culprit struct {
+	// RuleID is the accused rule.
+	RuleID int `json:"ruleId"`
+	// Switch hosts the accused rule.
+	Switch topo.SwitchID `json:"switch"`
+	// Confidence is the strongest vanished-mass fraction any probe
+	// observed at this rule's hop, in [0, 1].
+	Confidence float64 `json:"confidence"`
+	// Probes is how many probes implicated this rule.
+	Probes int `json:"probes"`
+}
+
+// Outcome is one localization's ranked culprit report.
+type Outcome struct {
+	// Localized reports whether a culprit reached the confidence bar.
+	Localized bool `json:"localized"`
+	// Culprits is the ranked accusation list, strongest first.
+	Culprits []Culprit `json:"culprits"`
+	// ProbesUsed is how many probes were spent (including errored ones).
+	ProbesUsed int `json:"probesUsed"`
+	// ProbeBudget is the cap the run operated under.
+	ProbeBudget int `json:"probeBudget"`
+	// SuspectSwitches echoes the switch suspect set probing started from.
+	SuspectSwitches []topo.SwitchID `json:"suspectSwitches"`
+	// SuspectRules is the size of the initial suspect rule set.
+	SuspectRules int `json:"suspectRules"`
+	// Exonerated is how many suspect rules clean probes cleared.
+	Exonerated int `json:"exonerated"`
+	// CleanProbes / FailedProbes / ErrorProbes break down ProbesUsed.
+	CleanProbes  int `json:"cleanProbes"`
+	FailedProbes int `json:"failedProbes"`
+	ErrorProbes  int `json:"errorProbes"`
+	// Elapsed is the end-to-end localization wall time.
+	Elapsed time.Duration `json:"elapsedNs"`
+}
+
+// TopCulprit returns the strongest accusation, or ok=false when the
+// run accused nobody.
+func (o Outcome) TopCulprit() (Culprit, bool) {
+	if len(o.Culprits) == 0 {
+		return Culprit{}, false
+	}
+	return o.Culprits[0], true
+}
+
+// Localizer plans and runs active-probe localizations over one FCM
+// generation. Rebuild it when the baseline changes (it is cheap: the
+// constructor only indexes rule→flow coverage). Not safe for
+// concurrent Localize calls sharing one Injector.
+type Localizer struct {
+	f   *fcm.FCM
+	inj Injector
+	cfg Config
+	// flowsByRule maps rule ID → flows whose history contains it.
+	flowsByRule map[int][]*fcm.Flow
+}
+
+// New builds a localizer over the FCM using the given injector.
+func New(f *fcm.FCM, inj Injector, cfg Config) (*Localizer, error) {
+	if f == nil || inj == nil {
+		return nil, fmt.Errorf("probe: nil FCM or injector")
+	}
+	byRule := make(map[int][]*fcm.Flow)
+	for _, fl := range f.Flows {
+		for _, rid := range fl.RuleIDs {
+			byRule[rid] = append(byRule[rid], fl)
+		}
+	}
+	return &Localizer{f: f, inj: inj, cfg: cfg, flowsByRule: byRule}, nil
+}
+
+// Localize runs one active-probe localization. suspects is the
+// switch-level suspect set from detection (sliced-outcome suspects or
+// core.TopSuspects); ruleErr, when non-nil, is the detection error
+// vector Δ indexed by rule ID and weights probe selection toward the
+// rules carrying the unexplained mass (nil weights rules uniformly).
+func (l *Localizer) Localize(ctx context.Context, suspects []topo.SwitchID, ruleErr []float64) (Outcome, error) {
+	start := time.Now()
+	out := Outcome{SuspectSwitches: append([]topo.SwitchID(nil), suspects...)}
+	if len(suspects) == 0 {
+		out.Elapsed = time.Since(start)
+		return out, fmt.Errorf("probe: empty suspect set")
+	}
+	suspectSwitch := make(map[topo.SwitchID]bool, len(suspects))
+	for _, sw := range suspects {
+		suspectSwitch[sw] = true
+	}
+	// Suspect rules: hosted on a suspect switch AND carrying traffic
+	// (a rule no flow matches cannot be probed or blamed).
+	remaining := make(map[int]bool)
+	for rid, r := range l.f.Rules {
+		if suspectSwitch[r.Switch] && len(l.flowsByRule[rid]) > 0 {
+			remaining[rid] = true
+		}
+	}
+	out.SuspectRules = len(remaining)
+	cfg := l.cfg.withDefaults(len(remaining))
+	out.ProbeBudget = cfg.MaxProbes
+	if len(remaining) == 0 {
+		out.Elapsed = time.Since(start)
+		return out, nil
+	}
+
+	votes := make(map[int]*Culprit)
+	probed := make(map[int]bool) // flows already spent
+	for len(remaining) > 0 && out.ProbesUsed < cfg.MaxProbes {
+		if err := ctx.Err(); err != nil {
+			out.Elapsed = time.Since(start)
+			return out, err
+		}
+		fl := l.pickFlow(remaining, probed, ruleErr)
+		if fl == nil {
+			break // no un-probed flow covers a remaining suspect
+		}
+		probed[fl.ID] = true
+		spec, ok := l.synthesize(fl, cfg.Volume)
+		if !ok {
+			continue // no injectable pair; costs no probe
+		}
+		pctx, cancel := context.WithTimeout(ctx, cfg.Deadline)
+		obs, err := l.inj.Probe(pctx, spec)
+		cancel()
+		out.ProbesUsed++
+		if err != nil {
+			// A probe that errored (deadline, unreachable injection
+			// point) says nothing about the rules it covers: spend the
+			// budget slot but exonerate nobody.
+			out.ErrorProbes++
+			continue
+		}
+		verdict := analyzeProbe(spec, obs)
+		if verdict.clean {
+			out.CleanProbes++
+			for _, rid := range spec.Expected {
+				if remaining[rid] {
+					delete(remaining, rid)
+					out.Exonerated++
+				}
+			}
+			continue
+		}
+		out.FailedProbes++
+		// The counted prefix before the culprit behaved end to end:
+		// those rules matched AND their actions moved the traffic to
+		// the next expected hop. Clear them along with the accused rule
+		// so follow-up probes narrow onto genuinely unknown rules.
+		for _, rid := range spec.Expected {
+			if remaining[rid] {
+				delete(remaining, rid)
+				if rid != verdict.culprit {
+					out.Exonerated++
+				}
+			}
+			if rid == verdict.culprit {
+				break
+			}
+		}
+		v := votes[verdict.culprit]
+		if v == nil {
+			v = &Culprit{RuleID: verdict.culprit, Switch: l.f.Rules[verdict.culprit].Switch}
+			votes[verdict.culprit] = v
+		}
+		v.Probes++
+		if verdict.confidence > v.Confidence {
+			v.Confidence = verdict.confidence
+		}
+		if v.Confidence >= cfg.MinConfidence {
+			break
+		}
+	}
+
+	out.Culprits = rankVotes(votes)
+	if top, ok := out.TopCulprit(); ok && top.Confidence >= cfg.MinConfidence {
+		out.Localized = true
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// pickFlow greedily selects the un-probed flow whose expected history
+// covers the largest weighted share of the remaining suspect rules —
+// the group-testing step: a clean result removes the covered portion,
+// a failing result pinpoints a culprit via per-hop analysis. Weight is
+// the rule's detection error mass when available, else 1, and every
+// candidate additionally scores the residual mass along its *whole*
+// expected path: a flow whose own counters misfit the baseline is the
+// most informative probe even when the misfitting hops fall outside
+// the suspect set (a detour's starved downstream rules, say). Ties
+// break on lower flow ID for determinism.
+func (l *Localizer) pickFlow(remaining map[int]bool, probed map[int]bool, ruleErr []float64) *fcm.Flow {
+	errAt := func(rid int) float64 {
+		if ruleErr != nil && rid < len(ruleErr) {
+			return math.Abs(ruleErr[rid])
+		}
+		return 0
+	}
+	// Collect candidate flows from the remaining rules' coverage lists.
+	seen := make(map[int]bool)
+	var best *fcm.Flow
+	var bestScore float64
+	for rid := range remaining {
+		for _, fl := range l.flowsByRule[rid] {
+			if probed[fl.ID] || seen[fl.ID] {
+				continue
+			}
+			seen[fl.ID] = true
+			score := 0.0
+			for _, r := range fl.RuleIDs {
+				if remaining[r] {
+					score += 1 + errAt(r)
+				} else {
+					score += errAt(r)
+				}
+			}
+			if best == nil || score > bestScore || (score == bestScore && fl.ID < best.ID) {
+				best, bestScore = fl, score
+			}
+		}
+	}
+	return best
+}
+
+// synthesize builds the concrete probe for a flow class: a packet from
+// the class's header space (the SourcePin ∩ match intersection the FCM
+// generator computed), injected at the class's first source host.
+func (l *Localizer) synthesize(fl *fcm.Flow, volume uint64) (Spec, bool) {
+	if len(fl.Pairs) == 0 || len(fl.RuleIDs) == 0 {
+		return Spec{}, false
+	}
+	p := fl.Pairs[0]
+	return Spec{
+		Flow:     fl.ID,
+		Src:      p.Src,
+		Dst:      p.Dst,
+		Packet:   fl.Space.AnyPacket(),
+		Expected: append([]int(nil), fl.RuleIDs...),
+		Volume:   volume,
+	}, true
+}
+
+// probeVerdict is one probe's analysis.
+type probeVerdict struct {
+	clean      bool
+	culprit    int
+	confidence float64
+}
+
+// analyzeProbe folds a probe's observed counters against its expected
+// history. Counters count matches before actions, so the walk looks
+// for the first starved hop: the rule before it counted the traffic
+// and then its action lost it — drop, deviation and detour all break
+// the chain at exactly the compromised rule, even when a detour
+// rejoins the path downstream (the rejoined rules count again, but the
+// first starvation in path order already happened). Confidence is the
+// vanished fraction of what the previous hop carried. The halving
+// threshold tolerates per-link loss: honest hops lose a few percent,
+// never half.
+func analyzeProbe(spec Spec, obs Observation) probeVerdict {
+	prev := float64(spec.Volume)
+	for i, rid := range spec.Expected {
+		d := float64(obs.Deltas[rid])
+		if d < prev/2 {
+			culprit := rid // starved first hop: blame the entry rule itself
+			if i > 0 {
+				culprit = spec.Expected[i-1]
+			}
+			conf := 0.0
+			if prev > 0 {
+				conf = (prev - d) / prev
+			}
+			return probeVerdict{culprit: culprit, confidence: conf}
+		}
+		prev = d
+	}
+	// Every expected rule counted. If the class should deliver and the
+	// delivery starved anyway, the last rule's action misfired (e.g. a
+	// tampered last-hop deliver rule).
+	if spec.Dst >= 0 && float64(obs.Delivered) < prev/2 {
+		conf := 0.0
+		if prev > 0 {
+			conf = (prev - float64(obs.Delivered)) / prev
+		}
+		return probeVerdict{culprit: spec.Expected[len(spec.Expected)-1], confidence: conf}
+	}
+	return probeVerdict{clean: true}
+}
+
+// rankVotes orders accusations by confidence, then by implicating
+// probe count, then by rule ID for determinism.
+func rankVotes(votes map[int]*Culprit) []Culprit {
+	out := make([]Culprit, 0, len(votes))
+	for _, v := range votes {
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Probes != out[j].Probes {
+			return out[i].Probes > out[j].Probes
+		}
+		return out[i].RuleID < out[j].RuleID
+	})
+	return out
+}

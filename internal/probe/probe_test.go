@@ -1,0 +1,265 @@
+package probe
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"foces/internal/controller"
+	"foces/internal/dataplane"
+	"foces/internal/fcm"
+	"foces/internal/header"
+	"foces/internal/topo"
+)
+
+var layout = header.FiveTuple()
+
+func setup(t *testing.T, name string) (*topo.Topology, *dataplane.Network, *fcm.FCM) {
+	t.Helper()
+	top, err := topo.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, net, err := controller.Bootstrap(top, layout, controller.PairExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fcm.Generate(top, layout, ctrl.Rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top, net, f
+}
+
+func TestBudget(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 2}, {2, 3}, {8, 5}, {9, 6}, {1024, 12},
+	}
+	for _, c := range cases {
+		if got := Budget(c.n); got != c.want {
+			t.Errorf("Budget(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeProbe(t *testing.T) {
+	spec := Spec{
+		Dst:      topo.HostID(5),
+		Expected: []int{10, 11, 12, 13},
+		Volume:   256,
+	}
+	dropSpec := spec
+	dropSpec.Dst = -1
+	cases := []struct {
+		name    string
+		spec    Spec
+		obs     Observation
+		clean   bool
+		culprit int
+		minConf float64
+	}{
+		{
+			name:  "clean path delivers",
+			spec:  spec,
+			obs:   Observation{Deltas: map[int]uint64{10: 256, 11: 256, 12: 255, 13: 255}, Delivered: 255},
+			clean: true,
+		},
+		{
+			name:    "mid-path starvation blames the rule before it",
+			spec:    spec,
+			obs:     Observation{Deltas: map[int]uint64{10: 256, 11: 256, 12: 0}},
+			culprit: 11, minConf: 0.9,
+		},
+		{
+			name:    "first-hop starvation blames the entry rule",
+			spec:    spec,
+			obs:     Observation{Deltas: map[int]uint64{10: 3}},
+			culprit: 10, minConf: 0.9,
+		},
+		{
+			name:    "all counted but delivery vanished blames the last hop",
+			spec:    spec,
+			obs:     Observation{Deltas: map[int]uint64{10: 256, 11: 256, 12: 256, 13: 256}, Delivered: 0},
+			culprit: 13, minConf: 0.9,
+		},
+		{
+			name:  "intent-drop class skips the delivery check",
+			spec:  dropSpec,
+			obs:   Observation{Deltas: map[int]uint64{10: 256, 11: 256, 12: 256, 13: 256}, Delivered: 0},
+			clean: true,
+		},
+		{
+			name:  "detour that rejoins still counts downstream",
+			spec:  spec,
+			obs:   Observation{Deltas: map[int]uint64{10: 256, 11: 0, 12: 256, 13: 256, 99: 256}, Delivered: 256},
+			clean: false, culprit: 10, minConf: 0.9,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := analyzeProbe(c.spec, c.obs)
+			if v.clean != c.clean {
+				t.Fatalf("clean = %v, want %v", v.clean, c.clean)
+			}
+			if c.clean {
+				return
+			}
+			if v.culprit != c.culprit {
+				t.Fatalf("culprit = %d, want %d", v.culprit, c.culprit)
+			}
+			if v.confidence < c.minConf {
+				t.Fatalf("confidence = %g, want >= %g", v.confidence, c.minConf)
+			}
+		})
+	}
+}
+
+// localizeAttack runs the full pipeline on fattree4: inject an attack,
+// run monitored traffic, derive the per-rule error mass, then probe.
+func localizeAttack(t *testing.T, kind dataplane.AttackKind, seed int64) (dataplane.Attack, Outcome) {
+	t.Helper()
+	top, net, f := setup(t, "fattree4")
+	rng := rand.New(rand.NewSource(seed))
+	atk, err := dataplane.RandomAttack(rng, net, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	const vol = 500
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, vol)); err != nil {
+		t.Fatal(err)
+	}
+	// Per-rule error mass in the shape core detection's Δ vector has:
+	// under PairExact each rule is dedicated to one flow, so the
+	// least-squares flow estimate is the path mean and the residual
+	// spreads over every rule of an affected flow — including the
+	// compromised rule itself, whose counter still counts.
+	observed := f.CounterVector(net.CollectCounters())
+	ruleErr := make([]float64, f.NumRules())
+	for _, fl := range f.Flows {
+		mean := 0.0
+		for _, rid := range fl.RuleIDs {
+			mean += observed[rid]
+		}
+		mean /= float64(len(fl.RuleIDs))
+		for _, rid := range fl.RuleIDs {
+			ruleErr[rid] = math.Abs(observed[rid] - mean)
+		}
+	}
+
+	// Suspect set: the attacked switch plus innocent bystanders, the
+	// shape rank localization hands over.
+	suspects := []topo.SwitchID{atk.Switch}
+	for _, sw := range top.Switches() {
+		if sw.ID != atk.Switch && len(suspects) < 4 {
+			suspects = append(suspects, sw.ID)
+		}
+	}
+	loc, err := New(f, NewNetworkInjector(net, rand.New(rand.NewSource(seed+1))), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := loc.Localize(context.Background(), suspects, ruleErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return atk, out
+}
+
+func TestLocalizeDropAttack(t *testing.T) {
+	atk, out := localizeAttack(t, dataplane.AttackDrop, 7)
+	top, ok := out.TopCulprit()
+	if !ok || !out.Localized {
+		t.Fatalf("drop attack not localized: %+v", out)
+	}
+	if top.RuleID != atk.RuleID || top.Switch != atk.Switch {
+		t.Fatalf("accused rule %d on %v, want rule %d on %v", top.RuleID, top.Switch, atk.RuleID, atk.Switch)
+	}
+	if out.ProbesUsed > out.ProbeBudget {
+		t.Fatalf("spent %d probes over budget %d", out.ProbesUsed, out.ProbeBudget)
+	}
+}
+
+func TestLocalizePortSwapAttack(t *testing.T) {
+	atk, out := localizeAttack(t, dataplane.AttackPortSwap, 11)
+	top, ok := out.TopCulprit()
+	if !ok || !out.Localized {
+		t.Fatalf("port-swap attack not localized: %+v", out)
+	}
+	if top.RuleID != atk.RuleID || top.Switch != atk.Switch {
+		t.Fatalf("accused rule %d on %v, want rule %d on %v", top.RuleID, top.Switch, atk.RuleID, atk.Switch)
+	}
+	if out.ProbesUsed > out.ProbeBudget {
+		t.Fatalf("spent %d probes over budget %d", out.ProbesUsed, out.ProbeBudget)
+	}
+}
+
+func TestLocalizeErrorWeightMeetsBudget(t *testing.T) {
+	// With detection's error mass steering flow choice, the failing
+	// probe lands within the first couple of picks — well inside the
+	// ceil(log2 n)+2 budget even for a multi-switch suspect set.
+	for _, seed := range []int64{3, 17, 29} {
+		_, out := localizeAttack(t, dataplane.AttackDrop, seed)
+		if !out.Localized {
+			t.Fatalf("seed %d: not localized: %+v", seed, out)
+		}
+		if out.ProbesUsed > Budget(out.SuspectRules) {
+			t.Fatalf("seed %d: %d probes for %d suspect rules, budget %d",
+				seed, out.ProbesUsed, out.SuspectRules, Budget(out.SuspectRules))
+		}
+	}
+}
+
+func TestLocalizeCleanNetworkAccusesNobody(t *testing.T) {
+	top, net, f := setup(t, "fattree4")
+	rng := rand.New(rand.NewSource(5))
+	if _, err := net.Run(rng, dataplane.UniformTraffic(top, 500)); err != nil {
+		t.Fatal(err)
+	}
+	sws := top.Switches()
+	suspects := []topo.SwitchID{sws[0].ID, sws[1].ID}
+	loc, err := New(f, NewNetworkInjector(net, rng), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := loc.Localize(context.Background(), suspects, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Localized || len(out.Culprits) != 0 {
+		t.Fatalf("clean network accused: %+v", out.Culprits)
+	}
+	if out.CleanProbes == 0 || out.CleanProbes != out.ProbesUsed {
+		t.Fatalf("want all probes clean, got %+v", out)
+	}
+	if out.Exonerated == 0 {
+		t.Fatal("clean probes must exonerate covered rules")
+	}
+}
+
+func TestLocalizeEmptySuspectsErrors(t *testing.T) {
+	_, net, f := setup(t, "fattree4")
+	loc, err := New(f, NewNetworkInjector(net, rand.New(rand.NewSource(1))), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loc.Localize(context.Background(), nil, nil); err == nil {
+		t.Fatal("empty suspect set must error")
+	}
+}
+
+func TestLocalizeHonorsContextCancel(t *testing.T) {
+	_, net, f := setup(t, "fattree4")
+	loc, err := New(f, NewNetworkInjector(net, rand.New(rand.NewSource(1))), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := loc.Localize(ctx, []topo.SwitchID{0}, nil); err == nil {
+		t.Fatal("cancelled context must abort localization")
+	}
+}

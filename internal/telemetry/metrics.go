@@ -165,6 +165,29 @@ func NewSystemMetrics(r *Registry) *SystemMetrics {
 	}
 }
 
+// ProbeMetrics instruments active-probe localization
+// (internal/probe).
+type ProbeMetrics struct {
+	Probes                *CounterVec // outcome: clean | failed | error
+	Localizations         *CounterVec // outcome: localized | unresolved
+	ProbesPerLocalization *Histogram
+	LocalizeSeconds       *Histogram
+	SuspectRules          *Histogram
+	Confidence            *Histogram
+}
+
+// NewProbeMetrics registers the active-probe family set.
+func NewProbeMetrics(r *Registry) *ProbeMetrics {
+	return &ProbeMetrics{
+		Probes:                r.NewCounterVec("foces_probe_probes_total", "Active probes injected, by per-probe outcome.", "outcome"),
+		Localizations:         r.NewCounterVec("foces_probe_localizations_total", "Localization runs, by whether a culprit reached the confidence bar.", "outcome"),
+		ProbesPerLocalization: r.NewHistogram("foces_probe_probes_per_localization", "Probes spent per localization run.", LagBuckets),
+		LocalizeSeconds:       r.NewHistogram("foces_probe_localize_seconds", "End-to-end localization wall time per anomalous window.", SecondsBuckets),
+		SuspectRules:          r.NewHistogram("foces_probe_suspect_rules", "Suspect rule-set size a localization started from.", WidthBuckets),
+		Confidence:            r.NewHistogram("foces_probe_confidence", "Top-culprit confidence per localization that accused anyone.", LinearBuckets(0.1, 0.1, 10)),
+	}
+}
+
 // ClusterMetrics instruments the coordinator of a sharded multi-node
 // detection cluster (internal/cluster).
 type ClusterMetrics struct {

@@ -1,0 +1,135 @@
+package foces_test
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"foces"
+)
+
+// The Report wire format is consumed by focesd's /status recent ring,
+// StreamReport payloads and archived experiment results — all through
+// the one Report.MarshalJSON code path. This golden test pins the
+// bytes: a change here is a wire-format change and must come with a
+// ReportSchema bump when a field changes meaning or shape.
+func TestReportMarshalGolden(t *testing.T) {
+	rep := foces.Report{
+		Mode:        foces.ModeAuto,
+		Path:        foces.PathReconciled,
+		Epoch:       7,
+		EpochLag:    2,
+		MaskedRows:  []int{3, 4},
+		Missing:     []foces.SwitchID{9},
+		Anomalous:   true,
+		Index:       12.5,
+		SlicedIndex: 6.25,
+		Suspects:    []foces.SwitchID{2, 5},
+		Localization: &foces.Localization{
+			Outcome: foces.ProbeOutcome{
+				Localized: true,
+				Culprits: []foces.ProbeCulprit{
+					{RuleID: 41, Switch: 2, Confidence: 0.875, Probes: 1},
+				},
+				ProbesUsed:      3,
+				ProbeBudget:     8,
+				SuspectSwitches: []foces.SwitchID{2, 5},
+				SuspectRules:    24,
+				Exonerated:      11,
+				CleanProbes:     2,
+				FailedProbes:    1,
+				Elapsed:         1500 * time.Microsecond,
+			},
+		},
+		Timings: foces.RunTimings{
+			Full:     2 * time.Millisecond,
+			Sliced:   1 * time.Millisecond,
+			Localize: 1500 * time.Microsecond,
+			Total:    5 * time.Millisecond,
+		},
+	}
+	got, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema":"foces/report/v1",` +
+		`"mode":"auto","path":"reconciled","epoch":7,"epochLag":2,` +
+		`"maskedRows":[3,4],"missing":[9],` +
+		`"anomalous":true,"anomalyIndex":12.5,"slicedIndex":6.25,` +
+		`"suspects":[2,5],` +
+		`"localization":{"localized":true,` +
+		`"culprits":[{"ruleId":41,"switch":2,"confidence":0.875,"probes":1}],` +
+		`"probesUsed":3,"probeBudget":8,"suspectSwitches":[2,5],` +
+		`"suspectRules":24,"exonerated":11,` +
+		`"cleanProbes":2,"failedProbes":1,"errorProbes":0,` +
+		`"elapsedNs":1500000},` +
+		`"timings":{"fullNs":2000000,"slicedNs":1000000,"localizeNs":1500000,"totalNs":5000000}}`
+	if string(got) != want {
+		t.Fatalf("Report wire format drifted (bump ReportSchema if intentional)\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// A zero median error with a non-zero max yields AI = +Inf; the one
+// serialization path must clamp it, exactly as the RunEvent ring does.
+func TestReportMarshalClampsInfiniteIndex(t *testing.T) {
+	rep := foces.Report{Path: foces.PathClean, Index: math.Inf(1), SlicedIndex: math.Inf(1)}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("infinite index must clamp, not fail: %v", err)
+	}
+	if !strings.Contains(string(b), `"schema":"foces/report/v1"`) {
+		t.Fatalf("schema missing: %s", b)
+	}
+}
+
+// Report.Event is the single compression point behind the recent ring:
+// what RecentRuns returns must be byte-identical to Event() of the
+// report the same Run handed back.
+func TestRunEventSingleCodePath(t *testing.T) {
+	sys := newSystem(t, "fattree4", foces.PairExact)
+	sys.EnableTelemetry(foces.NewTelemetryRegistry())
+	rng := rand.New(rand.NewSource(21))
+	y, err := sys.ObserveCounters(rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(foces.Observation{Vector: y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := sys.RecentRuns()
+	if len(events) == 0 {
+		t.Fatal("armed ring recorded nothing")
+	}
+	fromRing, err := json.Marshal(events[len(events)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromReport, err := json.Marshal(rep.Event())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fromRing) != string(fromReport) {
+		t.Fatalf("ring and report serialize differently:\nring:   %s\nreport: %s", fromRing, fromReport)
+	}
+}
+
+// A StreamReport carries the same Report type, so its report payload
+// serializes through the same MarshalJSON (schema stamped and all).
+func TestStreamReportSharesReportWireFormat(t *testing.T) {
+	sr := foces.StreamReport{Report: foces.Report{Path: foces.PathClean, Epoch: 3}, Window: 9}
+	b, err := json.Marshal(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := json.Marshal(sr.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), string(direct)) {
+		t.Fatalf("StreamReport does not embed the canonical report bytes:\nstream: %s\nreport: %s", b, direct)
+	}
+}

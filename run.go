@@ -1,6 +1,7 @@
 package foces
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"time"
@@ -45,6 +46,10 @@ func (m Mode) String() string {
 	return "mode-" + fmt.Sprint(int(m))
 }
 
+// MarshalJSON emits the mode's name, keeping serialized reports
+// self-describing instead of leaking iota ordering.
+func (m Mode) MarshalJSON() ([]byte, error) { return json.Marshal(m.String()) }
+
 // Report.Path values: the dispatch route a Run took.
 const (
 	// PathClean is the steady-state route: every switch reported and
@@ -59,20 +64,13 @@ const (
 	PathReconciled = "reconciled"
 )
 
-// Observation describes one collection window for System.Run.
-//
-// Exactly one of Counters and Vector supplies the measurements:
-// Counters is a rule-ID keyed snapshot (collector output), Vector a
-// pre-built dense vector indexed by rule ID (simulation output). The
-// missing-switch path requires Counters, since dropped rows must be
-// re-gathered per sub-system.
-type Observation struct {
-	// Counters is the window's per-rule counter snapshot (deltas for a
-	// live collector), keyed by global rule ID.
-	Counters map[int]uint64
-	// Vector is the window's dense counter vector, an alternative to
-	// Counters for callers that already hold Y'.
-	Vector []float64
+// RunOptions is everything that shapes how a window is detected and
+// diagnosed, separate from the measurements themselves. It is the one
+// option surface behind Run: each deprecated Detect* wrapper is now a
+// one-line translation of its legacy signature into a RunOptions
+// value, and new knobs (like Localize) land here once instead of
+// fanning out across five method signatures.
+type RunOptions struct {
 	// Missing lists switches whose counters are unusable this window
 	// (unreachable, quarantined, reset). A non-nil slice — even an
 	// empty one — selects the degraded partial-detection path; nil
@@ -94,55 +92,115 @@ type Observation struct {
 	// reconciled path the engines' construction-time options always
 	// apply (masking reuses the prepared factors).
 	Options DetectOptions
+	// Localize opts the window into active-probe localization: when the
+	// verdict is anomalous, Run probes the suspect set and attaches a
+	// ranked culprit report to Report.Localization. Nil (the default)
+	// skips probing entirely and leaves the detection path untouched.
+	Localize *LocalizeConfig
+}
+
+// Observation describes one collection window for System.Run: the
+// measurements (exactly one of Counters and Vector) plus the embedded
+// RunOptions describing how to detect and diagnose them.
+//
+// Counters is a rule-ID keyed snapshot (collector output), Vector a
+// pre-built dense vector indexed by rule ID (simulation output). The
+// missing-switch path requires Counters, since dropped rows must be
+// re-gathered per sub-system.
+type Observation struct {
+	// Counters is the window's per-rule counter snapshot (deltas for a
+	// live collector), keyed by global rule ID.
+	Counters map[int]uint64
+	// Vector is the window's dense counter vector, an alternative to
+	// Counters for callers that already hold Y'.
+	Vector []float64
+	// RunOptions shapes detection and diagnosis for this window; its
+	// fields promote, so obs.Missing, obs.Epoch, obs.Mode, obs.Options
+	// and obs.Localize read as before the options were unified.
+	RunOptions
 }
 
 // RunTimings carries a Run's per-stage wall times.
 type RunTimings struct {
 	// Full is the Algorithm 1 stage (zero when not run).
-	Full time.Duration
+	Full time.Duration `json:"fullNs"`
 	// Sliced is the Algorithm 2 stage (zero when not run).
-	Sliced time.Duration
+	Sliced time.Duration `json:"slicedNs"`
+	// Localize is the active-probe localization stage (zero when the
+	// observation carried no LocalizeConfig or the verdict was clean).
+	Localize time.Duration `json:"localizeNs"`
 	// Total is the end-to-end Run wall time.
-	Total time.Duration
+	Total time.Duration `json:"totalNs"`
 }
 
-// Report is the single outcome of a System.Run.
+// ReportSchema identifies the Report wire format. Report.MarshalJSON
+// stamps it into every serialized report, so consumers of the /status
+// recent ring, StreamReport payloads and archived experiment results
+// can dispatch on the version instead of sniffing fields. Bump it when
+// a field changes meaning or shape; adding optional fields is
+// compatible and does not bump.
+const ReportSchema = "foces/report/v1"
+
+// Report is the single outcome of a System.Run. It serializes from
+// exactly one code path (MarshalJSON, which stamps ReportSchema), so
+// the /status recent ring, StreamReport and archived results all emit
+// the same bytes for the same report.
 type Report struct {
 	// Mode echoes the observation's engine selection.
-	Mode Mode
+	Mode Mode `json:"mode"`
 	// Path is the dispatch route taken: PathClean, PathMissing or
 	// PathReconciled.
-	Path string
+	Path string `json:"path"`
 	// Epoch is the baseline epoch detection ran against.
-	Epoch uint64
+	Epoch uint64 `json:"epoch"`
 	// EpochLag is how many epochs the window trailed the baseline
 	// (non-zero only on the reconciled path).
-	EpochLag uint64
+	EpochLag uint64 `json:"epochLag,omitempty"`
 
 	// Full is the Algorithm 1 result (nil when ModeSliced, or on the
 	// missing path where Partial holds the full-FCM outcome).
-	Full *Result
+	Full *Result `json:"-"`
 	// Partial is the reachable-switch restricted result (missing path
 	// only).
-	Partial *PartialResult
+	Partial *PartialResult `json:"-"`
 	// Sliced is the per-switch localization outcome (nil when
 	// ModeFull).
-	Sliced *SlicedOutcome
+	Sliced *SlicedOutcome `json:"-"`
 	// MaskedRows lists the rule rows masked on the reconciled path.
-	MaskedRows []int
+	MaskedRows []int `json:"maskedRows,omitempty"`
 	// Missing echoes the observation's missing switches.
-	Missing []SwitchID
+	Missing []SwitchID `json:"missing,omitempty"`
 
 	// Anomalous is the combined verdict of every engine that ran.
-	Anomalous bool
+	Anomalous bool `json:"anomalous"`
 	// Index is the full-FCM anomaly index (from Full or Partial).
-	Index float64
+	Index float64 `json:"anomalyIndex"`
 	// SlicedIndex is the maximum per-switch anomaly index.
-	SlicedIndex float64
+	SlicedIndex float64 `json:"slicedIndex"`
 	// Suspects is the sliced localization, strongest suspect first.
-	Suspects []SwitchID
+	Suspects []SwitchID `json:"suspects"`
+	// Localization is the active-probe culprit report (nil unless the
+	// observation carried a LocalizeConfig and the verdict was
+	// anomalous).
+	Localization *Localization `json:"localization,omitempty"`
 	// Timings carries the per-stage wall times.
-	Timings RunTimings
+	Timings RunTimings `json:"timings"`
+}
+
+// MarshalJSON serializes the report with its schema version stamped
+// in, clamping infinite anomaly indices (a zero median error with a
+// non-zero max yields +Inf, which JSON cannot carry) the same way the
+// RunEvent ring does. The dense engine payloads (Full, Partial,
+// Sliced) stay out of the wire format: they carry O(rules) vectors.
+func (r Report) MarshalJSON() ([]byte, error) {
+	type wire Report // shed the method to avoid recursion
+	w := wire(r)
+	w.Index = finiteIndex(w.Index)
+	w.SlicedIndex = finiteIndex(w.SlicedIndex)
+	return json.Marshal(struct {
+		Schema string `json:"schema"`
+		wire
+	}{Schema: ReportSchema, wire: w})
 }
 
 // RunEvent is the compact verdict record System pushes into its recent
@@ -156,7 +214,25 @@ type RunEvent struct {
 	Index       float64    `json:"anomalyIndex"`
 	SlicedIndex float64    `json:"slicedIndex"`
 	Suspects    []SwitchID `json:"suspects"`
-	ElapsedNS   int64      `json:"elapsedNs"`
+	// Localized is true when the run's active-probe localization named
+	// a culprit at confidence.
+	Localized bool  `json:"localized,omitempty"`
+	ElapsedNS int64 `json:"elapsedNs"`
+}
+
+// Event compresses the report into its recent-ring record — the one
+// code path behind both the ring snapshot and focesd's /status view.
+func (r *Report) Event() RunEvent {
+	return RunEvent{
+		Path:        r.Path,
+		Epoch:       r.Epoch,
+		Anomalous:   r.Anomalous,
+		Index:       finiteIndex(r.Index),
+		SlicedIndex: finiteIndex(r.SlicedIndex),
+		Suspects:    r.Suspects,
+		Localized:   r.Localization != nil && r.Localization.Localized,
+		ElapsedNS:   r.Timings.Total.Nanoseconds(),
+	}
 }
 
 // defaultRecentRuns is the capacity of the recent-verdict ring.
@@ -169,8 +245,10 @@ const defaultRecentRuns = 64
 //
 //	rep, err := sys.Run(foces.Observation{
 //		Counters: poll.Deltas,
-//		Missing:  poll.Missing,
-//		Epoch:    windowEpoch, // oldest straddled epoch, or sys.Epoch()
+//		RunOptions: foces.RunOptions{
+//			Missing: poll.Missing,
+//			Epoch:   windowEpoch, // oldest straddled epoch, or sys.Epoch()
+//		},
 //	})
 //
 // Run is the supported entry point; the Detect* methods are deprecated
@@ -332,6 +410,7 @@ func (s *System) runLocked(obs Observation, runner SlicedRunner) (Report, error)
 		rep.Suspects = rep.Sliced.Suspects
 		rep.Anomalous = rep.Anomalous || rep.Sliced.Anomalous
 	}
+	s.maybeLocalize(obs, &rep)
 	rep.Timings.Total = time.Since(start)
 	s.recordRun(&rep)
 	return rep, nil
@@ -449,6 +528,7 @@ func (s *System) RunBatch(obs []Observation) ([]Report, error) {
 			rep.Suspects = so.Suspects
 			rep.Anomalous = rep.Anomalous || so.Anomalous
 		}
+		s.maybeLocalize(o, &rep)
 		rep.Timings.Total = fullDur[i] + time.Since(start)
 		s.recordRun(&rep)
 		reports[i] = rep
@@ -527,15 +607,7 @@ func (s *System) recordRun(rep *Report) {
 			r.maskedRows.Observe(float64(len(rep.MaskedRows)))
 		}
 	}
-	s.events.Push(RunEvent{
-		Path:        rep.Path,
-		Epoch:       rep.Epoch,
-		Anomalous:   rep.Anomalous,
-		Index:       finiteIndex(rep.Index),
-		SlicedIndex: finiteIndex(rep.SlicedIndex),
-		Suspects:    rep.Suspects,
-		ElapsedNS:   rep.Timings.Total.Nanoseconds(),
-	})
+	s.events.Push(rep.Event())
 }
 
 // finiteIndex clamps +Inf anomaly indices so RunEvent always
@@ -547,13 +619,66 @@ func finiteIndex(v float64) float64 {
 	return v
 }
 
+// probeRecorder holds the active-probe metric children resolved at
+// EnableTelemetry time, mirroring sysRecorder: recordLocalization
+// touches only atomics.
+type probeRecorder struct {
+	probeClean  *telemetry.Counter
+	probeFailed *telemetry.Counter
+	probeError  *telemetry.Counter
+	localized   *telemetry.Counter
+	unresolved  *telemetry.Counter
+	perLoc      *telemetry.Histogram
+	seconds     *telemetry.Histogram
+	suspects    *telemetry.Histogram
+	confidence  *telemetry.Histogram
+}
+
+func newProbeRecorder(m *telemetry.ProbeMetrics) *probeRecorder {
+	return &probeRecorder{
+		probeClean:  m.Probes.With("clean"),
+		probeFailed: m.Probes.With("failed"),
+		probeError:  m.Probes.With("error"),
+		localized:   m.Localizations.With("localized"),
+		unresolved:  m.Localizations.With("unresolved"),
+		perLoc:      m.ProbesPerLocalization,
+		seconds:     m.LocalizeSeconds,
+		suspects:    m.SuspectRules,
+		confidence:  m.Confidence,
+	}
+}
+
+// recordLocalization mirrors a completed localization into the
+// foces_probe_* telemetry family.
+func (s *System) recordLocalization(loc *Localization) {
+	r := s.probeRec
+	if r == nil {
+		return
+	}
+	r.probeClean.Add(uint64(loc.CleanProbes))
+	r.probeFailed.Add(uint64(loc.FailedProbes))
+	r.probeError.Add(uint64(loc.ErrorProbes))
+	if loc.Localized {
+		r.localized.Inc()
+	} else {
+		r.unresolved.Inc()
+	}
+	r.perLoc.Observe(float64(loc.ProbesUsed))
+	r.seconds.Observe(loc.Elapsed.Seconds())
+	r.suspects.Observe(float64(loc.SuspectRules))
+	if top, ok := loc.TopCulprit(); ok {
+		r.confidence.Observe(top.Confidence)
+	}
+}
+
 // telWiring is one registry's set of metric families, cached so
 // EnableTelemetry can switch a System between registries (e.g. a no-op
 // and a live one in an overhead measurement) without re-registering.
 type telWiring struct {
-	det *telemetry.DetectionMetrics
-	ch  *telemetry.ChurnMetrics
-	sys *sysRecorder
+	det   *telemetry.DetectionMetrics
+	ch    *telemetry.ChurnMetrics
+	sys   *sysRecorder
+	probe *probeRecorder
 }
 
 // EnableTelemetry registers the detection, churn and system metric
@@ -572,16 +697,17 @@ func (s *System) EnableTelemetry(reg *telemetry.Registry) {
 	w := s.wirings[reg]
 	if w == nil {
 		w = &telWiring{
-			det: telemetry.NewDetectionMetrics(reg),
-			ch:  telemetry.NewChurnMetrics(reg),
-			sys: newSysRecorder(telemetry.NewSystemMetrics(reg)),
+			det:   telemetry.NewDetectionMetrics(reg),
+			ch:    telemetry.NewChurnMetrics(reg),
+			sys:   newSysRecorder(telemetry.NewSystemMetrics(reg)),
+			probe: newProbeRecorder(telemetry.NewProbeMetrics(reg)),
 		}
 		if s.wirings == nil {
 			s.wirings = make(map[*telemetry.Registry]*telWiring)
 		}
 		s.wirings[reg] = w
 	}
-	s.detTel, s.churnTel, s.sysRec = w.det, w.ch, w.sys
+	s.detTel, s.churnTel, s.sysRec, s.probeRec = w.det, w.ch, w.sys, w.probe
 	if s.events == nil {
 		s.events = telemetry.NewRing[RunEvent](defaultRecentRuns)
 	}

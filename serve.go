@@ -84,6 +84,11 @@ type StreamConfig struct {
 	Mode Mode
 	// Options overrides the system's detection options per window.
 	Options DetectOptions
+	// Localize, when set, opts every streamed window into active-probe
+	// localization: anomalous verdicts carry a ranked culprit report in
+	// Report.Localization. Probing runs inline on the serve goroutine,
+	// so budget its deadlines against the window period.
+	Localize *LocalizeConfig
 	// Sampler, when set, receives every window's contribution totals,
 	// probe samples and verdict — the feedback edge that backs off
 	// stable switches and tightens suspects.
@@ -261,9 +266,12 @@ func windowObservation(w StreamWindow, cfg StreamConfig) Observation {
 	}
 	return Observation{
 		Counters: w.Deltas,
-		Missing:  missing,
-		Epoch:    epoch,
-		Mode:     cfg.Mode,
-		Options:  cfg.Options,
+		RunOptions: RunOptions{
+			Missing:  missing,
+			Epoch:    epoch,
+			Mode:     cfg.Mode,
+			Options:  cfg.Options,
+			Localize: cfg.Localize,
+		},
 	}
 }

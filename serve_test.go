@@ -166,7 +166,7 @@ func TestServeMatchesPolledRun(t *testing.T) {
 		if len(deltas) == 0 {
 			continue // priming window: nothing to detect on
 		}
-		rep, err := sysP.Run(foces.Observation{Counters: deltas, Missing: missing, Epoch: epoch})
+		rep, err := sysP.Run(foces.Observation{Counters: deltas, RunOptions: foces.RunOptions{Missing: missing, Epoch: epoch}})
 		if err != nil {
 			t.Fatalf("window %d: %v", w, err)
 		}

@@ -64,6 +64,7 @@ type System struct {
 	detTel   *telemetry.DetectionMetrics
 	churnTel *telemetry.ChurnMetrics
 	sysRec   *sysRecorder
+	probeRec *probeRecorder
 	events   *telemetry.Ring[RunEvent]
 	wirings  map[*telemetry.Registry]*telWiring
 }
@@ -271,7 +272,7 @@ func (s *System) fullDetector() (*Detector, error) {
 // every detection path through one entry point and returns a unified
 // Report. Detect remains as a thin wrapper.
 func (s *System) Detect(y []float64, opts DetectOptions) (Result, error) {
-	rep, err := s.Run(Observation{Vector: y, Epoch: s.Epoch(), Mode: ModeFull, Options: opts})
+	rep, err := s.Run(Observation{Vector: y, RunOptions: RunOptions{Epoch: s.Epoch(), Mode: ModeFull, Options: opts}})
 	if err != nil {
 		return Result{}, err
 	}
@@ -284,7 +285,7 @@ func (s *System) Detect(y []float64, opts DetectOptions) (Result, error) {
 // Deprecated: use Run with an Observation in ModeSliced. DetectSliced
 // remains as a thin wrapper.
 func (s *System) DetectSliced(y []float64, opts DetectOptions) (SlicedOutcome, error) {
-	rep, err := s.Run(Observation{Vector: y, Epoch: s.Epoch(), Mode: ModeSliced, Options: opts})
+	rep, err := s.Run(Observation{Vector: y, RunOptions: RunOptions{Epoch: s.Epoch(), Mode: ModeSliced, Options: opts}})
 	if err != nil {
 		return SlicedOutcome{}, err
 	}
@@ -302,7 +303,7 @@ func (s *System) DetectWithMissing(counters map[int]uint64, missing []SwitchID, 
 	if missing == nil {
 		missing = []SwitchID{} // non-nil selects Run's partial path
 	}
-	rep, err := s.Run(Observation{Counters: counters, Missing: missing, Epoch: s.Epoch(), Mode: ModeFull, Options: opts})
+	rep, err := s.Run(Observation{Counters: counters, RunOptions: RunOptions{Missing: missing, Epoch: s.Epoch(), Mode: ModeFull, Options: opts}})
 	if err != nil {
 		return PartialResult{}, err
 	}
@@ -319,7 +320,7 @@ func (s *System) DetectSlicedWithMissing(counters map[int]uint64, missing []Swit
 	if missing == nil {
 		missing = []SwitchID{}
 	}
-	rep, err := s.Run(Observation{Counters: counters, Missing: missing, Epoch: s.Epoch(), Mode: ModeSliced, Options: opts})
+	rep, err := s.Run(Observation{Counters: counters, RunOptions: RunOptions{Missing: missing, Epoch: s.Epoch(), Mode: ModeSliced, Options: opts}})
 	if err != nil {
 		return SlicedOutcome{}, err
 	}
@@ -466,7 +467,7 @@ func (s *System) DetectReconciled(y []float64, from uint64) (SlicedOutcome, erro
 		copy(padded, y)
 		y = padded
 	}
-	rep, err := s.Run(Observation{Vector: y, Epoch: from, Mode: ModeSliced})
+	rep, err := s.Run(Observation{Vector: y, RunOptions: RunOptions{Epoch: from, Mode: ModeSliced}})
 	if err != nil {
 		return SlicedOutcome{}, err
 	}

@@ -24,7 +24,7 @@ func TestRunBatchMatchesRun(t *testing.T) {
 		if w == 2 {
 			mode = foces.ModeFull
 		}
-		o := foces.Observation{Vector: y, Mode: mode}
+		o := foces.Observation{Vector: y, RunOptions: foces.RunOptions{Mode: mode}}
 		obs = append(obs, o)
 		rep, err := sys.Run(o)
 		if err != nil {
@@ -64,8 +64,8 @@ func TestRunBatchMixedPaths(t *testing.T) {
 	}
 	obs := []foces.Observation{
 		{Vector: y1},
-		{Vector: y2, Mode: foces.ModeSliced},
-		{Vector: y1, Mode: foces.ModeFull},
+		{Vector: y2, RunOptions: foces.RunOptions{Mode: foces.ModeSliced}},
+		{Vector: y1, RunOptions: foces.RunOptions{Mode: foces.ModeFull}},
 	}
 	got, err := sys.RunBatch(obs)
 	if err != nil {

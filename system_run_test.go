@@ -84,7 +84,7 @@ func TestRunMissingParity(t *testing.T) {
 	}
 	counters := sys.Network().CollectCounters()
 	missing := []foces.SwitchID{sys.Slices()[0].Switch}
-	rep, err := sys.Run(foces.Observation{Counters: counters, Missing: missing})
+	rep, err := sys.Run(foces.Observation{Counters: counters, RunOptions: foces.RunOptions{Missing: missing}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestRunReconciledParity(t *testing.T) {
 	if _, _, err := sys.AddRule(victim.Switch, victim.Priority+1, victim.Match, foces.Action{Type: foces.ActionDrop}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.Run(foces.Observation{Vector: yOld, Epoch: from})
+	rep, err := sys.Run(foces.Observation{Vector: yOld, RunOptions: foces.RunOptions{Epoch: from}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,14 +160,14 @@ func TestRunModeSelection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := sys.Run(foces.Observation{Vector: y, Mode: foces.ModeFull})
+	full, err := sys.Run(foces.Observation{Vector: y, RunOptions: foces.RunOptions{Mode: foces.ModeFull}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if full.Full == nil || full.Sliced != nil || full.Timings.Sliced != 0 {
 		t.Fatal("ModeFull ran the sliced engine")
 	}
-	sliced, err := sys.Run(foces.Observation{Vector: y, Mode: foces.ModeSliced})
+	sliced, err := sys.Run(foces.Observation{Vector: y, RunOptions: foces.RunOptions{Mode: foces.ModeSliced}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,8 +195,8 @@ func TestRunValidation(t *testing.T) {
 	}{
 		{"no counters", foces.Observation{}, "no counters"},
 		{"both sources", foces.Observation{Vector: y, Counters: map[int]uint64{}}, "both"},
-		{"future epoch", foces.Observation{Vector: y, Epoch: sys.Epoch() + 1}, "ahead"},
-		{"missing needs counters", foces.Observation{Vector: y, Missing: []foces.SwitchID{0}}, "Counters"},
+		{"future epoch", foces.Observation{Vector: y, RunOptions: foces.RunOptions{Epoch: sys.Epoch() + 1}}, "ahead"},
+		{"missing needs counters", foces.Observation{Vector: y, RunOptions: foces.RunOptions{Missing: []foces.SwitchID{0}}}, "Counters"},
 		{"stale vector", foces.Observation{Vector: y[:len(y)-1]}, "entries"},
 		{"out-of-space counter", foces.Observation{Counters: map[int]uint64{sys.FCM().NumRules(): 1}}, "rule space"},
 	}
