@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse test-cluster test-probe bench-kernels bench-stream bench-sparse bench-cluster bench-localize bench-smoke bench
+.PHONY: ci fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse test-cluster test-probe test-alloc bench-kernels bench-stream bench-sparse bench-cluster bench-localize bench-alloc bench-smoke bench pprof-stream
 
-ci: fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse test-cluster test-probe bench-kernels bench-stream bench-sparse bench-cluster bench-localize bench-smoke
+ci: fmt vet vet-metrics build test test-faults test-churn test-telemetry test-kernels test-stream test-sparse test-cluster test-probe test-alloc bench-kernels bench-stream bench-sparse bench-cluster bench-localize bench-alloc bench-smoke
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -80,6 +80,31 @@ test-cluster:
 test-probe:
 	$(GO) test -race -count=2 -timeout 180s ./internal/probe/
 	$(GO) test -race -count=2 -timeout 180s -run 'Localiz|ReportMarshal|RunEvent|StreamReportShares|ByteEqual|DrawAttack' . ./internal/experiment/
+
+# Allocation regression tests: AllocsPerRun budgets on the streaming
+# hot path (Serve allocs/window, wire frame round trip) plus the pooled
+# window release contract. Run WITHOUT -race — the race detector's
+# instrumentation inflates MemStats allocation counts, so the budget
+# tests carry a !race build tag and would silently vanish under it. The
+# release-contract tests additionally ride along under `make
+# test-faults` with -race.
+test-alloc:
+	$(GO) test -timeout 180s -run 'Alloc|WindowRelease|DoubleRelease|FrameRoundTrip' . ./internal/wire/ ./internal/collector/
+
+# Bench gate for the zero-allocation steady state: the alloc experiment
+# must keep pooled-path verdicts byte-identical to the polled map-era
+# path under attack/silence/churn/reset events, hold steady-state
+# allocations within the per-window budget, and stay within 3x of the
+# archived streaming p99 latency (results/alloc.json).
+bench-alloc:
+	$(GO) run ./cmd/focesbench -exp alloc -check
+	@test -f results/alloc.json || { echo "bench-alloc: results/alloc.json missing"; exit 1; }
+
+# Archive a heap profile of the warm streaming pipeline and print the
+# top allocation sites (results/stream_heap.pprof). Not part of ci.
+pprof-stream:
+	$(GO) test -run '^$$' -bench ServeSteadyState -benchtime 200x -memprofile results/stream_heap.pprof .
+	$(GO) tool pprof -top -nodecount 15 results/stream_heap.pprof
 
 # Bench gate for active-probe localization: every (topology, policy,
 # anomaly class) arm must stay within the probe budget

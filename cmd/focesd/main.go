@@ -254,9 +254,11 @@ func run(args []string, out io.Writer) error {
 	reg := telemetry.New()
 	sys.EnableTelemetry(reg)
 	robust.SetTelemetry(telemetry.NewCollectorMetrics(reg))
+	runtimeTel := telemetry.NewRuntimeMetrics(reg)
+	runtimeSampler := telemetry.NewRuntimeSampler(runtimeTel)
 	var metricsSrv *metricsServer
 	if *metricsAddr != "" {
-		metricsSrv, err = startMetricsServer(*metricsAddr, reg)
+		metricsSrv, err = startMetricsServer(*metricsAddr, reg, runtimeSampler)
 		if err != nil {
 			return err
 		}
@@ -309,6 +311,7 @@ func run(args []string, out io.Writer) error {
 			out: out, t: t, layout: layout, ctrl: ctrl, network: network,
 			harness: harness, robust: robust, sys: sys, reg: reg,
 			statusSrv: statusSrv, metricsSrv: metricsSrv,
+			runtimeTel: runtimeTel, runtimeSampler: runtimeSampler,
 			rng: rng, tm: tm, monitor: monitor,
 			periods: *periods, attackAt: *attackAt, repairAt: *repairAt,
 			killAt: *killAt, killTarget: killTarget,
@@ -478,6 +481,7 @@ func run(args []string, out io.Writer) error {
 				StraddledWindows: len(poll.Straddled),
 				Collection:       collectionStatus(robust, poll),
 				Churn:            churnStatus(sys.ChurnStats()),
+				Runtime:          runtimeStatus(runtimeSampler, runtimeTel),
 				Recent:           sys.RecentRuns(),
 			})
 		}

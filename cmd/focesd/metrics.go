@@ -24,13 +24,24 @@ type metricsServer struct {
 // and serves GET /metrics plus the /debug/pprof handlers. The pprof
 // handlers are mounted explicitly rather than via the net/http/pprof
 // import side effect, so nothing leaks onto http.DefaultServeMux.
-func startMetricsServer(addr string, reg *telemetry.Registry) (*metricsServer, error) {
+// When sampler is non-nil the foces_runtime_* gauges are refreshed on
+// each scrape, so their cost (one ReadMemStats) is paid at scrape
+// cadence rather than in the detection hot path.
+func startMetricsServer(addr string, reg *telemetry.Registry, sampler *telemetry.RuntimeSampler) (*metricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
+	metricsHandler := reg.Handler()
+	if sampler != nil {
+		inner := metricsHandler
+		metricsHandler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sampler.Sample()
+			inner.ServeHTTP(w, r)
+		})
+	}
+	mux.Handle("/metrics", metricsHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -11,8 +11,36 @@ import (
 	"foces/internal/churn"
 	"foces/internal/cluster"
 	"foces/internal/collector"
+	"foces/internal/telemetry"
 	"foces/internal/topo"
 )
+
+// runtimeView is the /status view of Go runtime health: live heap,
+// cumulative GC pause and cycle totals, and the allocation rate seen
+// between the last two samples — enough to spot the detection loop
+// turning into a GC treadmill without attaching a profiler.
+type runtimeView struct {
+	HeapLiveBytes  uint64  `json:"heapLiveBytes"`
+	GCPauseMsTotal float64 `json:"gcPauseMsTotal"`
+	GCCycles       uint64  `json:"gcCycles"`
+	AllocsPerSec   float64 `json:"allocsPerSec"`
+}
+
+// runtimeStatus samples the runtime and snapshots the gauges for
+// /status. Nil inputs (telemetry disabled) yield nil, which the JSON
+// encoder omits.
+func runtimeStatus(s *telemetry.RuntimeSampler, m *telemetry.RuntimeMetrics) *runtimeView {
+	if s == nil || m == nil {
+		return nil
+	}
+	s.Sample()
+	return &runtimeView{
+		HeapLiveBytes:  uint64(m.HeapLiveBytes.Value()),
+		GCPauseMsTotal: m.GCPauseSecondsTotal.Value() * 1000,
+		GCCycles:       uint64(m.GCCyclesTotal.Value()),
+		AllocsPerSec:   m.AllocsPerSecond.Value(),
+	}
+}
 
 // collection is the /status view of the fault-tolerant collection
 // plane: cumulative operational counters plus the current quarantine
@@ -145,6 +173,9 @@ type status struct {
 	// configured node counts, the degraded flag, per-peer shard
 	// ownership, eviction/requeue totals; nil outside -role coordinator.
 	Cluster *cluster.Status `json:"cluster,omitempty"`
+	// Runtime is the Go runtime health block (heap, GC, allocation
+	// rate); nil when telemetry is disabled.
+	Runtime *runtimeView `json:"runtime,omitempty"`
 	// Recent is the verdict ring rebuilt from the system's telemetry
 	// events: the last N Run outcomes, oldest first.
 	Recent []foces.RunEvent `json:"recent"`

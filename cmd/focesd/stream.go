@@ -38,9 +38,14 @@ type streamEnv struct {
 	reg        *telemetry.Registry
 	statusSrv  *statusServer
 	metricsSrv *metricsServer
-	rng        *rand.Rand
-	tm         dataplane.TrafficMatrix
-	monitor    *core.Monitor
+
+	// runtimeTel / runtimeSampler feed the /status runtime block (and
+	// are shared with the /metrics scrape path).
+	runtimeTel     *telemetry.RuntimeMetrics
+	runtimeSampler *telemetry.RuntimeSampler
+	rng            *rand.Rand
+	tm             dataplane.TrafficMatrix
+	monitor        *core.Monitor
 
 	periods     int
 	attackAt    int
@@ -159,6 +164,7 @@ func runStream(env streamEnv) error {
 					Collection:       collectionStatus(env.robust, collector.PollResult{}),
 					Churn:            churnStatus(env.sys.ChurnStats()),
 					Stream:           &sv,
+					Runtime:          runtimeStatus(env.runtimeSampler, env.runtimeTel),
 					Recent:           env.sys.RecentRuns(),
 				})
 			}
@@ -285,6 +291,7 @@ func runStream(env streamEnv) error {
 			Collection: collectionStatus(env.robust, collector.PollResult{}),
 			Churn:      churnStatus(env.sys.ChurnStats()),
 			Stream:     &sv,
+			Runtime:    runtimeStatus(env.runtimeSampler, env.runtimeTel),
 			Recent:     env.sys.RecentRuns(),
 		})
 	}

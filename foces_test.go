@@ -9,7 +9,7 @@ import (
 	"foces"
 )
 
-func newSystem(t *testing.T, name string, mode foces.PolicyMode) *foces.System {
+func newSystem(t testing.TB, name string, mode foces.PolicyMode) *foces.System {
 	t.Helper()
 	top, err := foces.TopologyByName(name)
 	if err != nil {

@@ -327,12 +327,16 @@ func (c *Coordinator) monitor() {
 
 func (c *Coordinator) readLoop(p *peer) {
 	defer c.wg.Done()
+	// One frame buffer per peer session; every case below decodes
+	// (copies) before the next iteration overwrites it.
+	var buf []byte
 	for {
-		t, _, body, err := p.conn.ReadFrame()
+		t, _, body, err := p.conn.ReadFrameInto(buf)
 		if err != nil {
 			c.evict(p, err)
 			return
 		}
+		buf = body[:cap(body)]
 		p.lastSeen.Store(time.Now().UnixNano())
 		switch t {
 		case msgHeartbeat:

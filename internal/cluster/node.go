@@ -163,14 +163,19 @@ func (n *Node) serve(raw net.Conn) {
 			}
 		}
 	}()
+	// One frame buffer lives for the whole session: handle consumes
+	// each body synchronously (the codecs copy what they keep), so the
+	// next read may overwrite it.
+	var buf []byte
 	for {
-		t, xid, body, err := wc.ReadFrame()
+		t, xid, body, err := wc.ReadFrameInto(buf)
 		if err != nil {
 			return
 		}
 		if err := n.handle(wc, t, xid, body); err != nil {
 			return
 		}
+		buf = body[:cap(body)]
 	}
 }
 

@@ -20,6 +20,13 @@ import "foces/internal/topo"
 // rule generations and must be reconciled (changed rules masked)
 // rather than read as forwarding anomalies.
 //
+// Each switch's baseline map is updated in place (keys are inserted or
+// deleted only when the switch's rule set actually changes), so the
+// steady state — every window reporting the same rule IDs — advances
+// without allocating. The streaming assembler goes further through
+// advanceEpochInto, which accumulates deltas into a dense epoch-sized
+// scratch instead of returning a fresh map per snapshot.
+//
 // DeltaTracker is not safe for concurrent use; RobustCollector guards
 // it with its own mutex.
 type DeltaTracker struct {
@@ -57,7 +64,7 @@ func (t *DeltaTracker) Epoch() uint64 { return t.epoch }
 //     the previous snapshot (installed mid-window) count from zero;
 //     rules absent from the current one (deleted) drop out.
 //
-// The snapshot is copied; the caller keeps ownership of cur.
+// The snapshot is never retained; the caller keeps ownership of cur.
 func (t *DeltaTracker) Advance(sw topo.SwitchID, cur map[int]uint64) (delta map[int]uint64, reset, primed bool) {
 	delta, reset, primed, _, _ = t.AdvanceEpoch(sw, cur)
 	return delta, reset, primed
@@ -70,6 +77,26 @@ func (t *DeltaTracker) Advance(sw topo.SwitchID, cur map[int]uint64) (delta map[
 // rule generations and the rules changed in between must be masked out
 // of detection for this window.
 func (t *DeltaTracker) AdvanceEpoch(sw topo.SwitchID, cur map[int]uint64) (delta map[int]uint64, reset, primed bool, fromEpoch uint64, straddles bool) {
+	delta, reset, primed, fromEpoch, straddles = t.advance(sw, cur, nil, true)
+	return
+}
+
+// advanceEpochInto is AdvanceEpoch for the streaming hot path: instead
+// of returning a fresh delta map it accumulates the delta into acc
+// (only when the snapshot yields a usable delta — primed and not
+// reset). acc entries sum across calls, so consuming a queue of
+// snapshots through one accumulator telescopes to the single delta one
+// poll at the final snapshot would have produced.
+func (t *DeltaTracker) advanceEpochInto(sw topo.SwitchID, cur map[int]uint64, acc *denseDeltas) (reset, primed bool, fromEpoch uint64, straddles bool) {
+	_, reset, primed, fromEpoch, straddles = t.advance(sw, cur, acc, false)
+	return
+}
+
+// advance is the shared body of AdvanceEpoch and advanceEpochInto: it
+// reset-checks cur against the baseline, produces the delta (as a
+// fresh map when wantMap, into acc otherwise), and folds cur into the
+// baseline in place.
+func (t *DeltaTracker) advance(sw topo.SwitchID, cur map[int]uint64, acc *denseDeltas, wantMap bool) (delta map[int]uint64, reset, primed bool, fromEpoch uint64, straddles bool) {
 	prev, ok := t.prev[sw]
 	if ok {
 		for rid, v := range cur {
@@ -79,19 +106,45 @@ func (t *DeltaTracker) AdvanceEpoch(sw topo.SwitchID, cur map[int]uint64) (delta
 			}
 		}
 	}
-	cp := make(map[int]uint64, len(cur))
-	for rid, v := range cur {
-		cp[rid] = v
-	}
 	fromEpoch = t.prevEpoch[sw]
-	t.prev[sw] = cp
+	usable := ok && !reset
+	if prev == nil {
+		prev = make(map[int]uint64, len(cur))
+		t.prev[sw] = prev
+	}
+	if usable && wantMap {
+		delta = make(map[int]uint64, len(cur))
+	}
+	before := len(prev)
+	added := 0
+	for rid, v := range cur {
+		old, existed := prev[rid]
+		if !existed {
+			added++
+		}
+		if usable {
+			if wantMap {
+				delta[rid] = v - old
+			} else {
+				acc.add(rid, v-old)
+			}
+		}
+		prev[rid] = v
+	}
+	// Rules absent from cur were deleted since the previous snapshot;
+	// drop them from the baseline. In the steady state (same rule set
+	// every window) this branch never runs and advance is allocation
+	// free.
+	if before+added > len(cur) {
+		for rid := range prev {
+			if _, live := cur[rid]; !live {
+				delete(prev, rid)
+			}
+		}
+	}
 	t.prevEpoch[sw] = t.epoch
 	if !ok || reset {
 		return nil, reset, ok, fromEpoch, false
-	}
-	delta = make(map[int]uint64, len(cur))
-	for rid, v := range cur {
-		delta[rid] = v - prev[rid]
 	}
 	return delta, false, true, fromEpoch, fromEpoch != t.epoch
 }
@@ -108,4 +161,79 @@ func (t *DeltaTracker) Forget(sw topo.SwitchID) {
 func (t *DeltaTracker) Primed(sw topo.SwitchID) bool {
 	_, ok := t.prev[sw]
 	return ok
+}
+
+// denseDeltas is an epoch-sized per-rule delta accumulator: rule IDs
+// are dense small ints that are never reclaimed, so a []uint64 indexed
+// by rule ID replaces the per-snapshot delta map on the streaming hot
+// path. A generation stamp marks which entries belong to the current
+// accumulation, so reset is O(1) (bump the generation) instead of
+// clearing the arrays, and the touched list replays exactly the
+// entries added since the last reset — including explicit zeros, which
+// must survive into Window.Deltas just as a zero-valued map entry
+// would.
+type denseDeltas struct {
+	vals    []uint64
+	stamp   []uint32
+	gen     uint32
+	touched []int
+	total   uint64
+}
+
+func newDenseDeltas(space int) *denseDeltas {
+	if space < 0 {
+		space = 0
+	}
+	return &denseDeltas{
+		vals:  make([]uint64, space),
+		stamp: make([]uint32, space),
+		gen:   1,
+	}
+}
+
+// reset discards every accumulated entry in O(1) by advancing the
+// generation stamp (clearing the stamp array only on the ~4-billionth
+// wraparound).
+func (d *denseDeltas) reset() {
+	d.touched = d.touched[:0]
+	d.total = 0
+	d.gen++
+	if d.gen == 0 {
+		clear(d.stamp)
+		d.gen = 1
+	}
+}
+
+// add accumulates one rule's delta, growing the arrays when a rule ID
+// beyond the current space appears (rule churn added rules).
+func (d *denseDeltas) add(rid int, v uint64) {
+	if rid >= len(d.vals) {
+		d.grow(rid + 1)
+	}
+	if d.stamp[rid] != d.gen {
+		d.stamp[rid] = d.gen
+		d.vals[rid] = v
+		d.touched = append(d.touched, rid)
+	} else {
+		d.vals[rid] += v
+	}
+	d.total += v
+}
+
+// grow widens the accumulator to at least n rule slots (next power of
+// two, so churn-driven growth amortizes).
+func (d *denseDeltas) grow(n int) {
+	cap := len(d.vals) * 2
+	if cap < n {
+		cap = n
+	}
+	if cap < 64 {
+		cap = 64
+	}
+	vals := make([]uint64, cap)
+	copy(vals, d.vals)
+	d.vals = vals
+	stamp := make([]uint32, cap)
+	copy(stamp, d.stamp)
+	d.stamp = stamp
 }

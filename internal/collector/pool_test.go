@@ -1,0 +1,74 @@
+package collector
+
+import (
+	"strings"
+	"testing"
+
+	"foces/internal/topo"
+)
+
+// poolWindows builds a single-switch assembler and pushes cumulative
+// snapshots so each push after the first completes one window.
+func poolWindows(t *testing.T, values ...uint64) (*WindowAssembler, []Window) {
+	t.Helper()
+	asm := NewWindowAssembler([]topo.SwitchID{1}, StreamConfig{WindowBuffer: len(values) + 1})
+	var windows []Window
+	for _, v := range values {
+		if err := asm.Push(Update{Switch: 1, Counters: map[int]uint64{0: v}}); err != nil {
+			t.Fatal(err)
+		}
+		windows = append(windows, <-asm.Windows())
+	}
+	return asm, windows
+}
+
+// TestWindowReleasePoisonsAndRecycles exercises the release contract:
+// Release hands the backing storage to the pool and zeroes the Window
+// so any later read of the released copy fails loudly (nil maps)
+// rather than observing a recycled window's data.
+func TestWindowReleasePoisonsAndRecycles(t *testing.T) {
+	asm, ws := poolWindows(t, 5, 9)
+	defer asm.Close()
+	if len(ws[1].Deltas) != 1 || ws[1].Deltas[0] != 4 {
+		t.Fatalf("window 2 deltas = %v, want {0:4}", ws[1].Deltas)
+	}
+	w := ws[1]
+	w.Release()
+	if w.Deltas != nil || w.Missing != nil || w.Seq != 0 || w.store != nil {
+		t.Errorf("released window not poisoned: %+v", w)
+	}
+	ws[0].Release()
+}
+
+// TestWindowDoubleReleasePanics: a second Release of the same window
+// must panic — the storage may already back a newer live window, and
+// silently re-pooling it would corrupt that window's deltas.
+func TestWindowDoubleReleasePanics(t *testing.T) {
+	asm, ws := poolWindows(t, 5)
+	defer asm.Close()
+	w := ws[0]
+	w2 := w // a stale copy still holding the store pointer
+	w.Release()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Release did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "released twice") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	w2.Release()
+}
+
+// TestWindowReleaseWithoutStore: hand-built windows (tests, callers
+// constructing Window literals) have no pooled storage; Release must
+// be a no-op, not a panic, so consumer code can release uniformly.
+func TestWindowReleaseWithoutStore(t *testing.T) {
+	w := Window{Seq: 3, Deltas: map[int]uint64{1: 2}}
+	w.Release()
+	w.Release()
+	if w.Deltas[1] != 2 {
+		t.Error("Release of a storeless window must not clear its data")
+	}
+}

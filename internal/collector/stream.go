@@ -41,6 +41,12 @@ type StreamConfig struct {
 	// switch every window, which reproduces the pull-poll semantics
 	// exactly.
 	Sampler *AdaptiveSampler
+	// RuleSpace presizes the assembler's dense per-rule scratch (the
+	// merge accumulator and duplicate-detection stamps) to the FCM's
+	// rule-ID space. It is a hint only: the scratch auto-grows when
+	// churn installs rules beyond it. Zero starts empty and grows on
+	// first use.
+	RuleSpace int
 }
 
 func (c StreamConfig) withDefaults() StreamConfig {
@@ -49,6 +55,9 @@ func (c StreamConfig) withDefaults() StreamConfig {
 	}
 	if c.WindowBuffer <= 0 {
 		c.WindowBuffer = 16
+	}
+	if c.RuleSpace < 0 {
+		c.RuleSpace = 0
 	}
 	return c
 }
@@ -121,6 +130,12 @@ type Window struct {
 	Opened time.Time
 	// Completed is when the window completed.
 	Completed time.Time
+
+	// store backs the window's maps and slices when it was assembled
+	// from the recycle pool; Release hands them back. Nil for zero
+	// values and hand-built windows, on which Release is a no-op.
+	store    *windowStore
+	storeGen uint32
 }
 
 // WindowAssembler turns pushed cumulative counter snapshots into
@@ -153,6 +168,16 @@ type WindowAssembler struct {
 	out          chan Window
 	tel          *telemetry.StreamMetrics
 	now          func() time.Time // test hook; nil = time.Now
+
+	// Dense per-window merge scratch, reused across windows: acc
+	// accumulates one switch's telescoped deltas; ownerStamp/dupStamp
+	// mark rule IDs already claimed (and already reported duplicate)
+	// this window, stamped with wgen so starting a window is O(1).
+	acc        *denseDeltas
+	ownerStamp []uint32
+	dupStamp   []uint32
+	wgen       uint32
+	pool       *sync.Pool // windowStore recycle pool
 }
 
 // NewWindowAssembler builds an assembler over the given switch set.
@@ -163,8 +188,14 @@ func NewWindowAssembler(switches []topo.SwitchID, cfg StreamConfig) *WindowAssem
 		deltas:       NewDeltaTracker(),
 		queues:       make(map[topo.SwitchID][]Update, len(switches)),
 		missing:      make(map[topo.SwitchID]bool),
+		due:          make(map[topo.SwitchID]bool, len(switches)),
 		lastConsumed: make(map[topo.SwitchID]uint64, len(switches)),
 		out:          make(chan Window, cfg.WindowBuffer),
+		acc:          newDenseDeltas(cfg.RuleSpace),
+		ownerStamp:   make([]uint32, cfg.RuleSpace),
+		dupStamp:     make([]uint32, cfg.RuleSpace),
+		wgen:         1,
+		pool:         newWindowPool(),
 	}
 	for _, sw := range switches {
 		if _, dup := a.queues[sw]; dup {
@@ -189,7 +220,7 @@ func (a *WindowAssembler) SetTelemetry(m *telemetry.StreamMetrics) {
 
 // planWindowLocked fixes the open window's due set. Caller holds a.mu.
 func (a *WindowAssembler) planWindowLocked() {
-	a.due = make(map[topo.SwitchID]bool, len(a.order))
+	clear(a.due)
 	if a.cfg.Sampler == nil {
 		for _, sw := range a.order {
 			a.due[sw] = true
@@ -394,18 +425,30 @@ func (a *WindowAssembler) tryCompleteLocked() {
 
 // completeLocked assembles the open window from every queued snapshot,
 // emits it, and opens the next window. Caller holds a.mu.
+//
+// The window's storage comes from the recycle pool and all merge
+// scratch (the per-switch accumulator and the owner/duplicate stamps)
+// is reused across windows, so in the steady state — stable switch and
+// rule sets, a consumer that Releases windows — completion performs no
+// per-window allocation.
 func (a *WindowAssembler) completeLocked() {
+	s := a.pool.Get().(*windowStore)
 	w := Window{
 		Seq:    a.seq,
-		Deltas: make(map[int]uint64),
 		Epoch:  a.deltas.Epoch(),
 		Opened: a.openedAt,
 	}
-	owner := make(map[int]topo.SwitchID)
-	dupSeen := make(map[int]bool)
+	s.attach(&w)
+	// Start a fresh owner/duplicate generation; the ~4-billionth window
+	// wraps the stamp space and pays one memset.
+	a.wgen++
+	if a.wgen == 0 {
+		clear(a.ownerStamp)
+		clear(a.dupStamp)
+		a.wgen = 1
+	}
 	for _, sw := range a.order {
 		consumed := a.queues[sw]
-		a.queues[sw] = nil
 		a.depth -= len(consumed)
 		forcedMissing := a.missing[sw]
 		if len(consumed) == 0 {
@@ -416,16 +459,15 @@ func (a *WindowAssembler) completeLocked() {
 		// Consume the queue in arrival order. Sub-deltas telescope:
 		// their sum equals the single delta one poll at the final
 		// snapshot would have produced.
+		a.acc.reset()
 		var (
-			acc         map[int]uint64
-			accTotal    uint64
 			usable      bool
 			sawReset    bool
 			sawStraddle bool
 			firstFrom   uint64
 		)
 		for _, u := range consumed {
-			delta, reset, primed, fromEpoch, straddles := a.deltas.AdvanceEpoch(sw, u.Counters)
+			reset, primed, fromEpoch, straddles := a.deltas.advanceEpochInto(sw, u.Counters, a.acc)
 			if straddles && !sawStraddle {
 				sawStraddle, firstFrom = true, fromEpoch
 			}
@@ -434,21 +476,16 @@ func (a *WindowAssembler) completeLocked() {
 				// the reset; the snapshot re-baselined, so later queued
 				// snapshots still cannot yield a full-window delta.
 				sawReset = true
-				acc, accTotal, usable = nil, 0, false
+				a.acc.reset()
+				usable = false
 				continue
 			}
 			if !primed {
 				continue
 			}
-			if acc == nil {
-				acc = make(map[int]uint64, len(delta))
-			}
-			for rid, v := range delta {
-				acc[rid] += v
-				accTotal += v
-			}
 			usable = true
 		}
+		a.queues[sw] = consumed[:0]
 		span := a.seq - a.lastConsumed[sw]
 		a.lastConsumed[sw] = a.seq
 		if sawReset {
@@ -460,12 +497,13 @@ func (a *WindowAssembler) completeLocked() {
 			w.Missing = append(w.Missing, sw)
 			continue
 		}
+		accTotal := a.acc.total
 		if span > 1 {
 			// Backed-off switch's sample: the delta spans several windows
 			// and cannot join this window's equation system; keep it as a
 			// rate probe and mask the rows.
 			if w.Probes == nil {
-				w.Probes = make(map[topo.SwitchID]ProbeSample)
+				w.Probes = s.probes
 			}
 			w.Probes[sw] = ProbeSample{Total: accTotal, Span: span}
 			w.Missing = append(w.Missing, sw)
@@ -473,23 +511,29 @@ func (a *WindowAssembler) completeLocked() {
 		}
 		if sawStraddle {
 			if w.Straddled == nil {
-				w.Straddled = make(map[topo.SwitchID]uint64)
+				w.Straddled = s.straddled
 			}
 			w.Straddled[sw] = firstFrom
 		}
-		for rid, v := range acc {
-			if _, dup := owner[rid]; dup {
-				if !dupSeen[rid] {
-					dupSeen[rid] = true
+		// Merge this switch's accumulated deltas: first switch (a.order
+		// ascending) to report a rule ID owns it, later reporters flag
+		// it duplicate — exactly the map-based owner/dupSeen semantics.
+		for _, rid := range a.acc.touched {
+			if rid >= len(a.ownerStamp) {
+				a.growStampsLocked(rid + 1)
+			}
+			if a.ownerStamp[rid] == a.wgen {
+				if a.dupStamp[rid] != a.wgen {
+					a.dupStamp[rid] = a.wgen
 					w.DuplicateRules = append(w.DuplicateRules, rid)
 				}
 				continue
 			}
-			owner[rid] = sw
-			w.Deltas[rid] = v
+			a.ownerStamp[rid] = a.wgen
+			w.Deltas[rid] = a.acc.vals[rid]
 		}
 		if w.Contributed == nil {
-			w.Contributed = make(map[topo.SwitchID]uint64)
+			w.Contributed = s.contributed
 		}
 		w.Contributed[sw] = accTotal
 	}
@@ -504,10 +548,29 @@ func (a *WindowAssembler) completeLocked() {
 		a.tel.QueueDepth.Set(float64(a.depth))
 	}
 	a.emitLocked(w)
-	a.missing = make(map[topo.SwitchID]bool)
+	clear(a.missing)
 	a.openedAt = time.Time{}
 	a.seq++
 	a.planWindowLocked()
+}
+
+// growStampsLocked widens the owner/duplicate stamp arrays to at least
+// n rule slots (churn installed rules beyond the presized space).
+// Caller holds a.mu.
+func (a *WindowAssembler) growStampsLocked(n int) {
+	next := len(a.ownerStamp) * 2
+	if next < n {
+		next = n
+	}
+	if next < 64 {
+		next = 64
+	}
+	owner := make([]uint32, next)
+	copy(owner, a.ownerStamp)
+	a.ownerStamp = owner
+	dup := make([]uint32, next)
+	copy(dup, a.dupStamp)
+	a.dupStamp = dup
 }
 
 // emitLocked delivers a completed window, evicting the oldest buffered
@@ -521,7 +584,10 @@ func (a *WindowAssembler) emitLocked(w Window) {
 	default:
 	}
 	select {
-	case <-a.out:
+	case old := <-a.out:
+		// The evicted window was never seen by the consumer; reclaim
+		// its storage here.
+		old.Release()
 		a.stats.DroppedWindows++
 		if a.tel != nil {
 			a.tel.DroppedWindows.Add(1)
@@ -531,6 +597,7 @@ func (a *WindowAssembler) emitLocked(w Window) {
 	select {
 	case a.out <- w:
 	default:
+		w.Release()
 		a.stats.DroppedWindows++
 		if a.tel != nil {
 			a.tel.DroppedWindows.Add(1)

@@ -104,13 +104,28 @@ func (f *FCM) Topology() *topo.Topology { return f.topol }
 // CounterVector assembles the counter vector Y' from a rule-ID keyed
 // counter snapshot, ordered by rule ID. Missing rules read as zero.
 func (f *FCM) CounterVector(counters map[int]uint64) []float64 {
-	y := make([]float64, len(f.Rules))
+	return f.CounterVectorInto(nil, counters)
+}
+
+// CounterVectorInto is CounterVector into caller-provided storage: dst
+// is resized (reallocating only when its capacity is short), zeroed,
+// and filled. It returns the filled vector, which the caller should
+// keep for the next call — the streaming hot path recycles counter
+// vectors through it instead of allocating one per window.
+func (f *FCM) CounterVectorInto(dst []float64, counters map[int]uint64) []float64 {
+	n := len(f.Rules)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+		clear(dst)
+	}
 	for id, v := range counters {
-		if id >= 0 && id < len(y) {
-			y[id] = float64(v)
+		if id >= 0 && id < n {
+			dst[id] = float64(v)
 		}
 	}
-	return y
+	return dst
 }
 
 // VolumeVector computes the flow volume vector X₀ from per-pair offered

@@ -188,6 +188,27 @@ func NewProbeMetrics(r *Registry) *ProbeMetrics {
 	}
 }
 
+// RuntimeMetrics exports the Go runtime's GC and heap pressure — the
+// denominator of every latency tail the other families measure. The
+// gauges are refreshed by a RuntimeSampler (typically on scrape), not
+// continuously, so they cost nothing between scrapes.
+type RuntimeMetrics struct {
+	HeapLiveBytes       *Gauge
+	GCPauseSecondsTotal *Gauge
+	GCCyclesTotal       *Gauge
+	AllocsPerSecond     *Gauge
+}
+
+// NewRuntimeMetrics registers the runtime family set.
+func NewRuntimeMetrics(r *Registry) *RuntimeMetrics {
+	return &RuntimeMetrics{
+		HeapLiveBytes:       r.NewGauge("foces_runtime_heap_live_bytes", "Bytes of live heap objects at the last runtime sample."),
+		GCPauseSecondsTotal: r.NewGauge("foces_runtime_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time since process start."),
+		GCCyclesTotal:       r.NewGauge("foces_runtime_gc_cycles_total", "Completed GC cycles since process start."),
+		AllocsPerSecond:     r.NewGauge("foces_runtime_allocs_per_second", "Heap allocations per second between the last two runtime samples."),
+	}
+}
+
 // ClusterMetrics instruments the coordinator of a sharded multi-node
 // detection cluster (internal/cluster).
 type ClusterMetrics struct {

@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// RuntimeSampler refreshes a RuntimeMetrics set from the Go runtime.
+// Heap live bytes and cumulative allocation counts come from
+// runtime/metrics (cheap, no stop-the-world); the exact cumulative GC
+// pause total comes from runtime.ReadMemStats, which is why Sample is
+// meant to run on scrape cadence — wiring it into a request hot path
+// would add its own pauses to the numbers it reports.
+//
+// Safe for concurrent use.
+type RuntimeSampler struct {
+	m *RuntimeMetrics
+
+	mu         sync.Mutex
+	samples    []metrics.Sample
+	lastAllocs uint64
+	lastAt     time.Time
+	now        func() time.Time // test hook; nil = time.Now
+}
+
+// NewRuntimeSampler builds a sampler over an already-registered
+// runtime metric set.
+func NewRuntimeSampler(m *RuntimeMetrics) *RuntimeSampler {
+	return &RuntimeSampler{
+		m: m,
+		samples: []metrics.Sample{
+			{Name: "/memory/classes/heap/objects:bytes"},
+			{Name: "/gc/heap/allocs:objects"},
+		},
+	}
+}
+
+// Sample reads the runtime and refreshes every gauge. The allocation
+// rate is the delta between consecutive samples, so the first call
+// only establishes the baseline and leaves the rate at zero.
+func (s *RuntimeSampler) Sample() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	heap := s.samples[0].Value.Uint64()
+	allocs := s.samples[1].Value.Uint64()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	clock := s.now
+	if clock == nil {
+		clock = time.Now
+	}
+	at := clock()
+	if !s.lastAt.IsZero() && allocs >= s.lastAllocs {
+		if dt := at.Sub(s.lastAt).Seconds(); dt > 0 {
+			s.m.AllocsPerSecond.Set(float64(allocs-s.lastAllocs) / dt)
+		}
+	}
+	s.lastAllocs, s.lastAt = allocs, at
+	s.m.HeapLiveBytes.Set(float64(heap))
+	s.m.GCPauseSecondsTotal.Set(float64(ms.PauseTotalNs) / 1e9)
+	s.m.GCCyclesTotal.Set(float64(ms.NumGC))
+}

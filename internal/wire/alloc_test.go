@@ -1,0 +1,54 @@
+// Frame-layer allocation regression test. Excluded under the race
+// detector, whose instrumentation inflates MemStats allocation counts.
+
+//go:build !race
+
+package wire
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// bufConn is an in-memory net.Conn over a single bytes.Buffer: frames
+// written with WriteFrame are read back by ReadFrameInto on the same
+// goroutine, so the round trip is deterministic and AllocsPerRun sees
+// only the frame layer's own allocations.
+type bufConn struct{ buf bytes.Buffer }
+
+func (c *bufConn) Read(p []byte) (int, error)  { return c.buf.Read(p) }
+func (c *bufConn) Write(p []byte) (int, error) { return c.buf.Write(p) }
+func (c *bufConn) Close() error                { return nil }
+func (c *bufConn) LocalAddr() net.Addr         { return nil }
+func (c *bufConn) RemoteAddr() net.Addr        { return nil }
+func (c *bufConn) SetDeadline(time.Time) error { return nil }
+
+func (c *bufConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *bufConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestFrameRoundTripAllocs pins the steady-state cost of the framing
+// hot path: after the first round trip grows the write buffer and the
+// read body, WriteFrame + ReadFrameInto must not allocate at all.
+func TestFrameRoundTripAllocs(t *testing.T) {
+	c := NewConn(&bufConn{}, "test", 7, 1<<16)
+	payload := bytes.Repeat([]byte{0xAB}, 512)
+	var buf []byte
+	roundTrip := func() {
+		if err := c.WriteFrame(3, 42, payload); err != nil {
+			t.Fatal(err)
+		}
+		typ, xid, body, err := c.ReadFrameInto(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != 3 || xid != 42 || len(body) != len(payload) {
+			t.Fatalf("round trip corrupted frame: type=%d xid=%d len=%d", typ, xid, len(body))
+		}
+		buf = body[:cap(body)]
+	}
+	if allocs := testing.AllocsPerRun(100, roundTrip); allocs != 0 {
+		t.Errorf("frame round trip allocated %.1f times per frame; want 0", allocs)
+	}
+}

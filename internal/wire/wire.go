@@ -47,7 +47,14 @@ type Conn struct {
 	version  byte
 	maxFrame int
 
-	writeMu sync.Mutex
+	writeMu  sync.Mutex
+	writeBuf []byte // reused frame assembly buffer, guarded by writeMu
+
+	// hdr is the read-side header scratch. A local array would escape
+	// through the io.Reader interface and cost one allocation per
+	// frame; the single-reader contract makes a per-connection buffer
+	// safe.
+	hdr [HeaderSize]byte
 }
 
 // NewConn wraps a transport connection. proto names the owning
@@ -66,20 +73,25 @@ func (c *Conn) Close() error { return c.raw.Close() }
 
 // WriteFrame sends one frame. A body that would push the total frame
 // past the cap is refused with a *SizeError before anything is
-// written.
+// written. The frame is assembled in a per-connection buffer reused
+// across calls (the body is copied; the caller keeps ownership), so a
+// steady stream of frames allocates nothing after the first.
 func (c *Conn) WriteFrame(msgType byte, xid uint32, body []byte) error {
 	total := HeaderSize + len(body)
 	if total > c.maxFrame {
 		return &SizeError{Proto: c.proto, Size: total, Limit: c.maxFrame}
 	}
-	frame := make([]byte, total)
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if cap(c.writeBuf) < total {
+		c.writeBuf = make([]byte, total)
+	}
+	frame := c.writeBuf[:total]
 	frame[0] = c.version
 	frame[1] = msgType
 	binary.BigEndian.PutUint32(frame[2:], uint32(total))
 	binary.BigEndian.PutUint32(frame[6:], xid)
 	copy(frame[HeaderSize:], body)
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
 	_, err := c.raw.Write(frame)
 	return err
 }
@@ -87,9 +99,37 @@ func (c *Conn) WriteFrame(msgType byte, xid uint32, body []byte) error {
 // ReadFrame receives the next frame, blocking until one arrives or the
 // transport fails. A length prefix outside [HeaderSize, cap] is
 // refused with a *SizeError without reading (or allocating) the body.
+// The body is freshly allocated and owned by the caller; hot read
+// loops should prefer ReadFrameInto.
 func (c *Conn) ReadFrame() (msgType byte, xid uint32, body []byte, err error) {
-	var hdr [HeaderSize]byte
-	if _, err := io.ReadFull(c.raw, hdr[:]); err != nil {
+	return c.readFrame(nil, false)
+}
+
+// ReadFrameInto is ReadFrame into caller-provided storage: the body is
+// read into buf, which is grown (reallocated) only when its capacity
+// is short.
+//
+// Aliasing contract: the returned body aliases buf's storage — it is
+// valid only until the caller's next ReadFrameInto with the same
+// buffer. A read loop keeps a single buffer alive across iterations
+// and feeds the returned body back in:
+//
+//	var buf []byte
+//	for {
+//		t, xid, body, err := conn.ReadFrameInto(buf)
+//		...
+//		buf = body[:cap(body)] // recycle; body is dead after this
+//	}
+//
+// Handlers that retain frame bytes past the next read (e.g. queueing
+// raw messages) must copy them out, or use ReadFrame instead.
+func (c *Conn) ReadFrameInto(buf []byte) (msgType byte, xid uint32, body []byte, err error) {
+	return c.readFrame(buf, true)
+}
+
+func (c *Conn) readFrame(buf []byte, reuse bool) (msgType byte, xid uint32, body []byte, err error) {
+	hdr := c.hdr[:]
+	if _, err := io.ReadFull(c.raw, hdr); err != nil {
 		return 0, 0, nil, err
 	}
 	if hdr[0] != c.version {
@@ -99,7 +139,12 @@ func (c *Conn) ReadFrame() (msgType byte, xid uint32, body []byte, err error) {
 	if total < HeaderSize || int64(total) > int64(c.maxFrame) {
 		return 0, 0, nil, &SizeError{Proto: c.proto, Size: int(total), Limit: c.maxFrame}
 	}
-	body = make([]byte, total-HeaderSize)
+	n := int(total - HeaderSize)
+	if !reuse || cap(buf) < n {
+		body = make([]byte, n)
+	} else {
+		body = buf[:n]
+	}
 	if _, err := io.ReadFull(c.raw, body); err != nil {
 		return 0, 0, nil, fmt.Errorf("%s: short body: %w", c.proto, err)
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"foces/internal/core"
@@ -193,14 +194,125 @@ type Report struct {
 // RunEvent ring does. The dense engine payloads (Full, Partial,
 // Sliced) stay out of the wire format: they carry O(rules) vectors.
 func (r Report) MarshalJSON() ([]byte, error) {
-	type wire Report // shed the method to avoid recursion
-	w := wire(r)
-	w.Index = finiteIndex(w.Index)
-	w.SlicedIndex = finiteIndex(w.SlicedIndex)
-	return json.Marshal(struct {
-		Schema string `json:"schema"`
-		wire
-	}{Schema: ReportSchema, wire: w})
+	return r.AppendJSON(nil)
+}
+
+// AppendJSON appends the report's canonical wire encoding — the same
+// bytes MarshalJSON produces, schema stamp and all — to dst and
+// returns the extended buffer. It is the allocation-free serialization
+// path for hot consumers (the /status recent ring, StreamReport
+// publishers, experiment digests): hand it a recycled buffer and keep
+// the returned slice for the next report. Only the rare Localization
+// payload falls back to encoding/json.
+func (r *Report) AppendJSON(dst []byte) ([]byte, error) {
+	dst = append(dst, `{"schema":"`...)
+	dst = append(dst, ReportSchema...)
+	dst = append(dst, `","mode":`...)
+	dst = appendJSONString(dst, r.Mode.String())
+	dst = append(dst, `,"path":`...)
+	dst = appendJSONString(dst, r.Path)
+	dst = append(dst, `,"epoch":`...)
+	dst = strconv.AppendUint(dst, r.Epoch, 10)
+	if r.EpochLag != 0 {
+		dst = append(dst, `,"epochLag":`...)
+		dst = strconv.AppendUint(dst, r.EpochLag, 10)
+	}
+	if len(r.MaskedRows) > 0 {
+		dst = append(dst, `,"maskedRows":[`...)
+		for i, v := range r.MaskedRows {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendInt(dst, int64(v), 10)
+		}
+		dst = append(dst, ']')
+	}
+	if len(r.Missing) > 0 {
+		dst = append(dst, `,"missing":[`...)
+		for i, sw := range r.Missing {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendInt(dst, int64(sw), 10)
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"anomalous":`...)
+	dst = strconv.AppendBool(dst, r.Anomalous)
+	dst = append(dst, `,"anomalyIndex":`...)
+	dst = appendJSONFloat(dst, finiteIndex(r.Index))
+	dst = append(dst, `,"slicedIndex":`...)
+	dst = appendJSONFloat(dst, finiteIndex(r.SlicedIndex))
+	// Suspects carries no omitempty: nil means "sliced stage did not
+	// run" (null), empty means "ran, nobody suspect" ([]).
+	dst = append(dst, `,"suspects":`...)
+	if r.Suspects == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i, sw := range r.Suspects {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendInt(dst, int64(sw), 10)
+		}
+		dst = append(dst, ']')
+	}
+	if r.Localization != nil {
+		dst = append(dst, `,"localization":`...)
+		b, err := json.Marshal(r.Localization)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, b...)
+	}
+	dst = append(dst, `,"timings":{"fullNs":`...)
+	dst = strconv.AppendInt(dst, int64(r.Timings.Full), 10)
+	dst = append(dst, `,"slicedNs":`...)
+	dst = strconv.AppendInt(dst, int64(r.Timings.Sliced), 10)
+	dst = append(dst, `,"localizeNs":`...)
+	dst = strconv.AppendInt(dst, int64(r.Timings.Localize), 10)
+	dst = append(dst, `,"totalNs":`...)
+	dst = strconv.AppendInt(dst, int64(r.Timings.Total), 10)
+	dst = append(dst, "}}"...)
+	return dst, nil
+}
+
+// appendJSONString appends s as a JSON string. The fast path covers
+// the printable-ASCII strings every report field actually carries;
+// anything needing escapes takes encoding/json's exact path (HTML
+// escaping included) so the bytes never diverge from json.Marshal.
+func appendJSONString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			b, _ := json.Marshal(s)
+			return append(dst, b...)
+		}
+	}
+	dst = append(dst, '"')
+	dst = append(dst, s...)
+	return append(dst, '"')
+}
+
+// appendJSONFloat appends f exactly as encoding/json encodes a
+// float64: shortest round-trip form, scientific notation outside
+// [1e-6, 1e21) with the exponent's leading zero stripped. The caller
+// clamps infinities first.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
 }
 
 // RunEvent is the compact verdict record System pushes into its recent
@@ -286,6 +398,10 @@ func (s *System) RunWith(obs Observation, sliced SlicedRunner) (Report, error) {
 // nil runner selects the local sliced engine.
 func (s *System) runLocked(obs Observation, runner SlicedRunner) (Report, error) {
 	start := time.Now()
+	// Counter vectors assembled from obs.Counters are recycled once the
+	// engines (which copy what they keep) are done with them.
+	var pooledY []float64
+	defer func() { s.putVector(pooledY) }()
 	rep := Report{Mode: obs.Mode, Epoch: s.Epoch()}
 	if obs.Epoch > rep.Epoch {
 		return Report{}, fmt.Errorf("foces: observation epoch %d is ahead of baseline epoch %d", obs.Epoch, rep.Epoch)
@@ -334,9 +450,12 @@ func (s *System) runLocked(obs Observation, runner SlicedRunner) (Report, error)
 	case obs.Epoch < rep.Epoch:
 		rep.Path = PathReconciled
 		rep.EpochLag = rep.Epoch - obs.Epoch
-		y, err := s.observationVector(obs)
+		y, pooled, err := s.observationVector(obs)
 		if err != nil {
 			return Report{}, err
+		}
+		if pooled {
+			pooledY = y
 		}
 		// A window snapshotted before rule additions is legitimately
 		// short: the new rows are masked anyway, so zero-pad rather
@@ -375,9 +494,12 @@ func (s *System) runLocked(obs Observation, runner SlicedRunner) (Report, error)
 
 	default:
 		rep.Path = PathClean
-		y, err := s.observationVector(obs)
+		y, pooled, err := s.observationVector(obs)
 		if err != nil {
 			return Report{}, err
+		}
+		if pooled {
+			pooledY = y
 		}
 		if runFull {
 			d, err := s.fullDetector()
@@ -438,56 +560,55 @@ func (s *System) RunBatch(obs []Observation) ([]Report, error) {
 	s.baselineMu.RLock()
 	defer s.baselineMu.RUnlock()
 	epoch := s.Epoch()
+	// Per-call scratch (group tables, vector index, full-stage results)
+	// is recycled across calls; only the returned reports slice is
+	// allocated. Pooled counter vectors are released with it.
+	sc := s.getBatchScratch(len(obs))
+	defer s.putBatchScratch(sc)
 	// Pass 1: gather the batchable clean-path windows, grouped by their
 	// resolved options (ZeroTol defaults are per-window, applied inside
-	// DetectBatchWithOptions exactly as DetectWithOptions would).
-	type group struct {
-		idxs []int
-		ys   [][]float64
-	}
-	groups := make(map[DetectOptions]*group)
-	batchable := make([]bool, len(obs))
-	vectors := make([][]float64, len(obs))
+	// DetectBatchWithOptions exactly as DetectWithOptions would). The
+	// group table is a linear-scanned slice: real batches carry one or
+	// two distinct option sets, and the steady-state single-group case
+	// must not pay a map allocation per call.
 	for i, o := range obs {
 		if o.Missing != nil || o.Epoch != epoch || (o.Mode != ModeAuto && o.Mode != ModeFull) {
 			continue
 		}
-		y, err := s.observationVector(o)
+		y, pooled, err := s.observationVector(o)
 		if err != nil {
 			return nil, fmt.Errorf("foces: batch window %d: %w", i, err)
+		}
+		if pooled {
+			sc.pooled = append(sc.pooled, y)
 		}
 		opts := o.Options
 		if opts == (DetectOptions{}) {
 			opts = s.opts
 		}
-		g := groups[opts]
-		if g == nil {
-			g = &group{}
-			groups[opts] = g
-		}
+		g := sc.group(opts)
 		g.idxs = append(g.idxs, i)
 		g.ys = append(g.ys, y)
-		batchable[i] = true
-		vectors[i] = y
+		sc.batchable[i] = true
+		sc.vectors[i] = y
 	}
 	// Shared full-engine stage: one multi-RHS solve per option group.
-	fullRes := make([]Result, len(obs))
-	fullDur := make([]time.Duration, len(obs))
-	if len(groups) > 0 {
+	if len(sc.groups) > 0 {
 		d, err := s.fullDetector()
 		if err != nil {
 			return nil, err
 		}
-		for opts, g := range groups {
+		for k := range sc.groups {
+			g := &sc.groups[k]
 			t0 := time.Now()
-			results, err := d.DetectBatchWithOptions(g.ys, opts)
+			results, err := d.DetectBatchWithOptions(g.ys, g.opts)
 			if err != nil {
 				return nil, fmt.Errorf("foces: batch window %d: %w", g.idxs[0], err)
 			}
 			share := time.Since(t0) / time.Duration(len(g.idxs))
 			for k, i := range g.idxs {
-				fullRes[i] = results[k]
-				fullDur[i] = share
+				sc.fullRes[i] = results[k]
+				sc.fullDur[i] = share
 			}
 		}
 	}
@@ -497,7 +618,7 @@ func (s *System) RunBatch(obs []Observation) ([]Report, error) {
 	// everything else through Run.
 	reports := make([]Report, len(obs))
 	for i, o := range obs {
-		if !batchable[i] {
+		if !sc.batchable[i] {
 			rep, err := s.runLocked(o, nil) // already under the read lock
 			if err != nil {
 				return nil, fmt.Errorf("foces: batch window %d: %w", i, err)
@@ -507,8 +628,8 @@ func (s *System) RunBatch(obs []Observation) ([]Report, error) {
 		}
 		start := time.Now()
 		rep := Report{Mode: o.Mode, Epoch: epoch, Path: PathClean}
-		res := fullRes[i]
-		rep.Timings.Full = fullDur[i]
+		res := sc.fullRes[i]
+		rep.Timings.Full = sc.fullDur[i]
 		rep.Full = &res
 		rep.Index = res.Index
 		rep.Anomalous = res.Anomalous
@@ -518,7 +639,7 @@ func (s *System) RunBatch(obs []Observation) ([]Report, error) {
 				opts = s.opts
 			}
 			t0 := time.Now()
-			so, err := s.sliced.DetectWithOptions(vectors[i], opts)
+			so, err := s.sliced.DetectWithOptions(sc.vectors[i], opts)
 			if err != nil {
 				return nil, fmt.Errorf("foces: batch window %d: %w", i, err)
 			}
@@ -529,25 +650,150 @@ func (s *System) RunBatch(obs []Observation) ([]Report, error) {
 			rep.Anomalous = rep.Anomalous || so.Anomalous
 		}
 		s.maybeLocalize(o, &rep)
-		rep.Timings.Total = fullDur[i] + time.Since(start)
+		rep.Timings.Total = sc.fullDur[i] + time.Since(start)
 		s.recordRun(&rep)
 		reports[i] = rep
 	}
 	return reports, nil
 }
 
+// optGroup is one distinct option set's slice of a batch.
+type optGroup struct {
+	opts DetectOptions
+	idxs []int
+	ys   [][]float64
+}
+
+// batchScratch is RunBatch's recycled per-call working set.
+type batchScratch struct {
+	groups    []optGroup
+	batchable []bool
+	vectors   [][]float64
+	fullRes   []Result
+	fullDur   []time.Duration
+	pooled    [][]float64 // counter vectors to release after the call
+}
+
+// group finds or claims the group for an option set, reusing retired
+// entries' index/vector capacity.
+func (sc *batchScratch) group(opts DetectOptions) *optGroup {
+	for k := range sc.groups {
+		if sc.groups[k].opts == opts {
+			return &sc.groups[k]
+		}
+	}
+	if cap(sc.groups) > len(sc.groups) {
+		sc.groups = sc.groups[:len(sc.groups)+1]
+	} else {
+		sc.groups = append(sc.groups, optGroup{})
+	}
+	g := &sc.groups[len(sc.groups)-1]
+	g.opts = opts
+	g.idxs = g.idxs[:0]
+	g.ys = g.ys[:0]
+	return g
+}
+
+// getBatchScratch pops (or builds) a scratch sized for n windows.
+func (s *System) getBatchScratch(n int) *batchScratch {
+	s.scratchMu.Lock()
+	var sc *batchScratch
+	if k := len(s.batchFree); k > 0 {
+		sc = s.batchFree[k-1]
+		s.batchFree[k-1] = nil
+		s.batchFree = s.batchFree[:k-1]
+	}
+	s.scratchMu.Unlock()
+	if sc == nil {
+		sc = &batchScratch{}
+	}
+	if cap(sc.batchable) < n {
+		sc.batchable = make([]bool, n)
+		sc.vectors = make([][]float64, n)
+		sc.fullRes = make([]Result, n)
+		sc.fullDur = make([]time.Duration, n)
+	} else {
+		sc.batchable = sc.batchable[:n]
+		clear(sc.batchable)
+		sc.vectors = sc.vectors[:n]
+		clear(sc.vectors)
+		sc.fullRes = sc.fullRes[:n]
+		clear(sc.fullRes)
+		sc.fullDur = sc.fullDur[:n]
+		clear(sc.fullDur)
+	}
+	sc.groups = sc.groups[:0]
+	sc.pooled = sc.pooled[:0]
+	return sc
+}
+
+// putBatchScratch releases the call's pooled counter vectors and
+// returns the scratch to the free list.
+func (s *System) putBatchScratch(sc *batchScratch) {
+	for i, y := range sc.pooled {
+		s.putVector(y)
+		sc.pooled[i] = nil
+	}
+	sc.pooled = sc.pooled[:0]
+	s.scratchMu.Lock()
+	if len(s.batchFree) < 4 {
+		s.batchFree = append(s.batchFree, sc)
+	}
+	s.scratchMu.Unlock()
+}
+
 // observationVector resolves the dense counter vector from an
-// observation, erroring when neither or both sources are set.
-func (s *System) observationVector(obs Observation) ([]float64, error) {
+// observation, erroring when neither or both sources are set. Vectors
+// assembled from Counters come from the system's recycle list; pooled
+// reports whether the caller must hand the vector back through
+// putVector once the engines are done with it (caller-supplied Vectors
+// are never recycled — the system does not own them).
+func (s *System) observationVector(obs Observation) (y []float64, pooled bool, err error) {
 	switch {
 	case obs.Vector != nil && obs.Counters != nil:
-		return nil, fmt.Errorf("foces: observation sets both Vector and Counters; provide exactly one")
+		return nil, false, fmt.Errorf("foces: observation sets both Vector and Counters; provide exactly one")
 	case obs.Vector != nil:
-		return obs.Vector, nil
+		return obs.Vector, false, nil
 	case obs.Counters != nil:
-		return s.CounterVector(obs.Counters)
+		space := s.fcm.NumRules()
+		for id := range obs.Counters {
+			if id < 0 || id >= space {
+				return nil, false, fmt.Errorf("foces: counter for rule %d outside the baseline's %d-rule space (snapshot from a different rule generation?)", id, space)
+			}
+		}
+		return s.fcm.CounterVectorInto(s.getVector(), obs.Counters), true, nil
 	}
-	return nil, fmt.Errorf("foces: observation carries no counters (set Counters or Vector)")
+	return nil, false, fmt.Errorf("foces: observation carries no counters (set Counters or Vector)")
+}
+
+// maxPooledVectors caps the counter-vector free list; beyond it,
+// releases fall through to the garbage collector.
+const maxPooledVectors = 32
+
+// getVector pops a recycled counter vector (nil when the list is
+// empty; CounterVectorInto allocates in that case).
+func (s *System) getVector() []float64 {
+	s.scratchMu.Lock()
+	defer s.scratchMu.Unlock()
+	if n := len(s.vecFree); n > 0 {
+		v := s.vecFree[n-1]
+		s.vecFree[n-1] = nil
+		s.vecFree = s.vecFree[:n-1]
+		return v
+	}
+	return nil
+}
+
+// putVector returns a counter vector to the free list. Safe on nil.
+func (s *System) putVector(v []float64) {
+	if v == nil {
+		return
+	}
+	s.scratchMu.Lock()
+	if len(s.vecFree) < maxPooledVectors {
+		s.vecFree = append(s.vecFree, v)
+	}
+	s.scratchMu.Unlock()
 }
 
 // pathTel is one dispatch path's label-resolved system children.

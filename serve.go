@@ -146,6 +146,12 @@ func (s *System) Serve(ctx context.Context, cfg StreamConfig) (<-chan StreamRepo
 	out := make(chan StreamReport, cfg.Buffer)
 	go func() {
 		defer close(out)
+		// Batch and observation scratch live across iterations so the
+		// steady-state loop reuses their backing arrays.
+		var (
+			batch []StreamWindow
+			obs   []Observation
+		)
 		for {
 			var first StreamWindow
 			select {
@@ -157,12 +163,12 @@ func (s *System) Serve(ctx context.Context, cfg StreamConfig) (<-chan StreamRepo
 				}
 				first = w
 			}
-			batch := []StreamWindow{first}
+			batch = append(batch[:0], first)
 			for len(batch) < cfg.BatchMax {
 				select {
 				case w, ok := <-cfg.Windows:
 					if !ok {
-						s.serveBatch(ctx, cfg, batch, out)
+						s.serveBatch(ctx, cfg, batch, &obs, out)
 						return
 					}
 					batch = append(batch, w)
@@ -171,7 +177,7 @@ func (s *System) Serve(ctx context.Context, cfg StreamConfig) (<-chan StreamRepo
 				}
 			}
 		drained:
-			if !s.serveBatch(ctx, cfg, batch, out) {
+			if !s.serveBatch(ctx, cfg, batch, &obs, out) {
 				return
 			}
 		}
@@ -179,33 +185,39 @@ func (s *System) Serve(ctx context.Context, cfg StreamConfig) (<-chan StreamRepo
 	return out, nil
 }
 
-// serveBatch detects one group of pending windows and emits their
-// reports in window order. It returns false when ctx cancellation
-// interrupted emission.
-func (s *System) serveBatch(ctx context.Context, cfg StreamConfig, batch []StreamWindow, out chan<- StreamReport) bool {
+// serveBatch detects one group of pending windows, emits their reports
+// in window order, and releases every window's pooled storage back to
+// the assembler. It returns false when ctx cancellation interrupted
+// emission. The observation scratch at *scratch is reused across calls.
+func (s *System) serveBatch(ctx context.Context, cfg StreamConfig, batch []StreamWindow, scratch *[]Observation, out chan<- StreamReport) bool {
 	// Windows with zero usable rows (all switches missing, e.g. the
 	// priming window) cannot form an equation system; skip them.
 	kept := batch[:0]
-	for _, w := range batch {
-		if len(w.Deltas) > 0 {
-			kept = append(kept, w)
+	for i := range batch {
+		if len(batch[i].Deltas) > 0 {
+			kept = append(kept, batch[i])
+		} else {
+			batch[i].Release()
 		}
 	}
 	if len(kept) == 0 {
 		return true
 	}
-	obs := make([]Observation, len(kept))
-	for i, w := range kept {
-		obs[i] = windowObservation(w, cfg)
+	obs := (*scratch)[:0]
+	for i := range kept {
+		obs = append(obs, windowObservation(kept[i], cfg))
 	}
+	*scratch = obs
 	reports, err := s.RunBatch(obs)
 	if err != nil {
 		// A batch-level error names one window; fall back to per-window
 		// Runs so one bad window cannot take down its neighbours.
 		return s.serveSingly(ctx, cfg, kept, obs, out)
 	}
-	for i, w := range kept {
-		if !s.emitReport(ctx, cfg, w, reports[i], len(kept), nil, out) {
+	for i := range kept {
+		ok := s.emitReport(ctx, cfg, kept[i], reports[i], len(kept), nil, out)
+		kept[i].Release()
+		if !ok {
 			return false
 		}
 	}
@@ -215,9 +227,11 @@ func (s *System) serveBatch(ctx context.Context, cfg StreamConfig, batch []Strea
 // serveSingly is serveBatch's degraded path: each window runs alone so
 // errors stay per-window.
 func (s *System) serveSingly(ctx context.Context, cfg StreamConfig, kept []StreamWindow, obs []Observation, out chan<- StreamReport) bool {
-	for i, w := range kept {
+	for i := range kept {
 		rep, err := s.Run(obs[i])
-		if !s.emitReport(ctx, cfg, w, rep, 1, err, out) {
+		ok := s.emitReport(ctx, cfg, kept[i], rep, 1, err, out)
+		kept[i].Release()
+		if !ok {
 			return false
 		}
 	}
@@ -228,6 +242,12 @@ func (s *System) serveSingly(ctx context.Context, cfg StreamConfig, kept []Strea
 // sampler feedback, telemetry — and sends it. Returns false on ctx
 // cancellation.
 func (s *System) emitReport(ctx context.Context, cfg StreamConfig, w StreamWindow, rep Report, batched int, err error, out chan<- StreamReport) bool {
+	// Report.Missing echoes the observation's slice, which aliases the
+	// window's pooled storage; the report outlives the window's Release,
+	// so detach it.
+	if len(rep.Missing) > 0 {
+		rep.Missing = append([]SwitchID(nil), rep.Missing...)
+	}
 	sr := StreamReport{Report: rep, Window: w.Seq, Batched: batched, Err: err}
 	if !w.Opened.IsZero() {
 		sr.Latency = time.Since(w.Opened)

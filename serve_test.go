@@ -18,7 +18,7 @@ import (
 // arms below replay byte-for-byte identical inputs. Events are baked
 // into the data: an attack skews every window from attackAt on, and
 // resetSw's cumulative counters restart at resetAt.
-func serveTestWindows(t *testing.T, gen *foces.System, windows, attackAt, resetAt int, resetSw foces.SwitchID, seed int64) []map[foces.SwitchID]map[int]uint64 {
+func serveTestWindows(t testing.TB, gen *foces.System, windows, attackAt, resetAt int, resetSw foces.SwitchID, seed int64) []map[foces.SwitchID]map[int]uint64 {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	rules := gen.FCM().Rules

@@ -67,6 +67,15 @@ type System struct {
 	probeRec *probeRecorder
 	events   *telemetry.Ring[RunEvent]
 	wirings  map[*telemetry.Registry]*telWiring
+
+	// Hot-path recycling: counter vectors built from Observation.Counters
+	// and RunBatch's per-call scratch go back on these free lists instead
+	// of the garbage collector. Mutex-guarded slices rather than
+	// sync.Pool because Put of a slice value would re-box it (one
+	// allocation per release — the thing being avoided).
+	scratchMu sync.Mutex
+	vecFree   [][]float64
+	batchFree []*batchScratch
 }
 
 // NewSystem computes and installs rules for the topology under the
